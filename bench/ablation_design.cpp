@@ -1,0 +1,72 @@
+// Design-choice ablations beyond Table III (the knobs DESIGN.md calls
+// out): string-only vs two-level classification, data shifting on/off,
+// centroid recomputation, feedback on/off, canonical-orientation
+// alignment, and the R0 / K clustering parameters.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hsd;
+  bench::printHeader("Design ablations (benchmark3-like workload)");
+
+  auto spec = bench::smallSuite()[2];
+  const data::Benchmark b = data::generateBenchmark(spec);
+
+  struct Variant {
+    std::string name;
+    bench::Method method;
+  };
+  std::vector<Variant> variants;
+
+  variants.push_back({"ours (default)", bench::makeOurs()});
+  {
+    bench::Method m = bench::makeOurs();
+    m.train.classify.useDensity = false;
+    variants.push_back({"string-level only", m});
+  }
+  {
+    bench::Method m = bench::makeOurs();
+    m.train.enableShift = false;
+    variants.push_back({"no data shifting", m});
+  }
+  {
+    bench::Method m = bench::makeOurs();
+    m.train.balancePopulation = false;
+    variants.push_back({"no nhs downsampling", m});
+  }
+  {
+    bench::Method m = bench::makeOurs();
+    m.train.classify.recomputeCentroid = false;
+    variants.push_back({"static centroids", m});
+  }
+  {
+    bench::Method m = bench::makeOurs();
+    m.train.enableFeedback = false;
+    m.eval.useFeedback = false;
+    variants.push_back({"no feedback kernel", m});
+  }
+  {
+    bench::Method m = bench::makeOurs();
+    m.train.features.canonicalize = false;
+    variants.push_back({"no canonical orient", m});
+  }
+  for (const double r0 : {4.0, 24.0}) {
+    bench::Method m = bench::makeOurs();
+    m.train.classify.radiusR0 = r0;
+    variants.push_back({"R0=" + std::to_string(int(r0)), m});
+  }
+  for (const std::size_t k : {std::size_t(3), std::size_t(30)}) {
+    bench::Method m = bench::makeOurs();
+    m.train.classify.expectedClusters = k;
+    variants.push_back({"K=" + std::to_string(k), m});
+  }
+
+  for (const Variant& v : variants) {
+    const bench::RunResult r =
+        bench::runMethod(v.method, b.training.clips, b.test);
+    std::printf("%-22s #hit %3zu/%-3zu  #extra %5zu  accuracy %6.2f%%  "
+                "runtime %5.1fs\n",
+                v.name.c_str(), r.score.hits, r.score.actualHotspots,
+                r.score.extras, 100.0 * r.score.accuracy(), r.runtimeSec());
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) of the framework's inner loops:
+// string encoding, canonical keys, MTCG construction, feature extraction,
+// density distance, SMO training, oracle simulation, clip extraction.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/classify.hpp"
+#include "core/extract.hpp"
+#include "core/features.hpp"
+#include "core/mtcg.hpp"
+#include "core/topo_string.hpp"
+#include "data/generator.hpp"
+#include "geom/density_grid.hpp"
+#include "litho/litho.hpp"
+#include "svm/svm.hpp"
+
+namespace {
+
+using namespace hsd;
+
+core::CorePattern samplePattern(int rects) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<Coord> c(0, 1000);
+  core::CorePattern p;
+  p.w = p.h = 1200;
+  for (int i = 0; i < rects; ++i) {
+    const Coord x = c(rng), y = c(rng);
+    p.rects.push_back({x, y, x + 80 + c(rng) % 150, y + 80 + c(rng) % 150});
+  }
+  return p;
+}
+
+void BM_EncodeStrings(benchmark::State& state) {
+  const core::CorePattern p = samplePattern(int(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::encodeStrings(p));
+}
+BENCHMARK(BM_EncodeStrings)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CanonicalTopoKey(benchmark::State& state) {
+  const core::CorePattern p = samplePattern(int(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::canonicalTopoKey(p));
+}
+BENCHMARK(BM_CanonicalTopoKey)->Arg(4)->Arg(8);
+
+void BM_BuildCh(benchmark::State& state) {
+  const core::CorePattern p = samplePattern(int(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(core::buildCh(p));
+}
+BENCHMARK(BM_BuildCh)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FeatureVector(benchmark::State& state) {
+  const core::CorePattern p = samplePattern(int(state.range(0)));
+  const core::FeatureParams fp;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::buildFeatureVector(p, fp));
+}
+BENCHMARK(BM_FeatureVector)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DensityDistance(benchmark::State& state) {
+  const core::CorePattern a = samplePattern(6);
+  const core::CorePattern b = samplePattern(9);
+  const DensityGrid ga(a.rects, a.window(), 12, 12);
+  const DensityGrid gb(b.rects, b.window(), 12, 12);
+  for (auto _ : state) benchmark::DoNotOptimize(ga.distance(gb));
+}
+BENCHMARK(BM_DensityDistance);
+
+void BM_SmoTrain(benchmark::State& state) {
+  std::mt19937 rng(9);
+  std::normal_distribution<double> n(0.0, 1.0);
+  svm::Dataset d;
+  const int half = int(state.range(0)) / 2;
+  for (int i = 0; i < half; ++i) {
+    d.add({n(rng) - 1.2, n(rng), n(rng)}, -1);
+    d.add({n(rng) + 1.2, n(rng), n(rng)}, 1);
+  }
+  svm::SvmParams p;
+  p.C = 10;
+  p.gamma = 0.5;
+  for (auto _ : state) benchmark::DoNotOptimize(svm::train(d, p));
+}
+BENCHMARK(BM_SmoTrain)->Arg(50)->Arg(200)->Arg(600);
+
+void BM_LithoCheck(benchmark::State& state) {
+  const litho::LithoSimulator sim;
+  const ClipParams cp;
+  const ClipWindow win = ClipWindow::atCore({1800, 1800}, cp);
+  data::GeneratorParams gp;
+  data::Rng rng(3);
+  const auto rects =
+      data::makeMotif(data::MotifKind::kDenseLines, data::Risk::kRisky,
+                      data::AmbitStyle::kDense, gp.dims, gp.clip, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim.check(rects, win.core, win.clip));
+}
+BENCHMARK(BM_LithoCheck);
+
+void BM_ClipExtraction(benchmark::State& state) {
+  data::GeneratorParams gp;
+  gp.seed = 21;
+  const auto test =
+      data::generateTestLayout(gp, state.range(0), state.range(0), 10, 0.5);
+  const core::ExtractParams p;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::extractCandidateClips(test.layout, 1, p));
+}
+BENCHMARK(BM_ClipExtraction)->Arg(20000)->Arg(40000)->Unit(benchmark::kMillisecond);
+
+void BM_Classify(benchmark::State& state) {
+  std::vector<core::CorePattern> pats;
+  std::mt19937 rng(4);
+  for (int i = 0; i < state.range(0); ++i)
+    pats.push_back(samplePattern(3 + i % 5));
+  const core::ClassifyParams cp;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::classifyPatterns(pats, cp));
+}
+BENCHMARK(BM_Classify)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

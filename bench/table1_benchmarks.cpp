@@ -1,0 +1,47 @@
+// Table I: benchmark suite statistics — training hotspot / non-hotspot
+// counts, testing-layout hotspot counts, area and process node.
+// (Synthetic ICCAD-2012-like suite; see DESIGN.md for the substitution.)
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hsd;
+  bench::printHeader("Table I: benchmark statistics");
+  std::printf("%-22s %5s %6s | %-18s %5s %12s %8s %6s\n", "Training data",
+              "#hs", "#nhs", "Testing layout", "#hs", "area(um^2)",
+              "#sites", "proc");
+
+  const auto specs = data::iccad2012LikeSuite();
+  data::Benchmark first;  // kept for the blind layout below
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const data::Benchmark b = data::generateBenchmark(specs[i]);
+    std::size_t hs = 0;
+    for (const Clip& c : b.training.clips)
+      hs += c.label() == Label::kHotspot;
+    std::printf("%-22s %5zu %6zu | %-18s %5zu %12.0f %8zu %6s\n",
+                b.training.name.c_str(), hs, b.training.clips.size() - hs,
+                b.test.layout.name().c_str(), b.test.actualHotspots.size(),
+                b.test.layout.areaUm2(), b.test.motifSites,
+                b.process.c_str());
+    if (i == 0) first = b;
+  }
+
+  // The blind layout (scored with benchmark1's training data in Table II
+  // of the paper): same generator params as benchmark1, different seed.
+  data::GeneratorParams gp;
+  gp.dims = data::ProcessDims::node32();
+  gp.seed = 999;
+  const data::TestLayout blind =
+      data::generateTestLayout(gp, 64000, 40000, 70, 0.5, "MX_blind_partial");
+  std::printf("%-22s %5s %6s | %-18s %5zu %12.0f %8zu %6s\n", "(benchmark1)",
+              "-", "-", blind.layout.name().c_str(),
+              blind.actualHotspots.size(), blind.layout.areaUm2(),
+              blind.motifSites, "32nm");
+  std::printf("\ncore %lld x %lld nm, clip %lld x %lld nm (contest format)\n",
+              static_cast<long long>(ClipParams{}.coreSide),
+              static_cast<long long>(ClipParams{}.coreSide),
+              static_cast<long long>(ClipParams{}.clipSide),
+              static_cast<long long>(ClipParams{}.clipSide));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table IV: accuracy vs training-data amount — rapid training convergence.
+// Each benchmark is trained on nested random subsets of its training set
+// (plus one cross-benchmark row, as in the paper where benchmark2 was
+// trained on other benchmarks' data).
+//
+// Reproducible shape: accuracy saturates at a small fraction of the data;
+// runtime drops with the subset size.
+#include <random>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hsd;
+
+// A label-stratified random subset keeping `frac` of each class (always at
+// least 3 hotspots / 10 non-hotspots so training stays well-posed).
+std::vector<Clip> subset(const std::vector<Clip>& clips, double frac,
+                         std::uint64_t seed) {
+  std::vector<const Clip*> hs, nhs;
+  for (const Clip& c : clips)
+    (c.label() == Label::kHotspot ? hs : nhs).push_back(&c);
+  std::mt19937_64 rng(seed);
+  std::shuffle(hs.begin(), hs.end(), rng);
+  std::shuffle(nhs.begin(), nhs.end(), rng);
+  const std::size_t nh =
+      std::max<std::size_t>(3, std::size_t(double(hs.size()) * frac));
+  const std::size_t nn =
+      std::max<std::size_t>(10, std::size_t(double(nhs.size()) * frac));
+  std::vector<Clip> out;
+  for (std::size_t i = 0; i < std::min(nh, hs.size()); ++i)
+    out.push_back(*hs[i]);
+  for (std::size_t i = 0; i < std::min(nn, nhs.size()); ++i)
+    out.push_back(*nhs[i]);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Table IV: accuracy vs training data fraction");
+
+  const auto suite = bench::smallSuite();
+  for (const auto& spec : suite) {
+    const data::Benchmark b = data::generateBenchmark(spec);
+    for (const double frac : {0.10, 0.25, 0.50, 1.00}) {
+      const std::vector<Clip> sub = subset(b.training.clips, frac, 11);
+      const bench::RunResult r =
+          bench::runMethod(bench::makeOurs(), sub, b.test);
+      std::printf("%-12s data %5.1f%% (%3zu clips)  #hit %3zu/%-3zu  "
+                  "#extra %5zu  accuracy %6.2f%%  runtime %5.1fs\n",
+                  b.name.c_str(), 100 * frac, sub.size(), r.score.hits,
+                  r.score.actualHotspots, r.score.extras,
+                  100.0 * r.score.accuracy(), r.runtimeSec());
+    }
+    std::printf("\n");
+  }
+
+  // Cross-benchmark row: test benchmark2's layout with benchmark3's
+  // training data (the paper's Array_benchmark2 row used other
+  // benchmarks' clips at a 0.6% fraction).
+  const data::Benchmark b2 = data::generateBenchmark(suite[1]);
+  const data::Benchmark b3 = data::generateBenchmark(suite[2]);
+  for (const double frac : {0.25, 1.00}) {
+    const std::vector<Clip> sub = subset(b3.training.clips, frac, 23);
+    const bench::RunResult r =
+        bench::runMethod(bench::makeOurs(), sub, b2.test);
+    std::printf("%-12s cross-trained on benchmark3 %5.1f%% (%3zu clips)  "
+                "#hit %3zu/%-3zu  #extra %5zu  accuracy %6.2f%%\n",
+                b2.name.c_str(), 100 * frac, sub.size(), r.score.hits,
+                r.score.actualHotspots, r.score.extras,
+                100.0 * r.score.accuracy());
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Pattern-anatomy walkthrough: encode a clip core with the paper's
+// machinery and print everything — directional strings, canonical
+// topology key, MTCG tiles, rule rectangles and non-topological features.
+// Useful for understanding what the detector actually "sees".
+//
+//   $ ./inspect_pattern
+#include <cstdio>
+
+#include "core/features.hpp"
+#include "core/mtcg.hpp"
+#include "core/topo_string.hpp"
+
+namespace {
+
+using namespace hsd;
+using namespace hsd::core;
+
+void printSide(const char* name, const std::vector<SliceCode>& side) {
+  std::printf("  %-6s <", name);
+  for (std::size_t i = 0; i < side.size(); ++i) {
+    // Decode bits LSB-first into the paper's binary notation.
+    std::printf("%s", i ? ", " : "");
+    for (int b = 0; b < side[i].len; ++b)
+      std::printf("%d", int((side[i].bits >> b) & 1));
+  }
+  std::printf(">\n");
+}
+
+const char* kindName(FeatKind k) {
+  switch (k) {
+    case FeatKind::kInternal: return "internal";
+    case FeatKind::kExternal: return "external";
+    case FeatKind::kDiagonal: return "diagonal";
+    case FeatKind::kSegment:  return "segment";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  // The paper's Fig. 8 "mountain": stacked blocks plus a plate above.
+  CorePattern p;
+  p.w = p.h = 1200;
+  p.rects = {
+      {200, 100, 400, 450},    // left foothill
+      {500, 100, 700, 850},    // peak
+      {800, 100, 1000, 550},   // right foothill
+      {150, 1000, 1050, 1150}, // plate above
+  };
+
+  std::printf("== directional strings (Sec. III-B1) ==\n");
+  const DirectionalStrings s = encodeStrings(p);
+  printSide("bottom", s.bottom);
+  printSide("right", s.right);
+  printSide("top", s.top);
+  printSide("left", s.left);
+  std::printf("canonical orientation: %s\n",
+              toString(canonicalOrient(p)));
+
+  std::printf("\n== MTCG (Sec. III-C) ==\n");
+  const Mtcg ch = buildCh(p);
+  const Mtcg cv = buildCv(p);
+  std::size_t blocks = 0;
+  for (const Tile& t : ch.tiles) blocks += t.isBlock;
+  std::printf("Ch: %zu tiles (%zu block), %zu diagonal edges\n",
+              ch.tiles.size(), blocks, ch.diagonals.size());
+  std::printf("Cv: %zu tiles\n", cv.tiles.size());
+
+  std::printf("\n== critical features (Fig. 7/8) ==\n");
+  for (const RuleRect& r : extractRuleRects(p))
+    std::printf("  %-8s w=%-5lld h=%-5lld at (+%lld,+%lld) boundary=%d\n",
+                kindName(r.kind), static_cast<long long>(r.w),
+                static_cast<long long>(r.h), static_cast<long long>(r.dx),
+                static_cast<long long>(r.dy), r.boundaryMark);
+
+  const NonTopoFeatures nt = extractNonTopo(p);
+  std::printf("\n== non-topological features (Fig. 7e) ==\n");
+  std::printf("  corners=%d touch-points=%d min-width=%lld nm "
+              "min-space=%lld nm density=%.3f\n",
+              nt.corners, nt.touchPoints,
+              static_cast<long long>(nt.minInternal),
+              static_cast<long long>(nt.minExternal), nt.density);
+
+  FeatureParams fp;
+  std::printf("\nfixed-length SVM vector: %zu dims\n",
+              buildFeatureVector(p, fp).size());
+  return 0;
+}

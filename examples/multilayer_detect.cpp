@@ -1,0 +1,59 @@
+// Multilayer hotspot detection (Sec. IV-A): hotspots formed by the
+// interaction of two metal layers — a small metal1/metal2 crossing overlap
+// is the hotspot signature; either layer alone looks harmless.
+//
+//   $ ./multilayer_detect
+#include <cstdio>
+#include <random>
+
+#include "core/multilayer.hpp"
+
+namespace {
+
+using namespace hsd;
+
+// Metal1 horizontal bar crossed by a metal2 vertical bar of width
+// `overlapSize`; the label tracks the landing-pad overlap margin.
+Clip crossing(Coord overlapSize, Label label, Coord jx, Coord jy) {
+  const ClipParams p;
+  Clip c(ClipWindow::atCore({1800, 1800}, p), label);
+  c.setRects(1, {{1900 + jx, 2300 + jy, 2900 + jx, 2500 + jy}});
+  c.setRects(2, {{2300 + jx, 1900 + jy, 2300 + jx + overlapSize, 2900 + jy}});
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hsd;
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<Coord> j(-150, 150);
+
+  std::vector<Clip> training;
+  for (int i = 0; i < 12; ++i)
+    training.push_back(crossing(80, Label::kHotspot, j(rng), j(rng)));
+  for (int i = 0; i < 40; ++i)
+    training.push_back(crossing(320, Label::kNonHotspot, j(rng), j(rng)));
+
+  core::MultiLayerParams mp;
+  mp.layers = {1, 2};
+  const auto det = core::MultiLayerDetector::train(training, mp);
+  std::printf("multilayer detector: %zu kernels, feature dim %zu "
+              "(2 layer sets + 1 overlap set)\n",
+              det.kernels.size(), core::multiLayerFeatureDim(mp));
+
+  int correct = 0, total = 0;
+  for (int i = 0; i < 30; ++i) {
+    const bool hot = i % 2 == 0;
+    const Clip probe =
+        crossing(hot ? 90 : 300, Label::kUnknown, j(rng), j(rng));
+    const bool flagged = det.evaluateClip(probe);
+    correct += (flagged == hot);
+    ++total;
+  }
+  std::printf("unseen two-layer probes: %d/%d classified correctly\n",
+              correct, total);
+  std::printf("note: the overlap geometry is the only separating signal —\n"
+              "each individual layer is identical between the classes.\n");
+  return correct >= total * 3 / 4 ? 0 : 1;
+}

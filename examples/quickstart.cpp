@@ -1,0 +1,64 @@
+// Quickstart: generate a small synthetic benchmark, train the hotspot
+// detector, evaluate a testing layout and score the result.
+//
+//   $ ./quickstart
+//
+// This walks the whole public API surface: data generation -> training
+// (topological classification, multiple SVM kernels, feedback kernel) ->
+// evaluation (clip extraction, kernel voting, redundant clip removal) ->
+// hit/extra scoring.
+#include <cstdio>
+
+#include "core/evaluator.hpp"
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+#include "data/generator.hpp"
+
+int main() {
+  using namespace hsd;
+
+  // 1. Synthetic benchmark: ~30 hotspot / 120 non-hotspot training clips
+  //    and a 30x30 um testing layout with 25 embedded motif sites.
+  data::GeneratorParams gp;
+  gp.seed = 42;
+  data::TrainingTargets targets;
+  targets.hotspots = 30;
+  targets.nonHotspots = 120;
+  const gds::ClipSet training = data::generateTrainingSet(gp, targets);
+  const data::TestLayout test =
+      data::generateTestLayout(gp, 30000, 30000, 25, 0.6);
+
+  std::size_t hs = 0;
+  for (const Clip& c : training.clips)
+    if (c.label() == Label::kHotspot) ++hs;
+  std::printf("training: %zu clips (%zu hotspot / %zu non-hotspot)\n",
+              training.clips.size(), hs, training.clips.size() - hs);
+  std::printf("testing layout: %.0f um^2, %zu motif sites, %zu actual hotspots\n",
+              test.layout.areaUm2(), test.motifSites,
+              test.actualHotspots.size());
+
+  // 2. Train the detector.
+  core::TrainParams tp;
+  const core::Detector det = core::trainDetector(training.clips, tp);
+  std::printf(
+      "trained %zu kernels (%zu hotspot clusters, %zu->%zu non-hotspot "
+      "downsampling), feedback=%s, %.1fs\n",
+      det.kernels.size(), det.stats.hotspotClusters,
+      det.stats.rawNonHotspots, det.stats.balancedNonHotspots,
+      det.hasFeedback ? "yes" : "no", det.stats.trainSeconds);
+
+  // 3. Evaluate the layout.
+  core::EvalParams ep;
+  const core::EvalResult res = core::evaluateLayout(det, test.layout, ep);
+  std::printf("evaluation: %zu candidate clips, %zu flagged, %zu reported, %.1fs\n",
+              res.candidateClips, res.flaggedBeforeRemoval,
+              res.reported.size(), res.evalSeconds);
+
+  // 4. Score.
+  const core::Score score =
+      core::scoreReports(res.reported, test.actualHotspots);
+  std::printf("score: %zu/%zu hits (accuracy %.1f%%), %zu extras, h/e %.3f\n",
+              score.hits, score.actualHotspots, 100.0 * score.accuracy(),
+              score.extras, score.hitExtraRatio());
+  return 0;
+}

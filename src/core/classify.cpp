@@ -1,0 +1,123 @@
+#include "core/classify.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "core/topo_string.hpp"
+#include "geom/density_grid.hpp"
+
+namespace hsd::core {
+
+namespace {
+
+// Density-based subdivision of one string-level group (Sec. III-B2).
+std::vector<Cluster> densitySubdivide(
+    const std::vector<CorePattern>& patterns,
+    const std::vector<std::size_t>& group, const std::string& topoKey,
+    const ClassifyParams& p) {
+  // Pixelate every member once.
+  std::vector<DensityGrid> grids;
+  grids.reserve(group.size());
+  for (const std::size_t idx : group) {
+    const CorePattern& pat = patterns[idx];
+    grids.emplace_back(pat.rects, pat.window(), p.gridN, p.gridN);
+  }
+
+  // Eq. (2): R = max(R0, max_ij rho(p_i, p_j) / K). The pairwise scan is
+  // sampled for large groups; sampling can only shrink R, i.e. produce
+  // more (never coarser) clusters.
+  double maxPair = 0;
+  const std::size_t nSample = std::min(group.size(), p.maxPairSamples);
+  const std::size_t stride = std::max<std::size_t>(1, group.size() / nSample);
+  for (std::size_t i = 0; i < group.size(); i += stride)
+    for (std::size_t j = i + stride; j < group.size(); j += stride)
+      maxPair = std::max(maxPair, grids[i].distance(grids[j]));
+  const double radius =
+      std::max(p.radiusR0, maxPair / double(std::max<std::size_t>(
+                               1, p.expectedClusters)));
+
+  // Leader clustering: a pattern joins the first cluster whose centroid is
+  // within the radius, else founds a new cluster.
+  struct Lead {
+    std::vector<std::size_t> local;   // indices into `group`
+    std::vector<double> sum;          // running centroid numerator
+    DensityGrid centroid;
+  };
+  std::vector<Lead> leads;
+  for (std::size_t li = 0; li < group.size(); ++li) {
+    bool placed = false;
+    for (Lead& lead : leads) {
+      if (lead.centroid.distance(grids[li]) <= radius) {
+        lead.local.push_back(li);
+        if (p.recomputeCentroid) {
+          const std::vector<double>& v = grids[li].values();
+          for (std::size_t k = 0; k < lead.sum.size(); ++k)
+            lead.sum[k] += v[k];
+          std::vector<double> mean(lead.sum.size());
+          for (std::size_t k = 0; k < mean.size(); ++k)
+            mean[k] = lead.sum[k] / double(lead.local.size());
+          lead.centroid = DensityGrid(grids[li].window(), p.gridN, p.gridN,
+                                      std::move(mean));
+        }
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      Lead lead{{li}, grids[li].values(), grids[li]};
+      leads.push_back(std::move(lead));
+    }
+  }
+
+  std::vector<Cluster> out;
+  out.reserve(leads.size());
+  for (const Lead& lead : leads) {
+    Cluster c;
+    c.topoKey = topoKey;
+    c.members.reserve(lead.local.size());
+    double bestD = std::numeric_limits<double>::infinity();
+    std::size_t bestIdx = group[lead.local.front()];
+    for (const std::size_t li : lead.local) {
+      c.members.push_back(group[li]);
+      const double d = lead.centroid.distance(grids[li]);
+      if (d < bestD) {
+        bestD = d;
+        bestIdx = group[li];
+      }
+    }
+    c.representative = bestIdx;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Cluster> classifyPatterns(const std::vector<CorePattern>& patterns,
+                                      const ClassifyParams& params) {
+  // Level 1: string-based classification by canonical topology key.
+  std::map<std::string, std::vector<std::size_t>> byKey;
+  for (std::size_t i = 0; i < patterns.size(); ++i)
+    byKey[canonicalTopoKey(patterns[i])].push_back(i);
+
+  std::vector<Cluster> out;
+  for (const auto& [key, group] : byKey) {
+    if (!params.useDensity) {
+      Cluster c;
+      c.topoKey = key;
+      c.members = group;
+      c.representative = group.front();
+      out.push_back(std::move(c));
+      continue;
+    }
+    // Level 2: density-based classification within the string group.
+    std::vector<Cluster> sub =
+        densitySubdivide(patterns, group, key, params);
+    out.insert(out.end(), std::make_move_iterator(sub.begin()),
+               std::make_move_iterator(sub.end()));
+  }
+  return out;
+}
+
+}  // namespace hsd::core

@@ -1,0 +1,39 @@
+// Two-level topological classification (Sec. III-B): string-based
+// classification groups core patterns with identical topology (up to the
+// eight orientations); density-based classification subdivides each group
+// by the pixel-density distance of Eq. (1) with the cluster radius of
+// Eq. (2), using leader clustering with optional centroid recomputation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace hsd::core {
+
+struct ClassifyParams {
+  std::size_t gridN = 12;  ///< density pixelation (gridN x gridN)
+  double radiusR0 = 12.0;  ///< R0: user radius threshold of Eq. (2)
+  std::size_t expectedClusters = 10;  ///< K: expected cluster count, Eq. (2)
+  bool useDensity = true;  ///< false = string-based level only (ablation)
+  bool recomputeCentroid = true;  ///< refine centroid as members join
+  /// Cap on members sampled for the max-pairwise-distance term of Eq. (2)
+  /// (the scan is quadratic; sampling keeps huge groups tractable).
+  std::size_t maxPairSamples = 48;
+};
+
+/// One cluster of input patterns.
+struct Cluster {
+  std::string topoKey;  ///< canonical topology key of the string level
+  std::vector<std::size_t> members;  ///< indices into the input list
+  std::size_t representative = 0;    ///< input index of the centroid pattern
+};
+
+/// Classify `patterns` into clusters. Deterministic: clusters are ordered
+/// by topology key, then by first-seen member.
+std::vector<Cluster> classifyPatterns(const std::vector<CorePattern>& patterns,
+                                      const ClassifyParams& params);
+
+}  // namespace hsd::core

@@ -1,0 +1,88 @@
+#include "core/dpt.hpp"
+
+#include <queue>
+
+namespace hsd::core {
+
+namespace {
+
+// Gap between two rects: max of the per-axis gaps; <= 0 when they touch or
+// overlap. Diagonal neighbors measure through the corner (Chebyshev gap).
+Coord gap(const Rect& a, const Rect& b) {
+  const Coord gx = std::max(a.lo.x - b.hi.x, b.lo.x - a.hi.x);
+  const Coord gy = std::max(a.lo.y - b.hi.y, b.lo.y - a.hi.y);
+  return std::max(gx, gy);
+}
+
+}  // namespace
+
+DptDecomposition decomposeDpt(const std::vector<Rect>& rects,
+                              Coord minSameMaskSpacing) {
+  DptDecomposition out;
+  const std::size_t n = rects.size();
+  // Edge kinds: "same" (touch/overlap: one polygon, same mask) and
+  // "conflict" (too close: opposite masks).
+  std::vector<std::vector<std::pair<std::size_t, bool>>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Coord g = gap(rects[i], rects[j]);
+      if (g <= 0) {
+        adj[i].push_back({j, true});
+        adj[j].push_back({i, true});
+      } else if (g < minSameMaskSpacing) {
+        adj[i].push_back({j, false});
+        adj[j].push_back({i, false});
+      }
+    }
+  }
+
+  // BFS two-coloring; parity violation = native conflict.
+  std::vector<int> color(n, -1);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (color[s] != -1) continue;
+    color[s] = 0;
+    std::queue<std::size_t> q;
+    q.push(s);
+    while (!q.empty()) {
+      const std::size_t u = q.front();
+      q.pop();
+      for (const auto& [v, same] : adj[u]) {
+        const int want = same ? color[u] : 1 - color[u];
+        if (color[v] == -1) {
+          color[v] = want;
+          q.push(v);
+        } else if (color[v] != want) {
+          out.decomposable = false;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    (color[i] == 0 ? out.mask1 : out.mask2).push_back(rects[i]);
+  return out;
+}
+
+std::size_t dptFeatureDim(const DptParams& p) {
+  return 3 * p.features.dim() + 1;
+}
+
+svm::FeatureVector buildDptFeatureVector(const CorePattern& p,
+                                         const DptParams& params) {
+  const DptDecomposition d =
+      decomposeDpt(p.rects, params.minSameMaskSpacing);
+  svm::FeatureVector v;
+  v.reserve(dptFeatureDim(params));
+  CorePattern m1{p.w, p.h, d.mask1};
+  CorePattern m2{p.w, p.h, d.mask2};
+  const svm::FeatureVector f1 = buildFeatureVector(m1, params.features);
+  const svm::FeatureVector f2 = buildFeatureVector(m2, params.features);
+  const svm::FeatureVector f3 = buildFeatureVector(p, params.features);
+  v.insert(v.end(), f1.begin(), f1.end());
+  v.insert(v.end(), f2.begin(), f2.end());
+  v.insert(v.end(), f3.begin(), f3.end());
+  v.push_back(d.decomposable ? 1.0 : 0.0);
+  return v;
+}
+
+}  // namespace hsd::core

@@ -1,0 +1,42 @@
+// Double-patterning extension (Sec. IV-B): decompose a pattern onto two
+// masks (features closer than the same-mask spacing limit must alternate),
+// then extract three feature sets — mask 1, mask 2, and the undecomposed
+// pattern — with mask marks, concatenated into one vector.
+#pragma once
+
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/pattern.hpp"
+
+namespace hsd::core {
+
+/// Result of two-coloring the decomposition conflict graph.
+struct DptDecomposition {
+  std::vector<Rect> mask1;
+  std::vector<Rect> mask2;
+  /// False when the conflict graph has an odd cycle (a native DPT
+  /// conflict): no legal two-mask assignment exists. mask1/mask2 then hold
+  /// the best-effort coloring.
+  bool decomposable = true;
+};
+
+/// Decompose `rects` for double patterning: any two rects whose spacing is
+/// below `minSameMaskSpacing` conflict and must land on different masks.
+/// Touching/overlapping rects are merged onto the same mask (same polygon).
+DptDecomposition decomposeDpt(const std::vector<Rect>& rects,
+                              Coord minSameMaskSpacing);
+
+struct DptParams {
+  Coord minSameMaskSpacing = 160;
+  FeatureParams features;  ///< layout of each of the three feature sets
+};
+
+/// DPT feature vector of a pattern: [mask1 set | mask2 set | full set |
+/// decomposable flag]. The per-mask segments carry the paper's "mask
+/// marks" implicitly by position.
+svm::FeatureVector buildDptFeatureVector(const CorePattern& p,
+                                         const DptParams& params);
+std::size_t dptFeatureDim(const DptParams& params);
+
+}  // namespace hsd::core

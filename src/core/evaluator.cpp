@@ -1,0 +1,83 @@
+#include "core/evaluator.hpp"
+
+#include <chrono>
+
+#include "par/thread_pool.hpp"
+
+namespace hsd::core {
+
+EvalResult evaluateCandidates(const Detector& det, const GridIndex& index,
+                              const std::vector<ClipWindow>& candidates,
+                              const EvalParams& p) {
+  const auto t0 = std::chrono::steady_clock::now();
+  EvalResult res;
+  res.candidateClips = candidates.size();
+
+  // Multiple-kernel (+ feedback) evaluation, parallel over clips.
+  std::vector<char> flagged(candidates.size(), 0);
+  const std::vector<std::pair<LayerId, const GridIndex*>> layers{
+      {det.params.layer, &index}};
+  parallelFor(candidates.size(), p.threads, [&](std::size_t i) {
+    const Clip clip = extractClip(layers, candidates[i]);
+    flagged[i] =
+        det.evaluateClip(clip, p.decisionBias, p.useFeedback) ? 1 : 0;
+  });
+
+  std::vector<ClipWindow> hits;
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    if (flagged[i]) hits.push_back(candidates[i]);
+  res.flaggedBeforeRemoval = hits.size();
+
+  res.reported =
+      p.useRemoval ? removeRedundantClips(hits, index, p.removal) : hits;
+  res.evalSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+EvalResult evaluateLayout(const Detector& det, const Layout& layout,
+                          const EvalParams& p) {
+  const Layer* l = layout.findLayer(det.params.layer);
+  if (l == nullptr || l->empty()) return {};
+  const GridIndex index(l->rects(), p.extract.clip.clipSide);
+  const std::vector<ClipWindow> candidates =
+      extractCandidateClips(index, p.extract);
+  return evaluateCandidates(det, index, candidates, p);
+}
+
+std::vector<RankedReport> rankReports(const Detector& det,
+                                      const GridIndex& index,
+                                      const std::vector<ClipWindow>& reports) {
+  std::vector<RankedReport> out;
+  out.reserve(reports.size());
+  const std::vector<std::pair<LayerId, const GridIndex*>> layers{
+      {det.params.layer, &index}};
+  for (const ClipWindow& w : reports) {
+    const Clip clip = extractClip(layers, w);
+    out.push_back(
+        {w, det.hotspotProbability(CorePattern::fromCore(clip, det.params.layer))});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankedReport& a, const RankedReport& b) {
+              return a.probability > b.probability;
+            });
+  return out;
+}
+
+EvalResult evaluateLayoutWindowScan(const Detector& det, const Layout& layout,
+                                    const EvalParams& p, double overlap) {
+  const Layer* l = layout.findLayer(det.params.layer);
+  if (l == nullptr || l->empty()) return {};
+  const GridIndex index(l->rects(), p.extract.clip.clipSide);
+  std::vector<ClipWindow> windows =
+      windowScanClips(layout, det.params.layer, p.extract.clip, overlap);
+  // Skip geometry-free windows (they can never be flagged) but keep the
+  // full-scan structure otherwise.
+  std::erase_if(windows, [&index](const ClipWindow& w) {
+    return !index.anyOverlap(w.clip);
+  });
+  return evaluateCandidates(det, index, windows, p);
+}
+
+}  // namespace hsd::core

@@ -1,0 +1,67 @@
+// End-to-end evaluation pipeline (Fig. 3, right half): clip extraction ->
+// multiple-kernel + feedback evaluation -> redundant clip removal ->
+// reported hotspot windows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/extract.hpp"
+#include "core/removal.hpp"
+#include "core/trainer.hpp"
+
+namespace hsd::core {
+
+struct EvalParams {
+  ExtractParams extract;
+  RemovalParams removal;
+  /// Decision-threshold shift applied to every kernel; positive values
+  /// trade accuracy for fewer extras (the ours_med / ours_low operating
+  /// points and the Fig. 15 sweep).
+  double decisionBias = 0.0;
+  bool useFeedback = true;
+  bool useRemoval = true;
+  std::size_t threads = 1;
+};
+
+struct EvalResult {
+  std::vector<ClipWindow> reported;   ///< final hotspot reports
+  std::size_t candidateClips = 0;     ///< clips surviving extraction
+  std::size_t flaggedBeforeRemoval = 0;
+  double evalSeconds = 0.0;
+};
+
+/// Run the full evaluation phase of `det` on `layout`.
+EvalResult evaluateLayout(const Detector& det, const Layout& layout,
+                          const EvalParams& p);
+
+/// Evaluate a pre-extracted candidate list against a prebuilt geometry
+/// index (used by benches that reuse extraction across operating points).
+EvalResult evaluateCandidates(const Detector& det, const GridIndex& index,
+                              const std::vector<ClipWindow>& candidates,
+                              const EvalParams& p);
+
+/// A reported hotspot with its Platt-calibrated confidence.
+struct RankedReport {
+  ClipWindow window;
+  double probability = 0.0;
+
+  friend constexpr auto operator<=>(const RankedReport&,
+                                    const RankedReport&) = default;
+};
+
+/// Rank reported windows by the detector's calibrated hotspot probability
+/// (descending), so downstream correction can triage the worst first.
+std::vector<RankedReport> rankReports(const Detector& det,
+                                      const GridIndex& index,
+                                      const std::vector<ClipWindow>& reports);
+
+/// Full-layout scanning comparator (what Sec. III-E avoids): evaluate
+/// every sliding window at the given overlap instead of the extracted
+/// candidates. Same detector, same scoring — used to measure the
+/// evaluation-time saving of clip extraction (Table V).
+EvalResult evaluateLayoutWindowScan(const Detector& det, const Layout& layout,
+                                    const EvalParams& p,
+                                    double overlap = 0.5);
+
+}  // namespace hsd::core

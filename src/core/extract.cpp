@@ -1,0 +1,122 @@
+#include "core/extract.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_set>
+
+#include "geom/rectset.hpp"
+#include "par/thread_pool.hpp"
+
+namespace hsd::core {
+
+namespace {
+
+// Cut rects wider/taller than the core side into core-sized pieces
+// (Fig. 11a, second step).
+std::vector<Rect> cutToCoreSize(const std::vector<Rect>& rects,
+                                Coord coreSide) {
+  std::vector<Rect> out;
+  out.reserve(rects.size());
+  for (const Rect& r : rects) {
+    for (Coord x = r.lo.x; x < r.hi.x; x += coreSide) {
+      const Coord xhi = std::min(x + coreSide, r.hi.x);
+      for (Coord y = r.lo.y; y < r.hi.y; y += coreSide) {
+        const Coord yhi = std::min(y + coreSide, r.hi.y);
+        out.push_back({x, y, xhi, yhi});
+      }
+    }
+  }
+  return out;
+}
+
+// Polygon-distribution screen of Sec. III-E: density, rect count, and the
+// four margins between the clip boundary and the polygon bounding box.
+bool passesScreen(const GridIndex& index, const ClipWindow& win,
+                  const ExtractParams& p) {
+  const std::vector<std::size_t> ids = index.query(win.clip);
+  if (ids.size() < p.minRectCount) return false;
+
+  Area covered = 0;
+  std::optional<Rect> bbox;
+  std::vector<Rect> pieces;
+  pieces.reserve(ids.size());
+  for (const std::size_t i : ids) {
+    const Rect c = index.rects()[i].intersect(win.clip);
+    if (!c.valid() || c.empty()) continue;
+    pieces.push_back(c);
+    bbox = bbox ? bbox->unite(c) : c;
+  }
+  if (!bbox) return false;
+  covered = unionArea(pieces);
+  const double density = double(covered) / double(win.clip.area());
+  if (density < p.minDensity || density > p.maxDensity) return false;
+
+  // Margins: distance from each clip edge to the polygon bounding box.
+  const Coord ml = bbox->lo.x - win.clip.lo.x;
+  const Coord mr = win.clip.hi.x - bbox->hi.x;
+  const Coord mb = bbox->lo.y - win.clip.lo.y;
+  const Coord mt = win.clip.hi.y - bbox->hi.y;
+  const Coord worst = std::max({ml, mr, mb, mt});
+  return worst <= p.maxMargin;
+}
+
+}  // namespace
+
+std::vector<ClipWindow> extractCandidateClips(const GridIndex& index,
+                                              const ExtractParams& p) {
+  const std::vector<Rect> pieces =
+      cutToCoreSize(index.rects(), p.clip.coreSide);
+
+  // One candidate per piece, core anchored at the piece's bottom-left
+  // corner (Fig. 11b); dedupe anchors.
+  std::vector<Point> anchors;
+  {
+    std::unordered_set<Point> seen;
+    anchors.reserve(pieces.size());
+    for (const Rect& r : pieces)
+      if (seen.insert(r.lo).second) anchors.push_back(r.lo);
+  }
+
+  std::vector<char> keep(anchors.size(), 0);
+  std::vector<ClipWindow> wins(anchors.size());
+  parallelFor(anchors.size(), p.threads, [&](std::size_t i) {
+    // Anchor the core so the piece's corner sits at the core center-ish:
+    // the paper anchors the core at the piece's bottom-left corner.
+    const ClipWindow win = ClipWindow::atCore(
+        {anchors[i].x - p.clip.coreSide / 2, anchors[i].y - p.clip.coreSide / 2},
+        p.clip);
+    wins[i] = win;
+    keep[i] = passesScreen(index, win, p) ? 1 : 0;
+  });
+
+  std::vector<ClipWindow> out;
+  for (std::size_t i = 0; i < anchors.size(); ++i)
+    if (keep[i]) out.push_back(wins[i]);
+  return out;
+}
+
+std::vector<ClipWindow> extractCandidateClips(const Layout& layout,
+                                              LayerId layer,
+                                              const ExtractParams& p) {
+  const Layer* l = layout.findLayer(layer);
+  if (l == nullptr || l->empty()) return {};
+  const GridIndex index(l->rects(), p.clip.clipSide);
+  return extractCandidateClips(index, p);
+}
+
+std::vector<ClipWindow> windowScanClips(const Layout& layout, LayerId layer,
+                                        const ClipParams& clip,
+                                        double overlap) {
+  (void)layer;
+  const std::optional<Rect> bb = layout.bbox();
+  if (!bb) return {};
+  const Coord step =
+      std::max<Coord>(1, Coord(double(clip.coreSide) * (1.0 - overlap)));
+  std::vector<ClipWindow> out;
+  for (Coord y = bb->lo.y; y < bb->hi.y; y += step)
+    for (Coord x = bb->lo.x; x < bb->hi.x; x += step)
+      out.push_back(ClipWindow::atCore({x, y}, clip));
+  return out;
+}
+
+}  // namespace hsd::core

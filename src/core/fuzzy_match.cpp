@@ -1,0 +1,39 @@
+#include "core/fuzzy_match.hpp"
+
+#include <limits>
+
+namespace hsd::core {
+
+FuzzyMatcher FuzzyMatcher::train(const std::vector<Clip>& training,
+                                 const FuzzyMatchParams& params) {
+  FuzzyMatcher m;
+  m.params_ = params;
+  for (const Clip& c : training) {
+    if (c.label() != Label::kHotspot) continue;
+    const CorePattern p = CorePattern::fromCore(c, params.layer);
+    DensityGrid g(p.rects, p.window(), params.gridN, params.gridN);
+    if (params.dedupeTemplates) {
+      bool dup = false;
+      for (const DensityGrid& t : m.templates_) {
+        if (t.distance(g) < params.tolerance / 2) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+    }
+    m.templates_.push_back(std::move(g));
+  }
+  return m;
+}
+
+double FuzzyMatcher::nearestDistance(const CorePattern& core) const {
+  const DensityGrid g(core.rects, core.window(), params_.gridN,
+                      params_.gridN);
+  double best = std::numeric_limits<double>::infinity();
+  for (const DensityGrid& t : templates_)
+    best = std::min(best, t.distance(g));
+  return best;
+}
+
+}  // namespace hsd::core

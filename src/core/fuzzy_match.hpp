@@ -1,0 +1,53 @@
+// Fuzzy pattern-matching baseline in the spirit of [14] (Lin et al.,
+// DAC'13, "A novel fuzzy matching model for lithography hotspot
+// detection"): store every known hotspot as a density-grid template and
+// flag a testing clip when its core is within a fuzziness tolerance of
+// some template under the D8 distance of Eq. (1). Used as a comparator
+// row in the Table II bench — pattern matching is precise on seen
+// patterns but has limited reach on unseen ones, which is exactly the
+// contrast the paper draws with its ML framework.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "geom/density_grid.hpp"
+#include "layout/clip.hpp"
+
+namespace hsd::core {
+
+struct FuzzyMatchParams {
+  std::size_t gridN = 12;      ///< template pixelation
+  double tolerance = 9.0;      ///< max D8 L1 distance to match
+  bool dedupeTemplates = true; ///< drop near-duplicate templates (< tol/2)
+  LayerId layer = 1;
+};
+
+class FuzzyMatcher {
+ public:
+  /// Build templates from the hotspot clips of `training` (non-hotspot
+  /// clips are ignored; pure pattern matching has no negative class).
+  static FuzzyMatcher train(const std::vector<Clip>& training,
+                            const FuzzyMatchParams& params);
+
+  std::size_t templateCount() const { return templates_.size(); }
+  const FuzzyMatchParams& params() const { return params_; }
+
+  /// Distance from `core` to the nearest template (infinity when empty).
+  double nearestDistance(const CorePattern& core) const;
+
+  /// True when some template is within the tolerance.
+  bool matches(const CorePattern& core) const {
+    return nearestDistance(core) <= params_.tolerance;
+  }
+  bool evaluateClip(const Clip& clip) const {
+    return matches(CorePattern::fromCore(clip, params_.layer));
+  }
+
+ private:
+  FuzzyMatchParams params_;
+  std::vector<DensityGrid> templates_;
+};
+
+}  // namespace hsd::core

@@ -1,0 +1,33 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace hsd::core {
+
+Score scoreReports(const std::vector<ClipWindow>& reports,
+                   const std::vector<ClipWindow>& actual,
+                   const ScoreParams& p) {
+  Score s;
+  s.actualHotspots = actual.size();
+  s.reports = reports.size();
+
+  std::vector<bool> actualHit(actual.size(), false);
+  for (const ClipWindow& rep : reports) {
+    bool isHit = false;
+    const double minOverlap = p.minClipOverlapFrac * double(rep.clip.area());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      const ClipWindow& act = actual[i];
+      if (!rep.core.overlaps(act.core)) continue;
+      if (!rep.clip.contains(act.core)) continue;
+      if (double(rep.clip.overlapArea(act.clip)) < minOverlap) continue;
+      isHit = true;
+      actualHit[i] = true;
+      // Keep scanning: one report may cover several actual hotspots.
+    }
+    if (!isHit) ++s.extras;
+  }
+  s.hits = std::size_t(std::count(actualHit.begin(), actualHit.end(), true));
+  return s;
+}
+
+}  // namespace hsd::core

@@ -1,0 +1,44 @@
+// Hit / extra scoring exactly per the problem formulation (Sec. II):
+// a reported clip is a *hit* when its core overlaps an actual hotspot's
+// core, its clip fully covers that core, and the two clips overlap at
+// least a minimum area. Accuracy counts distinct actual hotspots hit;
+// every non-hit report is an *extra* (false alarm).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/clip.hpp"
+
+namespace hsd::core {
+
+struct ScoreParams {
+  /// Minimum clip-overlap area as a fraction of the clip area.
+  double minClipOverlapFrac = 0.2;
+};
+
+struct Score {
+  std::size_t hits = 0;            ///< distinct actual hotspots detected
+  std::size_t extras = 0;          ///< reports that hit nothing
+  std::size_t actualHotspots = 0;  ///< ground-truth hotspot count
+  std::size_t reports = 0;         ///< total reported clips
+
+  double accuracy() const {
+    return actualHotspots == 0 ? 1.0
+                               : double(hits) / double(actualHotspots);
+  }
+  double hitExtraRatio() const {
+    return extras == 0 ? double(hits) : double(hits) / double(extras);
+  }
+  /// False alarm per Definition 3: extras over the testing layout area.
+  double falseAlarmPerUm2(double areaUm2) const {
+    return areaUm2 > 0 ? double(extras) / areaUm2 : 0.0;
+  }
+};
+
+/// Score `reports` against `actual` hotspot windows.
+Score scoreReports(const std::vector<ClipWindow>& reports,
+                   const std::vector<ClipWindow>& actual,
+                   const ScoreParams& p = {});
+
+}  // namespace hsd::core

@@ -1,0 +1,116 @@
+#include "core/mtcg.hpp"
+
+#include <algorithm>
+
+namespace hsd::core {
+
+int Mtcg::boundaryTouches(std::size_t i) const {
+  const Rect& t = tiles[i].box;
+  int n = 0;
+  if (t.lo.x == window.lo.x) ++n;
+  if (t.hi.x == window.hi.x) ++n;
+  if (t.lo.y == window.lo.y) ++n;
+  if (t.hi.y == window.hi.y) ++n;
+  return n;
+}
+
+namespace {
+
+std::vector<Tile> canonicalOrder(std::vector<Tile> tiles) {
+  std::sort(tiles.begin(), tiles.end(), [](const Tile& a, const Tile& b) {
+    if (a.box.lo.y != b.box.lo.y) return a.box.lo.y < b.box.lo.y;
+    return a.box.lo.x < b.box.lo.x;
+  });
+  return tiles;
+}
+
+// Diagonal relation of the paper: same-type tiles in strict NE or SE
+// relation whose corner region contains no other same-type tile.
+void addDiagonals(Mtcg& g) {
+  const std::size_t n = g.tiles.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Tile& a = g.tiles[i];
+      const Tile& b = g.tiles[j];
+      if (a.isBlock != b.isBlock) continue;
+      if (a.box.hi.x > b.box.lo.x) continue;  // a must be left of b
+      Rect corner;
+      if (a.box.hi.y <= b.box.lo.y) {
+        // b is northeast of a.
+        corner = {a.box.hi.x, a.box.hi.y, b.box.lo.x, b.box.lo.y};
+      } else if (b.box.hi.y <= a.box.lo.y) {
+        // b is southeast of a.
+        corner = {a.box.hi.x, b.box.hi.y, b.box.lo.x, a.box.lo.y};
+      } else {
+        continue;  // projections overlap: not a diagonal relation
+      }
+      bool blocked = false;
+      for (std::size_t k = 0; k < n && !blocked; ++k) {
+        if (k == i || k == j) continue;
+        if (g.tiles[k].isBlock == a.isBlock &&
+            g.tiles[k].box.overlaps(corner))
+          blocked = true;
+      }
+      if (!blocked) {
+        const auto lo = std::min(i, j);
+        const auto hi = std::max(i, j);
+        if (std::find(g.diagonals.begin(), g.diagonals.end(),
+                      std::make_pair(lo, hi)) == g.diagonals.end())
+          g.diagonals.emplace_back(lo, hi);
+      }
+    }
+  }
+  std::sort(g.diagonals.begin(), g.diagonals.end());
+}
+
+}  // namespace
+
+Mtcg buildCh(const CorePattern& p) {
+  Mtcg g;
+  g.window = p.window();
+  g.tiles = canonicalOrder(horizontalTiling(p.rects, g.window));
+  const std::size_t n = g.tiles.size();
+  g.out.assign(n, {});
+  g.in.assign(n, {});
+  // Sweep-line equivalent: tiles sharing a vertical border with
+  // overlapping y projections (left -> right edges).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Rect& a = g.tiles[i].box;
+      const Rect& b = g.tiles[j].box;
+      if (a.hi.x == b.lo.x && a.lo.y < b.hi.y && b.lo.y < a.hi.y) {
+        g.out[i].push_back(j);
+        g.in[j].push_back(i);
+      }
+    }
+  }
+  addDiagonals(g);
+  return g;
+}
+
+Mtcg buildCv(const CorePattern& p) {
+  Mtcg g;
+  g.window = p.window();
+  g.tiles = canonicalOrder(verticalTiling(p.rects, g.window));
+  const std::size_t n = g.tiles.size();
+  g.out.assign(n, {});
+  g.in.assign(n, {});
+  // Bottom -> top edges between tiles sharing a horizontal border with
+  // overlapping x projections.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Rect& a = g.tiles[i].box;
+      const Rect& b = g.tiles[j].box;
+      if (a.hi.y == b.lo.y && a.lo.x < b.hi.x && b.lo.x < a.hi.x) {
+        g.out[i].push_back(j);
+        g.in[j].push_back(i);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace hsd::core

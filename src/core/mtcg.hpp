@@ -1,0 +1,41 @@
+// Modified transitive closure graphs (MTCG, Sec. III-C / Fig. 6): the
+// tiled core pattern as a constraint graph. Vertices are block/space
+// tiles; edges connect adjacent tiles whose projections overlap. Only the
+// horizontally tiled horizontal graph Ch carries diagonal edges between
+// corner-adjacent same-type tiles with an empty corner region.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "geom/tiling.hpp"
+
+namespace hsd::core {
+
+struct Mtcg {
+  Rect window;
+  std::vector<Tile> tiles;  ///< canonical order: (lo.y, lo.x) ascending
+  /// Directed adjacency: out[i] = tiles directly right of (Ch) or above
+  /// (Cv) tile i with overlapping projections.
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::vector<std::size_t>> in;
+  /// Diagonal edges (Ch only): corner-adjacent same-type tile pairs
+  /// (i < j by canonical order).
+  std::vector<std::pair<std::size_t, std::size_t>> diagonals;
+
+  std::size_t degree(std::size_t i) const {
+    return out[i].size() + in[i].size();
+  }
+  /// Number of window boundary edges the tile touches (0..4).
+  int boundaryTouches(std::size_t i) const;
+};
+
+/// Horizontally tiled horizontal constraint graph Ch (with diagonals).
+Mtcg buildCh(const CorePattern& p);
+
+/// Vertically tiled vertical constraint graph Cv.
+Mtcg buildCv(const CorePattern& p);
+
+}  // namespace hsd::core

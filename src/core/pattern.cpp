@@ -1,0 +1,35 @@
+#include "core/pattern.hpp"
+
+#include <algorithm>
+
+namespace hsd::core {
+
+CorePattern CorePattern::fromCore(const Clip& clip, LayerId layer) {
+  CorePattern p;
+  p.w = clip.window().core.width();
+  p.h = clip.window().core.height();
+  p.rects = clip.localCoreRects(layer);
+  return p;
+}
+
+CorePattern CorePattern::fromClip(const Clip& clip, LayerId layer) {
+  CorePattern p;
+  p.w = clip.window().clip.width();
+  p.h = clip.window().clip.height();
+  p.rects = clip.localClipRects(layer);
+  return p;
+}
+
+CorePattern CorePattern::transformed(Orient o) const {
+  CorePattern out;
+  out.w = swapsAxes(o) ? h : w;
+  out.h = swapsAxes(o) ? w : h;
+  out.rects.reserve(rects.size());
+  for (const Rect& r : rects) out.rects.push_back(apply(o, r, w, h));
+  // Canonical ordering so equal patterns compare equal regardless of the
+  // input rect order.
+  std::sort(out.rects.begin(), out.rects.end());
+  return out;
+}
+
+}  // namespace hsd::core

@@ -1,0 +1,32 @@
+// Window-local pattern: the unit that topological classification and
+// feature extraction operate on. A CorePattern is the geometry of a clip's
+// core (or full clip) translated so the window's lower-left corner is the
+// origin, together with the window dimensions.
+#pragma once
+
+#include <vector>
+
+#include "geom/orientation.hpp"
+#include "geom/rect.hpp"
+#include "layout/clip.hpp"
+
+namespace hsd::core {
+
+struct CorePattern {
+  Coord w = 0;
+  Coord h = 0;
+  std::vector<Rect> rects;  ///< window-local, clipped to [0,w] x [0,h]
+
+  Rect window() const { return {0, 0, w, h}; }
+  bool empty() const { return rects.empty(); }
+
+  /// Pattern of the clip's core region on `layer`.
+  static CorePattern fromCore(const Clip& clip, LayerId layer);
+  /// Pattern of the clip's full window on `layer`.
+  static CorePattern fromClip(const Clip& clip, LayerId layer);
+
+  /// Pattern transformed by one of the eight orientations.
+  CorePattern transformed(Orient o) const;
+};
+
+}  // namespace hsd::core

@@ -1,0 +1,193 @@
+#include "core/topo_string.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "geom/interval.hpp"
+#include "geom/rectset.hpp"
+
+namespace hsd::core {
+
+namespace {
+
+// Append one run label (1 block / 0 space) to a slice code.
+void pushBit(SliceCode& c, bool one) {
+  if (c.len >= 64) return;  // physically impossible in a 1.2um core
+  if (one) c.bits |= (std::uint64_t{1} << c.len);
+  ++c.len;
+}
+
+// Run labels of a slice, reading from coordinate 0 upward: the merged
+// covered intervals within [0, extent] alternate with space runs.
+// Returns labels in ascending-coordinate order (no boundary bit).
+std::vector<bool> runLabels(const std::vector<Interval>& covered,
+                            Coord extent) {
+  std::vector<bool> runs;
+  Coord cursor = 0;
+  for (const Interval& iv : covered) {
+    const Coord lo = std::max<Coord>(iv.lo, 0);
+    const Coord hi = std::min(iv.hi, extent);
+    if (hi <= lo) continue;
+    if (lo > cursor) runs.push_back(false);
+    runs.push_back(true);
+    cursor = hi;
+  }
+  if (cursor < extent || runs.empty()) runs.push_back(false);
+  return runs;
+}
+
+SliceCode makeCode(const std::vector<bool>& runs, bool reversed) {
+  SliceCode c;
+  pushBit(c, true);  // boundary marker
+  if (reversed) {
+    for (auto it = runs.rbegin(); it != runs.rend(); ++it) pushBit(c, *it);
+  } else {
+    for (const bool b : runs) pushBit(c, b);
+  }
+  return c;
+}
+
+// Distinct slice cut coordinates: polygon edges plus the window bounds.
+std::vector<Coord> cutsX(const CorePattern& p) {
+  std::vector<Coord> xs{0, p.w};
+  for (const Rect& r : p.rects) {
+    xs.push_back(r.lo.x);
+    xs.push_back(r.hi.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+std::vector<Coord> cutsY(const CorePattern& p) {
+  std::vector<Coord> ys{0, p.h};
+  for (const Rect& r : p.rects) {
+    ys.push_back(r.lo.y);
+    ys.push_back(r.hi.y);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  return ys;
+}
+
+}  // namespace
+
+DirectionalStrings encodeStrings(const CorePattern& p) {
+  DirectionalStrings s;
+  const std::vector<Coord> xs = cutsX(p);
+  const std::vector<Coord> ys = cutsY(p);
+
+  // Vertical slices (cuts at x) serve the bottom and top strings.
+  std::vector<std::vector<bool>> vRuns;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    if (xs[i] < 0 || xs[i + 1] > p.w || xs[i] >= xs[i + 1]) continue;
+    vRuns.push_back(runLabels(coveredY(p.rects, xs[i], xs[i + 1]), p.h));
+  }
+  for (const auto& runs : vRuns)  // bottom: slices left->right, runs up
+    s.bottom.push_back(makeCode(runs, /*reversed=*/false));
+  for (auto it = vRuns.rbegin(); it != vRuns.rend(); ++it)  // top: right->left
+    s.top.push_back(makeCode(*it, /*reversed=*/true));
+
+  // Horizontal slices (cuts at y) serve the left and right strings.
+  std::vector<std::vector<bool>> hRuns;
+  for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+    if (ys[i] < 0 || ys[i + 1] > p.h || ys[i] >= ys[i + 1]) continue;
+    hRuns.push_back(runLabels(coveredX(p.rects, ys[i], ys[i + 1]), p.w));
+  }
+  for (const auto& runs : hRuns)  // right: slices bottom->top, runs leftward
+    s.right.push_back(makeCode(runs, /*reversed=*/true));
+  for (auto it = hRuns.rbegin(); it != hRuns.rend(); ++it)  // left: top->down
+    s.left.push_back(makeCode(*it, /*reversed=*/false));
+
+  return s;
+}
+
+namespace {
+
+std::vector<SliceCode> ccwComposite(const DirectionalStrings& s) {
+  std::vector<SliceCode> out;
+  out.reserve(s.bottom.size() + s.right.size() + s.top.size() +
+              s.left.size());
+  out.insert(out.end(), s.bottom.begin(), s.bottom.end());
+  out.insert(out.end(), s.right.begin(), s.right.end());
+  out.insert(out.end(), s.top.begin(), s.top.end());
+  out.insert(out.end(), s.left.begin(), s.left.end());
+  return out;
+}
+
+bool containsCyclic(const std::vector<SliceCode>& hay,
+                    const std::vector<SliceCode>& needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > hay.size()) return false;
+  // Doubling the haystack turns cyclic search into linear search.
+  std::vector<SliceCode> d = hay;
+  d.insert(d.end(), hay.begin(), hay.end());
+  return std::search(d.begin(), d.end(), needle.begin(), needle.end()) !=
+         d.end();
+}
+
+}  // namespace
+
+bool sameTopology(const DirectionalStrings& a, const DirectionalStrings& b) {
+  // Two adjacent side strings of `a` in ccw order (left then bottom, as in
+  // the paper's example; any adjacent pair works).
+  std::vector<SliceCode> needle = a.left;
+  needle.insert(needle.end(), a.bottom.begin(), a.bottom.end());
+
+  const std::vector<SliceCode> ccw = ccwComposite(b);
+  if (containsCyclic(ccw, needle)) return true;
+  std::vector<SliceCode> cw(ccw.rbegin(), ccw.rend());
+  return containsCyclic(cw, needle);
+}
+
+bool sameTopology(const CorePattern& a, const CorePattern& b) {
+  return sameTopology(encodeStrings(a), encodeStrings(b));
+}
+
+std::string serializeStrings(const DirectionalStrings& s) {
+  std::ostringstream os;
+  const auto side = [&os](const std::vector<SliceCode>& v) {
+    for (const SliceCode& c : v)
+      os << std::hex << c.bits << ':' << std::dec << int(c.len) << ',';
+    os << '|';
+  };
+  side(s.bottom);
+  side(s.right);
+  side(s.top);
+  side(s.left);
+  return os.str();
+}
+
+std::string canonicalTopoKey(const CorePattern& p) {
+  std::string best;
+  for (const Orient o : kAllOrients) {
+    std::string k = serializeStrings(encodeStrings(p.transformed(o)));
+    if (best.empty() || k < best) best = std::move(k);
+  }
+  return best;
+}
+
+Orient canonicalOrient(const CorePattern& p) {
+  // Ties on the topology key are broken by the transformed geometry
+  // itself: patterns with a topologically symmetric but dimensionally
+  // asymmetric shape would otherwise canonicalize inconsistently across
+  // orientations (breaking feature alignment within a cluster).
+  std::string bestKey;
+  std::vector<Rect> bestRects;
+  Orient bestO = Orient::R0;
+  bool first = true;
+  for (const Orient o : kAllOrients) {
+    CorePattern t = p.transformed(o);
+    std::string k = serializeStrings(encodeStrings(t));
+    if (first || k < bestKey ||
+        (k == bestKey && t.rects < bestRects)) {
+      bestKey = std::move(k);
+      bestRects = std::move(t.rects);
+      bestO = o;
+      first = false;
+    }
+  }
+  return bestO;
+}
+
+}  // namespace hsd::core

@@ -1,0 +1,438 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+#include "par/thread_pool.hpp"
+
+namespace hsd::core {
+
+namespace {
+
+// Shift the clip *window* (geometry stays put), which shifts the pattern
+// relative to the window — the paper's data-shifting derivative.
+Clip windowShifted(const Clip& clip, const Point& d) {
+  Clip out(clip.window().translated(d), clip.label());
+  for (const LayerId id : clip.layerIds()) {
+    std::vector<Rect> rs = clip.rectsOn(id);
+    out.setRects(id, std::move(rs));
+  }
+  return out;
+}
+
+// Iterative learning (Sec. III-D2): double C and gamma until the training
+// accuracy target is met or the bound is hit. Returns the last model.
+struct IterativeResult {
+  svm::SvmModel model;
+  double finalC = 0;
+  double finalGamma = 0;
+  std::size_t iterations = 0;
+};
+
+// Per-class accuracy of `model` on pre-scaled vectors with the given label.
+double classAccuracy(const svm::SvmModel& model,
+                     const std::vector<svm::FeatureVector>& scaled,
+                     int label) {
+  if (scaled.empty()) return 1.0;
+  std::size_t ok = 0;
+  for (const svm::FeatureVector& x : scaled)
+    if (model.predict(x) == label) ++ok;
+  return double(ok) / double(scaled.size());
+}
+
+// Self-training loop of Sec. III-D2: double C and gamma until both class
+// accuracies (hotspots of this cluster; the full raw non-hotspot set) meet
+// the target, or the iteration bound is hit.
+IterativeResult iterativeTrain(const svm::Dataset& scaled,
+                               const std::vector<svm::FeatureVector>& valPos,
+                               const std::vector<svm::FeatureVector>& valNeg,
+                               const TrainParams& tp) {
+  IterativeResult res;
+  double C = tp.initC;
+  double gamma = tp.initGamma;
+  for (std::size_t it = 0;; ++it) {
+    svm::SvmParams sp;
+    sp.C = C;
+    sp.gamma = gamma;
+    res.model = svm::train(scaled, sp).model;
+    res.finalC = C;
+    res.finalGamma = gamma;
+    res.iterations = it + 1;
+    const double posAcc = classAccuracy(res.model, valPos, +1);
+    const double negAcc = classAccuracy(res.model, valNeg, -1);
+    if ((posAcc >= tp.targetTrainAcc && negAcc >= tp.targetTrainAcc) ||
+        it + 1 >= tp.maxSelfIter)
+      break;
+    C *= 2;
+    gamma *= 2;
+  }
+  return res;
+}
+
+}  // namespace
+
+std::vector<Clip> shiftDerivatives(const Clip& clip, Coord shiftNm) {
+  std::vector<Clip> out{clip};
+  if (shiftNm > 0) {
+    out.push_back(windowShifted(clip, {shiftNm, 0}));
+    out.push_back(windowShifted(clip, {-shiftNm, 0}));
+    out.push_back(windowShifted(clip, {0, shiftNm}));
+    out.push_back(windowShifted(clip, {0, -shiftNm}));
+  }
+  return out;
+}
+
+Detector trainDetector(const std::vector<Clip>& training,
+                       const TrainParams& tp) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Detector det;
+  det.params = tp;
+
+  std::vector<Clip> hs;
+  std::vector<Clip> nhs;
+  for (const Clip& c : training) {
+    if (c.label() == Label::kHotspot)
+      hs.push_back(c);
+    else if (c.label() == Label::kNonHotspot)
+      nhs.push_back(c);
+  }
+  if (hs.empty() || nhs.empty())
+    throw std::invalid_argument(
+        "trainDetector: need both hotspot and non-hotspot clips");
+  det.stats.rawHotspots = hs.size();
+  det.stats.rawNonHotspots = nhs.size();
+
+  // Data shifting: upsample hotspots with 4-way shifted derivatives
+  // (introduces the fuzziness that lets kernels catch near-miss clips).
+  if (tp.enableShift) {
+    std::vector<Clip> upsampled;
+    upsampled.reserve(hs.size() * 5);
+    for (const Clip& c : hs) {
+      std::vector<Clip> d = shiftDerivatives(c, tp.shiftNm);
+      upsampled.insert(upsampled.end(), std::make_move_iterator(d.begin()),
+                       std::make_move_iterator(d.end()));
+    }
+    hs = std::move(upsampled);
+  }
+  det.stats.upsampledHotspots = hs.size();
+
+  // Core patterns for classification and core-feature extraction.
+  std::vector<CorePattern> hsCores;
+  hsCores.reserve(hs.size());
+  for (const Clip& c : hs) hsCores.push_back(CorePattern::fromCore(c, tp.layer));
+  std::vector<CorePattern> nhsCores;
+  nhsCores.reserve(nhs.size());
+  for (const Clip& c : nhs)
+    nhsCores.push_back(CorePattern::fromCore(c, tp.layer));
+
+  std::vector<Cluster> hsClusters;
+  if (tp.singleKernel) {
+    Cluster all;
+    all.topoKey = "*";
+    all.members.resize(hs.size());
+    for (std::size_t i = 0; i < hs.size(); ++i) all.members[i] = i;
+    all.representative = 0;
+    hsClusters.push_back(std::move(all));
+  } else {
+    hsClusters = classifyPatterns(hsCores, tp.classify);
+  }
+  const std::vector<Cluster> nhsClusters =
+      classifyPatterns(nhsCores, tp.classify);
+  det.stats.hotspotClusters = hsClusters.size();
+  det.stats.nonHotspotClusters = nhsClusters.size();
+
+  // Population balancing: the non-hotspot training set is the cluster
+  // centroids only (downsampling + noise removal).
+  std::vector<std::size_t> nhsSelected;
+  if (tp.balancePopulation) {
+    nhsSelected.reserve(nhsClusters.size());
+    for (const Cluster& c : nhsClusters) nhsSelected.push_back(c.representative);
+  } else {
+    nhsSelected.resize(nhs.size());
+    for (std::size_t i = 0; i < nhs.size(); ++i) nhsSelected[i] = i;
+  }
+  det.stats.balancedNonHotspots = nhsSelected.size();
+
+  // Core feature vectors (shared across kernels). The full raw non-hotspot
+  // feature list doubles as the self-training validation set.
+  std::vector<svm::FeatureVector> hsFeat(hs.size());
+  parallelFor(hs.size(), tp.threads, [&](std::size_t i) {
+    hsFeat[i] = buildFeatureVector(hsCores[i], tp.features);
+  });
+  std::vector<svm::FeatureVector> allNhsFeat(nhs.size());
+  parallelFor(nhs.size(), tp.threads, [&](std::size_t i) {
+    allNhsFeat[i] = buildFeatureVector(nhsCores[i], tp.features);
+  });
+  std::vector<svm::FeatureVector> nhsFeat(nhsSelected.size());
+  for (std::size_t i = 0; i < nhsSelected.size(); ++i)
+    nhsFeat[i] = allNhsFeat[nhsSelected[i]];
+
+  // One SVM kernel per hotspot cluster (Fig. 9a), trained in parallel.
+  det.kernels.resize(hsClusters.size());
+  parallelFor(hsClusters.size(), tp.threads, [&](std::size_t k) {
+    const Cluster& cluster = hsClusters[k];
+    svm::Dataset data;
+    for (const std::size_t m : cluster.members) data.add(hsFeat[m], +1);
+    for (const svm::FeatureVector& f : nhsFeat) data.add(f, -1);
+
+    KernelEntry& entry = det.kernels[k];
+    entry.topoKey = cluster.topoKey;
+    entry.hotspotCount = cluster.members.size();
+    entry.scaler.fit(data.x);
+    entry.scaler.transformInPlace(data.x);
+
+    std::vector<svm::FeatureVector> valPos;
+    valPos.reserve(cluster.members.size());
+    for (const std::size_t m : cluster.members)
+      valPos.push_back(entry.scaler.transform(hsFeat[m]));
+    std::vector<svm::FeatureVector> valNeg;
+    valNeg.reserve(allNhsFeat.size());
+    for (const svm::FeatureVector& f : allNhsFeat)
+      valNeg.push_back(entry.scaler.transform(f));
+
+    IterativeResult res = iterativeTrain(data, valPos, valNeg, tp);
+    entry.model = std::move(res.model);
+    entry.finalC = res.finalC;
+    entry.finalGamma = res.finalGamma;
+    entry.selfIterations = res.iterations;
+  });
+
+  // Feedback kernel (Sec. III-D4): self-evaluate the non-hotspot centroids;
+  // the ones some kernel still flags as hotspots ("extras") become, with
+  // their ambit, the negative side of the feedback training set.
+  if (tp.enableFeedback) {
+    std::vector<std::size_t> extraClipIdx;   // indices into nhs
+    std::set<std::size_t> implicatedKernels;
+    std::mutex mu;
+    parallelFor(nhs.size(), tp.threads, [&](std::size_t i) {
+      for (std::size_t k = 0; k < det.kernels.size(); ++k) {
+        const svm::FeatureVector scaled =
+            det.kernels[k].scaler.transform(allNhsFeat[i]);
+        if (det.kernels[k].model.predict(scaled) > 0) {
+          const std::lock_guard<std::mutex> lock(mu);
+          extraClipIdx.push_back(i);
+          implicatedKernels.insert(k);
+          break;
+        }
+      }
+    });
+    std::sort(extraClipIdx.begin(), extraClipIdx.end());
+    for (const std::size_t k : implicatedKernels)
+      det.kernels[k].feedbackApplies = true;
+    det.stats.feedbackExtras = extraClipIdx.size();
+
+    if (!extraClipIdx.empty()) {
+      // Sub-cluster the extras *with ambit information* and keep only the
+      // sub-cluster centroids (Fig. 9c).
+      std::vector<CorePattern> extraClips;
+      extraClips.reserve(extraClipIdx.size());
+      for (const std::size_t i : extraClipIdx)
+        extraClips.push_back(CorePattern::fromClip(nhs[i], tp.layer));
+      const std::vector<Cluster> sub =
+          classifyPatterns(extraClips, tp.classify);
+
+      svm::Dataset data;
+      for (const Cluster& c : sub)
+        data.add(buildFeatureVector(extraClips[c.representative],
+                                    tp.feedbackFeatures),
+                 -1);
+      // Hotspot side: every hotspot cluster's members with core+ambit
+      // features. (The paper uses the implicated clusters, extending to
+      // all kernels when several contribute extras; training on the full
+      // hotspot set lets the feedback kernel safely review every flagged
+      // clip without reclaiming true hotspots of other clusters.)
+      for (const Clip& c : hs)
+        data.add(buildFeatureVector(CorePattern::fromClip(c, tp.layer),
+                                    tp.feedbackFeatures),
+                 +1);
+
+      if (data.countLabel(1) > 0 && data.countLabel(-1) > 0) {
+        det.feedbackScaler.fit(data.x);
+        det.feedbackScaler.transformInPlace(data.x);
+        std::vector<svm::FeatureVector> valPos, valNeg;
+        for (std::size_t i = 0; i < data.size(); ++i)
+          (data.y[i] > 0 ? valPos : valNeg).push_back(data.x[i]);
+        det.feedbackModel = iterativeTrain(data, valPos, valNeg, tp).model;
+        det.hasFeedback = true;
+      }
+    }
+  }
+
+  // Platt calibration on the training cores: max-kernel decision value vs
+  // label, so reports can be ranked by P(hotspot).
+  {
+    std::vector<double> f;
+    std::vector<int> y;
+    f.reserve(hs.size() + allNhsFeat.size());
+    const auto maxDecision = [&det](const svm::FeatureVector& feat) {
+      double best = -std::numeric_limits<double>::infinity();
+      for (const KernelEntry& k : det.kernels)
+        best = std::max(best, k.model.decision(k.scaler.transform(feat)));
+      return best;
+    };
+    for (const svm::FeatureVector& feat : hsFeat) {
+      f.push_back(maxDecision(feat));
+      y.push_back(+1);
+    }
+    for (const svm::FeatureVector& feat : allNhsFeat) {
+      f.push_back(maxDecision(feat));
+      y.push_back(-1);
+    }
+    try {
+      det.platt = svm::fitPlatt(f, y);
+      det.hasPlatt = true;
+    } catch (const std::invalid_argument&) {
+      det.hasPlatt = false;  // degenerate decision distribution
+    }
+  }
+
+  det.stats.trainSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return det;
+}
+
+double Detector::hotspotProbability(const CorePattern& core) const {
+  const double f = decisionValue(core);
+  return hasPlatt ? platt.probability(f) : (f > 0 ? 1.0 : 0.0);
+}
+
+bool Detector::evaluateCore(const CorePattern& core, double bias) const {
+  const svm::FeatureVector feat = buildFeatureVector(core, params.features);
+  for (const KernelEntry& k : kernels)
+    if (k.model.decision(k.scaler.transform(feat)) > bias) return true;
+  return false;
+}
+
+double Detector::decisionValue(const CorePattern& core) const {
+  const svm::FeatureVector feat = buildFeatureVector(core, params.features);
+  double best = -std::numeric_limits<double>::infinity();
+  for (const KernelEntry& k : kernels)
+    best = std::max(best, k.model.decision(k.scaler.transform(feat)));
+  return best;
+}
+
+bool Detector::evaluateClip(const Clip& clip, double bias,
+                            bool useFeedback) const {
+  const svm::FeatureVector feat = buildFeatureVector(
+      CorePattern::fromCore(clip, params.layer), params.features);
+  bool flagged = false;
+  for (const KernelEntry& k : kernels) {
+    if (k.model.decision(k.scaler.transform(feat)) > bias) {
+      flagged = true;
+      break;
+    }
+  }
+  if (!flagged) return false;
+  if (useFeedback && hasFeedback) {
+    const svm::FeatureVector fb = buildFeatureVector(
+        CorePattern::fromClip(clip, params.layer), params.feedbackFeatures);
+    if (feedbackModel.predict(feedbackScaler.transform(fb)) < 0)
+      return false;  // reclaimed as non-hotspot by the ambit-aware kernel
+  }
+  return true;
+}
+
+namespace {
+
+void saveScaler(std::ostream& os, const svm::Scaler& s) {
+  os << s.dim() << '\n';
+  os.precision(17);
+  for (const double v : s.mins()) os << v << ' ';
+  os << '\n';
+  for (const double v : s.maxs()) os << v << ' ';
+  os << '\n';
+}
+
+svm::Scaler loadScaler(std::istream& is) {
+  std::size_t d = 0;
+  is >> d;
+  std::vector<double> lo(d), hi(d);
+  for (double& v : lo) is >> v;
+  for (double& v : hi) is >> v;
+  return svm::Scaler(std::move(lo), std::move(hi));
+}
+
+void saveFeatureParams(std::ostream& os, const FeatureParams& f) {
+  os << f.maxInternal << ' ' << f.maxExternal << ' ' << f.maxDiagonal << ' '
+     << f.maxSegment << ' ' << f.densityGridN << ' ' << int(f.canonicalize)
+     << '\n';
+}
+
+FeatureParams loadFeatureParams(std::istream& is) {
+  FeatureParams f;
+  int canon = 1;
+  is >> f.maxInternal >> f.maxExternal >> f.maxDiagonal >> f.maxSegment >>
+      f.densityGridN >> canon;
+  f.canonicalize = canon != 0;
+  return f;
+}
+
+}  // namespace
+
+void Detector::save(std::ostream& os) const {
+  os << "hsd_detector 2\n";
+  os << params.clip.coreSide << ' ' << params.clip.clipSide << ' '
+     << params.layer << '\n';
+  saveFeatureParams(os, params.features);
+  saveFeatureParams(os, params.feedbackFeatures);
+  os << kernels.size() << '\n';
+  for (const KernelEntry& k : kernels) {
+    os << "kernel " << k.hotspotCount << ' ' << k.finalC << ' '
+       << k.finalGamma << ' ' << k.selfIterations << ' '
+       << int(k.feedbackApplies) << '\n';
+    saveScaler(os, k.scaler);
+    k.model.save(os);
+  }
+  os << int(hasFeedback) << '\n';
+  if (hasFeedback) {
+    saveScaler(os, feedbackScaler);
+    feedbackModel.save(os);
+  }
+  os << int(hasPlatt) << ' ' << platt.a << ' ' << platt.b << '\n';
+}
+
+Detector Detector::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (magic != "hsd_detector" || version != 2)
+    throw std::runtime_error("Detector::load: bad header");
+  Detector det;
+  int layer = 0;
+  is >> det.params.clip.coreSide >> det.params.clip.clipSide >> layer;
+  det.params.layer = LayerId(layer);
+  det.params.features = loadFeatureParams(is);
+  det.params.feedbackFeatures = loadFeatureParams(is);
+  std::size_t nk = 0;
+  is >> nk;
+  det.kernels.resize(nk);
+  for (KernelEntry& k : det.kernels) {
+    std::string kw;
+    int fba = 0;
+    is >> kw >> k.hotspotCount >> k.finalC >> k.finalGamma >>
+        k.selfIterations >> fba;
+    k.feedbackApplies = fba != 0;
+    if (kw != "kernel") throw std::runtime_error("Detector::load: bad kernel");
+    k.scaler = loadScaler(is);
+    k.model = svm::SvmModel::load(is);
+  }
+  int fb = 0;
+  is >> fb;
+  det.hasFeedback = fb != 0;
+  if (det.hasFeedback) {
+    det.feedbackScaler = loadScaler(is);
+    det.feedbackModel = svm::SvmModel::load(is);
+  }
+  int hp = 0;
+  is >> hp >> det.platt.a >> det.platt.b;
+  det.hasPlatt = hp != 0;
+  if (!is) throw std::runtime_error("Detector::load: truncated");
+  return det;
+}
+
+}  // namespace hsd::core

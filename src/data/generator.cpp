@@ -1,0 +1,278 @@
+#include "data/generator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hsd::data {
+
+namespace {
+
+constexpr hsd::Coord kOpenDim = 1'000'000'000;
+
+MotifKind sampleKind(Rng& rng) {
+  return MotifKind(std::uniform_int_distribution<int>(
+      0, int(MotifKind::kCount) - 1)(rng));
+}
+
+Risk sampleRisk(Rng& rng, double riskyFrac) {
+  const double u = std::uniform_real_distribution<double>(0, 1)(rng);
+  if (u < riskyFrac * 0.6) return Risk::kRisky;
+  if (u < riskyFrac) return Risk::kMarginal;
+  return Risk::kSafe;
+}
+
+AmbitStyle sampleAmbit(Rng& rng) {
+  const double u = std::uniform_real_distribution<double>(0, 1)(rng);
+  if (u < 0.30) return AmbitStyle::kEmpty;
+  if (u < 0.65) return AmbitStyle::kSparse;
+  return AmbitStyle::kDense;
+}
+
+// A clip of plain background fabric (safe vertical wires with random
+// segment breaks), so training sees the material that dominates a real
+// testing layout.
+std::vector<Rect> makeBackgroundClip(const GeneratorParams& gp, Rng& rng) {
+  const Coord w = gp.dims.safeWidth;
+  const Coord pitch = gp.dims.safeWidth + gp.dims.safeSpace;
+  const Coord side = gp.clip.clipSide;
+  const Coord phase = std::uniform_int_distribution<Coord>(0, pitch - 1)(rng);
+  std::uniform_int_distribution<Coord> segLen(2500, 6500);
+  std::uniform_int_distribution<Coord> segGap(450, 800);
+  std::vector<Rect> out;
+  for (Coord x = phase; x + w <= side; x += pitch) {
+    Coord y = std::uniform_int_distribution<Coord>(-1200, 400)(rng);
+    while (y < side) {
+      const Coord yEnd = std::min(y + segLen(rng), side);
+      if (yEnd - std::max<Coord>(y, 0) >= 400)
+        out.push_back({x, std::max<Coord>(y, 0), x + w, yEnd});
+      y = yEnd + segGap(rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+gds::ClipSet generateTrainingSet(const GeneratorParams& gp,
+                                 const TrainingTargets& targets,
+                                 const std::string& name) {
+  Rng rng(gp.seed);
+  const litho::LithoSimulator sim(gp.litho);
+  gds::ClipSet set;
+  set.name = name;
+  set.params = gp.clip;
+
+  const ClipWindow centered = ClipWindow::atCore(
+      {gp.clip.ambit(), gp.clip.ambit()}, gp.clip);
+  std::uniform_int_distribution<Coord> jitter(-targets.anchorJitter,
+                                              targets.anchorJitter);
+  std::size_t hs = 0, nhs = 0;
+  for (std::size_t attempt = 0;
+       (hs < targets.hotspots || nhs < targets.nonHotspots) &&
+       attempt < targets.maxAttempts;
+       ++attempt) {
+    std::vector<Rect> rects;
+    if (std::uniform_real_distribution<double>(0, 1)(rng) < 0.35) {
+      rects = makeBackgroundClip(gp, rng);
+    } else {
+      const MotifKind kind = sampleKind(rng);
+      const Risk risk = sampleRisk(rng, 0.5);
+      const AmbitStyle ambit = sampleAmbit(rng);
+      rects = makeMotif(kind, risk, ambit, gp.dims, gp.clip, rng);
+    }
+    if (rects.empty()) continue;
+
+    const ClipWindow win =
+        targets.anchorJitter > 0
+            ? centered.translated({jitter(rng), jitter(rng)})
+            : centered;
+    const bool hotspot = sim.isHotspot(rects, win.core, win.clip);
+    if (hotspot && hs >= targets.hotspots) continue;
+    if (!hotspot && nhs >= targets.nonHotspots) continue;
+
+    Clip clip(win, hotspot ? Label::kHotspot : Label::kNonHotspot);
+    clip.setRects(gp.layer, std::move(rects));
+    set.clips.push_back(std::move(clip));
+    (hotspot ? hs : nhs) += 1;
+  }
+  return set;
+}
+
+TestLayout generateTestLayout(const GeneratorParams& gp, Coord width,
+                              Coord height, std::size_t sites,
+                              double riskyFrac, const std::string& name) {
+  Rng rng(gp.seed * 0x9e3779b97f4a7c15ULL + 17);
+  const litho::LithoSimulator sim(gp.litho);
+  TestLayout out;
+  out.layout.setName(name);
+
+  // Motif sites on a coarse grid with one clip-sized cell plus margin.
+  const Coord sitePitch = gp.clip.clipSide + 1600;
+  const Coord gridW = width / sitePitch;
+  const Coord gridH = height / sitePitch;
+  if (gridW <= 0 || gridH <= 0)
+    throw std::invalid_argument("generateTestLayout: extent too small");
+  std::vector<std::size_t> cells(std::size_t(gridW * gridH));
+  for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = i;
+  std::shuffle(cells.begin(), cells.end(), rng);
+  const std::size_t nSites = std::min(sites, cells.size());
+
+  struct Site {
+    ClipWindow win;
+    std::vector<Rect> rects;  // absolute coords
+  };
+  std::vector<Site> placed;
+  placed.reserve(nSites);
+  std::vector<Rect> exclusion;  // background keep-out zones
+  for (std::size_t si = 0; si < nSites; ++si) {
+    const Coord gx = Coord(cells[si]) % gridW;
+    const Coord gy = Coord(cells[si]) / gridW;
+    const Point origin{gx * sitePitch + 800, gy * sitePitch + 800};
+
+    const MotifKind kind = sampleKind(rng);
+    const Risk risk = sampleRisk(rng, riskyFrac);
+    const AmbitStyle ambit = sampleAmbit(rng);
+    std::vector<Rect> local =
+        makeMotif(kind, risk, ambit, gp.dims, gp.clip, rng);
+    if (local.empty()) continue;
+
+    Site s;
+    s.win = ClipWindow::atCore(
+        {origin.x + gp.clip.ambit(), origin.y + gp.clip.ambit()}, gp.clip);
+    s.rects.reserve(local.size());
+    for (const Rect& r : local) s.rects.push_back(r.translated(origin));
+    exclusion.push_back(s.win.clip.inflated(300));
+    placed.push_back(std::move(s));
+  }
+
+  // Background fabric: safe vertical wires with random segment breaks,
+  // skipping the site exclusion zones.
+  const Coord w = gp.dims.safeWidth;
+  const Coord pitch = gp.dims.safeWidth + gp.dims.safeSpace;
+  std::uniform_int_distribution<Coord> segLen(2500, 6500);
+  std::uniform_int_distribution<Coord> segGap(450, 800);
+  for (Coord x = 0; x + w <= width; x += pitch) {
+    Coord y = std::uniform_int_distribution<Coord>(0, 800)(rng);
+    while (y < height) {
+      const Coord yEnd = std::min(y + segLen(rng), height);
+      Rect seg{x, y, x + w, yEnd};
+      bool blocked = false;
+      for (const Rect& ex : exclusion)
+        if (seg.overlaps(ex)) {
+          blocked = true;
+          break;
+        }
+      if (!blocked && seg.height() >= 800)
+        out.layout.addRect(gp.layer, seg);
+      y = yEnd + segGap(rng);
+    }
+  }
+
+  // Place motif geometry and derive ground truth from the oracle.
+  for (const Site& s : placed) {
+    for (const Rect& r : s.rects) out.layout.addRect(gp.layer, r);
+    if (sim.isHotspot(s.rects, s.win.core, s.win.clip))
+      out.actualHotspots.push_back(s.win);
+  }
+  out.motifSites = placed.size();
+  return out;
+}
+
+gds::ClipSet generateMultiLayerTrainingSet(const GeneratorParams& gp,
+                                           const MultiLayerTargets& targets,
+                                           const std::string& name) {
+  Rng rng(gp.seed ^ 0xabcdef12345ULL);
+  const litho::LithoSimulator sim(gp.litho);
+  gds::ClipSet set;
+  set.name = name;
+  set.params = gp.clip;
+
+  const ClipWindow win =
+      ClipWindow::atCore({gp.clip.ambit(), gp.clip.ambit()}, gp.clip);
+  const Coord cx = gp.clip.clipSide / 2;
+
+  std::size_t hs = 0, nhs = 0;
+  std::uniform_int_distribution<Coord> jit(-150, 150);
+  for (std::size_t attempt = 0;
+       (hs < targets.hotspots || nhs < targets.nonHotspots) &&
+       attempt < targets.maxAttempts;
+       ++attempt) {
+    // Metal1: horizontal bar ending near the core center; metal2: vertical
+    // bar of fixed width placed near that end. The landing-pad overlap is
+    // a function of the *relative* position of the two layers, so neither
+    // layer's geometry alone determines the label — the genuinely
+    // multilayer signal of Sec. IV-A / Fig. 13.
+    const Coord jx = jit(rng);
+    const Coord jy = jit(rng);
+    const Coord w1 =
+        gp.dims.safeWidth + std::uniform_int_distribution<Coord>(-30, 30)(rng);
+    const Coord w2 =
+        gp.dims.safeWidth + std::uniform_int_distribution<Coord>(-30, 30)(rng);
+    const Coord endX =
+        cx + std::uniform_int_distribution<Coord>(-220, 220)(rng);
+    const Coord viaX =
+        cx + std::uniform_int_distribution<Coord>(-220, 220)(rng);
+    std::vector<Rect> m1{
+        {cx - 1000 + jx, cx - w1 / 2 + jy, endX + jx, cx + w1 / 2 + jy}};
+    std::vector<Rect> m2{{viaX - w2 / 2 + jx, cx - 1000 + jy,
+                          viaX + w2 / 2 + jx, cx + 1000 + jy}};
+    // Occasional company on each layer.
+    if (attempt % 3 == 0) {
+      m1.push_back({cx - 1000 + jx, cx + jy + 400, cx + 1000 + jx,
+                    cx + jy + 400 + gp.dims.safeWidth});
+      m2.push_back({cx + jx - 700 - gp.dims.safeWidth, cx - 1000 + jy,
+                    cx + jx - 700, cx + 1000 + jy});
+    }
+
+    // Label: either layer fails litho, or the crossing overlap is thin.
+    bool hotspot = sim.isHotspot(m1, win.core, win.clip) ||
+                   sim.isHotspot(m2, win.core, win.clip);
+    Coord minDim = kOpenDim;
+    for (const Rect& a : m1) {
+      for (const Rect& b : m2) {
+        const Rect ov = a.intersect(b);
+        if (ov.valid() && !ov.empty() && win.core.overlaps(ov))
+          minDim = std::min(minDim, std::min(ov.width(), ov.height()));
+      }
+    }
+    if (minDim != kOpenDim && minDim < targets.minOverlapDim) hotspot = true;
+
+    if (hotspot && hs >= targets.hotspots) continue;
+    if (!hotspot && nhs >= targets.nonHotspots) continue;
+    Clip clip(win, hotspot ? Label::kHotspot : Label::kNonHotspot);
+    clip.setRects(targets.layer1, std::move(m1));
+    clip.setRects(targets.layer2, std::move(m2));
+    set.clips.push_back(std::move(clip));
+    (hotspot ? hs : nhs) += 1;
+  }
+  return set;
+}
+
+std::vector<BenchmarkSpec> iccad2012LikeSuite() {
+  // Mirrors Table I's structure (training imbalance, one 32 nm + four
+  // 28 nm benchmarks, varying scale) at single-core-tractable sizes.
+  std::vector<BenchmarkSpec> specs(5);
+  specs[0] = {"benchmark1", true, {40, 160, 100000}, 42000, 40000, 50, 0.60, 101};
+  specs[1] = {"benchmark2", false, {60, 600, 200000}, 66000, 64000, 120, 0.55, 202};
+  specs[2] = {"benchmark3", false, {150, 800, 300000}, 78000, 76000, 170, 0.65, 303};
+  specs[3] = {"benchmark4", false, {40, 500, 200000}, 58000, 56000, 80, 0.45, 404};
+  specs[4] = {"benchmark5", false, {15, 350, 150000}, 50000, 48000, 50, 0.35, 505};
+  return specs;
+}
+
+Benchmark generateBenchmark(const BenchmarkSpec& spec) {
+  GeneratorParams gp;
+  gp.dims = spec.node32 ? ProcessDims::node32() : ProcessDims::node28();
+  gp.seed = spec.seed;
+
+  Benchmark b;
+  b.name = spec.name;
+  b.process = spec.node32 ? "32nm" : "28nm";
+  b.training = generateTrainingSet(gp, spec.targets, "MX_" + spec.name + "_clip");
+  b.test = generateTestLayout(gp, spec.width, spec.height, spec.sites,
+                              spec.riskyFrac, "Array_" + spec.name);
+  return b;
+}
+
+}  // namespace hsd::data

@@ -1,0 +1,109 @@
+// Synthetic ICCAD-2012-style benchmark generation: labeled training clip
+// sets and testing layouts with oracle-derived ground truth. Substitutes
+// for the (publicly released but not shipped here) contest GDSII data;
+// see DESIGN.md for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/motifs.hpp"
+#include "gds/ascii.hpp"
+#include "layout/clip.hpp"
+#include "layout/layout.hpp"
+#include "litho/litho.hpp"
+
+namespace hsd::data {
+
+struct GeneratorParams {
+  ClipParams clip;
+  ProcessDims dims;            ///< process regime (node32 / node28)
+  litho::LithoParams litho;    ///< oracle model
+  LayerId layer = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Desired class counts for a training set. Generation keeps sampling
+/// motifs until both targets are met (or maxAttempts trips).
+struct TrainingTargets {
+  std::size_t hotspots = 100;
+  std::size_t nonHotspots = 500;
+  std::size_t maxAttempts = 100000;
+  /// Random clip-window anchor offset (+/- nm, both axes) applied before
+  /// oracle labeling. Mirrors how evaluation-phase clips are anchored at
+  /// polygon corners rather than centered on the pattern, so the training
+  /// distribution matches what the detector sees on a layout.
+  Coord anchorJitter = 300;
+};
+
+/// Generate a labeled training clip set. Labels come from the litho
+/// oracle applied to each clip's core (with the full clip as context).
+gds::ClipSet generateTrainingSet(const GeneratorParams& gp,
+                                 const TrainingTargets& targets,
+                                 const std::string& name = "training");
+
+/// A testing layout plus its oracle-derived ground truth.
+struct TestLayout {
+  Layout layout;
+  std::vector<ClipWindow> actualHotspots;
+  std::size_t motifSites = 0;  ///< number of embedded motif instances
+};
+
+/// Generate a testing layout of the given extent: a safe background wire
+/// fabric with `sites` embedded motif instances (riskyFrac of them sampled
+/// at risky/marginal dimensions). Ground truth = oracle verdicts on the
+/// site cores.
+TestLayout generateTestLayout(const GeneratorParams& gp, Coord width,
+                              Coord height, std::size_t sites,
+                              double riskyFrac,
+                              const std::string& name = "testing");
+
+/// Two-layer clip generation for the multilayer extension (Sec. IV-A):
+/// metal1/metal2 crossings whose printability depends on the landing-pad
+/// overlap between the layers as well as each layer's own dimensions.
+/// Label rule: hotspot when either layer fails the litho oracle in the
+/// core, or the smallest crossing-overlap dimension in the core is below
+/// `minOverlapDim` (via-coverage failure).
+struct MultiLayerTargets {
+  std::size_t hotspots = 40;
+  std::size_t nonHotspots = 160;
+  std::size_t maxAttempts = 50000;
+  Coord minOverlapDim = 120;
+  LayerId layer1 = 1;
+  LayerId layer2 = 2;
+};
+
+gds::ClipSet generateMultiLayerTrainingSet(const GeneratorParams& gp,
+                                           const MultiLayerTargets& targets,
+                                           const std::string& name = "ml");
+
+/// One benchmark of the suite: training data + testing layout.
+struct Benchmark {
+  std::string name;
+  std::string process;  ///< "32nm" or "28nm"
+  gds::ClipSet training;
+  TestLayout test;
+};
+
+/// Shape parameters of one suite entry (mirrors Table I's structure at a
+/// single-core-tractable scale).
+struct BenchmarkSpec {
+  std::string name;
+  bool node32 = false;
+  TrainingTargets targets;
+  Coord width = 40000;
+  Coord height = 40000;
+  std::size_t sites = 60;
+  double riskyFrac = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// The five ICCAD-2012-like benchmark specs (plus the blind layout is
+/// generated separately from spec 1's generator params).
+std::vector<BenchmarkSpec> iccad2012LikeSuite();
+
+/// Generate one benchmark from its spec.
+Benchmark generateBenchmark(const BenchmarkSpec& spec);
+
+}  // namespace hsd::data

@@ -1,0 +1,236 @@
+#include "data/motifs.hpp"
+
+#include <algorithm>
+
+#include "geom/orientation.hpp"
+
+namespace hsd::data {
+
+ProcessDims ProcessDims::node32() {
+  ProcessDims d;
+  d.safeWidth = 200;
+  d.safeSpace = 240;
+  d.marginalWidth = 150;
+  d.marginalSpace = 165;
+  d.riskyWidth = 115;
+  d.riskySpace = 120;
+  d.jitter = 18;
+  return d;
+}
+
+ProcessDims ProcessDims::node28() {
+  return ProcessDims{};  // defaults are the 28 nm-flavored regime
+}
+
+std::vector<Rect> wireFabric(const Rect& region, Coord width, Coord pitch,
+                             Coord phase) {
+  std::vector<Rect> out;
+  if (width <= 0 || pitch <= width) return out;
+  for (Coord x = region.lo.x + phase; x + width <= region.hi.x; x += pitch)
+    out.push_back({x, region.lo.y, x + width, region.hi.y});
+  return out;
+}
+
+namespace {
+
+Coord jit(Rng& rng, Coord amp) {
+  if (amp <= 0) return 0;
+  return std::uniform_int_distribution<Coord>(-amp, amp)(rng);
+}
+
+struct Dims {
+  Coord w;  // wire width
+  Coord s;  // spacing / gap
+};
+
+Dims pick(Risk risk, const ProcessDims& d, Rng& rng) {
+  Dims out{};
+  switch (risk) {
+    case Risk::kSafe:
+      out = {d.safeWidth, d.safeSpace};
+      break;
+    case Risk::kMarginal:
+      out = {d.marginalWidth, d.marginalSpace};
+      break;
+    case Risk::kRisky:
+      out = {d.riskyWidth, d.riskySpace};
+      break;
+  }
+  out.w = std::max<Coord>(40, out.w + jit(rng, d.jitter));
+  out.s = std::max<Coord>(40, out.s + jit(rng, d.jitter));
+  return out;
+}
+
+// Clip-local geometry helpers. The window is [0, clipSide)^2 with the core
+// [ambit, ambit+coreSide)^2.
+struct Frame {
+  Coord clipSide;
+  Coord ambit;
+  Coord coreLo;
+  Coord coreHi;
+  Coord cx;  // clip center
+};
+
+Frame frameOf(const ClipParams& c) {
+  Frame f;
+  f.clipSide = c.clipSide;
+  f.ambit = c.ambit();
+  f.coreLo = c.ambit();
+  f.coreHi = c.ambit() + c.coreSide;
+  f.cx = c.clipSide / 2;
+  return f;
+}
+
+void denseLines(const Frame& f, const Dims& d, Rng& rng,
+                std::vector<Rect>& out) {
+  const int n = std::uniform_int_distribution<int>(3, 4)(rng);
+  const Coord pitch = d.w + d.s;
+  const Coord x0 = f.cx - (Coord(n) * pitch - d.s) / 2;
+  const Coord yLo = f.coreLo - 600;
+  const Coord yHi = f.coreHi + 600;
+  for (int i = 0; i < n; ++i) {
+    const Coord x = x0 + Coord(i) * pitch;
+    out.push_back({x, yLo, x + d.w, yHi});
+  }
+}
+
+void lineEnd(const Frame& f, const Dims& d, Rng& rng, std::vector<Rect>& out) {
+  const Coord g = d.s;  // tip-to-tip gap
+  const Coord w = d.w;  // tip width: risky tips pinch before the gap
+  const Coord x = f.cx - w / 2;
+  const Coord mid = (f.coreLo + f.coreHi) / 2 + jit(rng, 60);
+  out.push_back({x, f.coreLo - 600, x + w, mid - g / 2});
+  out.push_back({x, mid + (g + 1) / 2, x + w, f.coreHi + 600});
+  // Side neighbors make the gap's printability context-dependent.
+  const Coord ns = d.s + 60;
+  out.push_back({x - ns - w, f.coreLo - 600, x - ns, f.coreHi + 600});
+  out.push_back({x + w + ns, f.coreLo - 600, x + w + ns + w, f.coreHi + 600});
+}
+
+void lJog(const Frame& f, const Dims& d, Rng& rng, std::vector<Rect>& out) {
+  const Coord w = d.w;
+  const Coord armX = f.cx - 300 + jit(rng, 40);
+  const Coord armY = (f.coreLo + f.coreHi) / 2 + jit(rng, 60);
+  // Vertical arm rising out of the core, horizontal arm to the right.
+  out.push_back({armX, armY, armX + w, f.coreHi + 600});
+  out.push_back({armX, armY, armX + 500 + jit(rng, 60), armY + w});
+  // Parallel neighbor below the horizontal arm at the sampled spacing.
+  const Coord ny = armY - d.s - w;
+  out.push_back({armX - 200, ny, armX + 500, ny + w});
+  // And one to the left of the vertical arm.
+  const Coord nx = armX - d.s - w;
+  out.push_back({nx, armY - 300, nx + w, f.coreHi + 600});
+}
+
+void uShape(const Frame& f, const Dims& d, Rng& rng, std::vector<Rect>& out) {
+  const Coord w = d.w;
+  const Coord g = d.s;  // inner gap of the U
+  const Coord x0 = f.cx - g / 2 - w + jit(rng, 30);
+  const Coord x1 = f.cx + g / 2 + jit(rng, 30);
+  const Coord yBot = f.coreLo + 150 + jit(rng, 50);
+  const Coord yTop = f.coreHi + 300;
+  out.push_back({x0, yBot, x0 + w, yTop});          // left arm
+  out.push_back({x1, yBot, x1 + w, yTop});          // right arm
+  out.push_back({x0, yBot, x1 + w, yBot + w});      // bottom bar
+}
+
+void mountain(const Frame& f, const Dims& d, Rng& rng,
+              std::vector<Rect>& out) {
+  // Stacked blocks of increasing height side by side (Fig. 8 flavor).
+  const Coord w = std::max<Coord>(150, d.w + 60);
+  const Coord s = d.s;
+  const Coord base = f.coreLo + 150 + jit(rng, 40);
+  Coord x = f.cx - (3 * w + 2 * s) / 2;
+  const Coord heights[3] = {350, 750, 450};
+  for (int i = 0; i < 3; ++i) {
+    out.push_back({x, base, x + w, base + heights[i] + jit(rng, 40)});
+    x += w + s;
+  }
+  // A wide plate above, leaving a sampled vertical space to the peak.
+  const Coord plateY = base + 750 + d.s + jit(rng, 30);
+  out.push_back({f.cx - 700, plateY, f.cx + 700, plateY + w});
+}
+
+void isoLine(const Frame& f, const Dims& d, Rng& rng,
+             std::vector<Rect>& out) {
+  const Coord x = f.cx - d.w / 2 + jit(rng, 50);
+  out.push_back({x, f.coreLo - 900, x + d.w, f.coreHi + 900});
+}
+
+void comb(const Frame& f, const Dims& d, Rng& rng, std::vector<Rect>& out) {
+  const Coord w = d.w;
+  const Coord s = d.s;
+  const Coord pitch = 2 * (w + s);
+  const Coord spineL = f.coreLo - 500;
+  const Coord spineR = f.coreHi + 500;
+  out.push_back({spineL - w - 100, f.coreLo - 400, spineL, f.coreHi + 400});
+  out.push_back({spineR, f.coreLo - 400, spineR + w + 100, f.coreHi + 400});
+  const Coord tipGap = s + jit(rng, 20);
+  Coord y = f.coreLo + jit(rng, 80);
+  bool fromLeft = true;
+  for (; y + w <= f.coreHi; y += pitch / 2) {
+    if (fromLeft)
+      out.push_back({spineL, y, spineR - tipGap, y + w});
+    else
+      out.push_back({spineL + tipGap, y, spineR, y + w});
+    fromLeft = !fromLeft;
+  }
+}
+
+void addAmbit(const Frame& f, AmbitStyle style, const ProcessDims& d,
+              Rng& rng, std::vector<Rect>& out) {
+  if (style == AmbitStyle::kEmpty) return;
+  const Coord w = d.safeWidth;
+  const Coord pitch = d.safeWidth + d.safeSpace;
+  if (style == AmbitStyle::kDense) {
+    // Fabric bands in the left and right ambit rings, running full height.
+    std::vector<Rect> left = wireFabric(
+        {200, 200, f.coreLo - 120, f.clipSide - 200}, w, pitch, jit(rng, 60) + 60);
+    std::vector<Rect> right = wireFabric(
+        {f.coreHi + 120, 200, f.clipSide - 200, f.clipSide - 200}, w, pitch,
+        jit(rng, 60) + 60);
+    out.insert(out.end(), left.begin(), left.end());
+    out.insert(out.end(), right.begin(), right.end());
+  } else {
+    // Sparse: one wire on each side, far from the core.
+    const Coord xl = 500 + jit(rng, 100);
+    const Coord xr = f.clipSide - 500 - w + jit(rng, 100);
+    out.push_back({xl, 300, xl + w, f.clipSide - 300});
+    out.push_back({xr, 300, xr + w, f.clipSide - 300});
+  }
+}
+
+}  // namespace
+
+std::vector<Rect> makeMotif(MotifKind kind, Risk risk, AmbitStyle ambit,
+                            const ProcessDims& dims, const ClipParams& clip,
+                            Rng& rng) {
+  const Frame f = frameOf(clip);
+  const Dims d = pick(risk, dims, rng);
+  std::vector<Rect> out;
+  switch (kind) {
+    case MotifKind::kDenseLines: denseLines(f, d, rng, out); break;
+    case MotifKind::kLineEnd:    lineEnd(f, d, rng, out); break;
+    case MotifKind::kLJog:       lJog(f, d, rng, out); break;
+    case MotifKind::kUShape:     uShape(f, d, rng, out); break;
+    case MotifKind::kMountain:   mountain(f, d, rng, out); break;
+    case MotifKind::kIsoLine:    isoLine(f, d, rng, out); break;
+    case MotifKind::kComb:       comb(f, d, rng, out); break;
+    case MotifKind::kCount:      break;
+  }
+  addAmbit(f, ambit, dims, rng, out);
+
+  // Random orientation so the suite exercises the D8 handling end to end.
+  const Orient o =
+      kAllOrients[std::uniform_int_distribution<std::size_t>(0, 7)(rng)];
+  std::vector<Rect> rot;
+  rot.reserve(out.size());
+  for (const Rect& r : out) {
+    const Rect c = r.intersect({0, 0, f.clipSide, f.clipSide});
+    if (c.valid() && !c.empty())
+      rot.push_back(apply(o, c, f.clipSide, f.clipSide));
+  }
+  return rot;
+}
+
+}  // namespace hsd::data

@@ -1,0 +1,74 @@
+// Parametrized layout motifs for the synthetic benchmark generator.
+// Each motif emits clip-local geometry (window [0, clipSide)^2 with the
+// core centered) whose printability depends on its dimensions: "risky"
+// variants sit near the synthetic process's lithographic limit, "safe"
+// variants are comfortably printable. Ground truth always comes from the
+// litho oracle, never from the risk knob — the knob only biases dimensions.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "layout/clip.hpp"
+
+namespace hsd::data {
+
+/// Motif families, loosely matching the pattern types the paper's figures
+/// show (line arrays, line ends, L/U shapes, the Fig. 8 "mountain", ...).
+enum class MotifKind : std::uint8_t {
+  kDenseLines = 0,  ///< parallel wire array through the core
+  kLineEnd,         ///< facing line tips with a gap
+  kLJog,            ///< L-shaped wire with a parallel neighbor
+  kUShape,          ///< U / double-L enclosure
+  kMountain,        ///< stacked blocks (Fig. 8 pattern)
+  kIsoLine,         ///< isolated wire
+  kComb,            ///< interdigitated fingers
+  kCount,
+};
+
+/// How aggressive the sampled dimensions are.
+enum class Risk : std::uint8_t {
+  kSafe = 0,    ///< relaxed widths/spacings
+  kMarginal,    ///< near the limit; ambit decides printability
+  kRisky,       ///< at/below the limit
+};
+
+/// Ambit context style around the core motif.
+enum class AmbitStyle : std::uint8_t {
+  kEmpty = 0,   ///< nothing in the ambit
+  kSparse,      ///< a few far wires
+  kDense,       ///< regular wire fabric through the ambit
+};
+
+/// Dimension regime of the synthetic process (calibrated against the litho
+/// oracle defaults: sigma 90 nm, threshold 0.46).
+struct ProcessDims {
+  Coord safeWidth = 180;
+  Coord safeSpace = 220;
+  Coord marginalWidth = 135;
+  Coord marginalSpace = 150;
+  Coord riskyWidth = 105;
+  Coord riskySpace = 110;
+  Coord jitter = 15;  ///< uniform +/- jitter applied to sampled dims
+
+  /// 32 nm-flavored (slightly coarser) and 28 nm-flavored (tighter) regimes.
+  static ProcessDims node32();
+  static ProcessDims node28();
+};
+
+using Rng = std::mt19937_64;
+
+/// Generate one motif instance: clip-local rects on the given window.
+/// Geometry spans the core and (depending on `ambit`) the ambit ring.
+std::vector<Rect> makeMotif(MotifKind kind, Risk risk, AmbitStyle ambit,
+                            const ProcessDims& dims, const ClipParams& clip,
+                            Rng& rng);
+
+/// Regular vertical wire fabric covering `region` (used for backgrounds and
+/// dense ambits): wires of `width` at `pitch`, starting at `phase`.
+std::vector<Rect> wireFabric(const Rect& region, Coord width, Coord pitch,
+                             Coord phase = 0);
+
+}  // namespace hsd::data

@@ -1,0 +1,210 @@
+#include "drc/drc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/interval.hpp"
+#include "geom/rectset.hpp"
+#include "layout/spatial_index.hpp"
+
+namespace hsd::drc {
+
+const char* toString(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kWidth: return "width";
+    case ViolationKind::kSpace: return "space";
+    case ViolationKind::kArea:  return "area";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<Coord> cutCoords(const std::vector<Rect>& rects, bool yAxis) {
+  std::vector<Coord> cs;
+  cs.reserve(rects.size() * 2);
+  for (const Rect& r : rects) {
+    cs.push_back(yAxis ? r.lo.y : r.lo.x);
+    cs.push_back(yAxis ? r.hi.y : r.hi.x);
+  }
+  std::sort(cs.begin(), cs.end());
+  cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+  return cs;
+}
+
+// Merge vertically (or horizontally) adjacent violation boxes with the
+// same cross-interval so one skinny feature reports once, not per band.
+void mergeBoxes(std::vector<Violation>& v, bool mergeAlongY) {
+  std::sort(v.begin(), v.end(), [mergeAlongY](const Violation& a,
+                                              const Violation& b) {
+    if (mergeAlongY) {
+      if (a.where.lo.x != b.where.lo.x) return a.where.lo.x < b.where.lo.x;
+      if (a.where.hi.x != b.where.hi.x) return a.where.hi.x < b.where.hi.x;
+      return a.where.lo.y < b.where.lo.y;
+    }
+    if (a.where.lo.y != b.where.lo.y) return a.where.lo.y < b.where.lo.y;
+    if (a.where.hi.y != b.where.hi.y) return a.where.hi.y < b.where.hi.y;
+    return a.where.lo.x < b.where.lo.x;
+  });
+  std::vector<Violation> out;
+  for (const Violation& cur : v) {
+    if (!out.empty()) {
+      Violation& p = out.back();
+      const bool sameCross =
+          mergeAlongY ? (p.where.lo.x == cur.where.lo.x &&
+                         p.where.hi.x == cur.where.hi.x)
+                      : (p.where.lo.y == cur.where.lo.y &&
+                         p.where.hi.y == cur.where.hi.y);
+      const bool contiguous = mergeAlongY
+                                  ? p.where.hi.y == cur.where.lo.y
+                                  : p.where.hi.x == cur.where.lo.x;
+      if (sameCross && contiguous && p.kind == cur.kind) {
+        if (mergeAlongY)
+          p.where.hi.y = cur.where.hi.y;
+        else
+          p.where.hi.x = cur.where.hi.x;
+        p.value = std::min(p.value, cur.value);
+        continue;
+      }
+    }
+    out.push_back(cur);
+  }
+  v = std::move(out);
+}
+
+// Width and space along one axis. With horizontal==true, bands are cut at
+// every edge y and widths/gaps are measured in x.
+void checkAxis(const std::vector<Rect>& rects, const DrcRules& rules,
+               bool horizontal, std::vector<Violation>& out) {
+  const std::vector<Coord> cuts = cutCoords(rects, /*yAxis=*/horizontal);
+  std::vector<Violation> widths, spaces;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const Coord c1 = cuts[i];
+    const Coord c2 = cuts[i + 1];
+    if (c1 >= c2) continue;
+    const std::vector<Interval> cov = horizontal
+                                          ? coveredX(rects, c1, c2)
+                                          : coveredY(rects, c1, c2);
+    for (const Interval& iv : cov) {
+      if (iv.length() < rules.minWidth) {
+        Violation v;
+        v.kind = ViolationKind::kWidth;
+        v.where = horizontal ? Rect{iv.lo, c1, iv.hi, c2}
+                             : Rect{c1, iv.lo, c2, iv.hi};
+        v.value = iv.length();
+        v.limit = rules.minWidth;
+        widths.push_back(v);
+      }
+    }
+    for (std::size_t k = 0; k + 1 < cov.size(); ++k) {
+      const Coord gap = cov[k + 1].lo - cov[k].hi;
+      if (gap > 0 && gap < rules.minSpace) {
+        Violation v;
+        v.kind = ViolationKind::kSpace;
+        v.where = horizontal ? Rect{cov[k].hi, c1, cov[k + 1].lo, c2}
+                             : Rect{c1, cov[k].hi, c2, cov[k + 1].lo};
+        v.value = gap;
+        v.limit = rules.minSpace;
+        spaces.push_back(v);
+      }
+    }
+  }
+  mergeBoxes(widths, /*mergeAlongY=*/horizontal);
+  mergeBoxes(spaces, /*mergeAlongY=*/horizontal);
+  out.insert(out.end(), widths.begin(), widths.end());
+  out.insert(out.end(), spaces.begin(), spaces.end());
+}
+
+// True when the rects share an edge of positive length (or overlap);
+// corner-only contact does not connect.
+bool edgeConnected(const Rect& a, const Rect& b) {
+  if (a.overlaps(b)) return true;
+  if ((a.hi.x == b.lo.x || b.hi.x == a.lo.x) && a.lo.y < b.hi.y &&
+      b.lo.y < a.hi.y)
+    return true;
+  if ((a.hi.y == b.lo.y || b.hi.y == a.lo.y) && a.lo.x < b.hi.x &&
+      b.lo.x < a.hi.x)
+    return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> connectedShapes(
+    const std::vector<Rect>& rects) {
+  std::vector<std::size_t> parent(rects.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+
+  Coord bin = 1000;
+  if (!rects.empty()) {
+    Coord sum = 0;
+    for (const Rect& r : rects) sum += std::max(r.width(), r.height());
+    bin = std::max<Coord>(64, 2 * sum / Coord(rects.size()));
+  }
+  const GridIndex idx(rects, bin);
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    // Inflated query so edge-abutting neighbors (not strict overlaps)
+    // are also visited.
+    for (const std::size_t j : idx.query(rects[i].inflated(1))) {
+      if (j <= i) continue;
+      if (edgeConnected(rects[i], rects[j])) parent[find(i)] = find(j);
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> shapes;
+  std::vector<std::int64_t> rootTo(rects.size(), -1);
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const std::size_t r = find(i);
+    if (rootTo[r] < 0) {
+      rootTo[r] = std::int64_t(shapes.size());
+      shapes.emplace_back();
+    }
+    shapes[std::size_t(rootTo[r])].push_back(i);
+  }
+  return shapes;
+}
+
+std::vector<Violation> checkRects(const std::vector<Rect>& rects,
+                                  const DrcRules& rules,
+                                  std::size_t maxViolations) {
+  std::vector<Violation> out;
+  checkAxis(rects, rules, /*horizontal=*/true, out);
+  checkAxis(rects, rules, /*horizontal=*/false, out);
+
+  if (rules.minArea > 0) {
+    for (const auto& shape : connectedShapes(rects)) {
+      std::vector<Rect> members;
+      members.reserve(shape.size());
+      for (const std::size_t i : shape) members.push_back(rects[i]);
+      const Area area = unionArea(members);
+      if (area < rules.minArea) {
+        Violation v;
+        v.kind = ViolationKind::kArea;
+        v.where = *boundingBox(members.begin(), members.end());
+        v.value = area;
+        v.limit = rules.minArea;
+        out.push_back(v);
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (maxViolations > 0 && out.size() > maxViolations)
+    out.resize(maxViolations);
+  return out;
+}
+
+std::vector<Violation> checkLayout(const Layout& layout, LayerId layer,
+                                   const DrcRules& rules,
+                                   std::size_t maxViolations) {
+  const Layer* l = layout.findLayer(layer);
+  if (l == nullptr) return {};
+  return checkRects(l->rects(), rules, maxViolations);
+}
+
+}  // namespace hsd::drc

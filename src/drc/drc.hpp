@@ -1,0 +1,59 @@
+// Geometric design-rule checking. The paper's motivation (Sec. I) is that
+// "design rule checking ... can alleviate the printability problem, [but]
+// many regions on a layout may still be susceptible" — this module
+// provides that DRC step so examples and benches can demonstrate
+// DRC-clean-yet-unprintable hotspots, and so the synthetic generator's
+// background fabric can be validated rule-clean.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "layout/layout.hpp"
+
+namespace hsd::drc {
+
+struct DrcRules {
+  Coord minWidth = 100;   ///< minimum drawn feature width
+  Coord minSpace = 100;   ///< minimum edge-to-edge spacing
+  Area minArea = 0;       ///< minimum connected-shape area (0 = off)
+};
+
+enum class ViolationKind : std::uint8_t {
+  kWidth = 0,
+  kSpace,
+  kArea,
+};
+
+const char* toString(ViolationKind k);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kWidth;
+  Rect where;      ///< offending geometry (feature slab / gap box / shape bbox)
+  Coord value = 0; ///< measured width / space / sqrt(area)
+  Coord limit = 0; ///< the rule it violates
+
+  friend constexpr auto operator<=>(const Violation&,
+                                    const Violation&) = default;
+};
+
+/// Check a rect set (a clip or a whole layer's decomposition). Violations
+/// are deduplicated and sorted. `maxViolations` caps the report (0 = no
+/// cap).
+std::vector<Violation> checkRects(const std::vector<Rect>& rects,
+                                  const DrcRules& rules,
+                                  std::size_t maxViolations = 0);
+
+/// Check one layer of a layout.
+std::vector<Violation> checkLayout(const Layout& layout, LayerId layer,
+                                   const DrcRules& rules,
+                                   std::size_t maxViolations = 0);
+
+/// Group touching/overlapping rects into connected shapes; returns one
+/// index list per shape (used by the area rule and generally useful).
+std::vector<std::vector<std::size_t>> connectedShapes(
+    const std::vector<Rect>& rects);
+
+}  // namespace hsd::drc

@@ -1,0 +1,207 @@
+#include "gds/ascii.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "gds/gdsii.hpp"  // GdsError
+
+namespace hsd::gds {
+
+void writeAsciiLayout(std::ostream& os, const Layout& layout) {
+  os << "layout " << (layout.name().empty() ? "TOP" : layout.name()) << '\n';
+  for (const auto& [id, layer] : layout.layers()) {
+    os << "layer " << id << '\n';
+    for (const Polygon& p : layer.polygons()) {
+      const auto& pts = p.points();
+      if (pts.size() == 4 && p.bbox().area() == p.area()) {
+        const Rect r = p.bbox();
+        os << "rect " << r.lo.x << ' ' << r.lo.y << ' ' << r.hi.x << ' '
+           << r.hi.y << '\n';
+      } else {
+        os << "poly " << pts.size();
+        for (const Point& pt : pts) os << ' ' << pt.x << ' ' << pt.y;
+        os << '\n';
+      }
+    }
+  }
+}
+
+Layout readAsciiLayout(std::istream& is) {
+  Layout out;
+  LayerId layer = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw) || kw[0] == '#') continue;
+    if (kw == "layout") {
+      std::string name;
+      ss >> name;
+      out.setName(name);
+    } else if (kw == "layer") {
+      int id = 0;
+      ss >> id;
+      layer = LayerId(id);
+    } else if (kw == "rect") {
+      Coord x1, y1, x2, y2;
+      if (!(ss >> x1 >> y1 >> x2 >> y2))
+        throw GdsError("ascii layout: bad rect line: " + line);
+      out.addRect(layer, Rect{x1, y1, x2, y2});
+    } else if (kw == "poly") {
+      std::size_t n = 0;
+      ss >> n;
+      std::vector<Point> pts(n);
+      for (Point& p : pts)
+        if (!(ss >> p.x >> p.y))
+          throw GdsError("ascii layout: bad poly line: " + line);
+      out.addPolygon(layer, Polygon(std::move(pts)));
+    } else {
+      throw GdsError("ascii layout: unknown keyword " + kw);
+    }
+  }
+  return out;
+}
+
+void writeAsciiLayoutFile(const std::string& path, const Layout& layout) {
+  std::ofstream os(path);
+  if (!os) throw GdsError("cannot open " + path + " for writing");
+  writeAsciiLayout(os, layout);
+}
+
+Layout readAsciiLayoutFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw GdsError("cannot open " + path);
+  return readAsciiLayout(is);
+}
+
+void writeClipSet(std::ostream& os, const ClipSet& set) {
+  os << "clipset " << (set.name.empty() ? "clips" : set.name) << ' '
+     << set.params.coreSide << ' ' << set.params.clipSide << '\n';
+  for (const Clip& c : set.clips) {
+    os << "clip " << int(c.label()) << ' ' << c.window().core.lo.x << ' '
+       << c.window().core.lo.y << '\n';
+    for (const LayerId id : c.layerIds()) {
+      os << "layer " << id << '\n';
+      for (const Rect& r : c.rectsOn(id))
+        os << "rect " << r.lo.x << ' ' << r.lo.y << ' ' << r.hi.x << ' '
+           << r.hi.y << '\n';
+    }
+    os << "endclip\n";
+  }
+}
+
+ClipSet readClipSet(std::istream& is) {
+  ClipSet set;
+  std::string line;
+  Clip cur;
+  std::vector<Rect> rects;
+  LayerId layer = 0;
+  bool inClip = false;
+
+  auto flushLayer = [&] {
+    if (!rects.empty()) {
+      cur.setRects(layer, std::move(rects));
+      rects.clear();
+    }
+  };
+
+  while (std::getline(is, line)) {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw) || kw[0] == '#') continue;
+    if (kw == "clipset") {
+      ss >> set.name >> set.params.coreSide >> set.params.clipSide;
+    } else if (kw == "clip") {
+      int label = 0;
+      Point coreLo;
+      if (!(ss >> label >> coreLo.x >> coreLo.y))
+        throw GdsError("clipset: bad clip line: " + line);
+      cur = Clip(ClipWindow::atCore(coreLo, set.params), Label(label));
+      inClip = true;
+    } else if (kw == "layer") {
+      flushLayer();
+      int id = 0;
+      ss >> id;
+      layer = LayerId(id);
+    } else if (kw == "rect") {
+      Coord x1, y1, x2, y2;
+      if (!(ss >> x1 >> y1 >> x2 >> y2))
+        throw GdsError("clipset: bad rect line: " + line);
+      rects.push_back(Rect{x1, y1, x2, y2});
+    } else if (kw == "endclip") {
+      if (!inClip) throw GdsError("clipset: endclip without clip");
+      flushLayer();
+      set.clips.push_back(std::move(cur));
+      cur = Clip();
+      inClip = false;
+    } else {
+      throw GdsError("clipset: unknown keyword " + kw);
+    }
+  }
+  if (inClip) throw GdsError("clipset: missing final endclip");
+  return set;
+}
+
+void writeClipSetFile(const std::string& path, const ClipSet& set) {
+  std::ofstream os(path);
+  if (!os) throw GdsError("cannot open " + path + " for writing");
+  writeClipSet(os, set);
+}
+
+ClipSet readClipSetFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw GdsError("cannot open " + path);
+  return readClipSet(is);
+}
+
+void writeWindowList(std::ostream& os, const std::vector<ClipWindow>& wins,
+                     const ClipParams& params) {
+  os << "windows " << params.coreSide << ' ' << params.clipSide << '\n';
+  for (const ClipWindow& w : wins)
+    os << "at " << w.core.lo.x << ' ' << w.core.lo.y << '\n';
+}
+
+std::pair<std::vector<ClipWindow>, ClipParams> readWindowList(
+    std::istream& is) {
+  std::vector<ClipWindow> wins;
+  ClipParams params;
+  std::string line;
+  bool sawHeader = false;
+  while (std::getline(is, line)) {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw) || kw[0] == '#') continue;
+    if (kw == "windows") {
+      if (!(ss >> params.coreSide >> params.clipSide))
+        throw GdsError("window list: bad header: " + line);
+      sawHeader = true;
+    } else if (kw == "at") {
+      Point p;
+      if (!(ss >> p.x >> p.y))
+        throw GdsError("window list: bad at line: " + line);
+      wins.push_back(ClipWindow::atCore(p, params));
+    } else {
+      throw GdsError("window list: unknown keyword " + kw);
+    }
+  }
+  if (!sawHeader) throw GdsError("window list: missing header");
+  return {std::move(wins), params};
+}
+
+void writeWindowListFile(const std::string& path,
+                         const std::vector<ClipWindow>& wins,
+                         const ClipParams& params) {
+  std::ofstream os(path);
+  if (!os) throw GdsError("cannot open " + path + " for writing");
+  writeWindowList(os, wins, params);
+}
+
+std::pair<std::vector<ClipWindow>, ClipParams> readWindowListFile(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw GdsError("cannot open " + path);
+  return readWindowList(is);
+}
+
+}  // namespace hsd::gds

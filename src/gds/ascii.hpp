@@ -1,0 +1,57 @@
+// Human-readable text formats for layouts and clip sets. Used for test
+// fixtures, example data and benchmark persistence; GDSII remains the
+// interchange format for layouts.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "layout/clip.hpp"
+#include "layout/layout.hpp"
+
+namespace hsd::gds {
+
+/// Write/read a layout as text:
+///   layout <name>
+///   layer <id>
+///   rect x1 y1 x2 y2
+///   poly <n> x1 y1 ... xn yn
+void writeAsciiLayout(std::ostream& os, const Layout& layout);
+Layout readAsciiLayout(std::istream& is);
+void writeAsciiLayoutFile(const std::string& path, const Layout& layout);
+Layout readAsciiLayoutFile(const std::string& path);
+
+/// A labeled clip training/testing set plus its geometry parameters.
+struct ClipSet {
+  std::string name;
+  ClipParams params;
+  std::vector<Clip> clips;
+};
+
+/// Write/read a clip set as text:
+///   clipset <name> <coreSide> <clipSide>
+///   clip <label:+1|-1|0> <coreLoX> <coreLoY>
+///   layer <id>
+///   rect x1 y1 x2 y2   (absolute coordinates)
+///   endclip
+void writeClipSet(std::ostream& os, const ClipSet& set);
+ClipSet readClipSet(std::istream& is);
+void writeClipSetFile(const std::string& path, const ClipSet& set);
+ClipSet readClipSetFile(const std::string& path);
+
+/// Hotspot report / golden list: clip windows by core lower-left corner.
+///   windows <coreSide> <clipSide>
+///   at <coreLoX> <coreLoY>
+void writeWindowList(std::ostream& os, const std::vector<ClipWindow>& wins,
+                     const ClipParams& params);
+std::pair<std::vector<ClipWindow>, ClipParams> readWindowList(
+    std::istream& is);
+void writeWindowListFile(const std::string& path,
+                         const std::vector<ClipWindow>& wins,
+                         const ClipParams& params);
+std::pair<std::vector<ClipWindow>, ClipParams> readWindowListFile(
+    const std::string& path);
+
+}  // namespace hsd::gds

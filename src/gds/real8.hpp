@@ -1,0 +1,46 @@
+// GDSII 8-byte excess-64 base-16 floating point ("real8") conversion.
+// Layout: sign bit, 7-bit exponent E (value = mantissa * 16^(E-64)),
+// 56-bit mantissa interpreted as a binary fraction in [1/16, 1).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace hsd::gds {
+
+/// Decode a GDSII real8 (given as the 8 raw big-endian bytes packed into a
+/// uint64, most significant byte first) to a double.
+inline double decodeReal8(std::uint64_t raw) {
+  if ((raw & 0x7fffffffffffffffULL) == 0) return 0.0;
+  const bool neg = (raw >> 63) & 1;
+  const int exponent = int((raw >> 56) & 0x7f) - 64;
+  const std::uint64_t mant = raw & 0x00ffffffffffffffULL;
+  double v = double(mant) / 72057594037927936.0;  // 2^56
+  v *= std::pow(16.0, exponent);
+  return neg ? -v : v;
+}
+
+/// Encode a double as a GDSII real8 (returned packed big-endian in uint64).
+inline std::uint64_t encodeReal8(double v) {
+  if (v == 0.0) return 0;
+  std::uint64_t sign = 0;
+  if (v < 0) {
+    sign = 1ULL << 63;
+    v = -v;
+  }
+  int exponent = 0;
+  // Normalize so v in [1/16, 1).
+  while (v >= 1.0) {
+    v /= 16.0;
+    ++exponent;
+  }
+  while (v < 1.0 / 16.0) {
+    v *= 16.0;
+    --exponent;
+  }
+  const auto mant = std::uint64_t(v * 72057594037927936.0 + 0.5);  // 2^56
+  return sign | (std::uint64_t(exponent + 64) << 56) |
+         (mant & 0x00ffffffffffffffULL);
+}
+
+}  // namespace hsd::gds

@@ -1,0 +1,96 @@
+#include "geom/density_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hsd {
+
+DensityGrid::DensityGrid(const std::vector<Rect>& rects, const Rect& window,
+                         std::size_t nx, std::size_t ny)
+    : nx_(nx), ny_(ny), window_(window), vals_(nx * ny, 0.0) {
+  if (nx == 0 || ny == 0 || window.empty()) return;
+  const double pw = double(window.width()) / double(nx);
+  const double ph = double(window.height()) / double(ny);
+  const double pixArea = pw * ph;
+  for (const Rect& raw : rects) {
+    const Rect r = raw.intersect(window);
+    if (!r.valid() || r.empty()) continue;
+    // Pixel index ranges touched by r.
+    const auto ix0 = std::size_t(std::floor(double(r.lo.x - window.lo.x) / pw));
+    const auto iy0 = std::size_t(std::floor(double(r.lo.y - window.lo.y) / ph));
+    auto ix1 = std::size_t(std::ceil(double(r.hi.x - window.lo.x) / pw));
+    auto iy1 = std::size_t(std::ceil(double(r.hi.y - window.lo.y) / ph));
+    ix1 = std::min(ix1, nx);
+    iy1 = std::min(iy1, ny);
+    for (std::size_t iy = iy0; iy < iy1; ++iy) {
+      const double py0 = double(window.lo.y) + ph * double(iy);
+      const double py1 = py0 + ph;
+      const double oy = std::min(py1, double(r.hi.y)) -
+                        std::max(py0, double(r.lo.y));
+      if (oy <= 0) continue;
+      for (std::size_t ix = ix0; ix < ix1; ++ix) {
+        const double px0 = double(window.lo.x) + pw * double(ix);
+        const double px1 = px0 + pw;
+        const double ox = std::min(px1, double(r.hi.x)) -
+                          std::max(px0, double(r.lo.x));
+        if (ox <= 0) continue;
+        vals_[iy * nx_ + ix] += ox * oy / pixArea;
+      }
+    }
+  }
+  for (double& v : vals_) v = std::min(v, 1.0);
+}
+
+double DensityGrid::mean() const {
+  if (vals_.empty()) return 0.0;
+  double s = 0;
+  for (double v : vals_) s += v;
+  return s / double(vals_.size());
+}
+
+namespace {
+
+// Map the pixel index (ix, iy) of the *transformed* grid back to the pixel
+// of the original grid (dims nx, ny) under orientation o.
+std::pair<std::size_t, std::size_t> sourcePixel(Orient o, std::size_t ix,
+                                                std::size_t iy, std::size_t nx,
+                                                std::size_t ny) {
+  // Transformed dims: (ny, nx) when swapsAxes(o), else (nx, ny).
+  switch (o) {
+    case Orient::R0:    return {ix, iy};
+    case Orient::R90:   return {iy, ny - 1 - ix};
+    case Orient::R180:  return {nx - 1 - ix, ny - 1 - iy};
+    case Orient::R270:  return {nx - 1 - iy, ix};
+    case Orient::MX:    return {ix, ny - 1 - iy};
+    case Orient::MY:    return {nx - 1 - ix, iy};
+    case Orient::MXR90: return {iy, ix};
+    case Orient::MYR90: return {nx - 1 - iy, ny - 1 - ix};
+  }
+  return {ix, iy};
+}
+
+}  // namespace
+
+double DensityGrid::l1Distance(const DensityGrid& other, Orient o) const {
+  const std::size_t onx = swapsAxes(o) ? other.ny_ : other.nx_;
+  const std::size_t ony = swapsAxes(o) ? other.nx_ : other.ny_;
+  if (onx != nx_ || ony != ny_)
+    return std::numeric_limits<double>::infinity();
+  double sum = 0;
+  for (std::size_t iy = 0; iy < ny_; ++iy) {
+    for (std::size_t ix = 0; ix < nx_; ++ix) {
+      const auto [sx, sy] = sourcePixel(o, ix, iy, other.nx_, other.ny_);
+      sum += std::abs(at(ix, iy) - other.at(sx, sy));
+    }
+  }
+  return sum;
+}
+
+double DensityGrid::distance(const DensityGrid& other) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (Orient o : kAllOrients) best = std::min(best, l1Distance(other, o));
+  return best;
+}
+
+}  // namespace hsd

@@ -1,0 +1,59 @@
+// Pixelated polygon-density representation of a window (Sec. III-B2).
+// Each pixel stores the fraction of its area covered by polygons — the
+// d_k values of Eq. (1). Also used by the litho simulator's rasterizer and
+// by the clip-extraction density screen.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/orientation.hpp"
+#include "geom/rect.hpp"
+
+namespace hsd {
+
+/// A nx-by-ny grid of polygon densities over a window.
+class DensityGrid {
+ public:
+  DensityGrid() = default;
+  /// Rasterize `rects` (clipped to `window`) onto an nx-by-ny grid.
+  /// Overlapping rects saturate: density is of the union when inputs are
+  /// disjoint; callers pass decomposed (disjoint) rects for exactness.
+  DensityGrid(const std::vector<Rect>& rects, const Rect& window,
+              std::size_t nx, std::size_t ny);
+
+  /// Wrap precomputed pixel values (e.g. a cluster-centroid mean grid).
+  DensityGrid(const Rect& window, std::size_t nx, std::size_t ny,
+              std::vector<double> values)
+      : nx_(nx), ny_(ny), window_(window), vals_(std::move(values)) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  const Rect& window() const { return window_; }
+
+  /// Density of pixel (ix, iy), row-major from the window's lower-left.
+  double at(std::size_t ix, std::size_t iy) const {
+    return vals_[iy * nx_ + ix];
+  }
+  const std::vector<double>& values() const { return vals_; }
+
+  /// Mean density over all pixels (== union area / window area when the
+  /// input rects are disjoint).
+  double mean() const;
+
+  /// L1 distance to `other` under orientation `o` applied to *other*:
+  /// sum_k |d_k(this) - d_k(o(other))|. Grids must have square-compatible
+  /// dimensions when o swaps axes.
+  double l1Distance(const DensityGrid& other, Orient o) const;
+
+  /// Eq. (1): min over the eight orientations of the L1 pixel distance.
+  double distance(const DensityGrid& other) const;
+
+ private:
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  Rect window_;
+  std::vector<double> vals_;
+};
+
+}  // namespace hsd

@@ -1,0 +1,11 @@
+// Umbrella header for the hsd geometry library.
+#pragma once
+
+#include "geom/density_grid.hpp"
+#include "geom/interval.hpp"
+#include "geom/orientation.hpp"
+#include "geom/polygon.hpp"
+#include "geom/rect.hpp"
+#include "geom/rectset.hpp"
+#include "geom/tiling.hpp"
+#include "geom/types.hpp"

@@ -1,0 +1,73 @@
+// 1-D closed intervals and merged interval sets. Used by polygon slicing,
+// tiling and union-area computation.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <vector>
+
+#include "geom/types.hpp"
+
+namespace hsd {
+
+/// Closed 1-D interval [lo, hi]; empty when hi <= lo.
+struct Interval {
+  Coord lo = 0;
+  Coord hi = 0;
+
+  constexpr Interval() = default;
+  constexpr Interval(Coord l, Coord h) : lo(l), hi(h) {}
+
+  friend constexpr auto operator<=>(const Interval&, const Interval&) = default;
+
+  constexpr Coord length() const { return hi - lo; }
+  constexpr bool empty() const { return hi <= lo; }
+  constexpr bool overlaps(const Interval& o) const {
+    return lo < o.hi && o.lo < hi;
+  }
+  constexpr bool touches(const Interval& o) const {
+    return lo <= o.hi && o.lo <= hi;
+  }
+  constexpr bool contains(Coord v) const { return v >= lo && v <= hi; }
+};
+
+/// Sort and merge touching/overlapping intervals into a disjoint ascending
+/// list; drops empty intervals.
+inline std::vector<Interval> mergeIntervals(std::vector<Interval> iv) {
+  std::erase_if(iv, [](const Interval& i) { return i.empty(); });
+  std::sort(iv.begin(), iv.end());
+  std::vector<Interval> out;
+  for (const Interval& i : iv) {
+    if (!out.empty() && i.lo <= out.back().hi)
+      out.back().hi = std::max(out.back().hi, i.hi);
+    else
+      out.push_back(i);
+  }
+  return out;
+}
+
+/// Complement of a merged interval list within [domain.lo, domain.hi].
+/// `iv` must already be disjoint and ascending (see mergeIntervals).
+inline std::vector<Interval> complementIntervals(
+    const std::vector<Interval>& iv, const Interval& domain) {
+  std::vector<Interval> out;
+  Coord cursor = domain.lo;
+  for (const Interval& i : iv) {
+    if (i.hi <= domain.lo || i.lo >= domain.hi) continue;
+    const Coord lo = std::max(i.lo, domain.lo);
+    const Coord hi = std::min(i.hi, domain.hi);
+    if (lo > cursor) out.push_back({cursor, lo});
+    cursor = std::max(cursor, hi);
+  }
+  if (cursor < domain.hi) out.push_back({cursor, domain.hi});
+  return out;
+}
+
+/// Total length covered by a merged interval list.
+inline Coord totalLength(const std::vector<Interval>& iv) {
+  Coord sum = 0;
+  for (const Interval& i : iv) sum += i.length();
+  return sum;
+}
+
+}  // namespace hsd

@@ -1,0 +1,86 @@
+// The dihedral group D8 of pattern orientations used throughout the paper:
+// four rotations (0/90/180/270 degrees) times optional mirroring.
+// Transforms are defined *within a window*: a point of a pattern living in
+// [0,w] x [0,h] maps to a point of the transformed pattern living in
+// [0,w'] x [0,h'] where (w',h') is (w,h) or (h,w) depending on rotation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "geom/rect.hpp"
+#include "geom/types.hpp"
+
+namespace hsd {
+
+/// The eight orientations of the dihedral group D8.
+/// MXR90/MYR90 are mirror-then-rotate-90 (transpose / anti-transpose).
+enum class Orient : std::uint8_t {
+  R0 = 0,   ///< identity
+  R90,      ///< rotate 90 ccw
+  R180,     ///< rotate 180
+  R270,     ///< rotate 270 ccw
+  MX,       ///< mirror about the x-axis (flip y)
+  MY,       ///< mirror about the y-axis (flip x)
+  MXR90,    ///< MX then R90 == transpose (x<->y)
+  MYR90,    ///< MY then R90 == anti-transpose
+};
+
+/// All eight orientations, iteration order R0 first.
+inline constexpr std::array<Orient, 8> kAllOrients = {
+    Orient::R0, Orient::R90,   Orient::R180,  Orient::R270,
+    Orient::MX, Orient::MY,    Orient::MXR90, Orient::MYR90};
+
+/// True when the orientation swaps the window's width and height.
+constexpr bool swapsAxes(Orient o) {
+  return o == Orient::R90 || o == Orient::R270 || o == Orient::MXR90 ||
+         o == Orient::MYR90;
+}
+
+/// Transform a point of a pattern in window (w,h) into the equivalent point
+/// of the transformed pattern (whose window is (h,w) when swapsAxes(o)).
+constexpr Point apply(Orient o, const Point& p, Coord w, Coord h) {
+  switch (o) {
+    case Orient::R0:    return {p.x, p.y};
+    case Orient::R90:   return {h - p.y, p.x};
+    case Orient::R180:  return {w - p.x, h - p.y};
+    case Orient::R270:  return {p.y, w - p.x};
+    case Orient::MX:    return {p.x, h - p.y};
+    case Orient::MY:    return {w - p.x, p.y};
+    case Orient::MXR90: return {p.y, p.x};
+    case Orient::MYR90: return {h - p.y, w - p.x};
+  }
+  return p;  // unreachable
+}
+
+/// Transform a rect within window (w,h); result is a valid rect.
+constexpr Rect apply(Orient o, const Rect& r, Coord w, Coord h) {
+  const Point a = apply(o, r.lo, w, h);
+  const Point b = apply(o, r.hi, w, h);
+  return Rect{a.x, a.y, b.x, b.y};  // ctor normalizes corner order
+}
+
+/// The inverse element of `o` in D8 (mirrors and R0/R180 are involutions).
+constexpr Orient inverse(Orient o) {
+  switch (o) {
+    case Orient::R90:  return Orient::R270;
+    case Orient::R270: return Orient::R90;
+    default:           return o;
+  }
+}
+
+constexpr const char* toString(Orient o) {
+  switch (o) {
+    case Orient::R0:    return "R0";
+    case Orient::R90:   return "R90";
+    case Orient::R180:  return "R180";
+    case Orient::R270:  return "R270";
+    case Orient::MX:    return "MX";
+    case Orient::MY:    return "MY";
+    case Orient::MXR90: return "MXR90";
+    case Orient::MYR90: return "MYR90";
+  }
+  return "?";
+}
+
+}  // namespace hsd

@@ -1,0 +1,129 @@
+#include "geom/polygon.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "geom/interval.hpp"
+
+namespace hsd {
+
+bool Polygon::isRectilinear() const {
+  const std::size_t n = pts_.size();
+  if (n < 4 || n % 2 != 0) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = pts_[i];
+    const Point& b = pts_[(i + 1) % n];
+    const bool horiz = a.y == b.y && a.x != b.x;
+    const bool vert = a.x == b.x && a.y != b.y;
+    if (!horiz && !vert) return false;
+  }
+  return true;
+}
+
+Rect Polygon::bbox() const {
+  if (pts_.empty()) return {};
+  Rect bb{pts_.front(), pts_.front()};
+  for (const Point& p : pts_) {
+    bb.lo.x = std::min(bb.lo.x, p.x);
+    bb.lo.y = std::min(bb.lo.y, p.y);
+    bb.hi.x = std::max(bb.hi.x, p.x);
+    bb.hi.y = std::max(bb.hi.y, p.y);
+  }
+  return bb;
+}
+
+Area Polygon::area() const {
+  // Shoelace formula; rectilinear edges make every term exact.
+  const std::size_t n = pts_.size();
+  if (n < 4) return 0;
+  Area twice = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = pts_[i];
+    const Point& b = pts_[(i + 1) % n];
+    twice += Area(a.x) * b.y - Area(b.x) * a.y;
+  }
+  return std::abs(twice) / 2;
+}
+
+namespace {
+
+// Vertical edge of the polygon: x position and its y-span (lo < hi).
+struct VEdge {
+  Coord x;
+  Coord ylo;
+  Coord yhi;
+};
+
+}  // namespace
+
+std::vector<Rect> Polygon::sliceHorizontal() const {
+  const std::size_t n = pts_.size();
+  std::vector<Rect> out;
+  if (n < 4) return out;
+
+  std::vector<VEdge> edges;
+  std::vector<Coord> ys;
+  edges.reserve(n / 2);
+  ys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = pts_[i];
+    const Point& b = pts_[(i + 1) % n];
+    if (a.x == b.x && a.y != b.y)
+      edges.push_back({a.x, std::min(a.y, b.y), std::max(a.y, b.y)});
+    ys.push_back(a.y);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  // For each horizontal band between consecutive cut lines, the vertical
+  // edges spanning the band cross it exactly; pairing their sorted x
+  // positions (even-odd rule) yields the interior intervals.
+  for (std::size_t bi = 0; bi + 1 < ys.size(); ++bi) {
+    const Coord y1 = ys[bi];
+    const Coord y2 = ys[bi + 1];
+    std::vector<Coord> xs;
+    for (const VEdge& e : edges)
+      if (e.ylo <= y1 && e.yhi >= y2) xs.push_back(e.x);
+    std::sort(xs.begin(), xs.end());
+    for (std::size_t k = 0; k + 1 < xs.size(); k += 2)
+      if (xs[k] < xs[k + 1]) out.push_back({xs[k], y1, xs[k + 1], y2});
+  }
+  return out;
+}
+
+std::vector<Rect> Polygon::sliceVertical() const {
+  const std::size_t n = pts_.size();
+  std::vector<Rect> out;
+  if (n < 4) return out;
+
+  struct HEdge {
+    Coord y;
+    Coord xlo;
+    Coord xhi;
+  };
+  std::vector<HEdge> edges;
+  std::vector<Coord> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = pts_[i];
+    const Point& b = pts_[(i + 1) % n];
+    if (a.y == b.y && a.x != b.x)
+      edges.push_back({a.y, std::min(a.x, b.x), std::max(a.x, b.x)});
+    xs.push_back(a.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  for (std::size_t bi = 0; bi + 1 < xs.size(); ++bi) {
+    const Coord x1 = xs[bi];
+    const Coord x2 = xs[bi + 1];
+    std::vector<Coord> ys;
+    for (const HEdge& e : edges)
+      if (e.xlo <= x1 && e.xhi >= x2) ys.push_back(e.y);
+    std::sort(ys.begin(), ys.end());
+    for (std::size_t k = 0; k + 1 < ys.size(); k += 2)
+      if (ys[k] < ys[k + 1]) out.push_back({x1, ys[k], x2, ys[k + 1]});
+  }
+  return out;
+}
+
+}  // namespace hsd

@@ -1,0 +1,54 @@
+// Rectilinear (Manhattan) polygons and their decomposition into rectangles.
+//
+// The paper's clip-extraction step (Sec. III-E) horizontally slices every
+// layout polygon into rectangles; the same decomposition feeds tiling,
+// rasterization and feature extraction. Polygons are simple (no self
+// intersection) and rectilinear: consecutive vertices share an x or a y.
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/types.hpp"
+
+namespace hsd {
+
+/// A simple rectilinear polygon given by its vertex loop (implicitly closed,
+/// no repeated final vertex). Winding direction does not matter.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> pts) : pts_(std::move(pts)) {}
+  /// Convenience: axis-aligned rectangle as a polygon.
+  explicit Polygon(const Rect& r)
+      : pts_{{r.lo.x, r.lo.y}, {r.hi.x, r.lo.y}, {r.hi.x, r.hi.y},
+             {r.lo.x, r.hi.y}} {}
+
+  const std::vector<Point>& points() const { return pts_; }
+  bool empty() const { return pts_.size() < 4; }
+  std::size_t size() const { return pts_.size(); }
+
+  /// True when every consecutive edge is axis-parallel and the loop closes
+  /// rectilinearly (vertex count even, >= 4).
+  bool isRectilinear() const;
+
+  /// Bounding box; degenerate Rect for an empty polygon.
+  Rect bbox() const;
+
+  /// Polygon area (positive regardless of winding).
+  Area area() const;
+
+  /// Decompose into non-overlapping rectangles by horizontal slicing:
+  /// the polygon is cut at every distinct vertex y; each horizontal band
+  /// contributes one rect per covered x-interval. This is exactly the
+  /// "horizontally sliced into rectangles" step of Fig. 11(a).
+  std::vector<Rect> sliceHorizontal() const;
+
+  /// Same, slicing along vertical cut lines at every distinct vertex x.
+  std::vector<Rect> sliceVertical() const;
+
+ private:
+  std::vector<Point> pts_;
+};
+
+}  // namespace hsd

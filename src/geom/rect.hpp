@@ -1,0 +1,102 @@
+// Axis-aligned rectangle with closed-open-free semantics: a Rect stores its
+// lower-left and upper-right corners; geometric predicates distinguish
+// "overlap" (positive-area intersection) from "touch" (shared edge/corner).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <compare>
+#include <limits>
+#include <optional>
+#include <ostream>
+
+#include "geom/types.hpp"
+
+namespace hsd {
+
+/// Axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+/// A Rect is *valid* when lo.x <= hi.x and lo.y <= hi.y; a valid Rect with
+/// lo == hi on an axis is degenerate (zero width/height) but still usable
+/// for interval bookkeeping.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  constexpr Rect() = default;
+  constexpr Rect(Point lo_, Point hi_) : lo(lo_), hi(hi_) {}
+  constexpr Rect(Coord x1, Coord y1, Coord x2, Coord y2)
+      : lo{std::min(x1, x2), std::min(y1, y2)},
+        hi{std::max(x1, x2), std::max(y1, y2)} {}
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  constexpr Coord width() const { return hi.x - lo.x; }
+  constexpr Coord height() const { return hi.y - lo.y; }
+  constexpr Area area() const { return Area(width()) * Area(height()); }
+  constexpr bool valid() const { return lo.x <= hi.x && lo.y <= hi.y; }
+  constexpr bool empty() const { return lo.x >= hi.x || lo.y >= hi.y; }
+  constexpr Point center() const {
+    return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  }
+
+  /// True if `p` lies inside or on the boundary.
+  constexpr bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  /// True if `r` lies fully inside this rect (boundaries may touch).
+  constexpr bool contains(const Rect& r) const {
+    return r.lo.x >= lo.x && r.hi.x <= hi.x && r.lo.y >= lo.y && r.hi.y <= hi.y;
+  }
+  /// Positive-area intersection.
+  constexpr bool overlaps(const Rect& r) const {
+    return lo.x < r.hi.x && r.lo.x < hi.x && lo.y < r.hi.y && r.lo.y < hi.y;
+  }
+  /// Intersection including shared edges/corners.
+  constexpr bool touches(const Rect& r) const {
+    return lo.x <= r.hi.x && r.lo.x <= hi.x && lo.y <= r.hi.y && r.lo.y <= hi.y;
+  }
+
+  /// Geometric intersection; empty-width/height result possible.
+  constexpr Rect intersect(const Rect& r) const {
+    Rect out;
+    out.lo = {std::max(lo.x, r.lo.x), std::max(lo.y, r.lo.y)};
+    out.hi = {std::min(hi.x, r.hi.x), std::min(hi.y, r.hi.y)};
+    return out;
+  }
+
+  /// Area of overlap with `r` (0 when disjoint).
+  constexpr Area overlapArea(const Rect& r) const {
+    const Coord w = std::min(hi.x, r.hi.x) - std::max(lo.x, r.lo.x);
+    const Coord h = std::min(hi.y, r.hi.y) - std::max(lo.y, r.lo.y);
+    return (w > 0 && h > 0) ? Area(w) * Area(h) : 0;
+  }
+
+  /// Minimal bounding box of this and `r`.
+  constexpr Rect unite(const Rect& r) const {
+    return {Point{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y)},
+            Point{std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)}};
+  }
+
+  constexpr Rect translated(const Point& d) const {
+    return {lo + d, hi + d};
+  }
+  /// Outward expansion by `m` on all four sides (negative shrinks).
+  constexpr Rect inflated(Coord m) const {
+    return {Point{lo.x - m, lo.y - m}, Point{hi.x + m, hi.y + m}};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo << ".." << r.hi << ']';
+}
+
+/// Bounding box of a range of rects; nullopt for an empty range.
+template <typename It>
+std::optional<Rect> boundingBox(It first, It last) {
+  if (first == last) return std::nullopt;
+  Rect bb = *first;
+  for (++first; first != last; ++first) bb = bb.unite(*first);
+  return bb;
+}
+
+}  // namespace hsd

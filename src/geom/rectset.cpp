@@ -1,0 +1,183 @@
+#include "geom/rectset.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hsd {
+
+std::vector<Rect> clipRects(const std::vector<Rect>& rects,
+                            const Rect& window) {
+  std::vector<Rect> out;
+  out.reserve(rects.size());
+  for (const Rect& r : rects) {
+    const Rect c = r.intersect(window);
+    if (c.valid() && !c.empty()) out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
+
+// Distinct y (or x) cut coordinates of a rect set.
+std::vector<Coord> cutCoordsY(const std::vector<Rect>& rects) {
+  std::vector<Coord> ys;
+  ys.reserve(rects.size() * 2);
+  for (const Rect& r : rects) {
+    ys.push_back(r.lo.y);
+    ys.push_back(r.hi.y);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  return ys;
+}
+
+std::vector<Coord> cutCoordsX(const std::vector<Rect>& rects) {
+  std::vector<Coord> xs;
+  xs.reserve(rects.size() * 2);
+  for (const Rect& r : rects) {
+    xs.push_back(r.lo.x);
+    xs.push_back(r.hi.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+}  // namespace
+
+std::vector<Interval> coveredX(const std::vector<Rect>& rects, Coord y1,
+                               Coord y2) {
+  std::vector<Interval> iv;
+  for (const Rect& r : rects)
+    if (r.lo.y <= y1 && r.hi.y >= y2 && r.lo.x < r.hi.x)
+      iv.push_back({r.lo.x, r.hi.x});
+  return mergeIntervals(std::move(iv));
+}
+
+std::vector<Interval> coveredY(const std::vector<Rect>& rects, Coord x1,
+                               Coord x2) {
+  std::vector<Interval> iv;
+  for (const Rect& r : rects)
+    if (r.lo.x <= x1 && r.hi.x >= x2 && r.lo.y < r.hi.y)
+      iv.push_back({r.lo.y, r.hi.y});
+  return mergeIntervals(std::move(iv));
+}
+
+Area unionArea(const std::vector<Rect>& rects) {
+  const std::vector<Coord> ys = cutCoordsY(rects);
+  Area total = 0;
+  for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+    const Coord y1 = ys[i];
+    const Coord y2 = ys[i + 1];
+    if (y1 >= y2) continue;
+    total += Area(totalLength(coveredX(rects, y1, y2))) * (y2 - y1);
+  }
+  return total;
+}
+
+std::vector<Rect> normalizeBands(const std::vector<Rect>& rects) {
+  std::vector<Rect> out;
+  const std::vector<Coord> ys = cutCoordsY(rects);
+  for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+    const Coord y1 = ys[i];
+    const Coord y2 = ys[i + 1];
+    if (y1 >= y2) continue;
+    for (const Interval& iv : coveredX(rects, y1, y2))
+      out.push_back({iv.lo, y1, iv.hi, y2});
+  }
+  return out;
+}
+
+namespace {
+
+// Whether some rect covers an open neighborhood in the given quadrant of p.
+// dx/dy in {-1, +1} select the quadrant.
+bool quadrantCovered(const std::vector<Rect>& rects, const Point& p, int dx,
+                     int dy) {
+  for (const Rect& r : rects) {
+    const bool xok = dx > 0 ? (r.lo.x <= p.x && p.x < r.hi.x)
+                            : (r.lo.x < p.x && p.x <= r.hi.x);
+    const bool yok = dy > 0 ? (r.lo.y <= p.y && p.y < r.hi.y)
+                            : (r.lo.y < p.y && p.y <= r.hi.y);
+    if (xok && yok) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BoundaryStats boundaryStats(const std::vector<Rect>& rects) {
+  BoundaryStats st;
+  if (rects.empty()) return st;
+  const std::vector<Coord> xs = cutCoordsX(rects);
+  const std::vector<Coord> ys = cutCoordsY(rects);
+  for (const Coord x : xs) {
+    for (const Coord y : ys) {
+      const Point p{x, y};
+      const bool ne = quadrantCovered(rects, p, +1, +1);
+      const bool nw = quadrantCovered(rects, p, -1, +1);
+      const bool se = quadrantCovered(rects, p, +1, -1);
+      const bool sw = quadrantCovered(rects, p, -1, -1);
+      const int cnt = int(ne) + int(nw) + int(se) + int(sw);
+      if (cnt == 1) {
+        ++st.convexCorners;
+      } else if (cnt == 3) {
+        ++st.concaveCorners;
+      } else if (cnt == 2 && ((ne && sw) || (nw && se))) {
+        ++st.touchPoints;
+      }
+    }
+  }
+  return st;
+}
+
+Coord minExternalSpacing(const std::vector<Rect>& rects, const Rect& window) {
+  Coord best = -1;
+  auto consider = [&best](Coord gap) {
+    if (gap > 0 && (best < 0 || gap < best)) best = gap;
+  };
+
+  // Horizontal gaps between facing vertical edges, scanned band by band.
+  const std::vector<Coord> ys = cutCoordsY(rects);
+  for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+    const Coord y1 = std::max(ys[i], window.lo.y);
+    const Coord y2 = std::min(ys[i + 1], window.hi.y);
+    if (y1 >= y2) continue;
+    const std::vector<Interval> iv = coveredX(rects, ys[i], ys[i + 1]);
+    for (std::size_t k = 0; k + 1 < iv.size(); ++k)
+      consider(iv[k + 1].lo - iv[k].hi);
+  }
+  // Vertical gaps between facing horizontal edges.
+  const std::vector<Coord> xs = cutCoordsX(rects);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    const Coord x1 = std::max(xs[i], window.lo.x);
+    const Coord x2 = std::min(xs[i + 1], window.hi.x);
+    if (x1 >= x2) continue;
+    const std::vector<Interval> iv = coveredY(rects, xs[i], xs[i + 1]);
+    for (std::size_t k = 0; k + 1 < iv.size(); ++k)
+      consider(iv[k + 1].lo - iv[k].hi);
+  }
+  return best;
+}
+
+Coord minInternalWidth(const std::vector<Rect>& rects) {
+  Coord best = -1;
+  auto consider = [&best](Coord w) {
+    if (w > 0 && (best < 0 || w < best)) best = w;
+  };
+  const std::vector<Coord> ys = cutCoordsY(rects);
+  for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+    if (ys[i] >= ys[i + 1]) continue;
+    for (const Interval& iv : coveredX(rects, ys[i], ys[i + 1]))
+      consider(iv.length());
+  }
+  const std::vector<Coord> xs = cutCoordsX(rects);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    if (xs[i] >= xs[i + 1]) continue;
+    for (const Interval& iv : coveredY(rects, xs[i], xs[i + 1]))
+      consider(iv.length());
+  }
+  return best;
+}
+
+}  // namespace hsd

@@ -1,0 +1,61 @@
+// Operations on collections of (possibly overlapping) rectangles: clipping
+// to a window, union area, band-wise normalization, corner/touch counting.
+// These are the geometric workhorses behind pattern encoding and feature
+// extraction.
+#pragma once
+
+#include <vector>
+
+#include "geom/interval.hpp"
+#include "geom/rect.hpp"
+
+namespace hsd {
+
+/// Clip every rect to `window`, dropping rects with no positive-area
+/// intersection.
+std::vector<Rect> clipRects(const std::vector<Rect>& rects,
+                            const Rect& window);
+
+/// Exact area of the union of `rects` (overlaps counted once).
+Area unionArea(const std::vector<Rect>& rects);
+
+/// Decompose the union of `rects` into disjoint rects, one per
+/// (y-band, merged x-interval): the canonical band representation.
+/// Bands are split at every distinct rect edge y.
+std::vector<Rect> normalizeBands(const std::vector<Rect>& rects);
+
+/// Merged x-intervals covered by `rects` within the horizontal band
+/// [y1, y2]; only rects fully spanning the band contribute (callers pass
+/// band edges from the rects' own y-coordinates, so spans are exact).
+std::vector<Interval> coveredX(const std::vector<Rect>& rects, Coord y1,
+                               Coord y2);
+
+/// Merged y-intervals covered by `rects` within the vertical band [x1, x2].
+std::vector<Interval> coveredY(const std::vector<Rect>& rects, Coord x1,
+                               Coord x2);
+
+/// Statistics of the union boundary of a rect set (computed on the
+/// normalized band decomposition):
+struct BoundaryStats {
+  int convexCorners = 0;    ///< 90-degree outward corners
+  int concaveCorners = 0;   ///< 270-degree (reflex) corners
+  int touchPoints = 0;      ///< points where two shapes meet only at a corner
+};
+
+/// Count convex/concave corners and corner-touch points of the union of
+/// `rects`. Corner classification looks at the 4 quadrants around each
+/// candidate vertex: 1 covered quadrant = convex, 3 = concave, 2 diagonal =
+/// touch point (the paper's non-topological features #1 and #2).
+BoundaryStats boundaryStats(const std::vector<Rect>& rects);
+
+/// Minimum positive horizontal or vertical distance between two facing
+/// polygon edges *across empty space* (external spacing) within `window`.
+/// Returns -1 when no such pair exists.
+Coord minExternalSpacing(const std::vector<Rect>& rects, const Rect& window);
+
+/// Minimum width of the union measured band-wise: the smallest dimension of
+/// any maximal band segment (internal spacing between internally facing
+/// edges, i.e. min feature width). Returns -1 for an empty set.
+Coord minInternalWidth(const std::vector<Rect>& rects);
+
+}  // namespace hsd

@@ -1,0 +1,119 @@
+#include "geom/tiling.hpp"
+
+#include <algorithm>
+
+#include "geom/interval.hpp"
+#include "geom/rectset.hpp"
+
+namespace hsd {
+
+namespace {
+
+// Merge vertically adjacent tiles with identical x-span and type.
+std::vector<Tile> mergeVertically(std::vector<Tile> tiles) {
+  std::sort(tiles.begin(), tiles.end(), [](const Tile& a, const Tile& b) {
+    if (a.box.lo.x != b.box.lo.x) return a.box.lo.x < b.box.lo.x;
+    if (a.box.hi.x != b.box.hi.x) return a.box.hi.x < b.box.hi.x;
+    if (a.isBlock != b.isBlock) return a.isBlock < b.isBlock;
+    return a.box.lo.y < b.box.lo.y;
+  });
+  std::vector<Tile> out;
+  for (const Tile& t : tiles) {
+    if (!out.empty()) {
+      Tile& p = out.back();
+      if (p.box.lo.x == t.box.lo.x && p.box.hi.x == t.box.hi.x &&
+          p.isBlock == t.isBlock && p.box.hi.y == t.box.lo.y) {
+        p.box.hi.y = t.box.hi.y;
+        continue;
+      }
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+// Merge horizontally adjacent tiles with identical y-span and type.
+std::vector<Tile> mergeHorizontally(std::vector<Tile> tiles) {
+  std::sort(tiles.begin(), tiles.end(), [](const Tile& a, const Tile& b) {
+    if (a.box.lo.y != b.box.lo.y) return a.box.lo.y < b.box.lo.y;
+    if (a.box.hi.y != b.box.hi.y) return a.box.hi.y < b.box.hi.y;
+    if (a.isBlock != b.isBlock) return a.isBlock < b.isBlock;
+    return a.box.lo.x < b.box.lo.x;
+  });
+  std::vector<Tile> out;
+  for (const Tile& t : tiles) {
+    if (!out.empty()) {
+      Tile& p = out.back();
+      if (p.box.lo.y == t.box.lo.y && p.box.hi.y == t.box.hi.y &&
+          p.isBlock == t.isBlock && p.box.hi.x == t.box.lo.x) {
+        p.box.hi.x = t.box.hi.x;
+        continue;
+      }
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Tile> horizontalTiling(const std::vector<Rect>& blocksIn,
+                                   const Rect& window) {
+  const std::vector<Rect> blocks = clipRects(blocksIn, window);
+  // Cut lines: every block edge y plus the window bounds.
+  std::vector<Coord> ys{window.lo.y, window.hi.y};
+  for (const Rect& r : blocks) {
+    ys.push_back(r.lo.y);
+    ys.push_back(r.hi.y);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::vector<Tile> tiles;
+  for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+    const Coord y1 = ys[i];
+    const Coord y2 = ys[i + 1];
+    if (y1 < window.lo.y || y2 > window.hi.y || y1 >= y2) continue;
+    const std::vector<Interval> cov = coveredX(blocks, y1, y2);
+    for (const Interval& iv : cov) {
+      const Coord lo = std::max(iv.lo, window.lo.x);
+      const Coord hi = std::min(iv.hi, window.hi.x);
+      if (lo < hi) tiles.push_back({Rect{lo, y1, hi, y2}, true});
+    }
+    for (const Interval& iv :
+         complementIntervals(cov, {window.lo.x, window.hi.x}))
+      tiles.push_back({Rect{iv.lo, y1, iv.hi, y2}, false});
+  }
+  return mergeVertically(std::move(tiles));
+}
+
+std::vector<Tile> verticalTiling(const std::vector<Rect>& blocksIn,
+                                 const Rect& window) {
+  const std::vector<Rect> blocks = clipRects(blocksIn, window);
+  std::vector<Coord> xs{window.lo.x, window.hi.x};
+  for (const Rect& r : blocks) {
+    xs.push_back(r.lo.x);
+    xs.push_back(r.hi.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  std::vector<Tile> tiles;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    const Coord x1 = xs[i];
+    const Coord x2 = xs[i + 1];
+    if (x1 < window.lo.x || x2 > window.hi.x || x1 >= x2) continue;
+    const std::vector<Interval> cov = coveredY(blocks, x1, x2);
+    for (const Interval& iv : cov) {
+      const Coord lo = std::max(iv.lo, window.lo.y);
+      const Coord hi = std::min(iv.hi, window.hi.y);
+      if (lo < hi) tiles.push_back({Rect{x1, lo, x2, hi}, true});
+    }
+    for (const Interval& iv :
+         complementIntervals(cov, {window.lo.y, window.hi.y}))
+      tiles.push_back({Rect{x1, iv.lo, x2, iv.hi}, false});
+  }
+  return mergeHorizontally(std::move(tiles));
+}
+
+}  // namespace hsd

@@ -1,0 +1,33 @@
+// Maximal horizontal / vertical tilings of a window into block tiles
+// (covered by polygons) and space tiles (empty), as required by the MTCG
+// construction of Sec. III-C (Fig. 6). A horizontal tiling first maximizes
+// tiles in x within each band, then merges vertically adjacent tiles with
+// identical x-span and type; the vertical tiling is the transpose.
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace hsd {
+
+/// One tile of a tiling: its extent and whether it is polygon (block) or
+/// empty space.
+struct Tile {
+  Rect box;
+  bool isBlock = false;
+
+  friend constexpr auto operator<=>(const Tile&, const Tile&) = default;
+};
+
+/// Horizontally tiled decomposition of `window` given the block rects
+/// (clipped to the window internally). Tiles are disjoint, cover the window
+/// exactly, and are maximal-in-x then merged-in-y.
+std::vector<Tile> horizontalTiling(const std::vector<Rect>& blocks,
+                                   const Rect& window);
+
+/// Vertically tiled decomposition (maximal-in-y then merged-in-x).
+std::vector<Tile> verticalTiling(const std::vector<Rect>& blocks,
+                                 const Rect& window);
+
+}  // namespace hsd

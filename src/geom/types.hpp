@@ -1,0 +1,65 @@
+// Basic integer geometry types for layout manipulation.
+//
+// All coordinates are in database units (1 dbu = 1 nm for this project).
+// Signed 64-bit coordinates: a full-reticle layout at 1 nm resolution is
+// ~1e8 dbu, so products of two coordinates (areas) still fit comfortably.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace hsd {
+
+/// Database-unit coordinate (1 dbu = 1 nm).
+using Coord = std::int64_t;
+/// Area in dbu^2. Large enough for full-chip areas at nm resolution.
+using Area = std::int64_t;
+
+/// A 2-D point in database units.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  constexpr Point() = default;
+  constexpr Point(Coord x_, Coord y_) : x(x_), y(y_) {}
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point& operator+=(const Point& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Point& operator-=(const Point& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+/// Manhattan distance between two points.
+constexpr Coord manhattan(const Point& a, const Point& b) {
+  const Coord dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const Coord dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+}  // namespace hsd
+
+template <>
+struct std::hash<hsd::Point> {
+  std::size_t operator()(const hsd::Point& p) const noexcept {
+    const std::uint64_t h1 = std::hash<hsd::Coord>{}(p.x);
+    const std::uint64_t h2 = std::hash<hsd::Coord>{}(p.y);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

@@ -1,0 +1,83 @@
+#include "layout/clip.hpp"
+
+#include <algorithm>
+
+#include "geom/rectset.hpp"
+
+namespace hsd {
+
+namespace {
+const std::vector<Rect> kNoRects;
+}
+
+void Clip::setRects(LayerId layer, std::vector<Rect> rects) {
+  for (auto& [id, rs] : layers_) {
+    if (id == layer) {
+      rs = std::move(rects);
+      return;
+    }
+  }
+  layers_.emplace_back(layer, std::move(rects));
+}
+
+const std::vector<Rect>& Clip::rectsOn(LayerId layer) const {
+  for (const auto& [id, rs] : layers_)
+    if (id == layer) return rs;
+  return kNoRects;
+}
+
+std::vector<LayerId> Clip::layerIds() const {
+  std::vector<LayerId> ids;
+  ids.reserve(layers_.size());
+  for (const auto& [id, rs] : layers_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool Clip::hasGeometry() const {
+  for (const auto& [id, rs] : layers_)
+    if (!rs.empty()) return true;
+  return false;
+}
+
+std::vector<Rect> Clip::localClipRects(LayerId layer) const {
+  std::vector<Rect> out = clipRects(rectsOn(layer), win_.clip);
+  const Point d{-win_.clip.lo.x, -win_.clip.lo.y};
+  for (Rect& r : out) r = r.translated(d);
+  return out;
+}
+
+std::vector<Rect> Clip::localCoreRects(LayerId layer) const {
+  std::vector<Rect> out = clipRects(rectsOn(layer), win_.core);
+  const Point d{-win_.core.lo.x, -win_.core.lo.y};
+  for (Rect& r : out) r = r.translated(d);
+  return out;
+}
+
+Clip Clip::translated(const Point& d) const {
+  Clip out(win_.translated(d), label_);
+  for (const auto& [id, rs] : layers_) {
+    std::vector<Rect> moved;
+    moved.reserve(rs.size());
+    for (const Rect& r : rs) moved.push_back(r.translated(d));
+    out.setRects(id, std::move(moved));
+  }
+  return out;
+}
+
+Clip extractClip(const std::vector<std::pair<LayerId, const GridIndex*>>& idx,
+                 const ClipWindow& win, Label label) {
+  Clip out(win, label);
+  for (const auto& [layer, gi] : idx) {
+    if (gi == nullptr) continue;
+    std::vector<Rect> rs;
+    for (const std::size_t i : gi->query(win.clip)) {
+      const Rect c = gi->rects()[i].intersect(win.clip);
+      if (c.valid() && !c.empty()) rs.push_back(c);
+    }
+    out.setRects(layer, std::move(rs));
+  }
+  return out;
+}
+
+}  // namespace hsd

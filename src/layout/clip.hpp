@@ -1,0 +1,101 @@
+// Clips: the unit of training and evaluation (Fig. 1). A clip is a square
+// window with a centered square core; the ring between them is the ambit.
+// Clip geometry is stored in absolute layout coordinates; helpers produce
+// window-local views for pattern encoding.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "layout/layout.hpp"
+#include "layout/spatial_index.hpp"
+
+namespace hsd {
+
+/// Geometry parameters of the clip format. Defaults are the ICCAD-2012
+/// contest values: core 1.2 x 1.2 um, clip 4.8 x 4.8 um (1 dbu = 1 nm).
+struct ClipParams {
+  Coord coreSide = 1200;
+  Coord clipSide = 4800;
+
+  constexpr Coord ambit() const { return (clipSide - coreSide) / 2; }
+
+  friend constexpr auto operator<=>(const ClipParams&,
+                                    const ClipParams&) = default;
+};
+
+/// Placement of one clip: the outer window and its centered core.
+struct ClipWindow {
+  Rect clip;
+  Rect core;
+
+  friend constexpr auto operator<=>(const ClipWindow&,
+                                    const ClipWindow&) = default;
+
+  /// Window whose *core* lower-left corner sits at `coreLo`.
+  static constexpr ClipWindow atCore(Point coreLo, const ClipParams& p) {
+    const Rect core{coreLo.x, coreLo.y, coreLo.x + p.coreSide,
+                    coreLo.y + p.coreSide};
+    return {core.inflated(p.ambit()), core};
+  }
+
+  /// Window centered on `c`.
+  static constexpr ClipWindow centeredOn(Point c, const ClipParams& p) {
+    return atCore({c.x - p.coreSide / 2, c.y - p.coreSide / 2}, p);
+  }
+
+  constexpr ClipWindow translated(const Point& d) const {
+    return {clip.translated(d), core.translated(d)};
+  }
+};
+
+/// Classification label of a clip.
+enum class Label : std::int8_t {
+  kNonHotspot = -1,
+  kUnknown = 0,
+  kHotspot = +1,
+};
+
+/// A clip: window placement, label, and per-layer geometry (rectangles in
+/// absolute coordinates, already clipped to the clip window).
+class Clip {
+ public:
+  Clip() = default;
+  Clip(ClipWindow win, Label label) : win_(win), label_(label) {}
+
+  const ClipWindow& window() const { return win_; }
+  void setWindow(const ClipWindow& w) { win_ = w; }
+  Label label() const { return label_; }
+  void setLabel(Label l) { label_ = l; }
+
+  /// Set/replace geometry on a layer (absolute coords).
+  void setRects(LayerId layer, std::vector<Rect> rects);
+  const std::vector<Rect>& rectsOn(LayerId layer) const;
+  std::vector<LayerId> layerIds() const;
+  bool hasGeometry() const;
+
+  /// Geometry clipped to the full window, translated so the window's
+  /// lower-left corner becomes the origin.
+  std::vector<Rect> localClipRects(LayerId layer) const;
+
+  /// Geometry clipped to the core, translated so the core's lower-left
+  /// corner becomes the origin.
+  std::vector<Rect> localCoreRects(LayerId layer) const;
+
+  /// Translate the whole clip (window + geometry) by `d`.
+  Clip translated(const Point& d) const;
+
+ private:
+  ClipWindow win_;
+  Label label_ = Label::kUnknown;
+  std::vector<std::pair<LayerId, std::vector<Rect>>> layers_;
+};
+
+/// Extract a clip from a layout using a prebuilt per-layer index: fetch all
+/// rects overlapping the window on every layer and clip them to the window.
+Clip extractClip(const std::vector<std::pair<LayerId, const GridIndex*>>& idx,
+                 const ClipWindow& win, Label label = Label::kUnknown);
+
+}  // namespace hsd

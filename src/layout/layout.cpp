@@ -1,0 +1,57 @@
+#include "layout/layout.hpp"
+
+namespace hsd {
+
+void Layer::addPolygon(Polygon poly) {
+  polys_.push_back(std::move(poly));
+  cacheValid_ = false;
+}
+
+void Layer::addRect(const Rect& r) {
+  polys_.emplace_back(r);
+  cacheValid_ = false;
+}
+
+const std::vector<Rect>& Layer::rects() const {
+  if (!cacheValid_) {
+    rectCache_.clear();
+    for (const Polygon& p : polys_) {
+      std::vector<Rect> rs = p.sliceHorizontal();
+      rectCache_.insert(rectCache_.end(), rs.begin(), rs.end());
+    }
+    cacheValid_ = true;
+  }
+  return rectCache_;
+}
+
+const Layer* Layout::findLayer(LayerId id) const {
+  const auto it = layers_.find(id);
+  return it == layers_.end() ? nullptr : &it->second;
+}
+
+std::optional<Rect> Layout::bbox() const {
+  std::optional<Rect> bb;
+  for (const auto& [id, layer] : layers_) {
+    for (const Polygon& p : layer.polygons()) {
+      if (p.empty()) continue;
+      const Rect b = p.bbox();
+      bb = bb ? bb->unite(b) : b;
+    }
+  }
+  return bb;
+}
+
+std::size_t Layout::polygonCount() const {
+  std::size_t n = 0;
+  for (const auto& [id, layer] : layers_) n += layer.polygonCount();
+  return n;
+}
+
+double Layout::areaUm2() const {
+  const std::optional<Rect> bb = bbox();
+  if (!bb) return 0.0;
+  // 1 dbu = 1 nm, so 1 um^2 == 1e6 dbu^2.
+  return double(bb->area()) / 1e6;
+}
+
+}  // namespace hsd

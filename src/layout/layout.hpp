@@ -1,0 +1,72 @@
+// Layout database: named layers holding rectilinear polygons, with cached
+// rectangle decompositions and a bounding box. This is the in-memory form
+// of a GDSII/ASCII design the detector operates on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "geom/rect.hpp"
+
+namespace hsd {
+
+/// GDSII-style layer number.
+using LayerId = std::uint16_t;
+
+/// Geometry of one layer: polygons plus their (lazily cached) horizontal
+/// rectangle decomposition.
+class Layer {
+ public:
+  void addPolygon(Polygon poly);
+  void addRect(const Rect& r);
+
+  const std::vector<Polygon>& polygons() const { return polys_; }
+  /// All polygons horizontally sliced into rectangles (Fig. 11a); cached.
+  const std::vector<Rect>& rects() const;
+  std::size_t polygonCount() const { return polys_.size(); }
+  bool empty() const { return polys_.empty(); }
+
+ private:
+  std::vector<Polygon> polys_;
+  mutable std::vector<Rect> rectCache_;
+  mutable bool cacheValid_ = false;
+};
+
+/// A design: layers by id, a name, and database units.
+/// Unit convention: 1 dbu = 1 nm throughout this project.
+class Layout {
+ public:
+  Layout() = default;
+  explicit Layout(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void setName(std::string n) { name_ = std::move(n); }
+
+  Layer& layer(LayerId id) { return layers_[id]; }
+  const Layer* findLayer(LayerId id) const;
+  const std::map<LayerId, Layer>& layers() const { return layers_; }
+
+  void addPolygon(LayerId id, Polygon poly) {
+    layers_[id].addPolygon(std::move(poly));
+  }
+  void addRect(LayerId id, const Rect& r) { layers_[id].addRect(r); }
+
+  /// Bounding box over all layers; nullopt when the layout is empty.
+  std::optional<Rect> bbox() const;
+
+  /// Total polygon count over all layers.
+  std::size_t polygonCount() const;
+
+  /// Layout area in um^2 given 1 dbu = 1 nm (for false-alarm reporting).
+  double areaUm2() const;
+
+ private:
+  std::string name_;
+  std::map<LayerId, Layer> layers_;
+};
+
+}  // namespace hsd

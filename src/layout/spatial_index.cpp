@@ -1,0 +1,88 @@
+#include "layout/spatial_index.hpp"
+
+#include <algorithm>
+
+namespace hsd {
+
+GridIndex::GridIndex(std::vector<Rect> rects, Coord targetBin)
+    : rects_(std::move(rects)) {
+  if (rects_.empty()) return;
+  extent_ = rects_.front();
+  for (const Rect& r : rects_) extent_ = extent_.unite(r);
+  const Coord bin = std::max<Coord>(targetBin, 1);
+  nx_ = std::max<std::size_t>(1, std::size_t((extent_.width() + bin - 1) / bin));
+  ny_ = std::max<std::size_t>(1, std::size_t((extent_.height() + bin - 1) / bin));
+  // Cap the grid so pathological inputs can't blow up memory.
+  constexpr std::size_t kMaxBins = 1u << 22;
+  while (nx_ * ny_ > kMaxBins) {
+    if (nx_ > ny_)
+      nx_ = (nx_ + 1) / 2;
+    else
+      ny_ = (ny_ + 1) / 2;
+  }
+  binW_ = std::max<Coord>(1, (extent_.width() + Coord(nx_) - 1) / Coord(nx_));
+  binH_ = std::max<Coord>(1, (extent_.height() + Coord(ny_) - 1) / Coord(ny_));
+  bins_.assign(nx_ * ny_, {});
+  for (std::size_t i = 0; i < rects_.size(); ++i) {
+    const Rect& r = rects_[i];
+    const auto [x0, x1] = binRangeX(r.lo.x, r.hi.x);
+    const auto [y0, y1] = binRangeY(r.lo.y, r.hi.y);
+    for (std::size_t by = y0; by <= y1; ++by)
+      for (std::size_t bx = x0; bx <= x1; ++bx)
+        bins_[by * nx_ + bx].push_back(std::uint32_t(i));
+  }
+  stamp_.assign(rects_.size(), 0);
+}
+
+std::pair<std::size_t, std::size_t> GridIndex::binRangeX(Coord lo,
+                                                         Coord hi) const {
+  const Coord rlo = std::clamp(lo, extent_.lo.x, extent_.hi.x);
+  const Coord rhi = std::clamp(hi, extent_.lo.x, extent_.hi.x);
+  std::size_t b0 = std::size_t((rlo - extent_.lo.x) / binW_);
+  std::size_t b1 = std::size_t((rhi - extent_.lo.x) / binW_);
+  b0 = std::min(b0, nx_ - 1);
+  b1 = std::min(b1, nx_ - 1);
+  return {b0, b1};
+}
+
+std::pair<std::size_t, std::size_t> GridIndex::binRangeY(Coord lo,
+                                                         Coord hi) const {
+  const Coord rlo = std::clamp(lo, extent_.lo.y, extent_.hi.y);
+  const Coord rhi = std::clamp(hi, extent_.lo.y, extent_.hi.y);
+  std::size_t b0 = std::size_t((rlo - extent_.lo.y) / binH_);
+  std::size_t b1 = std::size_t((rhi - extent_.lo.y) / binH_);
+  b0 = std::min(b0, ny_ - 1);
+  b1 = std::min(b1, ny_ - 1);
+  return {b0, b1};
+}
+
+std::vector<std::size_t> GridIndex::query(const Rect& query) const {
+  std::vector<std::size_t> out;
+  if (rects_.empty() || !extent_.overlaps(query)) return out;
+  ++stampGen_;
+  const auto [x0, x1] = binRangeX(query.lo.x, query.hi.x);
+  const auto [y0, y1] = binRangeY(query.lo.y, query.hi.y);
+  for (std::size_t by = y0; by <= y1; ++by) {
+    for (std::size_t bx = x0; bx <= x1; ++bx) {
+      for (const std::uint32_t idx : bins_[by * nx_ + bx]) {
+        if (stamp_[idx] == stampGen_) continue;
+        stamp_[idx] = stampGen_;
+        if (rects_[idx].overlaps(query)) out.push_back(idx);
+      }
+    }
+  }
+  return out;
+}
+
+bool GridIndex::anyOverlap(const Rect& query) const {
+  if (rects_.empty() || !extent_.overlaps(query)) return false;
+  const auto [x0, x1] = binRangeX(query.lo.x, query.hi.x);
+  const auto [y0, y1] = binRangeY(query.lo.y, query.hi.y);
+  for (std::size_t by = y0; by <= y1; ++by)
+    for (std::size_t bx = x0; bx <= x1; ++bx)
+      for (const std::uint32_t idx : bins_[by * nx_ + bx])
+        if (rects_[idx].overlaps(query)) return true;
+  return false;
+}
+
+}  // namespace hsd

@@ -1,0 +1,47 @@
+// Uniform-grid spatial index over a rectangle set. Clip extraction and
+// hit scoring issue millions of window queries over a testing layout; the
+// grid turns each into a handful of bin lookups.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace hsd {
+
+/// Grid-bucketed index of rect ids. Rects are stored by value; queries
+/// return indices into the original vector.
+class GridIndex {
+ public:
+  GridIndex() = default;
+  /// Build over `rects` with roughly `targetBin` dbu bin pitch (clamped so
+  /// the grid stays reasonable for tiny/huge extents).
+  GridIndex(std::vector<Rect> rects, Coord targetBin);
+
+  const std::vector<Rect>& rects() const { return rects_; }
+  bool empty() const { return rects_.empty(); }
+
+  /// Indices of rects whose bounding boxes have positive-area overlap with
+  /// `query`. Each index appears exactly once (deduplicated via stamping).
+  std::vector<std::size_t> query(const Rect& query) const;
+
+  /// True if any rect overlaps `query` (early-out form of query()).
+  bool anyOverlap(const Rect& query) const;
+
+ private:
+  std::pair<std::size_t, std::size_t> binRangeX(Coord lo, Coord hi) const;
+  std::pair<std::size_t, std::size_t> binRangeY(Coord lo, Coord hi) const;
+
+  std::vector<Rect> rects_;
+  Rect extent_;
+  Coord binW_ = 1;
+  Coord binH_ = 1;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::vector<std::vector<std::uint32_t>> bins_;
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::uint32_t stampGen_ = 0;
+};
+
+}  // namespace hsd

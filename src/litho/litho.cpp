@@ -1,0 +1,181 @@
+#include "litho/litho.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/density_grid.hpp"
+
+namespace hsd::litho {
+
+namespace {
+
+// 1-D Gaussian kernel with radius 3*sigma, normalized to sum 1.
+std::vector<double> gaussianKernel(double sigmaPx) {
+  const int radius = std::max(1, int(std::ceil(3.0 * sigmaPx)));
+  std::vector<double> k(std::size_t(2 * radius + 1));
+  double sum = 0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * double(i) * double(i) /
+                              (sigmaPx * sigmaPx));
+    k[std::size_t(i + radius)] = v;
+    sum += v;
+  }
+  for (double& v : k) v /= sum;
+  return k;
+}
+
+// Separable convolution with zero-padding outside the image.
+std::vector<double> convolveSeparable(const std::vector<double>& img,
+                                      std::size_t nx, std::size_t ny,
+                                      const std::vector<double>& k) {
+  const int radius = int(k.size() / 2);
+  std::vector<double> tmp(img.size(), 0.0);
+  // Horizontal pass.
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      double s = 0;
+      for (int d = -radius; d <= radius; ++d) {
+        const std::int64_t xx = std::int64_t(x) + d;
+        if (xx < 0 || xx >= std::int64_t(nx)) continue;
+        s += img[y * nx + std::size_t(xx)] * k[std::size_t(d + radius)];
+      }
+      tmp[y * nx + x] = s;
+    }
+  }
+  // Vertical pass.
+  std::vector<double> out(img.size(), 0.0);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      double s = 0;
+      for (int d = -radius; d <= radius; ++d) {
+        const std::int64_t yy = std::int64_t(y) + d;
+        if (yy < 0 || yy >= std::int64_t(ny)) continue;
+        s += tmp[std::size_t(yy) * nx + x] * k[std::size_t(d + radius)];
+      }
+      out[y * nx + x] = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AerialImage LithoSimulator::simulate(const std::vector<Rect>& rects,
+                                     const Rect& window) const {
+  AerialImage img;
+  img.window = window;
+  img.pixelNm = p_.pixelNm;
+  img.nx = std::max<std::size_t>(
+      1, std::size_t(std::llround(double(window.width()) / p_.pixelNm)));
+  img.ny = std::max<std::size_t>(
+      1, std::size_t(std::llround(double(window.height()) / p_.pixelNm)));
+  const DensityGrid mask(rects, window, img.nx, img.ny);
+  img.intensity = convolveSeparable(mask.values(), img.nx, img.ny,
+                                    gaussianKernel(p_.sigmaNm / p_.pixelNm));
+  return img;
+}
+
+Verdict LithoSimulator::check(const std::vector<Rect>& rects,
+                              const Rect& regionIn, const Rect& windowIn) const {
+  Verdict v;
+  // Optical influence decays within ~4 sigma; shrinking the simulated
+  // window to the checked region plus that halo keeps the cost flat
+  // regardless of the clip size without changing the verdict.
+  const Coord halo =
+      Coord(4.0 * p_.sigmaNm + p_.longitudinalNm + 2.0 * p_.pixelNm);
+  const Rect window = regionIn.inflated(halo).intersect(windowIn);
+  const Rect region = regionIn.intersect(window);
+  const AerialImage img = simulate(rects, window);
+  const DensityGrid mask(rects, window, img.nx, img.ny);
+
+  // Pixel index range of the checked region.
+  const auto toIx = [&](Coord x) {
+    return std::clamp<std::int64_t>(
+        std::int64_t(std::floor(double(x - window.lo.x) / p_.pixelNm)), 0,
+        std::int64_t(img.nx) - 1);
+  };
+  const auto toIy = [&](Coord y) {
+    return std::clamp<std::int64_t>(
+        std::int64_t(std::floor(double(y - window.lo.y) / p_.pixelNm)), 0,
+        std::int64_t(img.ny) - 1);
+  };
+  const std::int64_t x0 = toIx(region.lo.x);
+  const std::int64_t x1 = toIx(region.hi.x - 1);
+  const std::int64_t y0 = toIy(region.lo.y);
+  const std::int64_t y1 = toIy(region.hi.y - 1);
+
+  const int er = std::max(1, int(std::lround(p_.erodePx)));
+  const auto drawnAt = [&](std::int64_t x, std::int64_t y) {
+    if (x < 0 || y < 0 || x >= std::int64_t(img.nx) ||
+        y >= std::int64_t(img.ny))
+      return false;
+    return mask.at(std::size_t(x), std::size_t(y)) >= 0.99;
+  };
+  const auto spaceAt = [&](std::int64_t x, std::int64_t y) {
+    if (x < 0 || y < 0 || x >= std::int64_t(img.nx) ||
+        y >= std::int64_t(img.ny))
+      return true;  // outside the window counts as space
+    return mask.at(std::size_t(x), std::size_t(y)) <= 0.01;
+  };
+
+  // Longitudinal reach: the pixel only counts when the feature (space)
+  // continues this far on both sides along some axis, so line-end tips and
+  // space pockets at tips are not flagged for their legitimate roll-off.
+  const int lng = std::max(1, int(std::lround(p_.longitudinalNm / p_.pixelNm)));
+
+  for (std::int64_t y = y0; y <= y1; ++y) {
+    for (std::int64_t x = x0; x <= x1; ++x) {
+      // Cross-direction interior: the pixel and its 4-neighborhood at the
+      // erosion radius must agree, so boundary pixels (where the threshold
+      // crossing legitimately sits) are not flagged.
+      bool drawnInterior = drawnAt(x, y);
+      bool spaceInterior = spaceAt(x, y);
+      for (int d = 1; d <= er && (drawnInterior || spaceInterior); ++d) {
+        drawnInterior = drawnInterior && drawnAt(x - d, y) &&
+                        drawnAt(x + d, y) && drawnAt(x, y - d) &&
+                        drawnAt(x, y + d);
+        spaceInterior = spaceInterior && spaceAt(x - d, y) &&
+                        spaceAt(x + d, y) && spaceAt(x, y - d) &&
+                        spaceAt(x, y + d);
+      }
+      if (drawnInterior) {
+        drawnInterior = (drawnAt(x - lng, y) && drawnAt(x + lng, y)) ||
+                        (drawnAt(x, y - lng) && drawnAt(x, y + lng));
+      }
+      if (spaceInterior) {
+        spaceInterior = (spaceAt(x - lng, y) && spaceAt(x + lng, y)) ||
+                        (spaceAt(x, y - lng) && spaceAt(x, y + lng));
+      }
+      const double inten = img.at(std::size_t(x), std::size_t(y));
+      if (drawnInterior) v.minDrawnI = std::min(v.minDrawnI, inten);
+      if (spaceInterior) v.maxSpaceI = std::max(v.maxSpaceI, inten);
+    }
+  }
+
+  v.pinch = v.minDrawnI < p_.threshold;
+  v.bridge = v.maxSpaceI > p_.threshold;
+  v.severity = std::max({0.0, p_.threshold - v.minDrawnI,
+                         v.maxSpaceI - p_.threshold});
+  return v;
+}
+
+Verdict checkProcessWindow(const LithoParams& nominal,
+                           const ProcessWindow& window,
+                           const std::vector<Rect>& rects, const Rect& region,
+                           const Rect& clipWindow) {
+  Verdict worst;
+  for (const ProcessCorner& c : window.corners) {
+    LithoParams p = nominal;
+    p.threshold = nominal.threshold + c.thresholdDelta;
+    p.sigmaNm = nominal.sigmaNm * c.sigmaScale;
+    const Verdict v =
+        LithoSimulator(p).check(rects, region, clipWindow);
+    worst.pinch = worst.pinch || v.pinch;
+    worst.bridge = worst.bridge || v.bridge;
+    worst.minDrawnI = std::min(worst.minDrawnI, v.minDrawnI);
+    worst.maxSpaceI = std::max(worst.maxSpaceI, v.maxSpaceI);
+    worst.severity = std::max(worst.severity, v.severity);
+  }
+  return worst;
+}
+}  // namespace hsd::litho

@@ -1,0 +1,112 @@
+// Compact lithography simulator used as the ground-truth hotspot oracle
+// for the synthetic benchmark suite (the ICCAD-2012 contest labels came
+// from foundry lithography simulation; this module plays that role).
+//
+// Model: the drawn mask is rasterized, convolved with a Gaussian
+// point-spread function (a one-kernel approximation of a partially
+// coherent aerial image), and thresholded by an ideal resist. A region
+// fails printability when
+//   * a drawn-interior pixel's intensity falls below the resist threshold
+//     (the feature necks/pinches), or
+//   * a space-interior pixel's intensity rises above it (two features
+//     bridge).
+// Both failure modes depend on widths/spacings *and* on the surrounding
+// pattern inside the optical radius — so labels correlate with clip
+// geometry (learnable) and the ambit genuinely influences the core (which
+// is what the paper's feedback kernel exploits).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace hsd::litho {
+
+/// Optical / resist model parameters. Defaults target a 32/28 nm-node
+/// metal layer look: 193 nm immersion, sigma ~ 0.35*lambda/NA.
+struct LithoParams {
+  double pixelNm = 20.0;      ///< raster pixel pitch
+  double sigmaNm = 90.0;      ///< Gaussian PSF sigma
+  double threshold = 0.46;    ///< resist threshold on normalized intensity
+  double erodePx = 1.0;       ///< cross-direction interior erosion, pixels
+  /// Longitudinal interior distance (nm): a pixel is only checked when the
+  /// feature (or space) extends at least this far on both sides along some
+  /// axis. This excludes line-end tips, where intensity legitimately rolls
+  /// off (line-end shortening is not modeled as a hotspot).
+  double longitudinalNm = 100.0;
+};
+
+/// Simulated aerial image over a window.
+struct AerialImage {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  Rect window;
+  double pixelNm = 0;
+  std::vector<double> intensity;  ///< row-major, [0,1]
+
+  double at(std::size_t ix, std::size_t iy) const {
+    return intensity[iy * nx + ix];
+  }
+};
+
+/// Printability verdict for a checked region.
+struct Verdict {
+  bool pinch = false;        ///< drawn feature fails to print somewhere
+  bool bridge = false;       ///< space fills in somewhere
+  double minDrawnI = 1.0;    ///< min intensity over eroded drawn interior
+  double maxSpaceI = 0.0;    ///< max intensity over eroded space interior
+  /// Severity in intensity units; > 0 iff pinch or bridge.
+  double severity = 0.0;
+
+  bool hotspot() const { return pinch || bridge; }
+};
+
+class LithoSimulator {
+ public:
+  explicit LithoSimulator(const LithoParams& p = {}) : p_(p) {}
+  const LithoParams& params() const { return p_; }
+
+  /// Simulate the aerial image of `rects` (drawn mask) over `window`.
+  AerialImage simulate(const std::vector<Rect>& rects,
+                       const Rect& window) const;
+
+  /// Check printability of `region` (in absolute coords) given geometry in
+  /// `window` (a clip; the window must contain the region and provide
+  /// optical context around it).
+  Verdict check(const std::vector<Rect>& rects, const Rect& region,
+                const Rect& window) const;
+
+  /// Convenience: verdict.hotspot() of check().
+  bool isHotspot(const std::vector<Rect>& rects, const Rect& region,
+                 const Rect& window) const {
+    return check(rects, region, window).hotspot();
+  }
+
+ private:
+  LithoParams p_;
+};
+
+/// One process corner: a dose excursion (resist threshold shift) and a
+/// focus excursion (PSF sigma scale).
+struct ProcessCorner {
+  double thresholdDelta = 0.0;
+  double sigmaScale = 1.0;
+};
+
+/// A process window: the set of corners a pattern must print at.
+/// Default: nominal plus +/-5% dose at +/-8% defocus blur.
+struct ProcessWindow {
+  std::vector<ProcessCorner> corners{
+      {0.0, 1.0}, {-0.023, 0.92}, {+0.023, 1.08}};
+};
+
+/// Worst-case verdict across the process window: pinch/bridge if any
+/// corner fails; intensities are the worst observed. A pattern that is
+/// clean at nominal but fails at a corner is a process-window hotspot.
+Verdict checkProcessWindow(const LithoParams& nominal,
+                           const ProcessWindow& window,
+                           const std::vector<Rect>& rects, const Rect& region,
+                           const Rect& clipWindow);
+
+}  // namespace hsd::litho

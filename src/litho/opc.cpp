@@ -1,0 +1,171 @@
+#include "litho/opc.hpp"
+
+#include <algorithm>
+
+namespace hsd::litho {
+
+namespace {
+
+// Clearance from rect i's given side to the nearest facing rect; a large
+// sentinel when nothing faces it.
+constexpr Coord kOpen = 1'000'000'000;
+
+enum class Side { kLeft, kRight, kBottom, kTop };
+
+Coord clearance(const std::vector<Rect>& rects, std::size_t i, Side side) {
+  const Rect& r = rects[i];
+  Coord best = kOpen;
+  for (std::size_t j = 0; j < rects.size(); ++j) {
+    if (j == i) continue;
+    const Rect& o = rects[j];
+    switch (side) {
+      case Side::kLeft:
+        if (o.hi.x <= r.lo.x && o.lo.y < r.hi.y && r.lo.y < o.hi.y)
+          best = std::min(best, r.lo.x - o.hi.x);
+        break;
+      case Side::kRight:
+        if (o.lo.x >= r.hi.x && o.lo.y < r.hi.y && r.lo.y < o.hi.y)
+          best = std::min(best, o.lo.x - r.hi.x);
+        break;
+      case Side::kBottom:
+        if (o.hi.y <= r.lo.y && o.lo.x < r.hi.x && r.lo.x < o.hi.x)
+          best = std::min(best, r.lo.y - o.hi.y);
+        break;
+      case Side::kTop:
+        if (o.lo.y >= r.hi.y && o.lo.x < r.hi.x && r.lo.x < o.hi.x)
+          best = std::min(best, o.lo.y - r.hi.y);
+        break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+OpcResult applyRuleOpc(const std::vector<Rect>& rects, const OpcRules& rules) {
+  OpcResult out;
+  out.corrected = rects;
+
+  // Pass 1: widen sub-minimum features, respecting each side's space
+  // budget (gap - minSpace, split between the two facing features).
+  for (std::size_t i = 0; i < out.corrected.size(); ++i) {
+    Rect& r = out.corrected[i];
+    bool touched = false;
+    if (r.width() < rules.minWidth) {
+      const Coord need = rules.minWidth - r.width();
+      const Coord budgetL = std::clamp<Coord>(
+          (clearance(out.corrected, i, Side::kLeft) - rules.minSpace) / 2, 0,
+          rules.maxBiasPerEdge);
+      const Coord budgetR = std::clamp<Coord>(
+          (clearance(out.corrected, i, Side::kRight) - rules.minSpace) / 2, 0,
+          rules.maxBiasPerEdge);
+      const Coord growL = std::min(budgetL, (need + 1) / 2);
+      const Coord growR = std::min(budgetR, need - growL);
+      if (growL + growR > 0) {
+        r.lo.x -= growL;
+        r.hi.x += growR;
+        touched = true;
+      }
+    }
+    if (r.height() < rules.minWidth) {
+      const Coord need = rules.minWidth - r.height();
+      const Coord budgetB = std::clamp<Coord>(
+          (clearance(out.corrected, i, Side::kBottom) - rules.minSpace) / 2,
+          0, rules.maxBiasPerEdge);
+      const Coord budgetT = std::clamp<Coord>(
+          (clearance(out.corrected, i, Side::kTop) - rules.minSpace) / 2, 0,
+          rules.maxBiasPerEdge);
+      const Coord growB = std::min(budgetB, (need + 1) / 2);
+      const Coord growT = std::min(budgetT, need - growB);
+      if (growB + growT > 0) {
+        r.lo.y -= growB;
+        r.hi.y += growT;
+        touched = true;
+      }
+    }
+    if (touched) ++out.widened;
+  }
+
+  // Pass 2: open sub-minimum spaces by pulling back both facing edges,
+  // bounded so no feature drops below minWidth.
+  for (std::size_t i = 0; i < out.corrected.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.corrected.size(); ++j) {
+      Rect& a = out.corrected[i];
+      Rect& b = out.corrected[j];
+      // Horizontal facing pair.
+      if (a.lo.y < b.hi.y && b.lo.y < a.hi.y) {
+        Rect* left = a.hi.x <= b.lo.x ? &a : (b.hi.x <= a.lo.x ? &b : nullptr);
+        Rect* right = left == &a ? &b : (left == &b ? &a : nullptr);
+        if (left != nullptr && right != nullptr) {
+          const Coord gap = right->lo.x - left->hi.x;
+          if (gap > 0 && gap < rules.minSpace) {
+            const Coord need = rules.minSpace - gap;
+            const Coord budL = std::clamp<Coord>(
+                left->width() - rules.minWidth, 0, rules.maxBiasPerEdge);
+            const Coord budR = std::clamp<Coord>(
+                right->width() - rules.minWidth, 0, rules.maxBiasPerEdge);
+            const Coord pullL = std::min(budL, (need + 1) / 2);
+            const Coord pullR = std::min(budR, need - pullL);
+            if (pullL + pullR > 0) {
+              left->hi.x -= pullL;
+              right->lo.x += pullR;
+              ++out.opened;
+            }
+          }
+        }
+      }
+      // Vertical facing pair.
+      if (a.lo.x < b.hi.x && b.lo.x < a.hi.x) {
+        Rect* bot = a.hi.y <= b.lo.y ? &a : (b.hi.y <= a.lo.y ? &b : nullptr);
+        Rect* top = bot == &a ? &b : (bot == &b ? &a : nullptr);
+        if (bot != nullptr && top != nullptr) {
+          const Coord gap = top->lo.y - bot->hi.y;
+          if (gap > 0 && gap < rules.minSpace) {
+            const Coord need = rules.minSpace - gap;
+            const Coord budB = std::clamp<Coord>(
+                bot->height() - rules.minWidth, 0, rules.maxBiasPerEdge);
+            const Coord budT = std::clamp<Coord>(
+                top->height() - rules.minWidth, 0, rules.maxBiasPerEdge);
+            const Coord pullB = std::min(budB, (need + 1) / 2);
+            const Coord pullT = std::min(budT, need - pullB);
+            if (pullB + pullT > 0) {
+              bot->hi.y -= pullB;
+              top->lo.y += pullT;
+              ++out.opened;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+FixOutcome detectAndFix(const LithoSimulator& sim,
+                        const std::vector<Rect>& rects, const Rect& region,
+                        const Rect& window, const OpcRules& rules) {
+  FixOutcome out;
+  out.before = sim.check(rects, region, window);
+  if (!out.before.hotspot()) {
+    out.opc.corrected = rects;
+    out.after = out.before;
+    return out;
+  }
+  // Iterate the rules: opening a space can re-narrow a feature and vice
+  // versa; a few passes settle the interactions (real OPC is iterative).
+  out.opc = applyRuleOpc(rects, rules);
+  for (int pass = 1; pass < 3; ++pass) {
+    out.after = sim.check(out.opc.corrected, region, window);
+    if (!out.after.hotspot()) return out;
+    OpcRules stronger = rules;
+    stronger.maxBiasPerEdge += rules.maxBiasPerEdge;
+    const OpcResult next = applyRuleOpc(out.opc.corrected, stronger);
+    out.opc.widened += next.widened;
+    out.opc.opened += next.opened;
+    out.opc.corrected = next.corrected;
+  }
+  out.after = sim.check(out.opc.corrected, region, window);
+  return out;
+}
+
+}  // namespace hsd::litho

@@ -1,0 +1,51 @@
+// Rule-based layout correction ("OPC-lite"). The paper's introduction
+// places hotspot detection right before correction in the DFM flow
+// ("lithography hotspots have to be detected and corrected before mask
+// synthesis"); this module closes that loop for the examples and tests:
+// widen sub-minimum features and open sub-minimum spaces, bounded so a
+// fix never creates the opposite violation, then re-verify with the
+// simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "litho/litho.hpp"
+
+namespace hsd::litho {
+
+struct OpcRules {
+  Coord minWidth = 150;   ///< widen features narrower than this
+  Coord minSpace = 160;   ///< open facing spaces tighter than this
+  Coord maxBiasPerEdge = 60;  ///< never move one edge further than this
+};
+
+struct OpcResult {
+  std::vector<Rect> corrected;
+  std::size_t widened = 0;  ///< rects that received a width bias
+  std::size_t opened = 0;   ///< facing pairs whose space was opened
+  bool changed() const { return widened > 0 || opened > 0; }
+};
+
+/// Apply the rule set to `rects` (treated as disjoint feature rectangles).
+/// Edges are only moved where the opposing constraint allows: widening is
+/// capped by the nearest neighbor's space budget, space opening is capped
+/// by each side's width budget.
+OpcResult applyRuleOpc(const std::vector<Rect>& rects, const OpcRules& rules);
+
+/// Detect-and-correct convenience: run the oracle on `region`; when it
+/// flags a failure, apply the rules and re-check. Returns the final
+/// verdict alongside the corrected geometry.
+struct FixOutcome {
+  OpcResult opc;
+  Verdict before;
+  Verdict after;
+  bool fixed() const { return before.hotspot() && !after.hotspot(); }
+};
+
+FixOutcome detectAndFix(const LithoSimulator& sim,
+                        const std::vector<Rect>& rects, const Rect& region,
+                        const Rect& window, const OpcRules& rules);
+
+}  // namespace hsd::litho

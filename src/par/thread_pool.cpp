@@ -1,0 +1,73 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace hsd {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void parallelFor(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr firstError;
+  std::mutex errMu;
+  std::vector<std::thread> ts;
+  ts.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    ts.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(errMu);
+          if (!firstError) firstError = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& t : ts) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace hsd

@@ -1,0 +1,61 @@
+// Small thread pool + parallel_for, replacing the raw pthread usage of the
+// paper (Sec. III-G). Kernel training, clip extraction and evaluation are
+// all embarrassingly parallel over independent work items.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hsd {
+
+/// Fixed-size pool of worker threads executing enqueued tasks FIFO.
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it completes (exceptions
+  /// propagate through the future).
+  template <typename F>
+  std::future<void> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [0, n) across `threads` threads (0 = hardware
+/// concurrency, 1 = serial in the calling thread). Blocks until all
+/// iterations finish; the first exception (if any) is rethrown.
+void parallelFor(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace hsd

@@ -1,0 +1,39 @@
+// Feature vectors and labeled datasets for the SVM engine.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace hsd::svm {
+
+/// Dense feature vector.
+using FeatureVector = std::vector<double>;
+
+/// A labeled two-class dataset; labels are +1 / -1.
+struct Dataset {
+  std::vector<FeatureVector> x;
+  std::vector<int> y;
+
+  std::size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+  std::size_t dim() const { return x.empty() ? 0 : x.front().size(); }
+
+  void add(FeatureVector v, int label) {
+    if (!x.empty() && v.size() != x.front().size())
+      throw std::invalid_argument("Dataset: inconsistent feature dimension");
+    if (label != 1 && label != -1)
+      throw std::invalid_argument("Dataset: label must be +1 or -1");
+    x.push_back(std::move(v));
+    y.push_back(label);
+  }
+
+  std::size_t countLabel(int label) const {
+    std::size_t n = 0;
+    for (const int l : y)
+      if (l == label) ++n;
+    return n;
+  }
+};
+
+}  // namespace hsd::svm

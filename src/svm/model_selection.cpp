@@ -1,0 +1,97 @@
+#include "svm/model_selection.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace hsd::svm {
+
+std::vector<std::size_t> stratifiedFolds(const std::vector<int>& labels,
+                                         std::size_t folds,
+                                         std::uint64_t seed) {
+  if (folds == 0) throw std::invalid_argument("stratifiedFolds: folds == 0");
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    (labels[i] > 0 ? pos : neg).push_back(i);
+  std::mt19937_64 rng(seed);
+  std::shuffle(pos.begin(), pos.end(), rng);
+  std::shuffle(neg.begin(), neg.end(), rng);
+
+  std::vector<std::size_t> fold(labels.size(), 0);
+  std::size_t next = 0;
+  for (const std::size_t i : pos) fold[i] = next++ % folds;
+  next = 0;
+  for (const std::size_t i : neg) fold[i] = next++ % folds;
+  return fold;
+}
+
+CvResult crossValidate(const Dataset& data, const SvmParams& params,
+                       std::size_t folds, std::uint64_t seed) {
+  if (data.empty()) throw std::invalid_argument("crossValidate: empty data");
+  folds = std::min(folds, data.size());
+  const std::vector<std::size_t> fold =
+      stratifiedFolds(data.y, folds, seed);
+
+  std::size_t okTotal = 0, total = 0;
+  std::size_t posOk = 0, posN = 0, negOk = 0, negN = 0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    Dataset trainSet;
+    std::vector<std::size_t> heldOut;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (fold[i] == f)
+        heldOut.push_back(i);
+      else
+        trainSet.add(data.x[i], data.y[i]);
+    }
+    if (heldOut.empty() || trainSet.countLabel(1) == 0 ||
+        trainSet.countLabel(-1) == 0)
+      continue;
+    const SvmModel model = train(trainSet, params).model;
+    for (const std::size_t i : heldOut) {
+      const int pred = model.predict(data.x[i]);
+      const bool ok = pred == data.y[i];
+      okTotal += ok;
+      ++total;
+      if (data.y[i] > 0) {
+        posOk += ok;
+        ++posN;
+      } else {
+        negOk += ok;
+        ++negN;
+      }
+    }
+  }
+  CvResult out;
+  out.evaluated = total;
+  out.accuracy = total ? double(okTotal) / double(total) : 0.0;
+  out.posRecall = posN ? double(posOk) / double(posN) : 0.0;
+  out.negRecall = negN ? double(negOk) / double(negN) : 0.0;
+  return out;
+}
+
+GridSearchResult gridSearch(const Dataset& data, const GridSearchSpec& spec) {
+  GridSearchResult out;
+  double bestScore = -1.0;
+  for (const double C : spec.Cs) {
+    for (const double gamma : spec.gammas) {
+      SvmParams p;
+      p.C = C;
+      p.gamma = gamma;
+      GridPoint gp;
+      gp.C = C;
+      gp.gamma = gamma;
+      gp.cv = crossValidate(data, p, spec.folds, spec.seed);
+      const double score = spec.balancedScore
+                               ? std::min(gp.cv.posRecall, gp.cv.negRecall)
+                               : gp.cv.accuracy;
+      if (score > bestScore) {
+        bestScore = score;
+        out.best = gp;
+      }
+      out.all.push_back(gp);
+    }
+  }
+  return out;
+}
+
+}  // namespace hsd::svm

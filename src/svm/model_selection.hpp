@@ -1,0 +1,59 @@
+// Model selection for the SVM engine: stratified k-fold cross-validation
+// and (C, gamma) grid search — the standard companion tooling of a C-SVC
+// (the paper's iterative C/gamma doubling is a walk along this grid's
+// diagonal; the grid search is used by the ablation benches to check how
+// close the doubling heuristic lands to the CV optimum).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "svm/dataset.hpp"
+#include "svm/svm.hpp"
+
+namespace hsd::svm {
+
+/// Deterministic stratified fold assignment: fold id per sample, each
+/// class spread round-robin over `folds` after a seeded shuffle.
+std::vector<std::size_t> stratifiedFolds(const std::vector<int>& labels,
+                                         std::size_t folds,
+                                         std::uint64_t seed = 1);
+
+/// Metrics of one cross-validation run.
+struct CvResult {
+  double accuracy = 0.0;       ///< pooled over all folds
+  double posRecall = 0.0;      ///< hotspot-class recall (the paper's focus)
+  double negRecall = 0.0;
+  std::size_t evaluated = 0;
+};
+
+/// k-fold cross-validation of `params` on `data`. Folds with a single
+/// class in training are skipped (their samples don't count).
+CvResult crossValidate(const Dataset& data, const SvmParams& params,
+                       std::size_t folds, std::uint64_t seed = 1);
+
+/// One grid-search candidate and its CV score.
+struct GridPoint {
+  double C = 0.0;
+  double gamma = 0.0;
+  CvResult cv;
+};
+
+struct GridSearchSpec {
+  std::vector<double> Cs{1, 10, 100, 1000, 10000};
+  std::vector<double> gammas{0.001, 0.01, 0.1, 1.0, 10.0};
+  std::size_t folds = 5;
+  std::uint64_t seed = 1;
+  /// Selection score: min(posRecall, negRecall) mirrors the trainer's
+  /// two-sided stopping criterion; set false to select on plain accuracy.
+  bool balancedScore = true;
+};
+
+struct GridSearchResult {
+  GridPoint best;
+  std::vector<GridPoint> all;  ///< row-major over (Cs x gammas)
+};
+
+GridSearchResult gridSearch(const Dataset& data, const GridSearchSpec& spec);
+
+}  // namespace hsd::svm

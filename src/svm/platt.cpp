@@ -1,0 +1,108 @@
+#include "svm/platt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hsd::svm {
+
+double PlattModel::probability(double f) const {
+  const double z = a * f + b;
+  // Numerically stable logistic.
+  return z >= 0 ? std::exp(-z) / (1.0 + std::exp(-z))
+                : 1.0 / (1.0 + std::exp(z));
+}
+
+PlattModel fitPlatt(const std::vector<double>& f,
+                    const std::vector<int>& labels, std::size_t maxIter) {
+  const std::size_t n = f.size();
+  if (n == 0 || labels.size() != n)
+    throw std::invalid_argument("fitPlatt: size mismatch or empty");
+  double np = 0, nn = 0;
+  for (const int y : labels) (y > 0 ? np : nn) += 1;
+  if (np == 0 || nn == 0)
+    throw std::invalid_argument("fitPlatt: need both classes");
+
+  // Regularized targets (Platt's prior smoothing).
+  const double hiTarget = (np + 1.0) / (np + 2.0);
+  const double loTarget = 1.0 / (nn + 2.0);
+  std::vector<double> t(n);
+  for (std::size_t i = 0; i < n; ++i)
+    t[i] = labels[i] > 0 ? hiTarget : loTarget;
+
+  // Newton iterations with backtracking line search (Lin-Lin-Weng).
+  double a = 0.0;
+  double b = std::log((nn + 1.0) / (np + 1.0));
+  const double eps = 1e-5;
+  const double sigma = 1e-12;
+
+  const auto nll = [&](double A, double B) {
+    double obj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double z = A * f[i] + B;
+      // -[t log p + (1-t) log(1-p)] in a stable form.
+      if (z >= 0)
+        obj += t[i] * z + std::log1p(std::exp(-z));
+      else
+        obj += (t[i] - 1.0) * z + std::log1p(std::exp(z));
+    }
+    return obj;
+  };
+
+  double fval = nll(a, b);
+  for (std::size_t it = 0; it < maxIter; ++it) {
+    double h11 = sigma, h22 = sigma, h21 = 0, g1 = 0, g2 = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double z = a * f[i] + b;
+      double p, q;
+      if (z >= 0) {
+        p = std::exp(-z) / (1.0 + std::exp(-z));
+        q = 1.0 / (1.0 + std::exp(-z));
+      } else {
+        p = 1.0 / (1.0 + std::exp(z));
+        q = std::exp(z) / (1.0 + std::exp(z));
+      }
+      const double d2 = p * q;
+      h11 += f[i] * f[i] * d2;
+      h22 += d2;
+      h21 += f[i] * d2;
+      const double d1 = t[i] - p;
+      g1 += f[i] * d1;
+      g2 += d1;
+    }
+    if (std::abs(g1) < eps && std::abs(g2) < eps) break;
+
+    const double det = h11 * h22 - h21 * h21;
+    const double dA = -(h22 * g1 - h21 * g2) / det;
+    const double dB = -(-h21 * g1 + h11 * g2) / det;
+    const double gd = g1 * dA + g2 * dB;
+
+    double step = 1.0;
+    bool accepted = false;
+    while (step >= 1e-10) {
+      const double na = a + step * dA;
+      const double nb = b + step * dB;
+      const double nf = nll(na, nb);
+      if (nf < fval + 1e-4 * step * gd) {
+        a = na;
+        b = nb;
+        fval = nf;
+        accepted = true;
+        break;
+      }
+      step /= 2;
+    }
+    if (!accepted) break;
+  }
+  return {a, b};
+}
+
+PlattModel fitPlatt(const SvmModel& model, const Dataset& data,
+                    std::size_t maxIter) {
+  std::vector<double> f(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    f[i] = model.decision(data.x[i]);
+  return fitPlatt(f, data.y, maxIter);
+}
+
+}  // namespace hsd::svm

@@ -1,0 +1,36 @@
+// Platt scaling: calibrate SVM decision values into posterior
+// probabilities P(hotspot | f) = 1 / (1 + exp(A*f + B)), fitted with the
+// regularized maximum-likelihood procedure of Lin, Lin & Weng (2007) —
+// LIBSVM's "-b 1" machinery. Lets callers rank reported hotspots by
+// confidence instead of sweeping a raw decision bias.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "svm/dataset.hpp"
+#include "svm/svm.hpp"
+
+namespace hsd::svm {
+
+/// Fitted sigmoid parameters.
+struct PlattModel {
+  double a = 0.0;
+  double b = 0.0;
+
+  /// Posterior probability of class +1 given decision value `f`.
+  double probability(double f) const;
+};
+
+/// Fit the sigmoid on (decision value, label) pairs. Labels are +1/-1.
+/// Throws std::invalid_argument when a class is missing.
+PlattModel fitPlatt(const std::vector<double>& decisionValues,
+                    const std::vector<int>& labels,
+                    std::size_t maxIter = 100);
+
+/// Convenience: run `model` over `data` and fit on its decision values.
+/// (For unbiased calibration pass held-out data, not the training set.)
+PlattModel fitPlatt(const SvmModel& model, const Dataset& data,
+                    std::size_t maxIter = 100);
+
+}  // namespace hsd::svm

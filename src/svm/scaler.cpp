@@ -1,0 +1,41 @@
+#include "svm/scaler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hsd::svm {
+
+void Scaler::fit(const std::vector<FeatureVector>& data) {
+  lo_.clear();
+  hi_.clear();
+  if (data.empty()) return;
+  const std::size_t d = data.front().size();
+  lo_.assign(d, std::numeric_limits<double>::infinity());
+  hi_.assign(d, -std::numeric_limits<double>::infinity());
+  for (const FeatureVector& v : data) {
+    if (v.size() != d)
+      throw std::invalid_argument("Scaler: inconsistent dimension");
+    for (std::size_t i = 0; i < d; ++i) {
+      lo_[i] = std::min(lo_[i], v[i]);
+      hi_[i] = std::max(hi_[i], v[i]);
+    }
+  }
+}
+
+FeatureVector Scaler::transform(const FeatureVector& v) const {
+  if (v.size() != lo_.size())
+    throw std::invalid_argument("Scaler: dimension mismatch");
+  FeatureVector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double range = hi_[i] - lo_[i];
+    out[i] = range > 0 ? std::clamp((v[i] - lo_[i]) / range, 0.0, 1.0) : 0.5;
+  }
+  return out;
+}
+
+void Scaler::transformInPlace(std::vector<FeatureVector>& data) const {
+  for (FeatureVector& v : data) v = transform(v);
+}
+
+}  // namespace hsd::svm

@@ -1,0 +1,314 @@
+#include "svm/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hsd::svm {
+
+double rbfKernel(const FeatureVector& a, const FeatureVector& b,
+                 double gamma) {
+  double d2 = 0;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return std::exp(-gamma * d2);
+}
+
+namespace {
+
+constexpr double kTau = 1e-12;
+
+// Lazily computed, row-cached Q matrix: Q(i,j) = y_i y_j K(x_i, x_j).
+class QMatrix {
+ public:
+  QMatrix(const Dataset& data, double gamma, std::size_t cacheBytes)
+      : data_(data), gamma_(gamma) {
+    const std::size_t n = data.size();
+    norms_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0;
+      for (const double v : data.x[i]) s += v * v;
+      norms_[i] = s;
+    }
+    maxRows_ = std::max<std::size_t>(2, cacheBytes / std::max<std::size_t>(
+                                            1, n * sizeof(float)));
+    diag_.resize(n, 1.0f);  // K(x,x) == 1 for RBF, and y_i*y_i == 1
+  }
+
+  const std::vector<float>& row(std::size_t i) {
+    const auto it = cache_.find(i);
+    if (it != cache_.end()) return it->second;
+    if (cache_.size() >= maxRows_) {
+      cache_.erase(order_.front());
+      order_.pop_front();
+    }
+    const std::size_t n = data_.size();
+    std::vector<float> r(n);
+    const FeatureVector& xi = data_.x[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0;
+      const FeatureVector& xj = data_.x[j];
+      for (std::size_t k = 0; k < xi.size(); ++k) dot += xi[k] * xj[k];
+      const double d2 = norms_[i] + norms_[j] - 2.0 * dot;
+      const double kij = std::exp(-gamma_ * std::max(0.0, d2));
+      r[j] = float(data_.y[i] * data_.y[j] * kij);
+    }
+    order_.push_back(i);
+    return cache_.emplace(i, std::move(r)).first->second;
+  }
+
+  float diag(std::size_t i) const { return diag_[i]; }
+
+ private:
+  const Dataset& data_;
+  double gamma_;
+  std::vector<double> norms_;
+  std::vector<float> diag_;
+  std::size_t maxRows_;
+  std::unordered_map<std::size_t, std::vector<float>> cache_;
+  std::deque<std::size_t> order_;
+};
+
+}  // namespace
+
+TrainResult train(const Dataset& data, const SvmParams& params) {
+  const std::size_t n = data.size();
+  if (n == 0) throw std::invalid_argument("svm::train: empty dataset");
+  if (data.countLabel(1) == 0 || data.countLabel(-1) == 0)
+    throw std::invalid_argument("svm::train: need both classes present");
+
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> grad(n, -1.0);  // G_i = sum_j Q_ij a_j - 1
+  std::vector<double> cap(n);
+  for (std::size_t i = 0; i < n; ++i)
+    cap[i] = params.C * (data.y[i] > 0 ? params.weightPos : params.weightNeg);
+
+  QMatrix q(data, params.gamma, /*cacheBytes=*/64u << 20);
+
+  const auto inUp = [&](std::size_t t) {
+    return data.y[t] > 0 ? alpha[t] < cap[t] : alpha[t] > 0;
+  };
+  const auto inLow = [&](std::size_t t) {
+    return data.y[t] > 0 ? alpha[t] > 0 : alpha[t] < cap[t];
+  };
+
+  std::size_t iter = 0;
+  bool converged = false;
+  for (; iter < params.maxIter; ++iter) {
+    // First index: maximal violator in I_up (both WSS variants).
+    double gmax = -std::numeric_limits<double>::infinity();
+    double gmin = std::numeric_limits<double>::infinity();
+    std::size_t i = n, j = n;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double v = -double(data.y[t]) * grad[t];
+      if (inUp(t) && v > gmax) {
+        gmax = v;
+        i = t;
+      }
+      if (inLow(t) && v < gmin) {
+        gmin = v;
+        j = t;
+      }
+    }
+    if (i >= n || j >= n || gmax - gmin < params.eps) {
+      converged = true;
+      break;
+    }
+
+    const std::vector<float>& qi = q.row(i);
+    if (params.secondOrderWss) {
+      // Second index: maximal second-order objective decrease among the
+      // violating I_low candidates (libsvm WSS2).
+      double bestObj = -std::numeric_limits<double>::infinity();
+      std::size_t bestJ = n;
+      for (std::size_t t = 0; t < n; ++t) {
+        if (!inLow(t)) continue;
+        const double gradDiff = gmax + double(data.y[t]) * grad[t];
+        if (gradDiff <= 0) continue;
+        // Raw kernel value K_it = y_i y_t Q_it.
+        const double kit =
+            double(data.y[i]) * double(data.y[t]) * double(qi[t]);
+        double quad = double(q.diag(i)) + q.diag(t) - 2.0 * kit;
+        if (quad <= 0) quad = kTau;
+        const double obj = gradDiff * gradDiff / quad;
+        if (obj > bestObj) {
+          bestObj = obj;
+          bestJ = t;
+        }
+      }
+      if (bestJ < n) j = bestJ;
+    }
+    const std::vector<float>& qj = q.row(j);
+    const double oldAi = alpha[i];
+    const double oldAj = alpha[j];
+
+    if (data.y[i] != data.y[j]) {
+      double quad = double(q.diag(i)) + q.diag(j) + 2.0 * qi[j];
+      if (quad <= 0) quad = kTau;
+      const double delta = (-grad[i] - grad[j]) / quad;
+      const double diff = alpha[i] - alpha[j];
+      alpha[i] += delta;
+      alpha[j] += delta;
+      if (diff > 0) {
+        if (alpha[j] < 0) {
+          alpha[j] = 0;
+          alpha[i] = diff;
+        }
+      } else {
+        if (alpha[i] < 0) {
+          alpha[i] = 0;
+          alpha[j] = -diff;
+        }
+      }
+      if (diff > cap[i] - cap[j]) {
+        if (alpha[i] > cap[i]) {
+          alpha[i] = cap[i];
+          alpha[j] = cap[i] - diff;
+        }
+      } else {
+        if (alpha[j] > cap[j]) {
+          alpha[j] = cap[j];
+          alpha[i] = cap[j] + diff;
+        }
+      }
+    } else {
+      double quad = double(q.diag(i)) + q.diag(j) - 2.0 * qi[j];
+      if (quad <= 0) quad = kTau;
+      const double delta = (grad[i] - grad[j]) / quad;
+      const double sum = alpha[i] + alpha[j];
+      alpha[i] -= delta;
+      alpha[j] += delta;
+      if (sum > cap[i]) {
+        if (alpha[i] > cap[i]) {
+          alpha[i] = cap[i];
+          alpha[j] = sum - cap[i];
+        }
+      } else {
+        if (alpha[j] < 0) {
+          alpha[j] = 0;
+          alpha[i] = sum;
+        }
+      }
+      if (sum > cap[j]) {
+        if (alpha[j] > cap[j]) {
+          alpha[j] = cap[j];
+          alpha[i] = sum - cap[j];
+        }
+      } else {
+        if (alpha[i] < 0) {
+          alpha[i] = 0;
+          alpha[j] = sum;
+        }
+      }
+    }
+
+    const double dAi = alpha[i] - oldAi;
+    const double dAj = alpha[j] - oldAj;
+    for (std::size_t t = 0; t < n; ++t)
+      grad[t] += qi[t] * dAi + qj[t] * dAj;
+  }
+
+  // Bias (libsvm calculate_rho).
+  double ub = std::numeric_limits<double>::infinity();
+  double lb = -std::numeric_limits<double>::infinity();
+  double sumFree = 0;
+  std::size_t nFree = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double yg = double(data.y[t]) * grad[t];
+    if (alpha[t] >= cap[t]) {
+      if (data.y[t] < 0)
+        ub = std::min(ub, yg);
+      else
+        lb = std::max(lb, yg);
+    } else if (alpha[t] <= 0) {
+      if (data.y[t] > 0)
+        ub = std::min(ub, yg);
+      else
+        lb = std::max(lb, yg);
+    } else {
+      ++nFree;
+      sumFree += yg;
+    }
+  }
+  const double rho = nFree > 0 ? sumFree / double(nFree) : (ub + lb) / 2;
+
+  double objMin = 0;
+  for (std::size_t t = 0; t < n; ++t) objMin += alpha[t] * (grad[t] - 1.0);
+  objMin /= 2;
+
+  std::vector<FeatureVector> sv;
+  std::vector<double> coef;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > 0) {
+      sv.push_back(data.x[t]);
+      coef.push_back(alpha[t] * data.y[t]);
+    }
+  }
+
+  TrainResult out;
+  out.model = SvmModel(std::move(sv), std::move(coef), rho, params.gamma);
+  out.iterations = iter;
+  out.converged = converged;
+  out.objective = -objMin;  // paper's maximization form f(a)
+  return out;
+}
+
+double SvmModel::decision(const FeatureVector& x) const {
+  double s = 0;
+  for (std::size_t i = 0; i < sv_.size(); ++i)
+    s += coef_[i] * rbfKernel(sv_[i], x, gamma_);
+  return s - rho_;
+}
+
+int SvmModel::predict(const FeatureVector& x, double bias) const {
+  return decision(x) > bias ? 1 : -1;
+}
+
+void SvmModel::save(std::ostream& os) const {
+  os.precision(17);
+  os << "hsd_svm_model 1\n";
+  os << "gamma " << gamma_ << "\nrho " << rho_ << "\nnsv " << sv_.size()
+     << " dim " << (sv_.empty() ? 0 : sv_.front().size()) << '\n';
+  for (std::size_t i = 0; i < sv_.size(); ++i) {
+    os << coef_[i];
+    for (const double v : sv_[i]) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+SvmModel SvmModel::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (magic != "hsd_svm_model" || version != 1)
+    throw std::runtime_error("SvmModel::load: bad header");
+  std::string kw;
+  double gamma = 0, rho = 0;
+  std::size_t nsv = 0, dim = 0;
+  is >> kw >> gamma >> kw >> rho >> kw >> nsv >> kw >> dim;
+  std::vector<FeatureVector> sv(nsv, FeatureVector(dim));
+  std::vector<double> coef(nsv);
+  for (std::size_t i = 0; i < nsv; ++i) {
+    is >> coef[i];
+    for (std::size_t k = 0; k < dim; ++k) is >> sv[i][k];
+  }
+  if (!is) throw std::runtime_error("SvmModel::load: truncated model");
+  return SvmModel(std::move(sv), std::move(coef), rho, gamma);
+}
+
+double trainingAccuracy(const SvmModel& model, const Dataset& data) {
+  if (data.empty()) return 1.0;
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (model.predict(data.x[i]) == data.y[i]) ++ok;
+  return double(ok) / double(data.size());
+}
+
+}  // namespace hsd::svm

@@ -1,0 +1,148 @@
+// Two-level topological classification tests: string grouping, density
+// subdivision, Eq. (2) radius behavior and the ablation switch.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/classify.hpp"
+#include "core/topo_string.hpp"
+
+namespace hsd::core {
+namespace {
+
+CorePattern pattern(std::vector<Rect> rects) {
+  CorePattern p;
+  p.w = 1200;
+  p.h = 1200;
+  p.rects = std::move(rects);
+  return p;
+}
+
+// A vertical line pattern at position x with width w.
+CorePattern line(Coord x, Coord w) { return pattern({{x, 0, x + w, 1200}}); }
+
+TEST(Classify, IdenticalPatternsOneCluster) {
+  const std::vector<CorePattern> pats(5, line(500, 120));
+  const auto clusters = classifyPatterns(pats, {});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 5u);
+}
+
+TEST(Classify, DifferentTopologiesSplit) {
+  std::vector<CorePattern> pats{line(500, 120),
+                                pattern({{100, 0, 220, 1200},
+                                         {500, 0, 620, 1200}})};
+  const auto clusters = classifyPatterns(pats, {});
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(Classify, RotatedPatternsShareStringCluster) {
+  const CorePattern base = pattern({{0, 0, 700, 300}, {0, 300, 300, 900}});
+  std::vector<CorePattern> pats;
+  for (const Orient o : kAllOrients) pats.push_back(base.transformed(o));
+  ClassifyParams cp;
+  cp.useDensity = false;
+  const auto clusters = classifyPatterns(pats, cp);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 8u);
+}
+
+TEST(Classify, DensityLevelSplitsSameTopology) {
+  // Same topology (one vertical line) but far apart in density space.
+  std::vector<CorePattern> pats;
+  for (int i = 0; i < 4; ++i) pats.push_back(line(100, 150));
+  for (int i = 0; i < 4; ++i) pats.push_back(line(900, 150));
+  ClassifyParams cp;
+  cp.radiusR0 = 2.0;  // tight radius: the two positions must split
+  cp.useDensity = true;
+  const auto clusters = classifyPatterns(pats, cp);
+  EXPECT_EQ(clusters.size(), 2u);
+  for (const Cluster& c : clusters) EXPECT_EQ(c.members.size(), 4u);
+  // String level alone would keep them together.
+  cp.useDensity = false;
+  EXPECT_EQ(classifyPatterns(pats, cp).size(), 1u);
+}
+
+TEST(Classify, LargeRadiusMergesEverythingSameTopology) {
+  std::vector<CorePattern> pats;
+  for (int i = 0; i < 6; ++i) pats.push_back(line(100 + 150 * i, 150));
+  ClassifyParams cp;
+  cp.radiusR0 = 1000.0;
+  const auto clusters = classifyPatterns(pats, cp);
+  ASSERT_EQ(clusters.size(), 1u);
+}
+
+TEST(Classify, RepresentativeIsMember) {
+  std::mt19937 rng(6);
+  std::uniform_int_distribution<Coord> c(0, 1100);
+  std::vector<CorePattern> pats;
+  for (int i = 0; i < 20; ++i) pats.push_back(line(c(rng), 100));
+  const auto clusters = classifyPatterns(pats, {});
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const Cluster& cl : clusters) {
+    total += cl.members.size();
+    EXPECT_FALSE(cl.members.empty());
+    // Representative must be one of the members.
+    EXPECT_NE(std::find(cl.members.begin(), cl.members.end(),
+                        cl.representative),
+              cl.members.end());
+    for (const std::size_t m : cl.members) {
+      EXPECT_TRUE(seen.insert(m).second) << "pattern in two clusters";
+    }
+  }
+  EXPECT_EQ(total, pats.size());  // partition covers everything exactly once
+}
+
+TEST(Classify, ClusterKeysMatchMembers) {
+  std::vector<CorePattern> pats{line(100, 120), line(800, 150),
+                                pattern({{0, 0, 1200, 500}})};
+  const auto clusters = classifyPatterns(pats, {});
+  for (const Cluster& cl : clusters)
+    for (const std::size_t m : cl.members)
+      EXPECT_EQ(canonicalTopoKey(pats[m]), cl.topoKey);
+}
+
+TEST(Classify, EmptyInput) {
+  EXPECT_TRUE(classifyPatterns({}, {}).empty());
+}
+
+TEST(Classify, DeterministicAcrossRuns) {
+  std::mt19937 rng(9);
+  std::uniform_int_distribution<Coord> c(0, 1000);
+  std::vector<CorePattern> pats;
+  for (int i = 0; i < 30; ++i)
+    pats.push_back(pattern({{c(rng), c(rng), c(rng) + 150, c(rng) + 150}}));
+  const auto a = classifyPatterns(pats, {});
+  const auto b = classifyPatterns(pats, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].members, b[i].members);
+    EXPECT_EQ(a[i].representative, b[i].representative);
+  }
+}
+
+class ExpectedClusterSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExpectedClusterSweep, LargerKNeverCoarsensClusters) {
+  // Eq. (2): radius = max(R0, maxPair/K). Growing K shrinks the radius,
+  // so the cluster count is nondecreasing in K.
+  std::mt19937 rng(31);
+  std::uniform_int_distribution<Coord> c(0, 1000);
+  std::vector<CorePattern> pats;
+  for (int i = 0; i < 25; ++i) pats.push_back(line(c(rng), 150));
+  ClassifyParams cp;
+  cp.radiusR0 = 0.5;
+  cp.expectedClusters = GetParam();
+  const std::size_t n1 = classifyPatterns(pats, cp).size();
+  cp.expectedClusters = GetParam() * 4;
+  const std::size_t n2 = classifyPatterns(pats, cp).size();
+  EXPECT_LE(n1, n2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ExpectedClusterSweep,
+                         ::testing::Values<std::size_t>(2, 5, 10));
+
+}  // namespace
+}  // namespace hsd::core

@@ -1,0 +1,156 @@
+// Synthetic benchmark generator tests: determinism, label consistency with
+// the oracle, suite shape, and layout ground-truth sanity.
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+#include "geom/rectset.hpp"
+
+namespace hsd::data {
+namespace {
+
+TEST(Motifs, AllKindsProduceGeometryInsideClip) {
+  GeneratorParams gp;
+  Rng rng(1);
+  const Rect win{0, 0, gp.clip.clipSide, gp.clip.clipSide};
+  for (int k = 0; k < int(MotifKind::kCount); ++k) {
+    for (const Risk r : {Risk::kSafe, Risk::kMarginal, Risk::kRisky}) {
+      const auto rects = makeMotif(MotifKind(k), r, AmbitStyle::kSparse,
+                                   gp.dims, gp.clip, rng);
+      EXPECT_FALSE(rects.empty()) << k;
+      for (const Rect& rect : rects) {
+        EXPECT_TRUE(win.contains(rect)) << k;
+        EXPECT_FALSE(rect.empty());
+      }
+    }
+  }
+}
+
+TEST(Motifs, WireFabricRespectsRegion) {
+  const auto rects = wireFabric({100, 200, 2000, 3000}, 180, 400, 50);
+  EXPECT_FALSE(rects.empty());
+  for (const Rect& r : rects) {
+    EXPECT_GE(r.lo.x, 100);
+    EXPECT_LE(r.hi.x, 2000);
+    EXPECT_EQ(r.lo.y, 200);
+    EXPECT_EQ(r.hi.y, 3000);
+    EXPECT_EQ(r.width(), 180);
+  }
+}
+
+TEST(Motifs, DeterministicGivenSeed) {
+  GeneratorParams gp;
+  Rng a(77), b(77);
+  const auto r1 = makeMotif(MotifKind::kUShape, Risk::kRisky,
+                            AmbitStyle::kDense, gp.dims, gp.clip, a);
+  const auto r2 = makeMotif(MotifKind::kUShape, Risk::kRisky,
+                            AmbitStyle::kDense, gp.dims, gp.clip, b);
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(TrainingSet, MeetsTargetsAndLabelsMatchOracle) {
+  GeneratorParams gp;
+  gp.seed = 4;
+  TrainingTargets t;
+  t.hotspots = 15;
+  t.nonHotspots = 50;
+  const auto set = generateTrainingSet(gp, t);
+  std::size_t hs = 0, nhs = 0;
+  const litho::LithoSimulator sim(gp.litho);
+  for (const Clip& c : set.clips) {
+    ASSERT_NE(c.label(), Label::kUnknown);
+    (c.label() == Label::kHotspot ? hs : nhs) += 1;
+    // Label must agree with a fresh oracle run.
+    EXPECT_EQ(c.label() == Label::kHotspot,
+              sim.isHotspot(c.rectsOn(gp.layer), c.window().core,
+                            c.window().clip));
+  }
+  EXPECT_EQ(hs, 15u);
+  EXPECT_EQ(nhs, 50u);
+}
+
+TEST(TrainingSet, DeterministicGivenSeed) {
+  GeneratorParams gp;
+  gp.seed = 9;
+  TrainingTargets t;
+  t.hotspots = 5;
+  t.nonHotspots = 20;
+  const auto a = generateTrainingSet(gp, t);
+  const auto b = generateTrainingSet(gp, t);
+  ASSERT_EQ(a.clips.size(), b.clips.size());
+  for (std::size_t i = 0; i < a.clips.size(); ++i) {
+    EXPECT_EQ(a.clips[i].label(), b.clips[i].label());
+    EXPECT_EQ(a.clips[i].rectsOn(1), b.clips[i].rectsOn(1));
+  }
+}
+
+TEST(TestLayoutGen, GroundTruthMatchesOracleResimulation) {
+  GeneratorParams gp;
+  gp.seed = 6;
+  const auto test = generateTestLayout(gp, 25000, 25000, 9, 0.7);
+  EXPECT_GT(test.motifSites, 0u);
+  EXPECT_GT(test.layout.polygonCount(), 10u);
+  // Every listed hotspot must re-verify against the full layout geometry.
+  const litho::LithoSimulator sim(gp.litho);
+  const auto& rects = test.layout.findLayer(gp.layer)->rects();
+  for (const ClipWindow& w : test.actualHotspots) {
+    std::vector<Rect> local;
+    for (const Rect& r : rects)
+      if (r.overlaps(w.clip)) local.push_back(r.intersect(w.clip));
+    EXPECT_TRUE(sim.isHotspot(local, w.core, w.clip));
+  }
+}
+
+TEST(TestLayoutGen, BackgroundIsMostlySafe) {
+  // Sample background cores away from motif sites: the oracle should call
+  // them non-hotspots (the fabric is drawn at safe dimensions).
+  GeneratorParams gp;
+  gp.seed = 13;
+  const auto test = generateTestLayout(gp, 25000, 25000, 0, 0.0);
+  EXPECT_TRUE(test.actualHotspots.empty());
+  const litho::LithoSimulator sim(gp.litho);
+  const auto& rects = test.layout.findLayer(gp.layer)->rects();
+  int hot = 0, checked = 0;
+  for (Coord x = 4000; x < 20000; x += 5000) {
+    for (Coord y = 4000; y < 20000; y += 5000) {
+      const ClipWindow w = ClipWindow::atCore({x, y}, gp.clip);
+      std::vector<Rect> local;
+      for (const Rect& r : rects)
+        if (r.overlaps(w.clip)) local.push_back(r.intersect(w.clip));
+      if (local.empty()) continue;
+      ++checked;
+      hot += sim.isHotspot(local, w.core, w.clip) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(checked, 4);
+  EXPECT_EQ(hot, 0) << "background fabric produced hotspots";
+}
+
+TEST(Suite, FiveBenchmarksShapedLikeTableI) {
+  const auto specs = iccad2012LikeSuite();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_TRUE(specs[0].node32);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_FALSE(specs[i].node32);
+  // Training imbalance: non-hotspots outnumber hotspots everywhere.
+  for (const auto& s : specs)
+    EXPECT_GT(s.targets.nonHotspots, s.targets.hotspots);
+  // benchmark3 is the largest training set, benchmark5 the smallest,
+  // mirroring Table I's ordering.
+  EXPECT_GT(specs[2].targets.hotspots, specs[0].targets.hotspots);
+  EXPECT_LT(specs[4].targets.hotspots, specs[3].targets.hotspots);
+}
+
+TEST(Suite, GenerateBenchmarkEndToEnd) {
+  auto spec = iccad2012LikeSuite()[4];  // smallest
+  spec.targets.hotspots = 8;
+  spec.targets.nonHotspots = 30;
+  spec.width = 24000;
+  spec.height = 24000;
+  spec.sites = 6;
+  const Benchmark b = generateBenchmark(spec);
+  EXPECT_EQ(b.process, "28nm");
+  EXPECT_EQ(b.training.clips.size(), 38u);
+  EXPECT_GT(b.test.layout.polygonCount(), 0u);
+}
+
+}  // namespace
+}  // namespace hsd::data

@@ -1,0 +1,89 @@
+// Double-patterning extension tests (Sec. IV-B): conflict-graph coloring,
+// native-conflict detection, and the three-set feature vector.
+#include <gtest/gtest.h>
+
+#include "core/dpt.hpp"
+
+namespace hsd::core {
+namespace {
+
+TEST(Dpt, AlternatingStripesTwoColor) {
+  // Four stripes at spacing 100 < limit 160: must alternate masks.
+  std::vector<Rect> stripes;
+  for (int i = 0; i < 4; ++i)
+    stripes.push_back({i * 200, 0, i * 200 + 100, 1000});
+  const DptDecomposition d = decomposeDpt(stripes, 160);
+  EXPECT_TRUE(d.decomposable);
+  EXPECT_EQ(d.mask1.size(), 2u);
+  EXPECT_EQ(d.mask2.size(), 2u);
+  // No two same-mask stripes are adjacent.
+  for (const auto& mask : {d.mask1, d.mask2})
+    for (std::size_t i = 0; i < mask.size(); ++i)
+      for (std::size_t j = i + 1; j < mask.size(); ++j)
+        EXPECT_GE(std::abs(mask[i].lo.x - mask[j].lo.x), 400);
+}
+
+TEST(Dpt, WellSpacedStaysOnOneMask) {
+  const DptDecomposition d =
+      decomposeDpt({{0, 0, 100, 100}, {500, 0, 600, 100}}, 160);
+  EXPECT_TRUE(d.decomposable);
+  EXPECT_EQ(d.mask1.size(), 2u);  // no conflict edge: both default color
+  EXPECT_TRUE(d.mask2.empty());
+}
+
+TEST(Dpt, TouchingRectsShareAMask) {
+  // Two abutting rects are one polygon: same mask even under conflicts.
+  const DptDecomposition d = decomposeDpt(
+      {{0, 0, 100, 100}, {100, 0, 200, 100}, {260, 0, 360, 100}}, 160);
+  EXPECT_TRUE(d.decomposable);
+  // The first two (touching) share a mask; the third conflicts with #2.
+  EXPECT_EQ(d.mask1.size(), 2u);
+  EXPECT_EQ(d.mask2.size(), 1u);
+}
+
+TEST(Dpt, OddCycleIsNativeConflict) {
+  // Three mutually-close squares: triangle in the conflict graph.
+  const DptDecomposition d = decomposeDpt(
+      {{0, 0, 100, 100}, {150, 0, 250, 100}, {75, 150, 175, 250}}, 160);
+  EXPECT_FALSE(d.decomposable);
+}
+
+TEST(Dpt, EmptyInput) {
+  const DptDecomposition d = decomposeDpt({}, 160);
+  EXPECT_TRUE(d.decomposable);
+  EXPECT_TRUE(d.mask1.empty());
+  EXPECT_TRUE(d.mask2.empty());
+}
+
+TEST(DptFeatures, DimensionAndFlag) {
+  DptParams p;
+  CorePattern pat;
+  pat.w = pat.h = 1200;
+  pat.rects = {{0, 0, 100, 1200}, {220, 0, 320, 1200}};
+  const auto v = buildDptFeatureVector(pat, p);
+  EXPECT_EQ(v.size(), dptFeatureDim(p));
+  EXPECT_EQ(v.back(), 1.0);  // decomposable
+
+  CorePattern conflict;
+  conflict.w = conflict.h = 1200;
+  conflict.rects = {{0, 0, 100, 100}, {150, 0, 250, 100}, {75, 150, 175, 250}};
+  EXPECT_EQ(buildDptFeatureVector(conflict, p).back(), 0.0);
+}
+
+TEST(DptFeatures, MaskSetsDifferFromFullSet) {
+  // For an alternating array, each mask sees relaxed pitch: its feature
+  // segment must differ from the full-pattern segment.
+  DptParams p;
+  CorePattern pat;
+  pat.w = pat.h = 1200;
+  for (int i = 0; i < 4; ++i)
+    pat.rects.push_back({i * 200, 0, i * 200 + 100, 1200});
+  const auto v = buildDptFeatureVector(pat, p);
+  const std::size_t d = p.features.dim();
+  const std::vector<double> mask1(v.begin(), v.begin() + d);
+  const std::vector<double> full(v.begin() + 2 * d, v.begin() + 3 * d);
+  EXPECT_NE(mask1, full);
+}
+
+}  // namespace
+}  // namespace hsd::core

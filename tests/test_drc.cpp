@@ -1,0 +1,160 @@
+// DRC engine tests: width/space/area rules, violation merging, connected
+// shapes, and the generator's background fabric being rule-clean.
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+#include "drc/drc.hpp"
+
+namespace hsd::drc {
+namespace {
+
+std::size_t countKind(const std::vector<Violation>& v, ViolationKind k) {
+  std::size_t n = 0;
+  for (const Violation& x : v) n += x.kind == k;
+  return n;
+}
+
+TEST(Drc, CleanLayoutNoViolations) {
+  DrcRules r;
+  r.minWidth = 100;
+  r.minSpace = 100;
+  const std::vector<Rect> rects{{0, 0, 200, 1000}, {400, 0, 600, 1000}};
+  EXPECT_TRUE(checkRects(rects, r).empty());
+}
+
+TEST(Drc, NarrowWireIsWidthViolation) {
+  DrcRules r;
+  r.minWidth = 120;
+  const auto v = checkRects({{0, 0, 80, 1000}}, r);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ViolationKind::kWidth);
+  EXPECT_EQ(v[0].value, 80);
+  EXPECT_EQ(v[0].limit, 120);
+  EXPECT_EQ(v[0].where, Rect(0, 0, 80, 1000));
+}
+
+TEST(Drc, TightGapIsSpaceViolation) {
+  DrcRules r;
+  r.minWidth = 50;
+  r.minSpace = 150;
+  const auto v = checkRects({{0, 0, 200, 1000}, {290, 0, 500, 1000}}, r);
+  ASSERT_EQ(countKind(v, ViolationKind::kSpace), 1u);
+  const Violation& sv = v.front();
+  EXPECT_EQ(sv.value, 90);
+  EXPECT_EQ(sv.where, Rect(200, 0, 290, 1000));
+}
+
+TEST(Drc, ViolationBoxesMergeAcrossBands) {
+  // A skinny vertical wire crossed by other geometry producing many bands
+  // must still report one merged width violation for the skinny part.
+  DrcRules r;
+  r.minWidth = 120;
+  r.minSpace = 10;
+  const std::vector<Rect> rects{
+      {0, 0, 80, 3000},          // skinny wire
+      {500, 1000, 900, 1200},    // unrelated far geometry (new band cuts)
+      {500, 2000, 900, 2300},
+  };
+  const auto v = checkRects(rects, r);
+  EXPECT_EQ(countKind(v, ViolationKind::kWidth), 1u);
+  for (const Violation& x : v) {
+    if (x.kind == ViolationKind::kWidth) {
+      EXPECT_EQ(x.where, Rect(0, 0, 80, 3000));
+    }
+  }
+}
+
+TEST(Drc, LShapeMeasuresBothArms) {
+  DrcRules r;
+  r.minWidth = 150;
+  // L with a 100-wide vertical arm and a 300-tall foot: only the arm's
+  // horizontal width violates.
+  const std::vector<Rect> rects{{0, 0, 1000, 300}, {0, 300, 100, 1200}};
+  const auto v = checkRects(rects, r);
+  ASSERT_GE(v.size(), 1u);
+  for (const Violation& x : v) {
+    EXPECT_EQ(x.kind, ViolationKind::kWidth);
+    EXPECT_LE(x.where.hi.x, 100);  // confined to the arm
+    EXPECT_GE(x.where.lo.y, 300);
+  }
+}
+
+TEST(Drc, JogGapMeasuredOncePerAxis) {
+  DrcRules r;
+  r.minWidth = 50;
+  r.minSpace = 200;
+  // Vertical gap of 120 between stacked plates.
+  const auto v = checkRects({{0, 0, 1000, 400}, {0, 520, 1000, 900}}, r);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ViolationKind::kSpace);
+  EXPECT_EQ(v[0].value, 120);
+}
+
+TEST(Drc, AreaRule) {
+  DrcRules r;
+  r.minWidth = 10;
+  r.minSpace = 10;
+  r.minArea = 100 * 100;
+  const auto v = checkRects({{0, 0, 50, 50}, {1000, 0, 1300, 1300}}, r);
+  ASSERT_EQ(countKind(v, ViolationKind::kArea), 1u);
+  for (const Violation& x : v)
+    if (x.kind == ViolationKind::kArea) {
+      EXPECT_EQ(x.value, 2500);
+      EXPECT_EQ(x.where, Rect(0, 0, 50, 50));
+    }
+}
+
+TEST(Drc, AbuttingRectsFormOneShape) {
+  DrcRules r;
+  r.minWidth = 10;
+  r.minSpace = 10;
+  r.minArea = 60 * 60;
+  // Two 50x50 squares sharing an edge: combined 5000 >= 3600 -> clean.
+  const auto v = checkRects({{0, 0, 50, 50}, {50, 0, 100, 50}}, r);
+  EXPECT_EQ(countKind(v, ViolationKind::kArea), 0u);
+}
+
+TEST(Drc, CornerTouchDoesNotConnect) {
+  const auto shapes =
+      connectedShapes({{0, 0, 50, 50}, {50, 50, 100, 100}});
+  EXPECT_EQ(shapes.size(), 2u);
+}
+
+TEST(Drc, ConnectedShapesTransitive) {
+  const auto shapes = connectedShapes(
+      {{0, 0, 50, 50}, {50, 0, 100, 50}, {100, 0, 150, 50}, {500, 0, 550, 50}});
+  ASSERT_EQ(shapes.size(), 2u);
+  EXPECT_EQ(shapes[0].size() + shapes[1].size(), 4u);
+}
+
+TEST(Drc, MaxViolationsCap) {
+  DrcRules r;
+  r.minWidth = 200;
+  std::vector<Rect> rects;
+  for (int i = 0; i < 20; ++i)
+    rects.push_back({i * 1000, 0, i * 1000 + 50, 500});
+  EXPECT_EQ(checkRects(rects, r, 5).size(), 5u);
+  EXPECT_EQ(checkRects(rects, r).size(), 20u);
+}
+
+TEST(Drc, GeneratorBackgroundIsRuleClean) {
+  // The synthetic background fabric must satisfy the process's safe rules
+  // (the hotspots come from motifs, not sloppy background).
+  data::GeneratorParams gp;
+  gp.seed = 41;
+  const auto test = data::generateTestLayout(gp, 25000, 25000, 0, 0.0);
+  DrcRules r;
+  r.minWidth = gp.dims.safeWidth - gp.dims.jitter;
+  r.minSpace = gp.dims.safeSpace - gp.dims.jitter;
+  const auto v = checkLayout(test.layout, gp.layer, r, 10);
+  EXPECT_TRUE(v.empty()) << v.size() << " violations, first at "
+                         << v.front().where;
+}
+
+TEST(Drc, LayoutWithoutLayerIsClean) {
+  const Layout empty;
+  EXPECT_TRUE(checkLayout(empty, 1, DrcRules{}).empty());
+}
+
+}  // namespace
+}  // namespace hsd::drc

@@ -1,0 +1,147 @@
+// End-to-end integration tests: train on a generated set, evaluate a
+// generated layout, score; checks the paper's qualitative claims (decent
+// accuracy, removal reduces reports without losing hits, feedback reduces
+// extras, bias trades accuracy for extras).
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/metrics.hpp"
+#include "data/generator.hpp"
+
+namespace hsd::core {
+namespace {
+
+struct Fixture {
+  gds::ClipSet training;
+  data::TestLayout test;
+  Detector detector;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture out;
+    data::GeneratorParams gp;
+    gp.seed = 2024;
+    data::TrainingTargets t;
+    t.hotspots = 40;
+    t.nonHotspots = 160;
+    out.training = data::generateTrainingSet(gp, t);
+    out.test = data::generateTestLayout(gp, 36000, 36000, 25, 0.6);
+    out.detector = trainDetector(out.training.clips, TrainParams{});
+    return out;
+  }();
+  return f;
+}
+
+TEST(Evaluator, EndToEndAccuracy) {
+  const Fixture& f = fixture();
+  ASSERT_GE(f.test.actualHotspots.size(), 3u);
+  const EvalResult res = evaluateLayout(f.detector, f.test.layout, {});
+  const Score s = scoreReports(res.reported, f.test.actualHotspots);
+  // The paper reports 85-98% accuracy; demand a solid floor here.
+  EXPECT_GE(s.accuracy(), 0.7)
+      << s.hits << "/" << s.actualHotspots << " extras=" << s.extras;
+  EXPECT_GT(res.candidateClips, 0u);
+}
+
+TEST(Evaluator, RemovalReducesReportsKeepsHits) {
+  const Fixture& f = fixture();
+  EvalParams with;
+  EvalParams without = with;
+  without.useRemoval = false;
+  const EvalResult a = evaluateLayout(f.detector, f.test.layout, with);
+  const EvalResult b = evaluateLayout(f.detector, f.test.layout, without);
+  const Score sa = scoreReports(a.reported, f.test.actualHotspots);
+  const Score sb = scoreReports(b.reported, f.test.actualHotspots);
+  EXPECT_LE(a.reported.size(), b.reported.size());
+  EXPECT_GE(sa.hits + 1, sb.hits);  // at most one borderline hit lost
+}
+
+TEST(Evaluator, BiasSweepIsMonotoneInReports) {
+  const Fixture& f = fixture();
+  std::size_t last = std::size_t(-1);
+  for (const double bias : {-0.5, 0.0, 0.5, 2.0}) {
+    EvalParams ep;
+    ep.decisionBias = bias;
+    ep.useRemoval = false;
+    const EvalResult res = evaluateLayout(f.detector, f.test.layout, ep);
+    EXPECT_LE(res.flaggedBeforeRemoval, last);
+    last = res.flaggedBeforeRemoval;
+  }
+}
+
+TEST(Evaluator, EmptyLayoutYieldsNothing) {
+  const Fixture& f = fixture();
+  const Layout empty;
+  const EvalResult res = evaluateLayout(f.detector, empty, {});
+  EXPECT_TRUE(res.reported.empty());
+  EXPECT_EQ(res.candidateClips, 0u);
+}
+
+TEST(Evaluator, ThreadedEvaluationMatchesSerial) {
+  const Fixture& f = fixture();
+  EvalParams p1;
+  p1.threads = 1;
+  EvalParams p4 = p1;
+  p4.threads = 4;
+  const EvalResult a = evaluateLayout(f.detector, f.test.layout, p1);
+  const EvalResult b = evaluateLayout(f.detector, f.test.layout, p4);
+  EXPECT_EQ(a.reported, b.reported);
+}
+
+TEST(Evaluator, CandidateReuseMatchesFullRun) {
+  const Fixture& f = fixture();
+  const Layer* l = f.test.layout.findLayer(1);
+  ASSERT_NE(l, nullptr);
+  EvalParams ep;
+  const GridIndex index(l->rects(), ep.extract.clip.clipSide);
+  const auto candidates = extractCandidateClips(index, ep.extract);
+  const EvalResult viaCandidates =
+      evaluateCandidates(f.detector, index, candidates, ep);
+  const EvalResult full = evaluateLayout(f.detector, f.test.layout, ep);
+  EXPECT_EQ(viaCandidates.reported, full.reported);
+}
+
+TEST(Evaluator, RankedReportsSortedAndComplete) {
+  const Fixture& f = fixture();
+  const Layer* l = f.test.layout.findLayer(1);
+  ASSERT_NE(l, nullptr);
+  const GridIndex idx(l->rects(), 4800);
+  const EvalResult res = evaluateLayout(f.detector, f.test.layout, {});
+  const auto ranked = rankReports(f.detector, idx, res.reported);
+  ASSERT_EQ(ranked.size(), res.reported.size());
+  for (std::size_t i = 0; i + 1 < ranked.size(); ++i)
+    EXPECT_GE(ranked[i].probability, ranked[i + 1].probability);
+  for (const auto& r : ranked) {
+    EXPECT_GE(r.probability, 0.0);
+    EXPECT_LE(r.probability, 1.0);
+  }
+}
+
+TEST(Evaluator, WindowScanFindsAtLeastAsManyHits) {
+  // Full scanning is the slow superset of extraction: it must not miss
+  // hotspots that extraction-based evaluation finds.
+  const Fixture& f = fixture();
+  EvalParams ep;
+  const EvalResult fast = evaluateLayout(f.detector, f.test.layout, ep);
+  const EvalResult scan =
+      evaluateLayoutWindowScan(f.detector, f.test.layout, ep, 0.5);
+  const Score sf = scoreReports(fast.reported, f.test.actualHotspots);
+  const Score ss = scoreReports(scan.reported, f.test.actualHotspots);
+  EXPECT_GE(ss.hits + 1, sf.hits);  // allow one boundary-alignment wobble
+  EXPECT_GT(scan.candidateClips, fast.candidateClips);
+}
+
+TEST(Evaluator, DetectorPersistenceKeepsResults) {
+  const Fixture& f = fixture();
+  std::stringstream ss;
+  f.detector.save(ss);
+  const Detector re = Detector::load(ss);
+  EvalParams ep;
+  const EvalResult a = evaluateLayout(f.detector, f.test.layout, ep);
+  const EvalResult b = evaluateLayout(re, f.test.layout, ep);
+  EXPECT_EQ(a.reported, b.reported);
+}
+
+}  // namespace
+}  // namespace hsd::core

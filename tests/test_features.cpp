@@ -1,0 +1,162 @@
+// Critical feature extraction tests: rule-rectangle kinds on constructed
+// patterns, fixed-length layout, canonical-orientation invariance, and the
+// five non-topological features.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/features.hpp"
+
+namespace hsd::core {
+namespace {
+
+CorePattern pattern(Coord w, Coord h, std::vector<Rect> rects) {
+  CorePattern p;
+  p.w = w;
+  p.h = h;
+  p.rects = std::move(rects);
+  return p;
+}
+
+std::size_t countKind(const std::vector<RuleRect>& rules, FeatKind k) {
+  std::size_t n = 0;
+  for (const RuleRect& r : rules) n += r.kind == k;
+  return n;
+}
+
+TEST(Features, IsolatedBlockYieldsInternal) {
+  const auto rules =
+      extractRuleRects(pattern(100, 100, {{40, 30, 60, 70}}));
+  EXPECT_GE(countKind(rules, FeatKind::kInternal), 1u);
+  // The internal rule records the block's dimensions.
+  bool found = false;
+  for (const RuleRect& r : rules)
+    if (r.kind == FeatKind::kInternal && r.w == 20 && r.h == 40 &&
+        r.dx == 40 && r.dy == 30)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Features, SpaceBetweenBlocksYieldsExternal) {
+  // Two blocks with a 10-wide gap spanning the same band.
+  const auto rules = extractRuleRects(
+      pattern(100, 100, {{10, 40, 40, 60}, {50, 40, 80, 60}}));
+  bool found = false;
+  for (const RuleRect& r : rules)
+    if (r.kind == FeatKind::kExternal && r.w == 10) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Features, DiagonalCornerGapRecorded) {
+  const auto rules = extractRuleRects(
+      pattern(100, 100, {{0, 0, 30, 30}, {60, 60, 100, 100}}));
+  bool found = false;
+  for (const RuleRect& r : rules)
+    if (r.kind == FeatKind::kDiagonal && r.w == 30 && r.h == 30)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Features, SegmentTilesAtBoundary) {
+  // A block strip across the middle creates space tiles touching 3 window
+  // boundaries above and below.
+  const auto rules =
+      extractRuleRects(pattern(100, 100, {{0, 40, 100, 60}}));
+  EXPECT_EQ(countKind(rules, FeatKind::kSegment), 2u);
+}
+
+TEST(Features, EmptyPatternHasOnlySegment) {
+  const auto rules = extractRuleRects(pattern(100, 100, {}));
+  EXPECT_EQ(countKind(rules, FeatKind::kInternal), 0u);
+  EXPECT_EQ(countKind(rules, FeatKind::kExternal), 0u);
+  EXPECT_EQ(countKind(rules, FeatKind::kDiagonal), 0u);
+}
+
+TEST(Features, VectorHasConfiguredDimension) {
+  FeatureParams fp;
+  const CorePattern p = pattern(100, 100, {{10, 10, 40, 90}});
+  EXPECT_EQ(buildFeatureVector(p, fp).size(), fp.dim());
+  fp.densityGridN = 8;
+  EXPECT_EQ(buildFeatureVector(p, fp).size(), fp.dim());
+  EXPECT_EQ(fp.dim(), (8 + 8 + 4 + 4) * 5 + 5 + 64);
+}
+
+TEST(Features, PaddingUsesSentinel) {
+  FeatureParams fp;
+  const auto v = buildFeatureVector(pattern(100, 100, {}), fp);
+  // No internal features: the first maxInternal*5 slots are all sentinel.
+  for (std::size_t i = 0; i < fp.maxInternal * 5; ++i)
+    EXPECT_EQ(v[i], -1.0);
+}
+
+TEST(Features, CanonicalizeMakesVectorOrientationInvariant) {
+  FeatureParams fp;
+  fp.canonicalize = true;
+  const CorePattern base =
+      pattern(120, 120, {{0, 0, 80, 30}, {0, 30, 30, 100}});
+  const auto ref = buildFeatureVector(base, fp);
+  for (const Orient o : kAllOrients)
+    EXPECT_EQ(buildFeatureVector(base.transformed(o), fp), ref)
+        << toString(o);
+}
+
+TEST(Features, WithoutCanonicalizeOrientationMatters) {
+  FeatureParams fp;
+  fp.canonicalize = false;
+  const CorePattern base =
+      pattern(120, 120, {{0, 0, 80, 30}, {0, 30, 30, 100}});
+  EXPECT_NE(buildFeatureVector(base.transformed(Orient::R90), fp),
+            buildFeatureVector(base, fp));
+}
+
+TEST(Features, SameTopologySameFeatureCounts) {
+  // Two patterns with identical topology but different dimensions yield
+  // the same number of rule rects of each kind (the property the per-
+  // cluster kernels rely on).
+  const auto a = extractRuleRects(
+      pattern(100, 100, {{10, 40, 40, 60}, {50, 40, 80, 60}}));
+  const auto b = extractRuleRects(
+      pattern(100, 100, {{5, 35, 42, 65}, {55, 35, 85, 65}}));
+  for (const FeatKind k :
+       {FeatKind::kInternal, FeatKind::kExternal, FeatKind::kDiagonal,
+        FeatKind::kSegment})
+    EXPECT_EQ(countKind(a, k), countKind(b, k));
+}
+
+TEST(NonTopo, SingleRect) {
+  const NonTopoFeatures f =
+      extractNonTopo(pattern(100, 100, {{10, 10, 30, 90}}));
+  EXPECT_EQ(f.corners, 4);
+  EXPECT_EQ(f.touchPoints, 0);
+  EXPECT_EQ(f.minInternal, 20);
+  EXPECT_EQ(f.minExternal, 0);  // no facing pair
+  EXPECT_NEAR(f.density, 20.0 * 80 / (100.0 * 100), 1e-12);
+}
+
+TEST(NonTopo, FacingPairSpacing) {
+  const NonTopoFeatures f = extractNonTopo(
+      pattern(100, 100, {{0, 0, 30, 100}, {45, 0, 100, 100}}));
+  EXPECT_EQ(f.minExternal, 15);
+  EXPECT_EQ(f.corners, 8);
+}
+
+TEST(NonTopo, EmptyPattern) {
+  const NonTopoFeatures f = extractNonTopo(pattern(100, 100, {}));
+  EXPECT_EQ(f.corners, 0);
+  EXPECT_EQ(f.density, 0.0);
+}
+
+TEST(FeaturesProperty, VectorDeterministicUnderRectShuffle) {
+  std::mt19937 rng(55);
+  FeatureParams fp;
+  std::vector<Rect> rects{{0, 0, 20, 20}, {40, 0, 60, 30}, {0, 50, 90, 70},
+                          {70, 80, 100, 100}};
+  const auto ref = buildFeatureVector(pattern(100, 100, rects), fp);
+  for (int i = 0; i < 10; ++i) {
+    std::shuffle(rects.begin(), rects.end(), rng);
+    EXPECT_EQ(buildFeatureVector(pattern(100, 100, rects), fp), ref);
+  }
+}
+
+}  // namespace
+}  // namespace hsd::core

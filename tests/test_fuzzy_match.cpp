@@ -1,0 +1,87 @@
+// Fuzzy pattern-matching baseline tests: template building, tolerance
+// behavior, orientation invariance, and the precise-on-seen /
+// limited-on-unseen contrast the paper draws against pattern matching.
+#include <gtest/gtest.h>
+
+#include "core/fuzzy_match.hpp"
+
+namespace hsd::core {
+namespace {
+
+const ClipParams kP;
+
+Clip lineClip(Coord w, Label label, Coord jx = 0) {
+  Clip c(ClipWindow::atCore({1800, 1800}, kP), label);
+  const Coord x = 2400 - w / 2 + jx;
+  c.setRects(1, {{x, 0, x + w, 4800}});
+  return c;
+}
+
+Clip lClip(Label label) {
+  Clip c(ClipWindow::atCore({1800, 1800}, kP), label);
+  c.setRects(1, {{1900, 1900, 2800, 2100}, {1900, 2100, 2100, 2900}});
+  return c;
+}
+
+TEST(FuzzyMatch, MatchesSeenPatternExactly) {
+  const std::vector<Clip> training{lineClip(110, Label::kHotspot)};
+  const FuzzyMatcher m = FuzzyMatcher::train(training, {});
+  EXPECT_EQ(m.templateCount(), 1u);
+  EXPECT_TRUE(m.evaluateClip(lineClip(110, Label::kUnknown)));
+  EXPECT_DOUBLE_EQ(
+      m.nearestDistance(CorePattern::fromCore(training[0], 1)), 0.0);
+}
+
+TEST(FuzzyMatch, ToleranceAbsorbsSmallPerturbations) {
+  const std::vector<Clip> training{lineClip(110, Label::kHotspot)};
+  FuzzyMatchParams p;
+  p.tolerance = 9.0;
+  const FuzzyMatcher m = FuzzyMatcher::train(training, p);
+  EXPECT_TRUE(m.evaluateClip(lineClip(118, Label::kUnknown, 20)));
+}
+
+TEST(FuzzyMatch, UnseenTopologyRejected) {
+  const std::vector<Clip> training{lineClip(110, Label::kHotspot)};
+  const FuzzyMatcher m = FuzzyMatcher::train(training, {});
+  EXPECT_FALSE(m.evaluateClip(lClip(Label::kUnknown)));
+}
+
+TEST(FuzzyMatch, NonHotspotsIgnoredInTraining) {
+  const std::vector<Clip> training{lineClip(110, Label::kNonHotspot),
+                                   lClip(Label::kNonHotspot)};
+  const FuzzyMatcher m = FuzzyMatcher::train(training, {});
+  EXPECT_EQ(m.templateCount(), 0u);
+  EXPECT_FALSE(m.evaluateClip(lineClip(110, Label::kUnknown)));
+}
+
+TEST(FuzzyMatch, DedupeCollapsesNearDuplicates) {
+  std::vector<Clip> training;
+  for (int i = 0; i < 10; ++i)
+    training.push_back(lineClip(110, Label::kHotspot, i));  // ~identical
+  FuzzyMatchParams p;
+  p.dedupeTemplates = true;
+  EXPECT_EQ(FuzzyMatcher::train(training, p).templateCount(), 1u);
+  p.dedupeTemplates = false;
+  EXPECT_EQ(FuzzyMatcher::train(training, p).templateCount(), 10u);
+}
+
+TEST(FuzzyMatch, OrientationInvariantViaD8Distance) {
+  const std::vector<Clip> training{lClip(Label::kHotspot)};
+  const FuzzyMatcher m = FuzzyMatcher::train(training, {});
+  const CorePattern base = CorePattern::fromCore(training[0], 1);
+  for (const Orient o : kAllOrients)
+    EXPECT_TRUE(m.matches(base.transformed(o))) << toString(o);
+}
+
+TEST(FuzzyMatch, ZeroToleranceOnlyExact) {
+  const std::vector<Clip> training{lineClip(110, Label::kHotspot)};
+  FuzzyMatchParams p;
+  p.tolerance = 0.0;
+  p.dedupeTemplates = false;
+  const FuzzyMatcher m = FuzzyMatcher::train(training, p);
+  EXPECT_TRUE(m.evaluateClip(lineClip(110, Label::kUnknown)));
+  EXPECT_FALSE(m.evaluateClip(lineClip(150, Label::kUnknown)));
+}
+
+}  // namespace
+}  // namespace hsd::core

@@ -1,0 +1,208 @@
+// GDSII and ASCII format tests: real8 codec, stream round trips,
+// hierarchy flattening with Manhattan transforms, clip-set persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gds/ascii.hpp"
+#include "gds/gdsii.hpp"
+#include "gds/real8.hpp"
+#include "geom/rectset.hpp"
+
+namespace hsd::gds {
+namespace {
+
+TEST(Real8, RoundTripCommonValues) {
+  for (const double v : {0.0, 1.0, -1.0, 0.001, 1e-9, 1e-3, 2.5, -1234.5,
+                         6.25e-10, 1e12}) {
+    const double back = decodeReal8(encodeReal8(v));
+    EXPECT_NEAR(back, v, std::abs(v) * 1e-12 + 1e-300) << v;
+  }
+}
+
+TEST(Real8, KnownEncoding) {
+  // 1.0 = 16^1 * (1/16): exponent 65, mantissa 0x10000000000000.
+  EXPECT_EQ(encodeReal8(1.0), 0x4110000000000000ULL);
+  EXPECT_DOUBLE_EQ(decodeReal8(0x4110000000000000ULL), 1.0);
+  // Sign bit.
+  EXPECT_DOUBLE_EQ(decodeReal8(0xC110000000000000ULL), -1.0);
+}
+
+Layout sampleLayout() {
+  Layout l("TESTTOP");
+  l.addRect(1, {0, 0, 100, 200});
+  l.addRect(1, {300, 0, 400, 500});
+  l.addRect(2, {-50, -50, 20, 20});
+  l.addPolygon(1, Polygon({{500, 0}, {700, 0}, {700, 100}, {600, 100},
+                           {600, 300}, {500, 300}}));
+  return l;
+}
+
+TEST(Gdsii, WriteReadRoundTrip) {
+  const Layout in = sampleLayout();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  writeGdsii(ss, in);
+  const Layout out = readGdsii(ss);
+
+  EXPECT_EQ(out.name(), "TESTTOP");
+  ASSERT_NE(out.findLayer(1), nullptr);
+  ASSERT_NE(out.findLayer(2), nullptr);
+  EXPECT_EQ(out.findLayer(1)->polygonCount(), 3u);
+  EXPECT_EQ(out.findLayer(2)->polygonCount(), 1u);
+  // Geometry identical: compare union areas per layer.
+  EXPECT_EQ(unionArea(out.findLayer(1)->rects()),
+            unionArea(in.findLayer(1)->rects()));
+  EXPECT_EQ(out.bbox(), in.bbox());
+}
+
+TEST(Gdsii, RejectsGarbage) {
+  std::stringstream ss("this is not a gds stream at all............");
+  EXPECT_THROW(readGdsii(ss), GdsError);
+}
+
+TEST(Gdsii, EmptyLayoutRoundTrips) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  writeGdsii(ss, Layout("EMPTY"));
+  const Layout out = readGdsii(ss);
+  EXPECT_EQ(out.polygonCount(), 0u);
+}
+
+// Hand-build a tiny hierarchical GDS: child structure with one rect,
+// parent referencing it twice (translated; one rotated 90).
+void putU16(std::ostream& os, std::uint16_t v) {
+  const char b[2] = {char(v >> 8), char(v & 0xff)};
+  os.write(b, 2);
+}
+void putRec(std::ostream& os, std::uint16_t type,
+            const std::vector<std::uint8_t>& d = {}) {
+  putU16(os, std::uint16_t(4 + d.size()));
+  putU16(os, type);
+  os.write(reinterpret_cast<const char*>(d.data()), std::streamsize(d.size()));
+}
+std::vector<std::uint8_t> i16s(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> d;
+  for (int v : vals) {
+    d.push_back(std::uint8_t(std::uint16_t(v) >> 8));
+    d.push_back(std::uint8_t(v & 0xff));
+  }
+  return d;
+}
+std::vector<std::uint8_t> i32s(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> d;
+  for (int v : vals) {
+    const auto u = std::uint32_t(v);
+    d.push_back(std::uint8_t(u >> 24));
+    d.push_back(std::uint8_t((u >> 16) & 0xff));
+    d.push_back(std::uint8_t((u >> 8) & 0xff));
+    d.push_back(std::uint8_t(u & 0xff));
+  }
+  return d;
+}
+std::vector<std::uint8_t> str(const std::string& s) {
+  std::vector<std::uint8_t> d(s.begin(), s.end());
+  if (d.size() % 2) d.push_back(0);
+  return d;
+}
+std::vector<std::uint8_t> real8(double v) {
+  std::vector<std::uint8_t> d;
+  const std::uint64_t raw = encodeReal8(v);
+  for (int b = 7; b >= 0; --b) d.push_back(std::uint8_t((raw >> (8 * b)) & 0xff));
+  return d;
+}
+
+TEST(Gdsii, SrefFlatteningWithRotation) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  putRec(ss, 0x0002, i16s({600}));
+  putRec(ss, 0x0102, i16s({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  putRec(ss, 0x0206, str("LIB"));
+  putRec(ss, 0x0305, [&] {
+    auto d = real8(1e-3);
+    auto d2 = real8(1e-9);
+    d.insert(d.end(), d2.begin(), d2.end());
+    return d;
+  }());
+  // child CELL: rect 0..10 x 0..20 on layer 1
+  putRec(ss, 0x0502, i16s({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  putRec(ss, 0x0606, str("CELL"));
+  putRec(ss, 0x0800);
+  putRec(ss, 0x0D02, i16s({1}));
+  putRec(ss, 0x0E02, i16s({0}));
+  putRec(ss, 0x1003, i32s({0, 0, 10, 0, 10, 20, 0, 20, 0, 0}));
+  putRec(ss, 0x1100);
+  putRec(ss, 0x0700);
+  // parent TOP: SREF at (100,0), SREF rotated 90 at (0,100)
+  putRec(ss, 0x0502, i16s({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  putRec(ss, 0x0606, str("TOP"));
+  putRec(ss, 0x0A00);
+  putRec(ss, 0x1206, str("CELL"));
+  putRec(ss, 0x1003, i32s({100, 0}));
+  putRec(ss, 0x1100);
+  putRec(ss, 0x0A00);
+  putRec(ss, 0x1206, str("CELL"));
+  putRec(ss, 0x1A01, i16s({0}));
+  putRec(ss, 0x1C05, real8(90.0));
+  putRec(ss, 0x1003, i32s({0, 100}));
+  putRec(ss, 0x1100);
+  putRec(ss, 0x0700);
+  putRec(ss, 0x0400);
+
+  const Layout out = readGdsii(ss);
+  EXPECT_EQ(out.name(), "TOP");
+  ASSERT_NE(out.findLayer(1), nullptr);
+  EXPECT_EQ(out.findLayer(1)->polygonCount(), 2u);
+  const auto& rects = out.findLayer(1)->rects();
+  // Instance 1: translated to [100,110]x[0,20]; instance 2: rotated 90 ccw
+  // then shifted to (0,100): (x,y)->(-y,x)+(0,100) = [-20,0]x[100,110].
+  EXPECT_EQ(unionArea(rects), 2 * 200);
+  Rect bb = rects.front();
+  for (const Rect& r : rects) bb = bb.unite(r);
+  EXPECT_EQ(bb, Rect(-20, 0, 110, 110));
+}
+
+TEST(AsciiLayout, RoundTrip) {
+  const Layout in = sampleLayout();
+  std::stringstream ss;
+  writeAsciiLayout(ss, in);
+  const Layout out = readAsciiLayout(ss);
+  EXPECT_EQ(out.name(), in.name());
+  EXPECT_EQ(out.polygonCount(), in.polygonCount());
+  EXPECT_EQ(unionArea(out.findLayer(1)->rects()),
+            unionArea(in.findLayer(1)->rects()));
+}
+
+TEST(AsciiLayout, BadLineThrows) {
+  std::stringstream ss("layout X\nrect 1 2 3\n");
+  EXPECT_THROW(readAsciiLayout(ss), GdsError);
+}
+
+TEST(ClipSet, RoundTrip) {
+  ClipSet set;
+  set.name = "train";
+  set.params = ClipParams{};
+  Clip a(ClipWindow::atCore({1800, 1800}, set.params), Label::kHotspot);
+  a.setRects(1, {{0, 0, 200, 4800}, {1900, 1900, 2100, 2500}});
+  Clip b(ClipWindow::atCore({1800, 1800}, set.params), Label::kNonHotspot);
+  b.setRects(1, {{100, 100, 4700, 300}});
+  b.setRects(3, {{0, 0, 50, 50}});
+  set.clips = {a, b};
+
+  std::stringstream ss;
+  writeClipSet(ss, set);
+  const ClipSet out = readClipSet(ss);
+  EXPECT_EQ(out.name, "train");
+  EXPECT_EQ(out.params, set.params);
+  ASSERT_EQ(out.clips.size(), 2u);
+  EXPECT_EQ(out.clips[0].label(), Label::kHotspot);
+  EXPECT_EQ(out.clips[1].label(), Label::kNonHotspot);
+  EXPECT_EQ(out.clips[0].window(), a.window());
+  EXPECT_EQ(out.clips[0].rectsOn(1), a.rectsOn(1));
+  EXPECT_EQ(out.clips[1].rectsOn(3), b.rectsOn(3));
+}
+
+TEST(ClipSet, MissingEndclipThrows) {
+  std::stringstream ss("clipset x 1200 4800\nclip 1 0 0\nrect 0 0 1 1\n");
+  EXPECT_THROW(readClipSet(ss), GdsError);
+}
+
+}  // namespace
+}  // namespace hsd::gds

@@ -1,0 +1,143 @@
+// Unit tests for points, rects and intervals.
+#include <gtest/gtest.h>
+
+#include "geom/interval.hpp"
+#include "geom/rect.hpp"
+#include "geom/types.hpp"
+
+namespace hsd {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{3, 4};
+  const Point b{-1, 2};
+  EXPECT_EQ(a + b, Point(2, 6));
+  EXPECT_EQ(a - b, Point(4, 2));
+  EXPECT_EQ(manhattan(a, b), 4 + 2);
+  EXPECT_EQ(manhattan(b, a), 6);
+}
+
+TEST(Rect, NormalizingConstructor) {
+  const Rect r{10, 20, 2, 5};
+  EXPECT_EQ(r.lo, Point(2, 5));
+  EXPECT_EQ(r.hi, Point(10, 20));
+  EXPECT_EQ(r.width(), 8);
+  EXPECT_EQ(r.height(), 15);
+  EXPECT_EQ(r.area(), 120);
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Rect, DegenerateIsEmptyButValid) {
+  const Rect line{0, 0, 10, 0};
+  EXPECT_TRUE(line.valid());
+  EXPECT_TRUE(line.empty());
+  EXPECT_EQ(line.area(), 0);
+}
+
+TEST(Rect, ContainsPointIncludesBoundary) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 10}));
+  EXPECT_TRUE(r.contains(Point{5, 5}));
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+  EXPECT_FALSE(r.contains(Point{5, -1}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(Rect{0, 0, 10, 10}));
+  EXPECT_TRUE(outer.contains(Rect{2, 2, 8, 8}));
+  EXPECT_FALSE(outer.contains(Rect{2, 2, 11, 8}));
+}
+
+TEST(Rect, OverlapVsTouch) {
+  const Rect a{0, 0, 10, 10};
+  const Rect edge{10, 0, 20, 10};   // shares the x=10 edge
+  const Rect corner{10, 10, 20, 20};  // shares one corner
+  const Rect inside{5, 5, 15, 15};
+  EXPECT_FALSE(a.overlaps(edge));
+  EXPECT_TRUE(a.touches(edge));
+  EXPECT_FALSE(a.overlaps(corner));
+  EXPECT_TRUE(a.touches(corner));
+  EXPECT_TRUE(a.overlaps(inside));
+  EXPECT_EQ(a.overlapArea(inside), 25);
+  EXPECT_EQ(a.overlapArea(edge), 0);
+}
+
+TEST(Rect, IntersectAndUnite) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, -5, 20, 5};
+  const Rect i = a.intersect(b);
+  EXPECT_EQ(i, Rect(5, 0, 10, 5));
+  EXPECT_EQ(a.unite(b), Rect(0, -5, 20, 10));
+}
+
+TEST(Rect, IntersectDisjointIsInvalid) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{20, 20, 30, 30};
+  EXPECT_FALSE(a.intersect(b).valid());
+}
+
+TEST(Rect, TranslateInflate) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_EQ(r.translated({3, -2}), Rect(3, -2, 13, 8));
+  EXPECT_EQ(r.inflated(5), Rect(-5, -5, 15, 15));
+  EXPECT_EQ(r.inflated(-2), Rect(2, 2, 8, 8));
+}
+
+TEST(Rect, BoundingBoxOfRange) {
+  const std::vector<Rect> rs{{0, 0, 1, 1}, {5, -3, 6, 0}, {2, 2, 3, 9}};
+  const auto bb = boundingBox(rs.begin(), rs.end());
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_EQ(*bb, Rect(0, -3, 6, 9));
+  const std::vector<Rect> empty;
+  EXPECT_FALSE(boundingBox(empty.begin(), empty.end()).has_value());
+}
+
+TEST(Interval, MergeOverlappingAndTouching) {
+  std::vector<Interval> iv{{5, 8}, {0, 2}, {2, 4}, {7, 10}, {20, 21}};
+  const auto merged = mergeIntervals(std::move(iv));
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], Interval(0, 4));
+  EXPECT_EQ(merged[1], Interval(5, 10));
+  EXPECT_EQ(merged[2], Interval(20, 21));
+  EXPECT_EQ(totalLength(merged), 4 + 5 + 1);
+}
+
+TEST(Interval, MergeDropsEmpty) {
+  std::vector<Interval> iv{{3, 3}, {5, 4}, {0, 1}};
+  const auto merged = mergeIntervals(std::move(iv));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], Interval(0, 1));
+}
+
+TEST(Interval, Complement) {
+  const std::vector<Interval> iv{{2, 4}, {6, 8}};
+  const auto comp = complementIntervals(iv, {0, 10});
+  ASSERT_EQ(comp.size(), 3u);
+  EXPECT_EQ(comp[0], Interval(0, 2));
+  EXPECT_EQ(comp[1], Interval(4, 6));
+  EXPECT_EQ(comp[2], Interval(8, 10));
+}
+
+TEST(Interval, ComplementOfEmptyIsDomain) {
+  const auto comp = complementIntervals({}, {3, 7});
+  ASSERT_EQ(comp.size(), 1u);
+  EXPECT_EQ(comp[0], Interval(3, 7));
+}
+
+TEST(Interval, ComplementClipsOutOfDomain) {
+  const std::vector<Interval> iv{{-5, 2}, {8, 15}};
+  const auto comp = complementIntervals(iv, {0, 10});
+  ASSERT_EQ(comp.size(), 1u);
+  EXPECT_EQ(comp[0], Interval(2, 8));
+}
+
+TEST(Interval, ComplementFullCoverIsEmpty) {
+  const std::vector<Interval> iv{{0, 10}};
+  EXPECT_TRUE(complementIntervals(iv, {0, 10}).empty());
+}
+
+}  // namespace
+}  // namespace hsd

@@ -1,0 +1,114 @@
+// Density grid tests: exact pixel fractions, mean density, and the D8
+// minimum-distance metric of Eq. (1).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/density_grid.hpp"
+
+namespace hsd {
+namespace {
+
+TEST(DensityGrid, FullCoverIsAllOnes) {
+  const Rect win{0, 0, 120, 120};
+  const DensityGrid g({{0, 0, 120, 120}}, win, 12, 12);
+  for (double v : g.values()) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 1.0);
+}
+
+TEST(DensityGrid, EmptyIsAllZeros) {
+  const DensityGrid g({}, {0, 0, 120, 120}, 12, 12);
+  for (double v : g.values()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(DensityGrid, PartialPixelFraction) {
+  // One rect covering exactly half of pixel (0,0): pixel is 10x10, rect 10x5.
+  const DensityGrid g({{0, 0, 10, 5}}, {0, 0, 100, 100}, 10, 10);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 0.0);
+}
+
+TEST(DensityGrid, MeanMatchesAreaFraction) {
+  const Rect win{0, 0, 100, 100};
+  const DensityGrid g({{0, 0, 50, 100}}, win, 10, 10);
+  EXPECT_NEAR(g.mean(), 0.5, 1e-12);
+}
+
+TEST(DensityGrid, DistanceToSelfIsZero) {
+  const Rect win{0, 0, 120, 120};
+  const DensityGrid g({{10, 10, 60, 110}}, win, 12, 12);
+  EXPECT_DOUBLE_EQ(g.distance(g), 0.0);
+}
+
+TEST(DensityGrid, DistanceIsSymmetric) {
+  const Rect win{0, 0, 120, 120};
+  const DensityGrid a({{10, 10, 60, 110}}, win, 12, 12);
+  const DensityGrid b({{30, 0, 80, 90}, {0, 100, 120, 120}}, win, 12, 12);
+  EXPECT_DOUBLE_EQ(a.distance(b), b.distance(a));
+}
+
+TEST(DensityGrid, RotatedPatternHasZeroDistance) {
+  const Rect win{0, 0, 120, 120};
+  // An L-shaped pattern and its 90-degree rotation.
+  const std::vector<Rect> l{{0, 0, 80, 30}, {0, 30, 30, 100}};
+  std::vector<Rect> rot;
+  for (const Rect& r : l) rot.push_back(apply(Orient::R90, r, 120, 120));
+  const DensityGrid a(l, win, 12, 12);
+  const DensityGrid b(rot, win, 12, 12);
+  EXPECT_NEAR(a.distance(b), 0.0, 1e-9);
+  // But the plain R0 distance is nonzero (the pattern is asymmetric).
+  EXPECT_GT(a.l1Distance(b, Orient::R0), 1.0);
+}
+
+TEST(DensityGrid, MirroredPatternHasZeroDistance) {
+  const Rect win{0, 0, 120, 120};
+  const std::vector<Rect> p{{0, 0, 50, 20}, {0, 20, 20, 90}};
+  std::vector<Rect> mir;
+  for (const Rect& r : p) mir.push_back(apply(Orient::MY, r, 120, 120));
+  const DensityGrid a(p, win, 12, 12);
+  const DensityGrid b(mir, win, 12, 12);
+  EXPECT_NEAR(a.distance(b), 0.0, 1e-9);
+}
+
+TEST(DensityGridProperty, AllOrientationTransformsPreserveDistance) {
+  // d(p, tau(q)) under the metric == d(p, q) because the metric minimizes
+  // over the whole group.
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<Coord> c(0, 119);
+  const Rect win{0, 0, 120, 120};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Rect> p, q;
+    for (int i = 0; i < 4; ++i) {
+      p.push_back(Rect{c(rng), c(rng), c(rng), c(rng)});
+      q.push_back(Rect{c(rng), c(rng), c(rng), c(rng)});
+    }
+    const DensityGrid gp(p, win, 12, 12);
+    const DensityGrid gq(q, win, 12, 12);
+    const double base = gp.distance(gq);
+    for (const Orient o : kAllOrients) {
+      std::vector<Rect> tq;
+      for (const Rect& r : q) tq.push_back(apply(o, r, 120, 120));
+      const DensityGrid gtq(tq, win, 12, 12);
+      EXPECT_NEAR(gp.distance(gtq), base, 1e-9);
+    }
+  }
+}
+
+TEST(DensityGrid, TriangleInequalityHolds) {
+  std::mt19937 rng(8);
+  std::uniform_int_distribution<Coord> c(0, 119);
+  const Rect win{0, 0, 120, 120};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto mk = [&] {
+      std::vector<Rect> rs;
+      for (int i = 0; i < 3; ++i)
+        rs.push_back(Rect{c(rng), c(rng), c(rng), c(rng)});
+      return DensityGrid(rs, win, 12, 12);
+    };
+    const DensityGrid a = mk(), b = mk(), cgrid = mk();
+    EXPECT_LE(a.distance(cgrid), a.distance(b) + b.distance(cgrid) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hsd

@@ -1,0 +1,116 @@
+// Property tests of the D8 orientation group: window closure, inverses,
+// distinctness, and agreement between point- and rect-level transforms.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "geom/orientation.hpp"
+
+namespace hsd {
+namespace {
+
+constexpr Coord kW = 120;
+constexpr Coord kH = 80;
+
+TEST(Orient, IdentityIsNoop) {
+  EXPECT_EQ(apply(Orient::R0, Point(7, 9), kW, kH), Point(7, 9));
+}
+
+TEST(Orient, KnownMappings) {
+  // Lower-left corner of the window under each orientation.
+  const Point p{0, 0};
+  EXPECT_EQ(apply(Orient::R90, p, kW, kH), Point(kH, 0));
+  EXPECT_EQ(apply(Orient::R180, p, kW, kH), Point(kW, kH));
+  EXPECT_EQ(apply(Orient::R270, p, kW, kH), Point(0, kW));
+  EXPECT_EQ(apply(Orient::MX, p, kW, kH), Point(0, kH));
+  EXPECT_EQ(apply(Orient::MY, p, kW, kH), Point(kW, 0));
+  EXPECT_EQ(apply(Orient::MXR90, p, kW, kH), Point(0, 0));
+  EXPECT_EQ(apply(Orient::MYR90, p, kW, kH), Point(kH, kW));
+}
+
+TEST(Orient, SwapsAxesIsConsistent) {
+  EXPECT_FALSE(swapsAxes(Orient::R0));
+  EXPECT_TRUE(swapsAxes(Orient::R90));
+  EXPECT_FALSE(swapsAxes(Orient::R180));
+  EXPECT_TRUE(swapsAxes(Orient::R270));
+  EXPECT_FALSE(swapsAxes(Orient::MX));
+  EXPECT_FALSE(swapsAxes(Orient::MY));
+  EXPECT_TRUE(swapsAxes(Orient::MXR90));
+  EXPECT_TRUE(swapsAxes(Orient::MYR90));
+}
+
+class OrientProperty : public ::testing::TestWithParam<Orient> {};
+
+TEST_P(OrientProperty, StaysInsideTransformedWindow) {
+  const Orient o = GetParam();
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<Coord> dx(0, kW), dy(0, kH);
+  const Coord tw = swapsAxes(o) ? kH : kW;
+  const Coord th = swapsAxes(o) ? kW : kH;
+  for (int i = 0; i < 200; ++i) {
+    const Point p{dx(rng), dy(rng)};
+    const Point q = apply(o, p, kW, kH);
+    EXPECT_GE(q.x, 0);
+    EXPECT_LE(q.x, tw);
+    EXPECT_GE(q.y, 0);
+    EXPECT_LE(q.y, th);
+  }
+}
+
+TEST_P(OrientProperty, InverseRoundTripsPoints) {
+  const Orient o = GetParam();
+  const Orient inv = inverse(o);
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<Coord> dx(0, kW), dy(0, kH);
+  const Coord tw = swapsAxes(o) ? kH : kW;
+  const Coord th = swapsAxes(o) ? kW : kH;
+  for (int i = 0; i < 200; ++i) {
+    const Point p{dx(rng), dy(rng)};
+    const Point q = apply(o, p, kW, kH);
+    EXPECT_EQ(apply(inv, q, tw, th), p) << toString(o);
+  }
+}
+
+TEST_P(OrientProperty, RectTransformMatchesCornerTransform) {
+  const Orient o = GetParam();
+  std::mt19937 rng(21);
+  std::uniform_int_distribution<Coord> dx(0, kW - 1), dy(0, kH - 1);
+  for (int i = 0; i < 200; ++i) {
+    Coord x1 = dx(rng), x2 = dx(rng) + 1;
+    Coord y1 = dy(rng), y2 = dy(rng) + 1;
+    const Rect r{x1, y1, x2, y2};
+    const Rect t = apply(o, r, kW, kH);
+    EXPECT_TRUE(t.valid());
+    EXPECT_EQ(t.area(), r.area()) << toString(o);
+    // Corners map onto the transformed rect's corner set.
+    const Point c = apply(o, r.lo, kW, kH);
+    EXPECT_TRUE(c == t.lo || c == t.hi || c == Point(t.lo.x, t.hi.y) ||
+                c == Point(t.hi.x, t.lo.y));
+  }
+}
+
+TEST_P(OrientProperty, IsBijectiveOnLattice) {
+  const Orient o = GetParam();
+  std::set<Point> image;
+  for (Coord x = 0; x <= 6; ++x)
+    for (Coord y = 0; y <= 4; ++y) image.insert(apply(o, {x, y}, 6, 4));
+  EXPECT_EQ(image.size(), 7u * 5u) << toString(o);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrients, OrientProperty,
+                         ::testing::ValuesIn(kAllOrients),
+                         [](const auto& info) {
+                           return toString(info.param);
+                         });
+
+TEST(Orient, EightDistinctTransforms) {
+  // On an asymmetric probe point the eight orientations give 8 images.
+  std::set<Point> images;
+  for (const Orient o : kAllOrients)
+    images.insert(apply(o, {1, 2}, 10, 20));
+  EXPECT_EQ(images.size(), 8u);
+}
+
+}  // namespace
+}  // namespace hsd

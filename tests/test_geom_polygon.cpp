@@ -1,0 +1,114 @@
+// Polygon slicing and area tests, including property checks that both
+// slicing directions reproduce the shoelace area on random rectilinear
+// polygons.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/polygon.hpp"
+#include "geom/rectset.hpp"
+
+namespace hsd {
+namespace {
+
+Polygon lShape() {
+  // L: 10x10 with a 5x5 notch removed at the top-right.
+  return Polygon({{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}});
+}
+
+TEST(Polygon, RectConstructor) {
+  const Polygon p(Rect{1, 2, 5, 7});
+  EXPECT_TRUE(p.isRectilinear());
+  EXPECT_EQ(p.area(), 20);
+  EXPECT_EQ(p.bbox(), Rect(1, 2, 5, 7));
+}
+
+TEST(Polygon, LShapeArea) {
+  const Polygon p = lShape();
+  EXPECT_TRUE(p.isRectilinear());
+  EXPECT_EQ(p.area(), 75);
+  EXPECT_EQ(p.bbox(), Rect(0, 0, 10, 10));
+}
+
+TEST(Polygon, LShapeHorizontalSlices) {
+  const std::vector<Rect> rs = lShape().sliceHorizontal();
+  ASSERT_EQ(rs.size(), 2u);
+  Area total = 0;
+  for (const Rect& r : rs) total += r.area();
+  EXPECT_EQ(total, 75);
+  // Slices must be disjoint.
+  EXPECT_FALSE(rs[0].overlaps(rs[1]));
+}
+
+TEST(Polygon, ClockwiseWindingGivesSameArea) {
+  std::vector<Point> pts = lShape().points();
+  std::reverse(pts.begin(), pts.end());
+  const Polygon p(std::move(pts));
+  EXPECT_EQ(p.area(), 75);
+  EXPECT_EQ(unionArea(p.sliceHorizontal()), 75);
+}
+
+TEST(Polygon, UShapeSlices) {
+  // U: outer 12x10, inner notch 4 wide x 6 deep from the top.
+  const Polygon u({{0, 0}, {12, 0}, {12, 10}, {8, 10}, {8, 4}, {4, 4},
+                   {4, 10}, {0, 10}});
+  EXPECT_EQ(u.area(), 12 * 10 - 4 * 6);
+  EXPECT_EQ(unionArea(u.sliceHorizontal()), u.area());
+  EXPECT_EQ(unionArea(u.sliceVertical()), u.area());
+  // The top band must produce two separate rects (the two prongs).
+  int topBandRects = 0;
+  for (const Rect& r : u.sliceHorizontal())
+    if (r.hi.y == 10) ++topBandRects;
+  EXPECT_EQ(topBandRects, 2);
+}
+
+TEST(Polygon, NonRectilinearDetected) {
+  const Polygon diag({{0, 0}, {10, 10}, {0, 10}});
+  EXPECT_FALSE(diag.isRectilinear());
+  const Polygon odd({{0, 0}, {10, 0}, {10, 10}, {5, 10}, {5, 5}});
+  EXPECT_FALSE(odd.isRectilinear());
+}
+
+TEST(Polygon, EmptyPolygon) {
+  const Polygon p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.area(), 0);
+  EXPECT_TRUE(p.sliceHorizontal().empty());
+}
+
+// Random staircase polygons: both slicings must reproduce the shoelace
+// area with disjoint rects.
+TEST(PolygonProperty, RandomStaircaseSliceAreasAgree) {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<Coord> step(1, 8);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Monotone staircase from (0,0): right/up k steps, then close.
+    std::vector<Point> pts{{0, 0}};
+    Coord x = 0, y = 0;
+    const int k = 3 + trial % 5;
+    for (int i = 0; i < k; ++i) {
+      x += step(rng);
+      pts.push_back({x, y});
+      y += step(rng);
+      pts.push_back({x, y});
+    }
+    pts.push_back({0, y});
+    const Polygon p(std::move(pts));
+    ASSERT_TRUE(p.isRectilinear());
+    const Area shoelace = p.area();
+    const std::vector<Rect> hs = p.sliceHorizontal();
+    const std::vector<Rect> vs = p.sliceVertical();
+    Area hsum = 0, vsum = 0;
+    for (const Rect& r : hs) hsum += r.area();
+    for (const Rect& r : vs) vsum += r.area();
+    EXPECT_EQ(hsum, shoelace);
+    EXPECT_EQ(vsum, shoelace);
+    // Disjointness of horizontal slices.
+    for (std::size_t i = 0; i < hs.size(); ++i)
+      for (std::size_t j = i + 1; j < hs.size(); ++j)
+        EXPECT_FALSE(hs[i].overlaps(hs[j]));
+  }
+}
+
+}  // namespace
+}  // namespace hsd

@@ -1,0 +1,143 @@
+// Rect-set operation tests: clipping, union area (vs brute-force pixel
+// counting), band normalization, boundary statistics, spacing metrics.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/rectset.hpp"
+
+namespace hsd {
+namespace {
+
+TEST(ClipRects, DropsDisjointKeepsOverlap) {
+  const Rect win{0, 0, 100, 100};
+  const std::vector<Rect> in{{-10, -10, 5, 5}, {200, 200, 210, 210},
+                             {90, 90, 120, 120}, {100, 0, 110, 10}};
+  const std::vector<Rect> out = clipRects(in, win);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Rect(0, 0, 5, 5));
+  EXPECT_EQ(out[1], Rect(90, 90, 100, 100));
+}
+
+TEST(UnionArea, OverlapCountedOnce) {
+  const std::vector<Rect> rs{{0, 0, 10, 10}, {5, 5, 15, 15}};
+  EXPECT_EQ(unionArea(rs), 100 + 100 - 25);
+}
+
+TEST(UnionArea, DisjointSums) {
+  const std::vector<Rect> rs{{0, 0, 10, 10}, {20, 0, 30, 10}};
+  EXPECT_EQ(unionArea(rs), 200);
+}
+
+TEST(UnionArea, ContainedRectIgnored) {
+  const std::vector<Rect> rs{{0, 0, 10, 10}, {2, 2, 8, 8}};
+  EXPECT_EQ(unionArea(rs), 100);
+}
+
+TEST(UnionAreaProperty, MatchesBruteForceOnRandomSets) {
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<Coord> c(0, 30);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Rect> rs;
+    for (int i = 0; i < 6; ++i) {
+      Coord x1 = c(rng), x2 = c(rng), y1 = c(rng), y2 = c(rng);
+      if (x1 == x2 || y1 == y2) continue;
+      rs.push_back({x1, y1, x2, y2});
+    }
+    // Brute force: count unit cells.
+    Area brute = 0;
+    for (Coord x = 0; x < 30; ++x)
+      for (Coord y = 0; y < 30; ++y) {
+        const Rect cell{x, y, x + 1, y + 1};
+        for (const Rect& r : rs)
+          if (r.overlaps(cell)) {
+            ++brute;
+            break;
+          }
+      }
+    EXPECT_EQ(unionArea(rs), brute);
+  }
+}
+
+TEST(NormalizeBands, ProducesDisjointCover) {
+  const std::vector<Rect> rs{{0, 0, 10, 10}, {5, 5, 15, 15}, {0, 5, 3, 20}};
+  const std::vector<Rect> bands = normalizeBands(rs);
+  Area total = 0;
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    total += bands[i].area();
+    for (std::size_t j = i + 1; j < bands.size(); ++j)
+      EXPECT_FALSE(bands[i].overlaps(bands[j]));
+  }
+  EXPECT_EQ(total, unionArea(rs));
+}
+
+TEST(BoundaryStats, SingleRect) {
+  const BoundaryStats st = boundaryStats({{0, 0, 10, 10}});
+  EXPECT_EQ(st.convexCorners, 4);
+  EXPECT_EQ(st.concaveCorners, 0);
+  EXPECT_EQ(st.touchPoints, 0);
+}
+
+TEST(BoundaryStats, LShapeHasConcaveCorner) {
+  // L from two rects sharing an edge.
+  const BoundaryStats st =
+      boundaryStats({{0, 0, 10, 5}, {0, 5, 5, 10}});
+  EXPECT_EQ(st.convexCorners, 5);
+  EXPECT_EQ(st.concaveCorners, 1);
+  EXPECT_EQ(st.touchPoints, 0);
+}
+
+TEST(BoundaryStats, CornerTouchDetected) {
+  // Two rects meeting only at (10,10).
+  const BoundaryStats st =
+      boundaryStats({{0, 0, 10, 10}, {10, 10, 20, 20}});
+  EXPECT_EQ(st.touchPoints, 1);
+  EXPECT_EQ(st.convexCorners, 6);  // the shared corner is a touch, not convex
+}
+
+TEST(BoundaryStats, MergedRectsNoInternalCorners) {
+  // Two abutting rects forming one 20x10 rect: interior edge invisible.
+  const BoundaryStats st =
+      boundaryStats({{0, 0, 10, 10}, {10, 0, 20, 10}});
+  EXPECT_EQ(st.convexCorners, 4);
+  EXPECT_EQ(st.concaveCorners, 0);
+  EXPECT_EQ(st.touchPoints, 0);
+}
+
+TEST(MinExternalSpacing, TwoFacingRects) {
+  const Rect win{0, 0, 100, 100};
+  EXPECT_EQ(minExternalSpacing({{0, 0, 10, 50}, {25, 0, 40, 50}}, win), 15);
+  // Vertical facing pair.
+  EXPECT_EQ(minExternalSpacing({{0, 0, 50, 10}, {0, 18, 50, 30}}, win), 8);
+}
+
+TEST(MinExternalSpacing, NoPairReturnsMinusOne) {
+  const Rect win{0, 0, 100, 100};
+  EXPECT_EQ(minExternalSpacing({{0, 0, 10, 10}}, win), -1);
+  EXPECT_EQ(minExternalSpacing({}, win), -1);
+}
+
+TEST(MinInternalWidth, ThinWire) {
+  EXPECT_EQ(minInternalWidth({{0, 0, 5, 100}}), 5);
+  EXPECT_EQ(minInternalWidth({{0, 0, 100, 7}}), 7);
+}
+
+TEST(MinInternalWidth, NeckBetweenPlates) {
+  // Dumbbell: two 20-wide plates joined by a 4-wide neck.
+  const std::vector<Rect> rs{
+      {0, 0, 20, 20}, {8, 20, 12, 40}, {0, 40, 20, 60}};
+  EXPECT_EQ(minInternalWidth(rs), 4);
+}
+
+TEST(CoveredX, RequiresFullBandSpan) {
+  const std::vector<Rect> rs{{0, 0, 10, 5}, {20, 2, 30, 8}};
+  // Band [0,5): only the first rect spans it fully.
+  const auto iv = coveredX(rs, 0, 5);
+  ASSERT_EQ(iv.size(), 1u);
+  EXPECT_EQ(iv[0], Interval(0, 10));
+  // Band [2,5): both span.
+  EXPECT_EQ(coveredX(rs, 2, 5).size(), 2u);
+}
+
+}  // namespace
+}  // namespace hsd

@@ -1,0 +1,124 @@
+// Tiling tests: exact cover, disjointness, block/space typing and
+// maximal-merge structure for the horizontal and vertical tilings.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/rectset.hpp"
+#include "geom/tiling.hpp"
+
+namespace hsd {
+namespace {
+
+void expectExactCover(const std::vector<Tile>& tiles, const Rect& window,
+                      const std::vector<Rect>& blocks) {
+  Area total = 0;
+  Area blockArea = 0;
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    EXPECT_TRUE(window.contains(tiles[i].box));
+    EXPECT_FALSE(tiles[i].box.empty());
+    total += tiles[i].box.area();
+    if (tiles[i].isBlock) blockArea += tiles[i].box.area();
+    for (std::size_t j = i + 1; j < tiles.size(); ++j)
+      EXPECT_FALSE(tiles[i].box.overlaps(tiles[j].box));
+  }
+  EXPECT_EQ(total, window.area());
+  EXPECT_EQ(blockArea, unionArea(clipRects(blocks, window)));
+}
+
+TEST(Tiling, EmptyWindowIsOneSpaceTile) {
+  const Rect win{0, 0, 100, 100};
+  const auto tiles = horizontalTiling({}, win);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_FALSE(tiles[0].isBlock);
+  EXPECT_EQ(tiles[0].box, win);
+}
+
+TEST(Tiling, FullBlockIsOneBlockTile) {
+  const Rect win{0, 0, 100, 100};
+  const auto tiles = horizontalTiling({win}, win);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_TRUE(tiles[0].isBlock);
+}
+
+TEST(Tiling, CenteredBlockNineTilesHorizontal) {
+  const Rect win{0, 0, 30, 30};
+  const std::vector<Rect> blocks{{10, 10, 20, 20}};
+  const auto tiles = horizontalTiling(blocks, win);
+  // Horizontal tiling: bottom strip, middle band (3 tiles), top strip = 5.
+  ASSERT_EQ(tiles.size(), 5u);
+  expectExactCover(tiles, win, blocks);
+  int blockTiles = 0;
+  for (const Tile& t : tiles) blockTiles += t.isBlock;
+  EXPECT_EQ(blockTiles, 1);
+}
+
+TEST(Tiling, CenteredBlockNineTilesVertical) {
+  const Rect win{0, 0, 30, 30};
+  const std::vector<Rect> blocks{{10, 10, 20, 20}};
+  const auto tiles = verticalTiling(blocks, win);
+  ASSERT_EQ(tiles.size(), 5u);  // left strip, middle column x3, right strip
+  expectExactCover(tiles, win, blocks);
+}
+
+TEST(Tiling, HorizontalTilesAreMaximalInX) {
+  const Rect win{0, 0, 40, 30};
+  // Two blocks in the same band: space tiles between/beside them.
+  const std::vector<Rect> blocks{{5, 10, 10, 20}, {25, 10, 30, 20}};
+  const auto tiles = horizontalTiling(blocks, win);
+  expectExactCover(tiles, win, blocks);
+  // The middle band has 5 tiles: space, block, space, block, space.
+  int midBand = 0;
+  for (const Tile& t : tiles)
+    if (t.box.lo.y == 10 && t.box.hi.y == 20) ++midBand;
+  EXPECT_EQ(midBand, 5);
+  // Bottom and top strips must each be a single merged space tile.
+  for (const Tile& t : tiles) {
+    if (t.box.hi.y <= 10 || t.box.lo.y >= 20) {
+      EXPECT_EQ(t.box.width(), 40);
+      EXPECT_FALSE(t.isBlock);
+    }
+  }
+}
+
+TEST(Tiling, VerticalMergeAcrossBands) {
+  const Rect win{0, 0, 30, 30};
+  // Tall block: vertical tiling gives left space, block, right space.
+  const std::vector<Rect> blocks{{10, 0, 20, 30}};
+  const auto tiles = verticalTiling(blocks, win);
+  ASSERT_EQ(tiles.size(), 3u);
+  expectExactCover(tiles, win, blocks);
+}
+
+TEST(Tiling, OverlappingInputBlocksHandled) {
+  const Rect win{0, 0, 30, 30};
+  const std::vector<Rect> blocks{{0, 0, 20, 20}, {10, 10, 30, 30}};
+  expectExactCover(horizontalTiling(blocks, win), win, blocks);
+  expectExactCover(verticalTiling(blocks, win), win, blocks);
+}
+
+TEST(Tiling, BlocksOutsideWindowClipped) {
+  const Rect win{0, 0, 30, 30};
+  const std::vector<Rect> blocks{{-10, -10, 10, 10}, {25, 25, 50, 50}};
+  const auto tiles = horizontalTiling(blocks, win);
+  expectExactCover(tiles, win, blocks);
+}
+
+TEST(TilingProperty, RandomSetsCoverExactly) {
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<Coord> c(0, 50);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Rect win{0, 0, 50, 50};
+    std::vector<Rect> blocks;
+    for (int i = 0; i < 5; ++i) {
+      Coord x1 = c(rng), x2 = c(rng), y1 = c(rng), y2 = c(rng);
+      if (x1 == x2 || y1 == y2) continue;
+      blocks.push_back({x1, y1, x2, y2});
+    }
+    expectExactCover(horizontalTiling(blocks, win), win, blocks);
+    expectExactCover(verticalTiling(blocks, win), win, blocks);
+  }
+}
+
+}  // namespace
+}  // namespace hsd

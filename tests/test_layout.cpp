@@ -1,0 +1,157 @@
+// Layout database, spatial index and clip tests. The grid index is
+// property-tested against brute-force overlap queries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "layout/clip.hpp"
+#include "layout/layout.hpp"
+#include "layout/spatial_index.hpp"
+
+namespace hsd {
+namespace {
+
+TEST(Layout, LayerRectCacheInvalidation) {
+  Layout l;
+  l.addRect(1, {0, 0, 10, 10});
+  EXPECT_EQ(l.layer(1).rects().size(), 1u);
+  l.addRect(1, {20, 0, 30, 10});
+  EXPECT_EQ(l.layer(1).rects().size(), 2u);  // cache rebuilt
+}
+
+TEST(Layout, BboxAcrossLayers) {
+  Layout l;
+  EXPECT_FALSE(l.bbox().has_value());
+  l.addRect(1, {0, 0, 10, 10});
+  l.addRect(5, {-20, 30, -10, 40});
+  ASSERT_TRUE(l.bbox().has_value());
+  EXPECT_EQ(*l.bbox(), Rect(-20, 0, 10, 40));
+  EXPECT_EQ(l.polygonCount(), 2u);
+}
+
+TEST(Layout, AreaUm2) {
+  Layout l;
+  l.addRect(1, {0, 0, 1000, 2000});  // 1um x 2um
+  EXPECT_DOUBLE_EQ(l.areaUm2(), 2.0);
+}
+
+TEST(Layout, FindLayerMissingReturnsNull) {
+  Layout l;
+  l.addRect(1, {0, 0, 1, 1});
+  EXPECT_EQ(l.findLayer(2), nullptr);
+  EXPECT_NE(l.findLayer(1), nullptr);
+}
+
+TEST(GridIndex, EmptyIndex) {
+  const GridIndex idx({}, 100);
+  EXPECT_TRUE(idx.empty());
+  EXPECT_TRUE(idx.query({0, 0, 10, 10}).empty());
+  EXPECT_FALSE(idx.anyOverlap({0, 0, 10, 10}));
+}
+
+TEST(GridIndex, BasicQuery) {
+  const GridIndex idx({{0, 0, 10, 10}, {100, 100, 110, 110}}, 50);
+  EXPECT_EQ(idx.query({5, 5, 6, 6}).size(), 1u);
+  EXPECT_EQ(idx.query({-5, -5, 200, 200}).size(), 2u);
+  EXPECT_TRUE(idx.query({50, 50, 60, 60}).empty());
+  EXPECT_TRUE(idx.anyOverlap({105, 105, 106, 106}));
+}
+
+TEST(GridIndex, TouchingIsNotOverlap) {
+  const GridIndex idx({{0, 0, 10, 10}}, 50);
+  EXPECT_TRUE(idx.query({10, 0, 20, 10}).empty());
+}
+
+class GridIndexProperty : public ::testing::TestWithParam<Coord> {};
+
+TEST_P(GridIndexProperty, MatchesBruteForce) {
+  const Coord bin = GetParam();
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<Coord> c(0, 1000);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 200; ++i) {
+    Coord x1 = c(rng), y1 = c(rng);
+    rects.push_back({x1, y1, x1 + 1 + c(rng) % 80, y1 + 1 + c(rng) % 80});
+  }
+  const GridIndex idx(rects, bin);
+  for (int q = 0; q < 100; ++q) {
+    Coord x1 = c(rng), y1 = c(rng);
+    const Rect query{x1 - 40, y1 - 40, x1 + 40, y1 + 40};
+    std::vector<std::size_t> expect;
+    for (std::size_t i = 0; i < rects.size(); ++i)
+      if (rects[i].overlaps(query)) expect.push_back(i);
+    std::vector<std::size_t> got = idx.query(query);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(idx.anyOverlap(query), !expect.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinSizes, GridIndexProperty,
+                         ::testing::Values<Coord>(10, 64, 300, 5000));
+
+TEST(ClipWindow, AtCoreGeometry) {
+  const ClipParams p;  // 1200 core / 4800 clip
+  const ClipWindow w = ClipWindow::atCore({1800, 1800}, p);
+  EXPECT_EQ(w.core, Rect(1800, 1800, 3000, 3000));
+  EXPECT_EQ(w.clip, Rect(0, 0, 4800, 4800));
+  EXPECT_EQ(p.ambit(), 1800);
+}
+
+TEST(ClipWindow, CenteredOn) {
+  const ClipParams p;
+  const ClipWindow w = ClipWindow::centeredOn({2400, 2400}, p);
+  EXPECT_EQ(w.core.center(), Point(2400, 2400));
+  EXPECT_EQ(w.clip.center(), Point(2400, 2400));
+}
+
+TEST(Clip, LocalCoordinates) {
+  const ClipParams p;
+  Clip c(ClipWindow::atCore({1800, 1800}, p), Label::kHotspot);
+  c.setRects(1, {{-100, 2000, 2000, 2200},  // sticks out of the clip
+                 {1900, 1900, 2100, 2900}});
+  const auto clipLocal = c.localClipRects(1);
+  ASSERT_EQ(clipLocal.size(), 2u);
+  EXPECT_EQ(clipLocal[0], Rect(0, 2000, 2000, 2200));  // clipped to window
+  const auto coreLocal = c.localCoreRects(1);
+  ASSERT_EQ(coreLocal.size(), 2u);
+  // Core-local: origin at (1800,1800); the first rect ends at x=2000.
+  EXPECT_EQ(coreLocal[0], Rect(0, 200, 200, 400));
+  EXPECT_EQ(coreLocal[1], Rect(100, 100, 300, 1100));
+}
+
+TEST(Clip, TranslatedMovesEverything) {
+  const ClipParams p;
+  Clip c(ClipWindow::atCore({0, 0}, p), Label::kNonHotspot);
+  c.setRects(2, {{0, 0, 10, 10}});
+  const Clip t = c.translated({100, -50});
+  EXPECT_EQ(t.window().core.lo, Point(100, -50));
+  EXPECT_EQ(t.rectsOn(2)[0], Rect(100, -50, 110, -40));
+  EXPECT_EQ(t.label(), Label::kNonHotspot);
+}
+
+TEST(Clip, LayerAccessors) {
+  Clip c;
+  EXPECT_FALSE(c.hasGeometry());
+  c.setRects(3, {{0, 0, 1, 1}});
+  c.setRects(1, {{0, 0, 2, 2}});
+  EXPECT_TRUE(c.hasGeometry());
+  EXPECT_EQ(c.layerIds(), (std::vector<LayerId>{1, 3}));
+  EXPECT_TRUE(c.rectsOn(7).empty());
+  c.setRects(3, {});  // replace
+  EXPECT_TRUE(c.rectsOn(3).empty());
+}
+
+TEST(ExtractClip, PullsGeometryFromIndex) {
+  const ClipParams p;
+  const GridIndex idx(
+      {{100, 100, 200, 5000}, {6000, 0, 6100, 100}}, p.clipSide);
+  const ClipWindow win = ClipWindow::atCore({1800, 1800}, p);
+  const Clip c = extractClip({{1, &idx}}, win, Label::kUnknown);
+  ASSERT_EQ(c.rectsOn(1).size(), 1u);
+  EXPECT_EQ(c.rectsOn(1)[0], Rect(100, 100, 200, 4800));  // clipped
+}
+
+}  // namespace
+}  // namespace hsd

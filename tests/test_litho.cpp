@@ -1,0 +1,157 @@
+// Lithography-oracle tests: printability physics (wide prints, narrow
+// pinches, tight spaces bridge), tip handling, ambit influence on the core
+// (the effect the feedback kernel exploits), and invariances.
+#include <gtest/gtest.h>
+
+#include "litho/litho.hpp"
+
+namespace hsd::litho {
+namespace {
+
+const Rect kWin{0, 0, 4800, 4800};
+const Rect kCore{1800, 1800, 3000, 3000};
+
+// A long vertical wire of the given width centered in the window.
+std::vector<Rect> wire(Coord w, Coord cx = 2400) {
+  return {{cx - w / 2, 0, cx + w / 2, 4800}};
+}
+
+TEST(Litho, WideWirePrints) {
+  const LithoSimulator sim;
+  const Verdict v = sim.check(wire(200), kCore, kWin);
+  EXPECT_FALSE(v.pinch) << v.minDrawnI;
+  EXPECT_FALSE(v.bridge);
+  EXPECT_FALSE(v.hotspot());
+  EXPECT_EQ(v.severity, 0.0);
+}
+
+TEST(Litho, NarrowWirePinches) {
+  const LithoSimulator sim;
+  const Verdict v = sim.check(wire(100), kCore, kWin);
+  EXPECT_TRUE(v.pinch) << v.minDrawnI;
+  EXPECT_GT(v.severity, 0.0);
+}
+
+TEST(Litho, WidthMonotonicity) {
+  // Wider wires never print worse.
+  const LithoSimulator sim;
+  double last = 0;
+  for (const Coord w : {80, 120, 160, 200, 260}) {
+    const Verdict v = sim.check(wire(w), kCore, kWin);
+    EXPECT_GE(v.minDrawnI, last - 1e-9) << w;
+    last = v.minDrawnI;
+  }
+}
+
+TEST(Litho, TightSpaceBridges) {
+  const LithoSimulator sim;
+  // Two wide plates separated by a 100 nm vertical slit through the core.
+  const std::vector<Rect> plates{{0, 0, 2350, 4800}, {2450, 0, 4800, 4800}};
+  const Verdict v = sim.check(plates, kCore, kWin);
+  EXPECT_TRUE(v.bridge) << v.maxSpaceI;
+}
+
+TEST(Litho, RelaxedSpaceDoesNotBridge) {
+  const LithoSimulator sim;
+  const std::vector<Rect> plates{{0, 0, 2250, 4800}, {2550, 0, 4800, 4800}};
+  const Verdict v = sim.check(plates, kCore, kWin);
+  EXPECT_FALSE(v.bridge) << v.maxSpaceI;
+}
+
+TEST(Litho, LineEndTipIsNotFlagged) {
+  // A safe-width wire ending mid-core: line-end roll-off must not count as
+  // a pinch (the longitudinal-interior rule).
+  const LithoSimulator sim;
+  const std::vector<Rect> stub{{2300, 0, 2500, 2400}};
+  const Verdict v = sim.check(stub, kCore, kWin);
+  EXPECT_FALSE(v.pinch) << v.minDrawnI;
+}
+
+TEST(Litho, EmptyCoreIsClean) {
+  const LithoSimulator sim;
+  const Verdict v = sim.check({}, kCore, kWin);
+  EXPECT_FALSE(v.hotspot());
+}
+
+TEST(Litho, AmbitGeometryAffectsCoreVerdict) {
+  // A marginal-width wire through the core: neighbors in the *ambit only*
+  // add background light and rescue it. This is exactly the core/ambit
+  // interaction of Fig. 10 that motivates the feedback kernel.
+  const LithoSimulator sim;
+  Coord marginal = 0;
+  for (Coord w = 90; w <= 220; w += 2) {
+    if (!sim.check(wire(w), kCore, kWin).pinch) {
+      marginal = w;  // first width that just prints in isolation
+      break;
+    }
+  }
+  ASSERT_GT(marginal, 0);
+  const Coord w = marginal - 2;  // pinches when isolated
+  ASSERT_TRUE(sim.check(wire(w), kCore, kWin).pinch);
+
+  std::vector<Rect> withNeighbors = wire(w);
+  // Dense company at moderate distance (still outside the wire itself).
+  for (const Coord dx : {-400, -200, 200, 400}) {
+    const auto n = wire(180, 2400 + dx);
+    withNeighbors.insert(withNeighbors.end(), n.begin(), n.end());
+  }
+  const Verdict v = sim.check(withNeighbors, kCore, kWin);
+  EXPECT_FALSE(v.pinch) << "neighbors should rescue a marginal wire, minI="
+                        << v.minDrawnI;
+}
+
+TEST(Litho, VerdictInvariantToWindowPadding) {
+  // The checked region's verdict must not depend on how much extra window
+  // is supplied beyond the optical halo.
+  const LithoSimulator sim;
+  const std::vector<Rect> g = wire(100);
+  const Verdict a = sim.check(g, kCore, kWin);
+  const Verdict b = sim.check(g, kCore, kWin.inflated(-300));
+  EXPECT_EQ(a.pinch, b.pinch);
+  EXPECT_EQ(a.bridge, b.bridge);
+  EXPECT_NEAR(a.minDrawnI, b.minDrawnI, 1e-6);
+}
+
+TEST(Litho, SimulateImageDimensions) {
+  const LithoSimulator sim;
+  const AerialImage img = sim.simulate(wire(200), {0, 0, 2000, 1000});
+  EXPECT_EQ(img.nx, 100u);
+  EXPECT_EQ(img.ny, 50u);
+  EXPECT_EQ(img.intensity.size(), 5000u);
+  for (const double v : img.intensity) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(Litho, IntensityPeaksOnWire) {
+  const LithoSimulator sim;
+  const AerialImage img = sim.simulate(wire(300), kWin);
+  // Intensity at the wire center column exceeds intensity far away.
+  const std::size_t cx = img.nx / 2;
+  const std::size_t cy = img.ny / 2;
+  EXPECT_GT(img.at(cx, cy), img.at(cx / 4, cy) + 0.3);
+}
+
+class LithoThreshold : public ::testing::TestWithParam<double> {};
+
+TEST_P(LithoThreshold, HigherThresholdNeverReducesPinch) {
+  // Pinch verdicts are monotone in the resist threshold.
+  LithoParams p;
+  p.threshold = GetParam();
+  const LithoSimulator sim(p);
+  LithoParams stricter = p;
+  stricter.threshold = p.threshold + 0.05;
+  const LithoSimulator sim2(stricter);
+  for (const Coord w : {100, 130, 160, 200}) {
+    const bool loose = sim.check(wire(w), kCore, kWin).pinch;
+    const bool strict = sim2.check(wire(w), kCore, kWin).pinch;
+    EXPECT_LE(int(loose), int(strict)) << "w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LithoThreshold,
+                         ::testing::Values(0.38, 0.42, 0.46, 0.50));
+
+}  // namespace
+}  // namespace hsd::litho

@@ -1,0 +1,104 @@
+// Hit / extra scoring tests against the Sec. II definitions.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+
+namespace hsd::core {
+namespace {
+
+const ClipParams kP;  // 1200 core / 4800 clip
+
+ClipWindow at(Coord x, Coord y) { return ClipWindow::atCore({x, y}, kP); }
+
+TEST(Score, ExactMatchIsHit) {
+  const Score s = scoreReports({at(0, 0)}, {at(0, 0)});
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.extras, 0u);
+  EXPECT_DOUBLE_EQ(s.accuracy(), 1.0);
+}
+
+TEST(Score, SlightlyShiftedStillHits) {
+  // Cores overlap, the report's clip still covers the actual core.
+  const Score s = scoreReports({at(400, 300)}, {at(0, 0)});
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.extras, 0u);
+}
+
+TEST(Score, CoreTouchingIsNotOverlap) {
+  // Cores share only an edge: no hit.
+  const Score s = scoreReports({at(1200, 0)}, {at(0, 0)});
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.extras, 1u);
+}
+
+TEST(Score, CoreOverlapButClipNotCoveringFails) {
+  // Shift so cores still overlap but the reported clip no longer fully
+  // covers the actual core: shift by just under core side; the clip
+  // boundary is 1800 from the core, so this still covers -> pick a huge
+  // shift with tiny core overlap instead via a small custom clip.
+  const ClipParams tight{1200, 1400};  // ambit only 100
+  const ClipWindow rep = ClipWindow::atCore({1100, 0}, tight);
+  const ClipWindow act = ClipWindow::atCore({0, 0}, tight);
+  const Score s = scoreReports({rep}, {act}, {});
+  // Cores overlap (100 wide), but rep.clip (x in [1000, 2500]) does not
+  // contain act.core (x in [0,1200]).
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.extras, 1u);
+}
+
+TEST(Score, MultipleReportsOneHotspotCountOnce) {
+  const Score s =
+      scoreReports({at(0, 0), at(100, 0), at(0, 100)}, {at(0, 0)});
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.extras, 0u);  // all three reports are hit-reports
+  EXPECT_EQ(s.reports, 3u);
+}
+
+TEST(Score, OneReportTwoHotspots) {
+  // Two actual hotspots close together: one report can hit both.
+  const Score s = scoreReports({at(300, 0)}, {at(0, 0), at(600, 0)});
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.extras, 0u);
+  EXPECT_DOUBLE_EQ(s.accuracy(), 1.0);
+}
+
+TEST(Score, MissedHotspotLowersAccuracy) {
+  const Score s = scoreReports({at(0, 0)}, {at(0, 0), at(50000, 50000)});
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_DOUBLE_EQ(s.accuracy(), 0.5);
+}
+
+TEST(Score, NoActualHotspots) {
+  const Score s = scoreReports({at(0, 0)}, {});
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.extras, 1u);
+  EXPECT_DOUBLE_EQ(s.accuracy(), 1.0);  // vacuous
+}
+
+TEST(Score, FalseAlarmPerArea) {
+  Score s;
+  s.extras = 50;
+  EXPECT_DOUBLE_EQ(s.falseAlarmPerUm2(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.falseAlarmPerUm2(0.0), 0.0);
+}
+
+TEST(Score, HitExtraRatio) {
+  Score s;
+  s.hits = 10;
+  s.extras = 40;
+  EXPECT_DOUBLE_EQ(s.hitExtraRatio(), 0.25);
+  s.extras = 0;
+  EXPECT_DOUBLE_EQ(s.hitExtraRatio(), 10.0);
+}
+
+TEST(Score, MinClipOverlapEnforced) {
+  // With an extreme overlap requirement even an exact match clip overlap
+  // (100%) passes, but a far-shifted one fails.
+  ScoreParams sp;
+  sp.minClipOverlapFrac = 0.9;
+  EXPECT_EQ(scoreReports({at(0, 0)}, {at(0, 0)}, sp).hits, 1u);
+  EXPECT_EQ(scoreReports({at(1100, 1100)}, {at(0, 0)}, sp).hits, 0u);
+}
+
+}  // namespace
+}  // namespace hsd::core

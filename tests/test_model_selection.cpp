@@ -1,0 +1,106 @@
+// Cross-validation and grid-search tests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "svm/model_selection.hpp"
+
+namespace hsd::svm {
+namespace {
+
+Dataset blobs(double sep, int perClass, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> n(0.0, 0.5);
+  Dataset d;
+  for (int i = 0; i < perClass; ++i) {
+    d.add({n(rng) - sep, n(rng)}, -1);
+    d.add({n(rng) + sep, n(rng)}, 1);
+  }
+  return d;
+}
+
+TEST(StratifiedFolds, EveryFoldHasBothClasses) {
+  std::vector<int> labels;
+  for (int i = 0; i < 10; ++i) labels.push_back(1);
+  for (int i = 0; i < 40; ++i) labels.push_back(-1);
+  const auto fold = stratifiedFolds(labels, 5, 3);
+  ASSERT_EQ(fold.size(), labels.size());
+  for (std::size_t f = 0; f < 5; ++f) {
+    int pos = 0, neg = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (fold[i] != f) continue;
+      (labels[i] > 0 ? pos : neg) += 1;
+    }
+    EXPECT_EQ(pos, 2) << f;  // 10 positives over 5 folds
+    EXPECT_EQ(neg, 8) << f;
+  }
+}
+
+TEST(StratifiedFolds, DeterministicPerSeed) {
+  const std::vector<int> labels{1, 1, 1, -1, -1, -1, -1, -1};
+  EXPECT_EQ(stratifiedFolds(labels, 3, 7), stratifiedFolds(labels, 3, 7));
+  EXPECT_NE(stratifiedFolds(labels, 3, 7), stratifiedFolds(labels, 3, 8));
+}
+
+TEST(StratifiedFolds, ZeroFoldsThrows) {
+  EXPECT_THROW(stratifiedFolds({1, -1}, 0), std::invalid_argument);
+}
+
+TEST(CrossValidate, SeparableDataScoresHigh) {
+  const Dataset d = blobs(3.0, 30, 1);
+  SvmParams p;
+  p.C = 10;
+  p.gamma = 0.5;
+  const CvResult r = crossValidate(d, p, 5);
+  EXPECT_EQ(r.evaluated, d.size());
+  EXPECT_GE(r.accuracy, 0.95);
+  EXPECT_GE(r.posRecall, 0.9);
+  EXPECT_GE(r.negRecall, 0.9);
+}
+
+TEST(CrossValidate, OverlappingDataScoresLower) {
+  const Dataset far = blobs(3.0, 30, 2);
+  const Dataset near = blobs(0.3, 30, 2);
+  SvmParams p;
+  p.C = 10;
+  p.gamma = 0.5;
+  EXPECT_GT(crossValidate(far, p, 5).accuracy,
+            crossValidate(near, p, 5).accuracy);
+}
+
+TEST(CrossValidate, EmptyThrows) {
+  EXPECT_THROW(crossValidate(Dataset{}, SvmParams{}, 5),
+               std::invalid_argument);
+}
+
+TEST(GridSearch, FindsWorkingHyperparameters) {
+  const Dataset d = blobs(1.5, 25, 3);
+  GridSearchSpec spec;
+  spec.Cs = {0.01, 1.0, 100.0};
+  spec.gammas = {0.001, 0.5, 50.0};
+  spec.folds = 4;
+  const GridSearchResult r = gridSearch(d, spec);
+  EXPECT_EQ(r.all.size(), 9u);
+  EXPECT_GE(std::min(r.best.cv.posRecall, r.best.cv.negRecall), 0.85);
+  // The best point's balanced score is max over the grid.
+  for (const GridPoint& gp : r.all)
+    EXPECT_GE(std::min(r.best.cv.posRecall, r.best.cv.negRecall),
+              std::min(gp.cv.posRecall, gp.cv.negRecall) - 1e-12);
+}
+
+TEST(GridSearch, BalancedScorePrefersMinorityRecall) {
+  // Imbalanced set: accuracy-optimal can mean "ignore the minority";
+  // the balanced score must not.
+  std::mt19937 rng(4);
+  std::normal_distribution<double> n(0.0, 0.4);
+  Dataset d;
+  for (int i = 0; i < 6; ++i) d.add({n(rng) + 1.6, n(rng)}, 1);
+  for (int i = 0; i < 60; ++i) d.add({n(rng) - 1.0, n(rng)}, -1);
+  GridSearchSpec spec;
+  spec.folds = 3;
+  const GridSearchResult r = gridSearch(d, spec);
+  EXPECT_GT(r.best.cv.posRecall, 0.5);
+}
+
+}  // namespace
+}  // namespace hsd::svm

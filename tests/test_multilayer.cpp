@@ -1,0 +1,98 @@
+// Multilayer extension tests (Sec. IV-A): overlap geometry, feature
+// stacking, and end-to-end learning of a two-layer hotspot that is only
+// visible in the layer overlap.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/multilayer.hpp"
+
+namespace hsd::core {
+namespace {
+
+const ClipParams kP;
+
+TEST(Overlap, BasicIntersections) {
+  const auto ov = overlapGeometry({{0, 0, 10, 10}, {20, 0, 30, 10}},
+                                  {{5, 5, 25, 15}});
+  ASSERT_EQ(ov.size(), 2u);
+  EXPECT_EQ(ov[0], Rect(5, 5, 10, 10));
+  EXPECT_EQ(ov[1], Rect(20, 5, 25, 10));
+}
+
+TEST(Overlap, DisjointLayersEmpty) {
+  EXPECT_TRUE(overlapGeometry({{0, 0, 10, 10}}, {{20, 20, 30, 30}}).empty());
+}
+
+TEST(MultiLayerFeatures, DimensionMatchesFormula) {
+  MultiLayerParams p;
+  p.layers = {1, 2, 3};
+  Clip c(ClipWindow::atCore({1800, 1800}, kP), Label::kUnknown);
+  c.setRects(1, {{2000, 2000, 2300, 2800}});
+  c.setRects(2, {{2100, 1900, 2400, 2600}});
+  c.setRects(3, {{2000, 2400, 2800, 2700}});
+  const auto v = buildMultiLayerFeatureVector(c, p);
+  EXPECT_EQ(v.size(), multiLayerFeatureDim(p));
+  // 3 per-layer sets + 2 overlap sets (internal+diagonal only).
+  const FeatureParams base;
+  EXPECT_EQ(multiLayerFeatureDim(p),
+            3 * base.dim() + 2 * ((base.maxInternal + base.maxDiagonal) * 5 + 5));
+}
+
+TEST(MultiLayerFeatures, MissingLayerGeometryIsPadded) {
+  MultiLayerParams p;
+  Clip c(ClipWindow::atCore({1800, 1800}, kP), Label::kUnknown);
+  c.setRects(1, {{2000, 2000, 2300, 2800}});
+  // Layer 2 absent: the vector still has full dimension.
+  EXPECT_EQ(buildMultiLayerFeatureVector(c, p).size(),
+            multiLayerFeatureDim(p));
+}
+
+// Two-layer clips where the label depends ONLY on the via-style overlap
+// area between the layers: single-layer features cannot separate them.
+Clip twoLayerClip(Coord overlapSize, Label label, Coord jx = 0) {
+  Clip c(ClipWindow::atCore({1800, 1800}, kP), label);
+  // Metal1: horizontal bar; Metal2: vertical bar crossing it.
+  c.setRects(1, {{1900, 2300 , 2900, 2500}});
+  const Coord x = 2300 + jx;
+  c.setRects(2, {{x, 1900, x + overlapSize, 2900}});
+  return c;
+}
+
+TEST(MultiLayerDetector, LearnsOverlapDrivenLabel) {
+  std::vector<Clip> training;
+  std::mt19937 rng(4);
+  std::uniform_int_distribution<Coord> j(-150, 150);
+  for (int i = 0; i < 10; ++i)
+    training.push_back(twoLayerClip(80, Label::kHotspot, j(rng)));
+  for (int i = 0; i < 30; ++i)
+    training.push_back(twoLayerClip(300, Label::kNonHotspot, j(rng)));
+
+  MultiLayerParams mp;
+  const MultiLayerDetector det = MultiLayerDetector::train(training, mp);
+  EXPECT_GE(det.kernels.size(), 1u);
+  EXPECT_TRUE(det.evaluateClip(twoLayerClip(85, Label::kUnknown, 40)));
+  EXPECT_FALSE(det.evaluateClip(twoLayerClip(290, Label::kUnknown, -30)));
+}
+
+TEST(MultiLayerDetector, ThrowsOnMissingClass) {
+  MultiLayerParams mp;
+  std::vector<Clip> onlyHs{twoLayerClip(80, Label::kHotspot)};
+  EXPECT_THROW(MultiLayerDetector::train(onlyHs, mp), std::invalid_argument);
+  mp.layers.clear();
+  EXPECT_THROW(MultiLayerDetector::train({}, mp), std::invalid_argument);
+}
+
+TEST(MultiLayerDetector, BiasControlsStrictness) {
+  std::vector<Clip> training;
+  for (int i = 0; i < 8; ++i)
+    training.push_back(twoLayerClip(80, Label::kHotspot, i * 20 - 80));
+  for (int i = 0; i < 20; ++i)
+    training.push_back(twoLayerClip(300, Label::kNonHotspot, i * 10 - 100));
+  const MultiLayerDetector det =
+      MultiLayerDetector::train(training, MultiLayerParams{});
+  EXPECT_FALSE(det.evaluateClip(twoLayerClip(80, Label::kUnknown), 1e9));
+}
+
+}  // namespace
+}  // namespace hsd::core

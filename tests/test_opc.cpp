@@ -1,0 +1,109 @@
+// Rule-based OPC tests: width biasing, space opening, budget limits, and
+// the detect-and-fix loop closing real oracle failures.
+#include <gtest/gtest.h>
+
+#include "litho/opc.hpp"
+
+namespace hsd::litho {
+namespace {
+
+const Rect kWin{0, 0, 4800, 4800};
+const Rect kCore{1800, 1800, 3000, 3000};
+
+TEST(Opc, WidensNarrowIsolatedWire) {
+  OpcRules rules;
+  rules.minWidth = 150;
+  const std::vector<Rect> in{{2350, 0, 2450, 4800}};  // 100 wide
+  const OpcResult r = applyRuleOpc(in, rules);
+  EXPECT_EQ(r.widened, 1u);
+  EXPECT_GE(r.corrected[0].width(), 150);
+  // Height untouched (already above minWidth).
+  EXPECT_EQ(r.corrected[0].height(), 4800);
+}
+
+TEST(Opc, WideningRespectsNeighborSpace) {
+  OpcRules rules;
+  rules.minWidth = 200;
+  rules.minSpace = 100;
+  // Narrow wire with a close left neighbor: left growth limited.
+  const std::vector<Rect> in{{0, 0, 1000, 4800}, {1150, 0, 1250, 4800}};
+  const OpcResult r = applyRuleOpc(in, rules);
+  const Rect& fixed = r.corrected[1];
+  EXPECT_GE(fixed.lo.x - r.corrected[0].hi.x, rules.minSpace);
+  EXPECT_GT(fixed.width(), 100);
+}
+
+TEST(Opc, OpensTightSpace) {
+  OpcRules rules;
+  rules.minWidth = 100;
+  rules.minSpace = 160;
+  const std::vector<Rect> in{{0, 0, 2350, 4800}, {2450, 0, 4800, 4800}};
+  const OpcResult r = applyRuleOpc(in, rules);
+  EXPECT_EQ(r.opened, 1u);
+  EXPECT_GE(r.corrected[1].lo.x - r.corrected[0].hi.x, rules.minSpace);
+}
+
+TEST(Opc, SpaceOpeningRespectsWidthFloor) {
+  OpcRules rules;
+  rules.minWidth = 100;
+  rules.minSpace = 400;
+  rules.maxBiasPerEdge = 1000;
+  // Two 110-wide wires 100 apart: each side can only give up 10.
+  const std::vector<Rect> in{{0, 0, 110, 4800}, {210, 0, 320, 4800}};
+  const OpcResult r = applyRuleOpc(in, rules);
+  EXPECT_GE(r.corrected[0].width(), rules.minWidth);
+  EXPECT_GE(r.corrected[1].width(), rules.minWidth);
+}
+
+TEST(Opc, CleanLayoutUntouched) {
+  OpcRules rules;
+  const std::vector<Rect> in{{0, 0, 300, 4800}, {600, 0, 900, 4800}};
+  const OpcResult r = applyRuleOpc(in, rules);
+  EXPECT_FALSE(r.changed());
+  EXPECT_EQ(r.corrected, in);
+}
+
+TEST(Opc, MaxBiasPerEdgeHonored) {
+  OpcRules rules;
+  rules.minWidth = 500;
+  rules.maxBiasPerEdge = 30;
+  const std::vector<Rect> in{{2000, 0, 2100, 4800}};
+  const OpcResult r = applyRuleOpc(in, rules);
+  EXPECT_LE(r.corrected[0].width(), 100 + 2 * 30);
+}
+
+TEST(DetectAndFix, PinchingWireGetsFixed) {
+  const LithoSimulator sim;
+  // 100nm isolated wire pinches; rules widen it to printable width.
+  const std::vector<Rect> in{{2350, 0, 2450, 4800}};
+  OpcRules rules;
+  rules.minWidth = 170;
+  rules.maxBiasPerEdge = 60;
+  const FixOutcome out = detectAndFix(sim, in, kCore, kWin, rules);
+  EXPECT_TRUE(out.before.pinch);
+  EXPECT_TRUE(out.fixed()) << "after minI=" << out.after.minDrawnI;
+}
+
+TEST(DetectAndFix, BridgingSpaceGetsFixed) {
+  const LithoSimulator sim;
+  const std::vector<Rect> in{{0, 0, 2350, 4800}, {2455, 0, 4800, 4800}};
+  OpcRules rules;
+  rules.minWidth = 150;
+  rules.minSpace = 200;
+  rules.maxBiasPerEdge = 60;
+  const FixOutcome out = detectAndFix(sim, in, kCore, kWin, rules);
+  EXPECT_TRUE(out.before.bridge);
+  EXPECT_TRUE(out.fixed()) << "after maxI=" << out.after.maxSpaceI;
+}
+
+TEST(DetectAndFix, CleanRegionIsNoop) {
+  const LithoSimulator sim;
+  const std::vector<Rect> in{{2300, 0, 2600, 4800}};
+  const FixOutcome out = detectAndFix(sim, in, kCore, kWin, OpcRules{});
+  EXPECT_FALSE(out.before.hotspot());
+  EXPECT_FALSE(out.opc.changed());
+  EXPECT_EQ(out.opc.corrected, in);
+}
+
+}  // namespace
+}  // namespace hsd::litho

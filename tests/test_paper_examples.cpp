@@ -1,0 +1,169 @@
+// The paper's worked examples, executed against the implementation:
+// Fig. 4 (two-level classification of A, B, C, D), Fig. 5 (directional
+// slice codes), Fig. 8 (the "mountain" pattern's critical features), and
+// Fig. 10 (identical cores, different ambit -> different verdicts).
+#include <gtest/gtest.h>
+
+#include "core/classify.hpp"
+#include "core/features.hpp"
+#include "core/topo_string.hpp"
+#include "geom/density_grid.hpp"
+#include "litho/litho.hpp"
+
+namespace hsd::core {
+namespace {
+
+CorePattern pattern(Coord w, Coord h, std::vector<Rect> rects) {
+  CorePattern p;
+  p.w = w;
+  p.h = h;
+  p.rects = std::move(rects);
+  return p;
+}
+
+// Fig. 4: A and D share one topology (single bar, different dimensions);
+// B and C are both crosses (same topology) but with different polygon
+// distribution. String level -> {A, D}, {B, C}; density level splits
+// {B}, {C}.
+TEST(PaperFig4, TwoLevelClassification) {
+  const CorePattern A = pattern(1200, 1200, {{200, 0, 400, 1200}});
+  const CorePattern D = pattern(1200, 1200, {{500, 0, 900, 1200}});
+  // Crosses: same topology, very different arm mass distribution.
+  const CorePattern B = pattern(
+      1200, 1200, {{500, 0, 700, 1200}, {0, 500, 1200, 700}});
+  const CorePattern C = pattern(
+      1200, 1200, {{100, 0, 220, 1200}, {0, 980, 1200, 1100}});
+
+  // String level: two groups.
+  EXPECT_EQ(canonicalTopoKey(A), canonicalTopoKey(D));
+  EXPECT_EQ(canonicalTopoKey(B), canonicalTopoKey(C));
+  EXPECT_NE(canonicalTopoKey(A), canonicalTopoKey(B));
+
+  // Density level: {A, D} stay together, {B, C} split. The paper's
+  // premise is that A/D are closer in density space than B/C; place the
+  // radius between the two measured distances.
+  const auto gridOf = [](const CorePattern& p) {
+    return DensityGrid(p.rects, p.window(), 12, 12);
+  };
+  const double dAD = gridOf(A).distance(gridOf(D));
+  const double dBC = gridOf(B).distance(gridOf(C));
+  ASSERT_LT(dAD, dBC);
+  ClassifyParams cp;
+  cp.radiusR0 = (dAD + dBC) / 2.0;
+  const auto clusters = classifyPatterns({A, B, C, D}, cp);
+  ASSERT_EQ(clusters.size(), 3u);
+  // Find A's cluster: it must contain D (indices 0 and 3).
+  bool adTogether = false, bcApart = true;
+  for (const Cluster& cl : clusters) {
+    const bool hasA = std::count(cl.members.begin(), cl.members.end(), 0u);
+    const bool hasD = std::count(cl.members.begin(), cl.members.end(), 3u);
+    const bool hasB = std::count(cl.members.begin(), cl.members.end(), 1u);
+    const bool hasC = std::count(cl.members.begin(), cl.members.end(), 2u);
+    if (hasA && hasD) adTogether = true;
+    if (hasB && hasC) bcApart = false;
+  }
+  EXPECT_TRUE(adTogether);
+  EXPECT_TRUE(bcApart);
+}
+
+// Fig. 5(a): a core whose left half is fully covered and whose right half
+// holds a floating block yields the downward string <3, 10> — in binary
+// <11, 1010> reading boundary-then-runs from the bottom.
+TEST(PaperFig5, DownwardStringCodes) {
+  const CorePattern p =
+      pattern(100, 100, {{0, 0, 50, 100}, {50, 40, 100, 60}});
+  const DirectionalStrings s = encodeStrings(p);
+  ASSERT_EQ(s.bottom.size(), 2u);
+  // "3" = 11b: boundary bit + one block run.
+  EXPECT_EQ(s.bottom[0].len, 2);
+  EXPECT_EQ(s.bottom[0].bits, 0b11u);
+  // "10" (decimal) = 1010b: boundary, space, block, space (LSB-first
+  // storage: bit0=1 boundary, bit1=0, bit2=1, bit3=0).
+  EXPECT_EQ(s.bottom[1].len, 4);
+  EXPECT_EQ(s.bottom[1].bits, 0b0101u);
+}
+
+// Theorem 1 mechanics: two adjacent side strings of a pattern are found in
+// the ccw or cw composite of every orientation of the same pattern, and in
+// no composite of a different topology.
+TEST(PaperTheorem1, CompositeSearchSemantics) {
+  const CorePattern base = pattern(
+      1200, 1200, {{100, 100, 400, 900}, {600, 300, 1100, 600}});
+  for (const Orient o : kAllOrients)
+    EXPECT_TRUE(sameTopology(base, base.transformed(o))) << toString(o);
+  const CorePattern other =
+      pattern(1200, 1200, {{100, 100, 400, 900}});
+  EXPECT_FALSE(sameTopology(base, other));
+}
+
+// Fig. 8: the "mountain" pattern. The paper extracts the peak's internal
+// feature, the external spacings around the foothills, and segment
+// features at the boundary.
+TEST(PaperFig8, MountainFeatures) {
+  CorePattern p = pattern(1200, 1200,
+                          {
+                              {200, 100, 400, 450},    // left foothill
+                              {500, 100, 700, 850},    // peak ("h")
+                              {800, 100, 1000, 550},   // right foothill
+                          });
+  const auto rules = extractRuleRects(p);
+
+  // Internal feature with the peak's dimensions.
+  bool peakInternal = false;
+  for (const RuleRect& r : rules)
+    if (r.kind == FeatKind::kInternal && r.w == 200 && r.h == 750)
+      peakInternal = true;
+  EXPECT_TRUE(peakInternal);
+
+  // External features: the two 100nm gaps between foothills and peak.
+  int gaps = 0;
+  for (const RuleRect& r : rules)
+    if (r.kind == FeatKind::kExternal && r.w == 100) ++gaps;
+  EXPECT_EQ(gaps, 2);
+
+  // Segment features at the window boundary exist.
+  bool segment = false;
+  for (const RuleRect& r : rules)
+    if (r.kind == FeatKind::kSegment) segment = true;
+  EXPECT_TRUE(segment);
+}
+
+// Fig. 10: an identical core pattern whose *ambit* decides the verdict —
+// the reason the feedback kernel uses core+ambit features.
+TEST(PaperFig10, AmbitDistinguishesIdenticalCores) {
+  const litho::LithoSimulator sim;
+  const ClipParams cp;
+  const ClipWindow cw = ClipWindow::atCore({1800, 1800}, cp);
+  // A marginal wire hugging the core's left edge: pinches when isolated.
+  Coord w = 0;
+  for (Coord cand = 100; cand <= 220; cand += 2) {
+    const std::vector<Rect> wire{{1820, 0, 1820 + cand, 4800}};
+    if (!sim.check(wire, cw.core, cw.clip).pinch) {
+      w = cand - 2;
+      break;
+    }
+  }
+  ASSERT_GT(w, 0);
+  const Rect coreWire{1820, 0, 1820 + w, 4800};
+
+  // Clip A: the wire alone. Clip B: the same wire plus company strictly
+  // inside the *ambit* (x < 1800). The two cores are geometrically
+  // identical — only the ambit differs (Fig. 10's setup).
+  Clip a(cw, Label::kUnknown);
+  a.setRects(1, {coreWire});
+  Clip b(cw, Label::kUnknown);
+  b.setRects(1, {coreWire,
+                 {1600, 0, 1760, 4800},
+                 {1380, 0, 1540, 4800}});
+  ASSERT_EQ(a.localCoreRects(1), b.localCoreRects(1));
+
+  const bool hotspotA =
+      sim.check(a.rectsOn(1), cw.core, cw.clip).hotspot();
+  const bool hotspotB =
+      sim.check(b.rectsOn(1), cw.core, cw.clip).hotspot();
+  EXPECT_TRUE(hotspotA);
+  EXPECT_FALSE(hotspotB) << "ambit company should rescue the edge wire";
+}
+
+}  // namespace
+}  // namespace hsd::core

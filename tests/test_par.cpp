@@ -1,0 +1,67 @@
+// Thread pool and parallelFor tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace hsd {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t(1), std::size_t(3),
+                                    std::size_t(8)}) {
+    std::vector<std::atomic<int>> hits(500);
+    parallelFor(500, threads, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  parallelFor(0, 4, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, SerialPathMatchesParallel) {
+  std::vector<int> a(64, 0), b(64, 0);
+  parallelFor(64, 1, [&](std::size_t i) { a[i] = int(i * i); });
+  parallelFor(64, 4, [&](std::size_t i) { b[i] = int(i * i); });
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelFor, RethrowsFirstException) {
+  EXPECT_THROW(
+      parallelFor(100, 4,
+                  [](std::size_t i) {
+                    if (i == 42) throw std::logic_error("x");
+                  }),
+      std::logic_error);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
+  std::atomic<int> count{0};
+  parallelFor(3, 16, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+}  // namespace
+}  // namespace hsd

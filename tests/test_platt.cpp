@@ -1,0 +1,146 @@
+// Platt scaling tests: sigmoid fitting, monotonicity, calibration quality
+// and process-window litho tests sharing the same file for convenience.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "litho/litho.hpp"
+#include "svm/platt.hpp"
+
+namespace hsd {
+namespace {
+
+using svm::fitPlatt;
+using svm::PlattModel;
+
+TEST(Platt, PerfectlySeparatedDecisions) {
+  std::vector<double> f;
+  std::vector<int> y;
+  for (int i = 0; i < 20; ++i) {
+    f.push_back(2.0 + 0.1 * i);
+    y.push_back(1);
+    f.push_back(-2.0 - 0.1 * i);
+    y.push_back(-1);
+  }
+  const PlattModel m = fitPlatt(f, y);
+  EXPECT_GT(m.probability(3.0), 0.9);
+  EXPECT_LT(m.probability(-3.0), 0.1);
+  EXPECT_NEAR(m.probability(0.0), 0.5, 0.15);
+}
+
+TEST(Platt, ProbabilityMonotoneInDecision) {
+  std::mt19937 rng(2);
+  std::normal_distribution<double> n(0, 0.7);
+  std::vector<double> f;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    f.push_back(1.0 + n(rng));
+    y.push_back(1);
+    f.push_back(-1.0 + n(rng));
+    y.push_back(-1);
+  }
+  const PlattModel m = fitPlatt(f, y);
+  double last = -1;
+  for (double v = -4; v <= 4; v += 0.5) {
+    const double p = m.probability(v);
+    EXPECT_GE(p, last);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    last = p;
+  }
+}
+
+TEST(Platt, CalibrationRoughlyMatchesEmpirical) {
+  // Decisions drawn so that P(y=1|f) is a known logistic: the fit should
+  // recover probabilities within a loose tolerance.
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> uf(-3, 3);
+  std::uniform_real_distribution<double> u01(0, 1);
+  std::vector<double> f;
+  std::vector<int> y;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = uf(rng);
+    const double p = 1.0 / (1.0 + std::exp(-2.0 * v));  // A=-2, B=0
+    f.push_back(v);
+    y.push_back(u01(rng) < p ? 1 : -1);
+  }
+  const PlattModel m = fitPlatt(f, y);
+  EXPECT_NEAR(m.probability(0.0), 0.5, 0.05);
+  EXPECT_NEAR(m.probability(1.0), 1.0 / (1.0 + std::exp(-2.0)), 0.06);
+  EXPECT_NEAR(m.probability(-1.5), 1.0 / (1.0 + std::exp(3.0)), 0.06);
+}
+
+TEST(Platt, ImbalancedPriorShiftsMidpoint) {
+  // With 10x more negatives, the probability at decision 0 drops.
+  std::vector<double> f;
+  std::vector<int> y;
+  std::mt19937 rng(4);
+  std::normal_distribution<double> n(0, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    f.push_back(0.7 + n(rng));
+    y.push_back(1);
+  }
+  for (int i = 0; i < 100; ++i) {
+    f.push_back(-0.7 + n(rng));
+    y.push_back(-1);
+  }
+  const PlattModel m = fitPlatt(f, y);
+  EXPECT_LT(m.probability(0.0), 0.5);
+}
+
+TEST(Platt, ThrowsOnDegenerateInput) {
+  EXPECT_THROW(fitPlatt(std::vector<double>{}, std::vector<int>{}),
+               std::invalid_argument);
+  EXPECT_THROW(fitPlatt({1.0, 2.0}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(fitPlatt({1.0}, {1, -1}), std::invalid_argument);
+}
+
+// ---- process-window litho ----
+
+const Rect kWin{0, 0, 4800, 4800};
+const Rect kCore{1800, 1800, 3000, 3000};
+
+TEST(ProcessWindow, WorstCaseDominatesNominal) {
+  const litho::LithoParams nominal;
+  const litho::ProcessWindow pw;
+  // A comfortably printable wire stays clean across the window.
+  const std::vector<Rect> fat{{2250, 0, 2550, 4800}};
+  EXPECT_FALSE(
+      litho::checkProcessWindow(nominal, pw, fat, kCore, kWin).hotspot());
+  // A marginal wire that prints at nominal fails at a defocus corner.
+  Coord marginal = 0;
+  const litho::LithoSimulator sim(nominal);
+  for (Coord w = 100; w <= 240; w += 4) {
+    const std::vector<Rect> wire{{2400 - w / 2, 0, 2400 + w / 2, 4800}};
+    if (!sim.check(wire, kCore, kWin).pinch) {
+      marginal = w;
+      break;
+    }
+  }
+  ASSERT_GT(marginal, 0);
+  const std::vector<Rect> wire{{2400 - marginal / 2, 0,
+                                2400 + marginal / 2, 4800}};
+  const litho::Verdict nominalV = sim.check(wire, kCore, kWin);
+  const litho::Verdict pwV =
+      litho::checkProcessWindow(nominal, pw, wire, kCore, kWin);
+  EXPECT_FALSE(nominalV.pinch);
+  EXPECT_LE(pwV.minDrawnI, nominalV.minDrawnI);
+  EXPECT_TRUE(pwV.pinch) << "marginal wire should fail at a corner";
+}
+
+TEST(ProcessWindow, NominalOnlyWindowEqualsPlainCheck) {
+  const litho::LithoParams nominal;
+  litho::ProcessWindow pw;
+  pw.corners = {{0.0, 1.0}};
+  const std::vector<Rect> wire{{2350, 0, 2450, 4800}};
+  const litho::Verdict a =
+      litho::checkProcessWindow(nominal, pw, wire, kCore, kWin);
+  const litho::Verdict b =
+      litho::LithoSimulator(nominal).check(wire, kCore, kWin);
+  EXPECT_EQ(a.pinch, b.pinch);
+  EXPECT_EQ(a.bridge, b.bridge);
+  EXPECT_DOUBLE_EQ(a.minDrawnI, b.minDrawnI);
+}
+
+}  // namespace
+}  // namespace hsd

@@ -1,0 +1,251 @@
+// SVM engine tests: the SMO solver on analytically known problems,
+// KKT/optimality sanity, class weighting, scaling, and persistence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "svm/scaler.hpp"
+#include "svm/svm.hpp"
+
+namespace hsd::svm {
+namespace {
+
+TEST(RbfKernel, BasicValues) {
+  EXPECT_DOUBLE_EQ(rbfKernel({0, 0}, {0, 0}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(rbfKernel({1, 0}, {0, 0}, 0.5), std::exp(-0.5));
+  EXPECT_DOUBLE_EQ(rbfKernel({1, 1}, {0, 0}, 1.0), std::exp(-2.0));
+}
+
+TEST(Train, ThrowsOnDegenerateInput) {
+  Dataset d;
+  EXPECT_THROW(train(d, {}), std::invalid_argument);
+  d.add({0.0}, 1);
+  EXPECT_THROW(train(d, {}), std::invalid_argument);  // single class
+  EXPECT_THROW(d.add({0.0, 1.0}, -1), std::invalid_argument);  // bad dim
+  EXPECT_THROW(d.add({0.0}, 3), std::invalid_argument);  // bad label
+}
+
+TEST(Train, SeparableTwoPoints) {
+  Dataset d;
+  d.add({0.0}, -1);
+  d.add({1.0}, 1);
+  SvmParams p;
+  p.C = 10;
+  p.gamma = 1.0;
+  const TrainResult r = train(d, p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.model.predict({0.0}), -1);
+  EXPECT_EQ(r.model.predict({1.0}), 1);
+  // By symmetry the boundary is at 0.5.
+  EXPECT_NEAR(r.model.decision({0.5}), 0.0, 1e-6);
+  EXPECT_EQ(r.model.predict({-3.0}), -1);
+  EXPECT_EQ(r.model.predict({4.0}), 1);
+}
+
+TEST(Train, XorNeedsNonlinearKernel) {
+  Dataset d;
+  d.add({0, 0}, -1);
+  d.add({1, 1}, -1);
+  d.add({0, 1}, 1);
+  d.add({1, 0}, 1);
+  SvmParams p;
+  p.C = 100;
+  p.gamma = 2.0;
+  const TrainResult r = train(d, p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(trainingAccuracy(r.model, d), 1.0);
+}
+
+TEST(Train, NoisyDataRespectsSlack) {
+  // One mislabeled point inside the other class: with small C the model
+  // should tolerate it rather than contort the boundary.
+  std::mt19937 rng(1);
+  std::normal_distribution<double> n(0.0, 0.3);
+  Dataset d;
+  for (int i = 0; i < 40; ++i) {
+    d.add({n(rng) - 2.0, n(rng)}, -1);
+    d.add({n(rng) + 2.0, n(rng)}, 1);
+  }
+  d.add({-2.0, 0.0}, 1);  // noise
+  SvmParams p;
+  p.C = 1.0;
+  p.gamma = 0.5;
+  const TrainResult r = train(d, p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.model.predict({-2.0, 0.1}), -1);  // noise point overruled
+  EXPECT_EQ(r.model.predict({2.0, -0.1}), 1);
+  EXPECT_GE(trainingAccuracy(r.model, d), 0.95);
+}
+
+TEST(Train, AlphaWithinBoxConstraints) {
+  std::mt19937 rng(2);
+  std::normal_distribution<double> n(0.0, 1.0);
+  Dataset d;
+  for (int i = 0; i < 30; ++i) {
+    d.add({n(rng) - 1.0, n(rng)}, -1);
+    d.add({n(rng) + 1.0, n(rng)}, 1);
+  }
+  SvmParams p;
+  p.C = 5.0;
+  p.gamma = 0.7;
+  const TrainResult r = train(d, p);
+  // coef_i = alpha_i * y_i with 0 < alpha_i <= C.
+  for (const double c : r.model.coefficients()) {
+    EXPECT_GT(std::abs(c), 0.0);
+    EXPECT_LE(std::abs(c), p.C + 1e-9);
+  }
+  // Sum of coefficients ~ 0 (equality constraint).
+  double sum = 0;
+  for (const double c : r.model.coefficients()) sum += c;
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(Train, ObjectiveImprovesWithLooserC) {
+  // The dual optimum f(a) is nondecreasing in C (larger feasible box).
+  std::mt19937 rng(3);
+  std::normal_distribution<double> n(0.0, 1.0);
+  Dataset d;
+  for (int i = 0; i < 25; ++i) {
+    d.add({n(rng) - 0.6}, -1);
+    d.add({n(rng) + 0.6}, 1);
+  }
+  double last = -1;
+  for (const double c : {0.1, 1.0, 10.0}) {
+    SvmParams p;
+    p.C = c;
+    p.gamma = 1.0;
+    const TrainResult r = train(d, p);
+    EXPECT_GE(r.objective, last - 1e-6);
+    last = r.objective;
+  }
+}
+
+TEST(Train, ClassWeightsShiftBoundary) {
+  // Imbalanced data: weighting the minority class pushes the boundary out.
+  std::mt19937 rng(4);
+  std::normal_distribution<double> n(0.0, 0.4);
+  Dataset d;
+  d.add({1.5}, 1);
+  for (int i = 0; i < 50; ++i) d.add({n(rng) - 1.0}, -1);
+  SvmParams pw;
+  pw.C = 1.0;
+  pw.gamma = 0.5;
+  pw.weightPos = 50.0;
+  const TrainResult weighted = train(d, pw);
+  EXPECT_EQ(weighted.model.predict({1.5}), 1);
+  // Decision value at the positive sample grows with its weight.
+  SvmParams pu = pw;
+  pu.weightPos = 1.0;
+  const TrainResult unweighted = train(d, pu);
+  EXPECT_GE(weighted.model.decision({1.5}),
+            unweighted.model.decision({1.5}) - 1e-9);
+}
+
+TEST(Train, GammaControlsLocality) {
+  // With huge gamma, the decision collapses to near-neighbors: a probe far
+  // from every SV lands on the majority-bias side (rho).
+  Dataset d;
+  d.add({0.0}, 1);
+  d.add({1.0}, -1);
+  SvmParams p;
+  p.C = 10;
+  p.gamma = 100.0;
+  const TrainResult r = train(d, p);
+  EXPECT_NEAR(r.model.decision({50.0}), -r.model.rho(), 1e-6);
+}
+
+TEST(Model, SaveLoadRoundTrip) {
+  std::mt19937 rng(5);
+  std::normal_distribution<double> n(0.0, 1.0);
+  Dataset d;
+  for (int i = 0; i < 20; ++i) {
+    d.add({n(rng) - 1.0, n(rng) + 0.3}, -1);
+    d.add({n(rng) + 1.0, n(rng) - 0.3}, 1);
+  }
+  SvmParams p;
+  p.C = 3.0;
+  p.gamma = 0.9;
+  const SvmModel m = train(d, p).model;
+  std::stringstream ss;
+  m.save(ss);
+  const SvmModel back = SvmModel::load(ss);
+  EXPECT_EQ(back.supportVectorCount(), m.supportVectorCount());
+  for (int i = 0; i < 10; ++i) {
+    const FeatureVector x{n(rng), n(rng)};
+    EXPECT_NEAR(back.decision(x), m.decision(x), 1e-12);
+  }
+}
+
+TEST(Model, LoadRejectsBadHeader) {
+  std::stringstream ss("not_a_model 1\n");
+  EXPECT_THROW(SvmModel::load(ss), std::runtime_error);
+}
+
+TEST(Model, PredictBiasShiftsThreshold) {
+  Dataset d;
+  d.add({0.0}, -1);
+  d.add({1.0}, 1);
+  SvmParams p;
+  p.C = 10;
+  p.gamma = 1.0;
+  const SvmModel m = train(d, p).model;
+  const double mid = m.decision({0.6});
+  EXPECT_EQ(m.predict({0.6}, mid - 0.01), 1);
+  EXPECT_EQ(m.predict({0.6}, mid + 0.01), -1);
+}
+
+TEST(Scaler, MapsToUnitBox) {
+  Scaler s;
+  s.fit({{0, 10}, {5, 20}, {10, 30}});
+  EXPECT_EQ(s.transform({0, 10}), (FeatureVector{0.0, 0.0}));
+  EXPECT_EQ(s.transform({10, 30}), (FeatureVector{1.0, 1.0}));
+  EXPECT_EQ(s.transform({5, 20}), (FeatureVector{0.5, 0.5}));
+}
+
+TEST(Scaler, ClampsOutOfRange) {
+  Scaler s;
+  s.fit({{0.0}, {1.0}});
+  EXPECT_EQ(s.transform({-5})[0], 0.0);
+  EXPECT_EQ(s.transform({9})[0], 1.0);
+}
+
+TEST(Scaler, ConstantFeatureMapsToHalf) {
+  Scaler s;
+  s.fit({{7.0, 1.0}, {7.0, 3.0}});
+  EXPECT_EQ(s.transform({7.0, 2.0}), (FeatureVector{0.5, 0.5}));
+}
+
+TEST(Scaler, DimensionMismatchThrows) {
+  Scaler s;
+  s.fit({{1.0, 2.0}});
+  EXPECT_THROW(s.transform({1.0}), std::invalid_argument);
+}
+
+class SvmAccuracySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvmAccuracySweep, GaussianBlobsSeparate) {
+  const double sep = GetParam();
+  std::mt19937 rng(std::uint64_t(sep * 100));
+  std::normal_distribution<double> n(0.0, 0.5);
+  Dataset train_d, test_d;
+  for (int i = 0; i < 60; ++i) {
+    train_d.add({n(rng) - sep, n(rng)}, -1);
+    train_d.add({n(rng) + sep, n(rng)}, 1);
+    test_d.add({n(rng) - sep, n(rng)}, -1);
+    test_d.add({n(rng) + sep, n(rng)}, 1);
+  }
+  SvmParams p;
+  p.C = 10;
+  p.gamma = 0.5;
+  const SvmModel m = train(train_d, p).model;
+  // Generalization improves with separation; even sep=1 should beat 85%.
+  EXPECT_GE(trainingAccuracy(m, test_d), sep >= 2.0 ? 0.97 : 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, SvmAccuracySweep,
+                         ::testing::Values(1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace hsd::svm

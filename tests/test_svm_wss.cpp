@@ -1,0 +1,81 @@
+// Working-set-selection tests: WSS1 (maximal violating pair) and WSS2
+// (second order) must reach the same optimum of the convex dual, with
+// WSS2 typically needing no more iterations.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "svm/svm.hpp"
+
+namespace hsd::svm {
+namespace {
+
+Dataset randomBlobs(double sep, int perClass, std::uint32_t seed, int dim) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> n(0.0, 0.8);
+  Dataset d;
+  for (int i = 0; i < perClass; ++i) {
+    FeatureVector a(std::size_t(dim), 0.0);
+    FeatureVector b(std::size_t(dim), 0.0);
+    for (int k = 0; k < dim; ++k) {
+      a[std::size_t(k)] = n(rng) - (k == 0 ? sep : 0);
+      b[std::size_t(k)] = n(rng) + (k == 0 ? sep : 0);
+    }
+    d.add(a, -1);
+    d.add(b, 1);
+  }
+  return d;
+}
+
+class WssComparison : public ::testing::TestWithParam<double> {};
+
+TEST_P(WssComparison, SameOptimumBothSelections) {
+  const double C = GetParam();
+  for (const std::uint32_t seed : {11u, 22u, 33u}) {
+    const Dataset d = randomBlobs(1.0, 25, seed, 3);
+    SvmParams p1;
+    p1.C = C;
+    p1.gamma = 0.7;
+    p1.secondOrderWss = false;
+    SvmParams p2 = p1;
+    p2.secondOrderWss = true;
+    const TrainResult r1 = train(d, p1);
+    const TrainResult r2 = train(d, p2);
+    ASSERT_TRUE(r1.converged);
+    ASSERT_TRUE(r2.converged);
+    // Same dual optimum (convex problem) up to the KKT tolerance.
+    EXPECT_NEAR(r1.objective, r2.objective,
+                1e-2 * (1.0 + std::abs(r1.objective)));
+    // Same decisions on probes.
+    std::mt19937 rng(seed + 7);
+    std::normal_distribution<double> n(0.0, 1.5);
+    for (int i = 0; i < 30; ++i) {
+      const FeatureVector x{n(rng), n(rng), n(rng)};
+      EXPECT_NEAR(r1.model.decision(x), r2.model.decision(x), 0.05)
+          << "C=" << C << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cs, WssComparison,
+                         ::testing::Values(0.5, 10.0, 1000.0));
+
+TEST(Wss, SecondOrderNotSlower) {
+  // Aggregate iteration counts over a few problems: WSS2 should win or
+  // roughly tie (it never pathologically loses on these smooth problems).
+  std::size_t it1 = 0, it2 = 0;
+  for (const std::uint32_t seed : {1u, 2u, 3u, 4u}) {
+    const Dataset d = randomBlobs(0.7, 40, seed, 4);
+    SvmParams p;
+    p.C = 50;
+    p.gamma = 0.5;
+    p.secondOrderWss = false;
+    it1 += train(d, p).iterations;
+    p.secondOrderWss = true;
+    it2 += train(d, p).iterations;
+  }
+  EXPECT_LE(it2, it1 * 3 / 2);
+}
+
+}  // namespace
+}  // namespace hsd::svm

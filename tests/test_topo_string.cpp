@@ -1,0 +1,170 @@
+// Directional-string encoding and Theorem-1 matching tests, including the
+// key property check: the composite-string matcher agrees with brute-force
+// D8 comparison, and the canonical key is orientation-invariant.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/pattern.hpp"
+#include "core/topo_string.hpp"
+
+namespace hsd::core {
+namespace {
+
+CorePattern pattern(Coord w, Coord h, std::vector<Rect> rects) {
+  CorePattern p;
+  p.w = w;
+  p.h = h;
+  p.rects = std::move(rects);
+  return p;
+}
+
+TEST(TopoString, EmptyPatternSingleSpaceSlices) {
+  const DirectionalStrings s = encodeStrings(pattern(100, 100, {}));
+  ASSERT_EQ(s.bottom.size(), 1u);
+  // Code "10": boundary bit then one space run -> bits 0b01, len 2.
+  EXPECT_EQ(s.bottom[0].len, 2);
+  EXPECT_EQ(s.bottom[0].bits & 0x3, 0x1u);
+  EXPECT_EQ(s.top, s.bottom);
+  EXPECT_EQ(s.left, s.right);
+}
+
+TEST(TopoString, FullBlockSlice) {
+  const DirectionalStrings s =
+      encodeStrings(pattern(100, 100, {{0, 0, 100, 100}}));
+  ASSERT_EQ(s.bottom.size(), 1u);
+  // Code "11": boundary + one block run.
+  EXPECT_EQ(s.bottom[0].len, 2);
+  EXPECT_EQ(s.bottom[0].bits & 0x3, 0x3u);
+}
+
+TEST(TopoString, Figure5StyleSliceCodes) {
+  // A pattern with two distinct vertical slices: left half fully covered,
+  // right half with a floating mid block (space-block-space from bottom).
+  const CorePattern p =
+      pattern(100, 100, {{0, 0, 50, 100}, {50, 40, 100, 60}});
+  const DirectionalStrings s = encodeStrings(p);
+  ASSERT_EQ(s.bottom.size(), 2u);
+  // Slice 1 = <11b> = decimal 3 in the paper's notation.
+  EXPECT_EQ(s.bottom[0].len, 2);
+  EXPECT_EQ(s.bottom[0].bits, 0x3u);
+  // Slice 2 = boundary, space, block, space = <1010b> read from bottom.
+  EXPECT_EQ(s.bottom[1].len, 4);
+  // bits are packed LSB-first per run: boundary(1),space(0),block(1),space(0)
+  EXPECT_EQ(s.bottom[1].bits, 0b0101u);
+}
+
+TEST(TopoString, DimensionChangesDontChangeTopology) {
+  const CorePattern a = pattern(100, 100, {{10, 10, 40, 90}});
+  const CorePattern b = pattern(100, 100, {{20, 5, 45, 80}});
+  EXPECT_EQ(canonicalTopoKey(a), canonicalTopoKey(b));
+  EXPECT_TRUE(sameTopology(a, b));
+}
+
+TEST(TopoString, DifferentTopologyDetected) {
+  const CorePattern one = pattern(100, 100, {{10, 10, 40, 90}});
+  const CorePattern two =
+      pattern(100, 100, {{10, 10, 30, 90}, {60, 10, 80, 90}});
+  EXPECT_NE(canonicalTopoKey(one), canonicalTopoKey(two));
+  EXPECT_FALSE(sameTopology(one, two));
+}
+
+TEST(TopoString, RotatedPatternsMatch) {
+  const CorePattern base =
+      pattern(120, 120, {{0, 0, 80, 30}, {0, 30, 30, 100}});
+  for (const Orient o : kAllOrients) {
+    const CorePattern t = base.transformed(o);
+    EXPECT_TRUE(sameTopology(base, t)) << toString(o);
+    EXPECT_EQ(canonicalTopoKey(base), canonicalTopoKey(t)) << toString(o);
+  }
+}
+
+// Random rectilinear patterns for property testing.
+CorePattern randomPattern(std::mt19937& rng, int maxRects = 4) {
+  std::uniform_int_distribution<Coord> c(0, 100);
+  std::uniform_int_distribution<int> n(1, maxRects);
+  std::vector<Rect> rects;
+  const int k = n(rng);
+  for (int i = 0; i < k; ++i) {
+    const Coord x1 = c(rng), x2 = c(rng), y1 = c(rng), y2 = c(rng);
+    if (x1 == x2 || y1 == y2) continue;
+    rects.push_back({x1, y1, x2, y2});
+  }
+  return pattern(100, 100, std::move(rects));
+}
+
+// Ground truth: same topology iff the full 4-string tuples are equal under
+// some orientation of one pattern.
+bool bruteForceSame(const CorePattern& a, const CorePattern& b) {
+  const DirectionalStrings sb = encodeStrings(b);
+  for (const Orient o : kAllOrients)
+    if (encodeStrings(a.transformed(o)) == sb) return true;
+  return false;
+}
+
+TEST(TopoStringProperty, CompositeMatcherAgreesWithBruteForce) {
+  std::mt19937 rng(77);
+  int positives = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const CorePattern a = randomPattern(rng);
+    // Mix of related (transformed) and unrelated patterns.
+    const CorePattern b =
+        (trial % 3 == 0)
+            ? a.transformed(kAllOrients[std::size_t(trial) % 8])
+            : randomPattern(rng);
+    const bool brute = bruteForceSame(a, b);
+    const bool composite = sameTopology(a, b);
+    if (brute) {
+      ++positives;
+      // Theorem 1 (completeness): equal topology must always be found.
+      EXPECT_TRUE(composite);
+    }
+    // Soundness: the composite matcher and the canonical keys must agree
+    // with brute force in both directions.
+    EXPECT_EQ(canonicalTopoKey(a) == canonicalTopoKey(b), brute);
+  }
+  EXPECT_GT(positives, 50);  // the test actually exercised matches
+}
+
+TEST(TopoStringProperty, CanonicalKeyInvariantUnderD8) {
+  std::mt19937 rng(91);
+  for (int trial = 0; trial < 100; ++trial) {
+    const CorePattern a = randomPattern(rng);
+    const std::string key = canonicalTopoKey(a);
+    for (const Orient o : kAllOrients)
+      EXPECT_EQ(canonicalTopoKey(a.transformed(o)), key);
+  }
+}
+
+TEST(TopoStringProperty, CanonicalOrientAttainsKey) {
+  std::mt19937 rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const CorePattern a = randomPattern(rng);
+    const Orient o = canonicalOrient(a);
+    EXPECT_EQ(serializeStrings(encodeStrings(a.transformed(o))),
+              canonicalTopoKey(a));
+  }
+}
+
+TEST(TopoString, SliceCountMatchesCutLines) {
+  // Three non-aligned rects: bottom string has one slice per x-interval
+  // between distinct edge coordinates (including window margins).
+  const CorePattern p = pattern(
+      100, 100, {{10, 0, 20, 50}, {30, 20, 60, 80}, {70, 10, 90, 90}});
+  const DirectionalStrings s = encodeStrings(p);
+  // Cut xs: 0,10,20,30,60,70,90,100 -> 7 slices.
+  EXPECT_EQ(s.bottom.size(), 7u);
+  EXPECT_EQ(s.top.size(), 7u);
+}
+
+TEST(TopoString, SerializeIsInjectiveOnExamples) {
+  const CorePattern a = pattern(100, 100, {{0, 0, 50, 100}});
+  const CorePattern b = pattern(100, 100, {{50, 0, 100, 100}});
+  // Same topology (mirror), different raw serialization.
+  EXPECT_NE(serializeStrings(encodeStrings(a)),
+            serializeStrings(encodeStrings(b)));
+  EXPECT_EQ(canonicalTopoKey(a), canonicalTopoKey(b));
+}
+
+}  // namespace
+}  // namespace hsd::core

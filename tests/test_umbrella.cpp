@@ -1,0 +1,38 @@
+// Compile-level test: the umbrella header is self-contained and the whole
+// public API is reachable through it.
+#include "hsd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, ApiReachable) {
+  // Touch one symbol from each major module so the include graph is
+  // actually exercised.
+  hsd::Rect r{0, 0, 10, 10};
+  EXPECT_EQ(r.area(), 100);
+
+  hsd::Layout layout;
+  layout.addRect(1, r);
+  EXPECT_EQ(layout.polygonCount(), 1u);
+
+  const hsd::litho::LithoSimulator sim;
+  EXPECT_GT(sim.params().sigmaNm, 0.0);
+
+  hsd::drc::DrcRules rules;
+  EXPECT_TRUE(hsd::drc::checkRects({{0, 0, 500, 500}}, rules).empty());
+
+  hsd::svm::Dataset d;
+  d.add({0.0}, 1);
+  EXPECT_EQ(d.size(), 1u);
+
+  hsd::core::TrainParams tp;
+  EXPECT_EQ(tp.clip.coreSide, 1200);
+
+  hsd::data::GeneratorParams gp;
+  EXPECT_EQ(gp.layer, 1);
+
+  EXPECT_EQ(hsd::core::FuzzyMatchParams{}.gridN, 12u);
+}
+
+}  // namespace

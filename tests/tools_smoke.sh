@@ -1,0 +1,14 @@
+#!/bin/sh
+# End-to-end smoke test of the CLI tool chain:
+# genbench -> train -> detect -> score.
+set -e
+BIN="$1"
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+"$BIN/tools/hsd_genbench" "$OUT" --bench 5 --hs 8 --nhs 30 --width 24000 --height 24000 --sites 8
+"$BIN/tools/hsd_train" "$OUT/training_clips.txt" "$OUT/model.txt"
+"$BIN/tools/hsd_detect" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/report.txt"
+"$BIN/tools/hsd_score" "$OUT/report.txt" "$OUT/golden_hotspots.txt" --layout "$OUT/layout.gds" | grep -q accuracy
+"$BIN/tools/hsd_fix" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/fixed.gds"
+test -s "$OUT/fixed.gds"
+echo "tools smoke OK"

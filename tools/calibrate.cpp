@@ -1,0 +1,101 @@
+// Calibration probe for the synthetic process and classifier defaults:
+// prints oracle hotspot rates per risk level, topology-key diversity,
+// density-distance statistics and per-kernel training behaviour.
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/classify.hpp"
+#include "core/topo_string.hpp"
+#include "core/trainer.hpp"
+#include "data/generator.hpp"
+#include "geom/density_grid.hpp"
+#include "litho/litho.hpp"
+
+using namespace hsd;
+
+int main() {
+  data::GeneratorParams gp;
+  gp.seed = 7;
+  const litho::LithoSimulator sim(gp.litho);
+  const ClipWindow win =
+      ClipWindow::atCore({gp.clip.ambit(), gp.clip.ambit()}, gp.clip);
+
+  // 1. Oracle hotspot rate per (kind, risk).
+  data::Rng rng(11);
+  for (int risk = 0; risk < 3; ++risk) {
+    std::printf("risk=%d: ", risk);
+    for (int kind = 0; kind < int(data::MotifKind::kCount); ++kind) {
+      int hot = 0;
+      const int trials = 40;
+      for (int t = 0; t < trials; ++t) {
+        const auto rects = data::makeMotif(
+            data::MotifKind(kind), data::Risk(risk),
+            data::AmbitStyle(t % 3), gp.dims, gp.clip, rng);
+        if (sim.isHotspot(rects, win.core, win.clip)) ++hot;
+      }
+      std::printf("k%d=%2d/%d ", kind, hot, trials);
+    }
+    std::printf("\n");
+  }
+
+  // 2. Topology diversity + density distances on a training set.
+  data::TrainingTargets targets;
+  targets.hotspots = 40;
+  targets.nonHotspots = 150;
+  const gds::ClipSet ts = data::generateTrainingSet(gp, targets);
+  std::vector<core::CorePattern> hsPats, nhsPats;
+  for (const Clip& c : ts.clips) {
+    if (c.label() == Label::kHotspot)
+      hsPats.push_back(core::CorePattern::fromCore(c, 1));
+    else
+      nhsPats.push_back(core::CorePattern::fromCore(c, 1));
+  }
+  std::map<std::string, int> keys;
+  for (const auto& p : hsPats) keys[core::canonicalTopoKey(p)]++;
+  std::printf("hotspots: %zu patterns, %zu distinct topo keys\n",
+              hsPats.size(), keys.size());
+  std::map<int, int> sizes;
+  for (const auto& [k, n] : keys) sizes[n]++;
+  for (const auto& [sz, cnt] : sizes)
+    std::printf("  key-size %d x%d\n", sz, cnt);
+
+  // Density distances within the largest topo group and across groups.
+  std::vector<DensityGrid> grids;
+  for (const auto& p : hsPats)
+    grids.emplace_back(p.rects, p.window(), 12, 12);
+  double minD = 1e9, maxD = 0, sum = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < grids.size(); ++i)
+    for (std::size_t j = i + 1; j < grids.size(); ++j) {
+      const double d = grids[i].distance(grids[j]);
+      minD = std::min(minD, d);
+      maxD = std::max(maxD, d);
+      sum += d;
+      ++n;
+    }
+  std::printf("hotspot pairwise density distance: min %.2f mean %.2f max %.2f\n",
+              minD, n ? sum / n : 0, maxD);
+
+  // 3. Cluster counts under the default classifier.
+  core::ClassifyParams cp;
+  auto clusters = core::classifyPatterns(hsPats, cp);
+  std::printf("default classify: %zu clusters from %zu hotspot patterns\n",
+              clusters.size(), hsPats.size());
+  for (double r0 : {2.0, 4.0, 8.0, 12.0}) {
+    cp.radiusR0 = r0;
+    std::printf("  R0=%.0f -> %zu clusters\n", r0,
+                core::classifyPatterns(hsPats, cp).size());
+  }
+
+  // 4. Train with defaults and report kernel stats.
+  core::TrainParams tp;
+  const core::Detector det = core::trainDetector(ts.clips, tp);
+  std::printf("kernels: %zu, feedback=%d, extras-at-selfeval=%zu\n",
+              det.kernels.size(), int(det.hasFeedback),
+              det.stats.feedbackExtras);
+  std::map<double, int> gammas;
+  for (const auto& k : det.kernels) gammas[k.finalGamma]++;
+  for (const auto& [g, c] : gammas) std::printf("  gamma %.3f x%d\n", g, c);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// CLI: generate a synthetic benchmark to disk.
+//
+//   hsd_genbench <out_dir> [--bench N] [--seed S] [--hs N] [--nhs N]
+//                [--width NM] [--height NM] [--sites N]
+//
+// Writes <out_dir>/training_clips.txt, <out_dir>/layout.gds and
+// <out_dir>/golden_hotspots.txt.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "data/generator.hpp"
+#include "gds/ascii.hpp"
+#include "gds/gdsii.hpp"
+
+namespace {
+
+long long argValue(int argc, char** argv, const char* flag, long long def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atoll(argv[i + 1]);
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsd;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <out_dir> [--bench 1..5] [--seed S] [--hs N] "
+                 "[--nhs N] [--width NM] [--height NM] [--sites N]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const auto benchIdx =
+      std::size_t(argValue(argc, argv, "--bench", 1) - 1);
+  auto specs = data::iccad2012LikeSuite();
+  if (benchIdx >= specs.size()) {
+    std::fprintf(stderr, "error: --bench must be 1..%zu\n", specs.size());
+    return 2;
+  }
+  data::BenchmarkSpec spec = specs[benchIdx];
+  spec.seed = std::uint64_t(argValue(argc, argv, "--seed", (long long)spec.seed));
+  spec.targets.hotspots = std::size_t(
+      argValue(argc, argv, "--hs", (long long)spec.targets.hotspots));
+  spec.targets.nonHotspots = std::size_t(
+      argValue(argc, argv, "--nhs", (long long)spec.targets.nonHotspots));
+  spec.width = argValue(argc, argv, "--width", spec.width);
+  spec.height = argValue(argc, argv, "--height", spec.height);
+  spec.sites = std::size_t(
+      argValue(argc, argv, "--sites", (long long)spec.sites));
+
+  try {
+    const data::Benchmark b = data::generateBenchmark(spec);
+    gds::writeClipSetFile(dir + "/training_clips.txt", b.training);
+    gds::writeGdsiiFile(dir + "/layout.gds", b.test.layout);
+    gds::writeWindowListFile(dir + "/golden_hotspots.txt",
+                             b.test.actualHotspots, ClipParams{});
+    std::size_t hs = 0;
+    for (const Clip& c : b.training.clips)
+      hs += c.label() == Label::kHotspot;
+    std::printf("%s: %zu training clips (%zu hs / %zu nhs), layout %.0f "
+                "um^2, %zu golden hotspots\n",
+                b.name.c_str(), b.training.clips.size(), hs,
+                b.training.clips.size() - hs, b.test.layout.areaUm2(),
+                b.test.actualHotspots.size());
+    std::printf("wrote %s/{training_clips.txt, layout.gds, "
+                "golden_hotspots.txt}\n",
+                dir.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// CLI: score a hotspot report against a golden hotspot list (contest
+// metric: hits / accuracy / extras / hit-extra ratio).
+//
+//   hsd_score <report.txt> <golden.txt> [--layout layout.gds]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "gds/ascii.hpp"
+#include "gds/gdsii.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsd;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <report.txt> <golden.txt> [--layout x.gds]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const auto [reports, rp] = gds::readWindowListFile(argv[1]);
+    const auto [golden, gp] = gds::readWindowListFile(argv[2]);
+    if (rp != gp)
+      std::fprintf(stderr,
+                   "warning: report and golden clip parameters differ\n");
+    const core::Score s = core::scoreReports(reports, golden);
+    std::printf("#report %zu  #golden %zu\n", s.reports, s.actualHotspots);
+    std::printf("#hit    %zu  accuracy %.2f%%\n", s.hits,
+                100.0 * s.accuracy());
+    std::printf("#extra  %zu  hit/extra %.3e\n", s.extras,
+                s.hitExtraRatio());
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--layout") == 0) {
+        const Layout layout = gds::readGdsiiFile(argv[i + 1]);
+        std::printf("false alarm: %.4f extras/um^2 (area %.0f um^2)\n",
+                    s.falseAlarmPerUm2(layout.areaUm2()), layout.areaUm2());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
