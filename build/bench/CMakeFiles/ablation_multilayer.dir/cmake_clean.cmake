@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multilayer.dir/ablation_multilayer.cpp.o"
+  "CMakeFiles/ablation_multilayer.dir/ablation_multilayer.cpp.o.d"
+  "ablation_multilayer"
+  "ablation_multilayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multilayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tradeoff.dir/fig15_tradeoff.cpp.o"
+  "CMakeFiles/fig15_tradeoff.dir/fig15_tradeoff.cpp.o.d"
+  "fig15_tradeoff"
+  "fig15_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

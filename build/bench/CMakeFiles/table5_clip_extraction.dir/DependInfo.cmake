@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_clip_extraction.cpp" "bench/CMakeFiles/table5_clip_extraction.dir/table5_clip_extraction.cpp.o" "gcc" "bench/CMakeFiles/table5_clip_extraction.dir/table5_clip_extraction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hsd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hsd_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/gds/CMakeFiles/hsd_gds.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/hsd_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/hsd_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hsd_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsd_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

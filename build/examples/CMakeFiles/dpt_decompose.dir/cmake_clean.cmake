@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpt_decompose.dir/dpt_decompose.cpp.o"
+  "CMakeFiles/dpt_decompose.dir/dpt_decompose.cpp.o.d"
+  "dpt_decompose"
+  "dpt_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpt_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drc_vs_ml.dir/drc_vs_ml.cpp.o"
+  "CMakeFiles/drc_vs_ml.dir/drc_vs_ml.cpp.o.d"
+  "drc_vs_ml"
+  "drc_vs_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drc_vs_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

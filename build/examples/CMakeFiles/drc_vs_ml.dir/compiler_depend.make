@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for drc_vs_ml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_design.dir/hierarchical_design.cpp.o"
+  "CMakeFiles/hierarchical_design.dir/hierarchical_design.cpp.o.d"
+  "hierarchical_design"
+  "hierarchical_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_fix.dir/hotspot_fix.cpp.o"
+  "CMakeFiles/hotspot_fix.dir/hotspot_fix.cpp.o.d"
+  "hotspot_fix"
+  "hotspot_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

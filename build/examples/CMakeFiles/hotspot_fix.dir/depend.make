@@ -1,0 +1,2 @@
+# Empty dependencies file for hotspot_fix.
+# This may be replaced when dependencies are built.

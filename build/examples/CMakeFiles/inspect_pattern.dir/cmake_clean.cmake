@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_pattern.dir/inspect_pattern.cpp.o"
+  "CMakeFiles/inspect_pattern.dir/inspect_pattern.cpp.o.d"
+  "inspect_pattern"
+  "inspect_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilayer_detect.dir/multilayer_detect.cpp.o"
+  "CMakeFiles/multilayer_detect.dir/multilayer_detect.cpp.o.d"
+  "multilayer_detect"
+  "multilayer_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilayer_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;hsd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_full_flow "/root/repo/build/examples/full_flow")
+set_tests_properties(example_full_flow PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;hsd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multilayer_detect "/root/repo/build/examples/multilayer_detect")
+set_tests_properties(example_multilayer_detect PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;hsd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dpt_decompose "/root/repo/build/examples/dpt_decompose")
+set_tests_properties(example_dpt_decompose PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;hsd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_inspect_pattern "/root/repo/build/examples/inspect_pattern")
+set_tests_properties(example_inspect_pattern PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;16;hsd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hotspot_fix "/root/repo/build/examples/hotspot_fix")
+set_tests_properties(example_hotspot_fix PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;17;hsd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_drc_vs_ml "/root/repo/build/examples/drc_vs_ml")
+set_tests_properties(example_drc_vs_ml PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;18;hsd_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hierarchical_design "/root/repo/build/examples/hierarchical_design")
+set_tests_properties(example_hierarchical_design PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;19;hsd_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/hsd_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/dpt.cpp" "src/core/CMakeFiles/hsd_core.dir/dpt.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/dpt.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/hsd_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/extract.cpp" "src/core/CMakeFiles/hsd_core.dir/extract.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/extract.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/hsd_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/fuzzy_match.cpp" "src/core/CMakeFiles/hsd_core.dir/fuzzy_match.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/fuzzy_match.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/hsd_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/mtcg.cpp" "src/core/CMakeFiles/hsd_core.dir/mtcg.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/mtcg.cpp.o.d"
+  "/root/repo/src/core/multilayer.cpp" "src/core/CMakeFiles/hsd_core.dir/multilayer.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/multilayer.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/core/CMakeFiles/hsd_core.dir/pattern.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/pattern.cpp.o.d"
+  "/root/repo/src/core/removal.cpp" "src/core/CMakeFiles/hsd_core.dir/removal.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/removal.cpp.o.d"
+  "/root/repo/src/core/topo_string.cpp" "src/core/CMakeFiles/hsd_core.dir/topo_string.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/topo_string.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/hsd_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/hsd_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/hsd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/hsd_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/hsd_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/hsd_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

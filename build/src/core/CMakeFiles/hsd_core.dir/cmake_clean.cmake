@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_core.dir/classify.cpp.o"
+  "CMakeFiles/hsd_core.dir/classify.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/dpt.cpp.o"
+  "CMakeFiles/hsd_core.dir/dpt.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/evaluator.cpp.o"
+  "CMakeFiles/hsd_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/extract.cpp.o"
+  "CMakeFiles/hsd_core.dir/extract.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/features.cpp.o"
+  "CMakeFiles/hsd_core.dir/features.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/fuzzy_match.cpp.o"
+  "CMakeFiles/hsd_core.dir/fuzzy_match.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/metrics.cpp.o"
+  "CMakeFiles/hsd_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/mtcg.cpp.o"
+  "CMakeFiles/hsd_core.dir/mtcg.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/multilayer.cpp.o"
+  "CMakeFiles/hsd_core.dir/multilayer.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/pattern.cpp.o"
+  "CMakeFiles/hsd_core.dir/pattern.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/removal.cpp.o"
+  "CMakeFiles/hsd_core.dir/removal.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/topo_string.cpp.o"
+  "CMakeFiles/hsd_core.dir/topo_string.cpp.o.d"
+  "CMakeFiles/hsd_core.dir/trainer.cpp.o"
+  "CMakeFiles/hsd_core.dir/trainer.cpp.o.d"
+  "libhsd_core.a"
+  "libhsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generator.cpp" "src/data/CMakeFiles/hsd_data.dir/generator.cpp.o" "gcc" "src/data/CMakeFiles/hsd_data.dir/generator.cpp.o.d"
+  "/root/repo/src/data/motifs.cpp" "src/data/CMakeFiles/hsd_data.dir/motifs.cpp.o" "gcc" "src/data/CMakeFiles/hsd_data.dir/motifs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/hsd_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hsd_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/gds/CMakeFiles/hsd_gds.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsd_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_data.dir/generator.cpp.o"
+  "CMakeFiles/hsd_data.dir/generator.cpp.o.d"
+  "CMakeFiles/hsd_data.dir/motifs.cpp.o"
+  "CMakeFiles/hsd_data.dir/motifs.cpp.o.d"
+  "libhsd_data.a"
+  "libhsd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

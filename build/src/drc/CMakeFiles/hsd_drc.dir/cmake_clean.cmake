@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_drc.dir/drc.cpp.o"
+  "CMakeFiles/hsd_drc.dir/drc.cpp.o.d"
+  "libhsd_drc.a"
+  "libhsd_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

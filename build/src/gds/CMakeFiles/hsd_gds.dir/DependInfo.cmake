@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gds/ascii.cpp" "src/gds/CMakeFiles/hsd_gds.dir/ascii.cpp.o" "gcc" "src/gds/CMakeFiles/hsd_gds.dir/ascii.cpp.o.d"
+  "/root/repo/src/gds/gdsii.cpp" "src/gds/CMakeFiles/hsd_gds.dir/gdsii.cpp.o" "gcc" "src/gds/CMakeFiles/hsd_gds.dir/gdsii.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/hsd_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsd_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_gds.dir/ascii.cpp.o"
+  "CMakeFiles/hsd_gds.dir/ascii.cpp.o.d"
+  "CMakeFiles/hsd_gds.dir/gdsii.cpp.o"
+  "CMakeFiles/hsd_gds.dir/gdsii.cpp.o.d"
+  "libhsd_gds.a"
+  "libhsd_gds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_gds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/density_grid.cpp" "src/geom/CMakeFiles/hsd_geom.dir/density_grid.cpp.o" "gcc" "src/geom/CMakeFiles/hsd_geom.dir/density_grid.cpp.o.d"
+  "/root/repo/src/geom/polygon.cpp" "src/geom/CMakeFiles/hsd_geom.dir/polygon.cpp.o" "gcc" "src/geom/CMakeFiles/hsd_geom.dir/polygon.cpp.o.d"
+  "/root/repo/src/geom/rectset.cpp" "src/geom/CMakeFiles/hsd_geom.dir/rectset.cpp.o" "gcc" "src/geom/CMakeFiles/hsd_geom.dir/rectset.cpp.o.d"
+  "/root/repo/src/geom/tiling.cpp" "src/geom/CMakeFiles/hsd_geom.dir/tiling.cpp.o" "gcc" "src/geom/CMakeFiles/hsd_geom.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

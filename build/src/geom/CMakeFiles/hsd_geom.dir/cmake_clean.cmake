@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_geom.dir/density_grid.cpp.o"
+  "CMakeFiles/hsd_geom.dir/density_grid.cpp.o.d"
+  "CMakeFiles/hsd_geom.dir/polygon.cpp.o"
+  "CMakeFiles/hsd_geom.dir/polygon.cpp.o.d"
+  "CMakeFiles/hsd_geom.dir/rectset.cpp.o"
+  "CMakeFiles/hsd_geom.dir/rectset.cpp.o.d"
+  "CMakeFiles/hsd_geom.dir/tiling.cpp.o"
+  "CMakeFiles/hsd_geom.dir/tiling.cpp.o.d"
+  "libhsd_geom.a"
+  "libhsd_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/clip.cpp" "src/layout/CMakeFiles/hsd_layout.dir/clip.cpp.o" "gcc" "src/layout/CMakeFiles/hsd_layout.dir/clip.cpp.o.d"
+  "/root/repo/src/layout/hierarchy.cpp" "src/layout/CMakeFiles/hsd_layout.dir/hierarchy.cpp.o" "gcc" "src/layout/CMakeFiles/hsd_layout.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/layout/CMakeFiles/hsd_layout.dir/layout.cpp.o" "gcc" "src/layout/CMakeFiles/hsd_layout.dir/layout.cpp.o.d"
+  "/root/repo/src/layout/spatial_index.cpp" "src/layout/CMakeFiles/hsd_layout.dir/spatial_index.cpp.o" "gcc" "src/layout/CMakeFiles/hsd_layout.dir/spatial_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/hsd_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

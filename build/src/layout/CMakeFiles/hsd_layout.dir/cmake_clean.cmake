@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_layout.dir/clip.cpp.o"
+  "CMakeFiles/hsd_layout.dir/clip.cpp.o.d"
+  "CMakeFiles/hsd_layout.dir/hierarchy.cpp.o"
+  "CMakeFiles/hsd_layout.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/hsd_layout.dir/layout.cpp.o"
+  "CMakeFiles/hsd_layout.dir/layout.cpp.o.d"
+  "CMakeFiles/hsd_layout.dir/spatial_index.cpp.o"
+  "CMakeFiles/hsd_layout.dir/spatial_index.cpp.o.d"
+  "libhsd_layout.a"
+  "libhsd_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litho/litho.cpp" "src/litho/CMakeFiles/hsd_litho.dir/litho.cpp.o" "gcc" "src/litho/CMakeFiles/hsd_litho.dir/litho.cpp.o.d"
+  "/root/repo/src/litho/opc.cpp" "src/litho/CMakeFiles/hsd_litho.dir/opc.cpp.o" "gcc" "src/litho/CMakeFiles/hsd_litho.dir/opc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/hsd_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

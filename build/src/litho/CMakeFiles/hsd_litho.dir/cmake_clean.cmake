@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_litho.dir/litho.cpp.o"
+  "CMakeFiles/hsd_litho.dir/litho.cpp.o.d"
+  "CMakeFiles/hsd_litho.dir/opc.cpp.o"
+  "CMakeFiles/hsd_litho.dir/opc.cpp.o.d"
+  "libhsd_litho.a"
+  "libhsd_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_par.dir/thread_pool.cpp.o"
+  "CMakeFiles/hsd_par.dir/thread_pool.cpp.o.d"
+  "libhsd_par.a"
+  "libhsd_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

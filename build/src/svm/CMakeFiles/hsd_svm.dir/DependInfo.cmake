@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/model_selection.cpp" "src/svm/CMakeFiles/hsd_svm.dir/model_selection.cpp.o" "gcc" "src/svm/CMakeFiles/hsd_svm.dir/model_selection.cpp.o.d"
+  "/root/repo/src/svm/platt.cpp" "src/svm/CMakeFiles/hsd_svm.dir/platt.cpp.o" "gcc" "src/svm/CMakeFiles/hsd_svm.dir/platt.cpp.o.d"
+  "/root/repo/src/svm/scaler.cpp" "src/svm/CMakeFiles/hsd_svm.dir/scaler.cpp.o" "gcc" "src/svm/CMakeFiles/hsd_svm.dir/scaler.cpp.o.d"
+  "/root/repo/src/svm/svm.cpp" "src/svm/CMakeFiles/hsd_svm.dir/svm.cpp.o" "gcc" "src/svm/CMakeFiles/hsd_svm.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_svm.dir/model_selection.cpp.o"
+  "CMakeFiles/hsd_svm.dir/model_selection.cpp.o.d"
+  "CMakeFiles/hsd_svm.dir/platt.cpp.o"
+  "CMakeFiles/hsd_svm.dir/platt.cpp.o.d"
+  "CMakeFiles/hsd_svm.dir/scaler.cpp.o"
+  "CMakeFiles/hsd_svm.dir/scaler.cpp.o.d"
+  "CMakeFiles/hsd_svm.dir/svm.cpp.o"
+  "CMakeFiles/hsd_svm.dir/svm.cpp.o.d"
+  "libhsd_svm.a"
+  "libhsd_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

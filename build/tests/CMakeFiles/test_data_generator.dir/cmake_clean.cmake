@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_generator.dir/test_data_generator.cpp.o"
+  "CMakeFiles/test_data_generator.dir/test_data_generator.cpp.o.d"
+  "test_data_generator"
+  "test_data_generator.pdb"
+  "test_data_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

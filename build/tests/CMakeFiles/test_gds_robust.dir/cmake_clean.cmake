@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gds_robust.dir/test_gds_robust.cpp.o"
+  "CMakeFiles/test_gds_robust.dir/test_gds_robust.cpp.o.d"
+  "test_gds_robust"
+  "test_gds_robust.pdb"
+  "test_gds_robust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gds_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

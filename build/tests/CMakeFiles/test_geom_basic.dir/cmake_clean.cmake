@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_basic.dir/test_geom_basic.cpp.o"
+  "CMakeFiles/test_geom_basic.dir/test_geom_basic.cpp.o.d"
+  "test_geom_basic"
+  "test_geom_basic.pdb"
+  "test_geom_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_density.dir/test_geom_density.cpp.o"
+  "CMakeFiles/test_geom_density.dir/test_geom_density.cpp.o.d"
+  "test_geom_density"
+  "test_geom_density.pdb"
+  "test_geom_density[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_orientation.dir/test_geom_orientation.cpp.o"
+  "CMakeFiles/test_geom_orientation.dir/test_geom_orientation.cpp.o.d"
+  "test_geom_orientation"
+  "test_geom_orientation.pdb"
+  "test_geom_orientation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_polygon.dir/test_geom_polygon.cpp.o"
+  "CMakeFiles/test_geom_polygon.dir/test_geom_polygon.cpp.o.d"
+  "test_geom_polygon"
+  "test_geom_polygon.pdb"
+  "test_geom_polygon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_polygon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

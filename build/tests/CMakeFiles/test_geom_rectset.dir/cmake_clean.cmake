@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_rectset.dir/test_geom_rectset.cpp.o"
+  "CMakeFiles/test_geom_rectset.dir/test_geom_rectset.cpp.o.d"
+  "test_geom_rectset"
+  "test_geom_rectset.pdb"
+  "test_geom_rectset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_rectset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_tiling.dir/test_geom_tiling.cpp.o"
+  "CMakeFiles/test_geom_tiling.dir/test_geom_tiling.cpp.o.d"
+  "test_geom_tiling"
+  "test_geom_tiling.pdb"
+  "test_geom_tiling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

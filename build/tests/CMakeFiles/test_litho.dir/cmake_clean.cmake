@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litho.dir/test_litho.cpp.o"
+  "CMakeFiles/test_litho.dir/test_litho.cpp.o.d"
+  "test_litho"
+  "test_litho.pdb"
+  "test_litho[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_selection.dir/test_model_selection.cpp.o"
+  "CMakeFiles/test_model_selection.dir/test_model_selection.cpp.o.d"
+  "test_model_selection"
+  "test_model_selection.pdb"
+  "test_model_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtcg.dir/test_mtcg.cpp.o"
+  "CMakeFiles/test_mtcg.dir/test_mtcg.cpp.o.d"
+  "test_mtcg"
+  "test_mtcg.pdb"
+  "test_mtcg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multilayer_gen.dir/test_multilayer_gen.cpp.o"
+  "CMakeFiles/test_multilayer_gen.dir/test_multilayer_gen.cpp.o.d"
+  "test_multilayer_gen"
+  "test_multilayer_gen.pdb"
+  "test_multilayer_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multilayer_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

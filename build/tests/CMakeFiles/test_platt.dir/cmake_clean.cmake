@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platt.dir/test_platt.cpp.o"
+  "CMakeFiles/test_platt.dir/test_platt.cpp.o.d"
+  "test_platt"
+  "test_platt.pdb"
+  "test_platt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svm_wss.dir/test_svm_wss.cpp.o"
+  "CMakeFiles/test_svm_wss.dir/test_svm_wss.cpp.o.d"
+  "test_svm_wss"
+  "test_svm_wss.pdb"
+  "test_svm_wss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svm_wss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_string.dir/test_topo_string.cpp.o"
+  "CMakeFiles/test_topo_string.dir/test_topo_string.cpp.o.d"
+  "test_topo_string"
+  "test_topo_string.pdb"
+  "test_topo_string[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_string.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

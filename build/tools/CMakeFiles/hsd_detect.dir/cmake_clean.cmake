@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_detect.dir/hsd_detect.cpp.o"
+  "CMakeFiles/hsd_detect.dir/hsd_detect.cpp.o.d"
+  "hsd_detect"
+  "hsd_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_fix.dir/hsd_fix.cpp.o"
+  "CMakeFiles/hsd_fix.dir/hsd_fix.cpp.o.d"
+  "hsd_fix"
+  "hsd_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

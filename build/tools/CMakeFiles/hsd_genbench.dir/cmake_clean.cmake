@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_genbench.dir/hsd_genbench.cpp.o"
+  "CMakeFiles/hsd_genbench.dir/hsd_genbench.cpp.o.d"
+  "hsd_genbench"
+  "hsd_genbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_genbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_score.dir/hsd_score.cpp.o"
+  "CMakeFiles/hsd_score.dir/hsd_score.cpp.o.d"
+  "hsd_score"
+  "hsd_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_train.dir/hsd_train.cpp.o"
+  "CMakeFiles/hsd_train.dir/hsd_train.cpp.o.d"
+  "hsd_train"
+  "hsd_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
