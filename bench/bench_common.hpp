@@ -77,20 +77,24 @@ struct RunResult {
   double hsNhsRatio = 0.0;  ///< balanced #hs / #nhs of the trained model
   double trainSec = 0.0;
   double evalSec = 0.0;
+  std::string engineStats;  ///< per-stage EngineStats JSON for the run
 
   double runtimeSec() const { return trainSec + evalSec; }
 };
 
 /// Train `method` on `training`, evaluate `test`, score against ground
-/// truth.
+/// truth. Training and evaluation share one RunContext, so the returned
+/// engineStats covers the whole train/* + extract/* + eval/* stage graph.
 inline RunResult runMethod(const Method& method,
                            const std::vector<Clip>& training,
                            const data::TestLayout& test) {
   RunResult out;
   out.method = method.name;
-  const core::Detector det = core::trainDetector(training, method.train);
+  engine::RunContext ctx(method.eval.threads);
+  const core::Detector det = core::trainDetector(training, method.train, ctx);
   const core::EvalResult res =
-      core::evaluateLayout(det, test.layout, method.eval);
+      core::evaluateLayout(det, test.layout, method.eval, ctx);
+  out.engineStats = ctx.stats().toJson();
   out.score = core::scoreReports(res.reported, test.actualHotspots);
   out.candidates = res.candidateClips;
   out.trainSec = det.stats.trainSeconds;
@@ -114,6 +118,13 @@ inline void printRow(const std::string& bench, const RunResult& r) {
       bench.c_str(), r.method.c_str(), r.score.hits, r.score.actualHotspots,
       r.score.extras, 100.0 * r.score.accuracy(), r.score.hitExtraRatio(),
       r.runtimeSec());
+}
+
+/// One-line machine-parseable per-stage dump next to a table row.
+inline void printEngineStats(const std::string& bench, const RunResult& r) {
+  if (r.engineStats.empty()) return;
+  std::printf("ENGINE_STATS %s/%s %s\n", bench.c_str(), r.method.c_str(),
+              r.engineStats.c_str());
 }
 
 /// Scaled-down suite for bench binaries that sweep many configurations.

@@ -43,5 +43,13 @@ int main() {
               static_cast<long long>(ClipParams{}.coreSide),
               static_cast<long long>(ClipParams{}.clipSide),
               static_cast<long long>(ClipParams{}.clipSide));
+
+  // Per-stage engine profile of a full train+eval run on benchmark1, so
+  // suite regeneration also tracks where detection time goes.
+  std::printf("\nengine stage profile (benchmark1, ours):\n");
+  const bench::RunResult r =
+      bench::runMethod(bench::makeOurs(), first.training.clips, first.test);
+  bench::printRow("benchmark1", r);
+  bench::printEngineStats("benchmark1", r);
   return 0;
 }

@@ -5,7 +5,8 @@
 //
 // Reproducible shape: our extraction produces a small fraction of the
 // window-scan count on every layout, and full evaluation is accordingly
-// faster than window scanning.
+// faster than window scanning. Each run also dumps its per-stage
+// EngineStats JSON (ENGINE_STATS lines) for the perf tracker.
 #include "bench_common.hpp"
 
 int main() {
@@ -17,9 +18,9 @@ int main() {
   auto report = [](const data::TestLayout& test) {
     const auto bb = test.layout.bbox();
     core::ExtractParams p;
-    p.threads = bench::hwThreads();
+    engine::RunContext ctx(bench::hwThreads());
     const auto t0 = std::chrono::steady_clock::now();
-    const auto ours = core::extractCandidateClips(test.layout, 1, p);
+    const auto ours = core::extractCandidateClips(test.layout, 1, p, ctx);
     const double oursSec =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -32,6 +33,8 @@ int main() {
                 ours.size(), 100.0 * double(ours.size()) /
                                  double(std::max<std::size_t>(1, windows.size())),
                 oursSec);
+    std::printf("ENGINE_STATS extract/%s %s\n", test.layout.name().c_str(),
+                ctx.stats().toJson().c_str());
   };
 
   for (const auto& spec : bench::smallSuite()) {
@@ -46,15 +49,20 @@ int main() {
 
   // End-to-end evaluation-time comparison on one benchmark: the same
   // trained detector over extracted candidates vs a full window scan.
+  // Extraction, evaluation and the scan share one context per run so the
+  // ENGINE_STATS dump shows the whole stage graph.
   std::printf("\nevaluation-time saving (benchmark2-scale workload):\n");
   const data::Benchmark b = data::generateBenchmark(bench::smallSuite()[1]);
+  engine::RunContext trainCtx(bench::hwThreads());
   const core::Detector det =
-      core::trainDetector(b.training.clips, bench::makeOurs().train);
+      core::trainDetector(b.training.clips, bench::makeOurs().train, trainCtx);
   core::EvalParams ep = bench::makeOurs().eval;
+  engine::RunContext oursCtx(bench::hwThreads());
   const core::EvalResult ours =
-      core::evaluateLayout(det, b.test.layout, ep);
+      core::evaluateLayout(det, b.test.layout, ep, oursCtx);
+  engine::RunContext scanCtx(bench::hwThreads());
   const core::EvalResult scan =
-      core::evaluateLayoutWindowScan(det, b.test.layout, ep, 0.5);
+      core::evaluateLayoutWindowScan(det, b.test.layout, ep, scanCtx, 0.5);
   const core::Score so = core::scoreReports(ours.reported, b.test.actualHotspots);
   const core::Score ss = core::scoreReports(scan.reported, b.test.actualHotspots);
   std::printf("  ours:        %6zu clips evaluated in %5.1fs  (%zu/%zu hits)\n",
@@ -63,5 +71,8 @@ int main() {
   std::printf("  window scan: %6zu clips evaluated in %5.1fs  (%zu/%zu hits)\n",
               scan.candidateClips, scan.evalSeconds, ss.hits,
               ss.actualHotspots);
+  std::printf("ENGINE_STATS eval/ours %s\n", oursCtx.stats().toJson().c_str());
+  std::printf("ENGINE_STATS eval/window_scan %s\n",
+              scanCtx.stats().toJson().c_str());
   return 0;
 }

@@ -46,8 +46,9 @@ int main(int argc, char** argv) {
   const Layout layout = gds::readGdsiiFile(dir + "/testing_layout.gds");
   const gds::ClipSet training =
       gds::readClipSetFile(dir + "/training_clips.txt");
+  engine::RunContext ctx;
   core::TrainParams tp;
-  const core::Detector det = core::trainDetector(training.clips, tp);
+  const core::Detector det = core::trainDetector(training.clips, tp, ctx);
   std::printf("trained %zu kernels in %.1fs (feedback=%s)\n",
               det.kernels.size(), det.stats.trainSeconds,
               det.hasFeedback ? "yes" : "no");
@@ -70,7 +71,8 @@ int main(int argc, char** argv) {
                       Op{"ours_low", 0.8}}) {
     core::EvalParams ep;
     ep.decisionBias = op.bias;
-    const core::EvalResult res = core::evaluateLayout(reloaded, layout, ep);
+    const core::EvalResult res =
+        core::evaluateLayout(reloaded, layout, ep, ctx);
     const core::Score s =
         core::scoreReports(res.reported, bench.test.actualHotspots);
     std::printf(

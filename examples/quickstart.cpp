@@ -37,9 +37,11 @@ int main() {
               test.layout.areaUm2(), test.motifSites,
               test.actualHotspots.size());
 
-  // 2. Train the detector.
+  // 2. Train the detector. One RunContext (thread pool + per-stage stats)
+  //    is shared by training and evaluation.
+  engine::RunContext ctx;
   core::TrainParams tp;
-  const core::Detector det = core::trainDetector(training.clips, tp);
+  const core::Detector det = core::trainDetector(training.clips, tp, ctx);
   std::printf(
       "trained %zu kernels (%zu hotspot clusters, %zu->%zu non-hotspot "
       "downsampling), feedback=%s, %.1fs\n",
@@ -47,12 +49,14 @@ int main() {
       det.stats.rawNonHotspots, det.stats.balancedNonHotspots,
       det.hasFeedback ? "yes" : "no", det.stats.trainSeconds);
 
-  // 3. Evaluate the layout.
+  // 3. Evaluate the layout (streams extraction -> kernels -> feedback ->
+  //    removal as one staged pipeline on the shared context).
   core::EvalParams ep;
-  const core::EvalResult res = core::evaluateLayout(det, test.layout, ep);
+  const core::EvalResult res = core::evaluateLayout(det, test.layout, ep, ctx);
   std::printf("evaluation: %zu candidate clips, %zu flagged, %zu reported, %.1fs\n",
               res.candidateClips, res.flaggedBeforeRemoval,
               res.reported.size(), res.evalSeconds);
+  std::printf("engine stages: %s\n", ctx.stats().toJson().c_str());
 
   // 4. Score.
   const core::Score score =

@@ -1,63 +1,150 @@
 #include "core/evaluator.hpp"
 
 #include <chrono>
+#include <optional>
+#include <utility>
 
-#include "par/thread_pool.hpp"
+#include "engine/pipeline.hpp"
 
 namespace hsd::core {
 
-EvalResult evaluateCandidates(const Detector& det, const GridIndex& index,
-                              const std::vector<ClipWindow>& candidates,
-                              const EvalParams& p) {
-  const auto t0 = std::chrono::steady_clock::now();
-  EvalResult res;
-  res.candidateClips = candidates.size();
+namespace {
 
-  // Multiple-kernel (+ feedback) evaluation, parallel over clips.
-  std::vector<char> flagged(candidates.size(), 0);
-  const std::vector<std::pair<LayerId, const GridIndex*>> layers{
-      {det.params.layer, &index}};
-  parallelFor(candidates.size(), p.threads, [&](std::size_t i) {
-    const Clip clip = extractClip(layers, candidates[i]);
-    flagged[i] =
-        det.evaluateClip(clip, p.decisionBias, p.useFeedback) ? 1 : 0;
-  });
+using LayerIndex = std::vector<std::pair<LayerId, const GridIndex*>>;
 
-  std::vector<ClipWindow> hits;
-  for (std::size_t i = 0; i < candidates.size(); ++i)
-    if (flagged[i]) hits.push_back(candidates[i]);
+/// A candidate clip in flight through the evaluation stages.
+struct EvalItem {
+  ClipWindow win;
+  Clip clip;
+  svm::FeatureVector coreFeat;
+};
+
+/// The Fig. 3 right-half scoring stages, decomposed so each step is
+/// separately timed and batched. Together they compute exactly
+/// Detector::evaluateClip (same feature builds, same kernel order, same
+/// thresholds), so reports are identical to the monolithic path.
+struct EvalStages {
+  engine::Stage<ClipWindow, EvalItem> clip;
+  engine::Stage<EvalItem, EvalItem> features;
+  engine::Stage<EvalItem, EvalItem> kernels;
+  engine::Stage<EvalItem, ClipWindow> feedback;
+};
+
+EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
+                          const EvalParams& p) {
+  EvalStages s;
+  s.clip = engine::mapStage<ClipWindow>(
+      "eval/clip", [&layers](const ClipWindow& w) {
+        return EvalItem{w, extractClip(layers, w), {}};
+      });
+  s.features = engine::mapStage<EvalItem>(
+      "eval/features", [&det](EvalItem it) {
+        it.coreFeat = buildFeatureVector(
+            CorePattern::fromCore(it.clip, det.params.layer),
+            det.params.features);
+        return it;
+      });
+  s.kernels = engine::filterMapStage<EvalItem>(
+      "eval/svm",
+      [&det, bias = p.decisionBias](const EvalItem& it)
+          -> std::optional<EvalItem> {
+        for (const KernelEntry& k : det.kernels)
+          if (k.model.decision(k.scaler.transform(it.coreFeat)) > bias)
+            return it;
+        return std::nullopt;
+      });
+  s.feedback = engine::filterMapStage<EvalItem>(
+      "eval/feedback",
+      [&det, useFeedback = p.useFeedback](const EvalItem& it)
+          -> std::optional<ClipWindow> {
+        if (useFeedback && det.hasFeedback) {
+          const svm::FeatureVector fb = buildFeatureVector(
+              CorePattern::fromClip(it.clip, det.params.layer),
+              det.params.feedbackFeatures);
+          if (det.feedbackModel.predict(det.feedbackScaler.transform(fb)) < 0)
+            return std::nullopt;  // reclaimed by the ambit-aware kernel
+        }
+        return it.win;
+      });
+  return s;
+}
+
+EvalResult finishEval(const GridIndex& index, std::vector<ClipWindow> hits,
+                      const EvalParams& p, engine::RunContext& ctx,
+                      EvalResult res,
+                      std::chrono::steady_clock::time_point t0) {
   res.flaggedBeforeRemoval = hits.size();
-
-  res.reported =
-      p.useRemoval ? removeRedundantClips(hits, index, p.removal) : hits;
+  res.reported = p.useRemoval
+                     ? removeRedundantClips(hits, index, p.removal, ctx)
+                     : std::move(hits);
   res.evalSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return res;
 }
 
+}  // namespace
+
+EvalResult evaluateCandidates(const Detector& det, const GridIndex& index,
+                              const std::vector<ClipWindow>& candidates,
+                              const EvalParams& p, engine::RunContext& ctx) {
+  const auto t0 = std::chrono::steady_clock::now();
+  EvalResult res;
+  res.candidateClips = candidates.size();
+
+  const LayerIndex layers{{det.params.layer, &index}};
+  EvalStages s = makeEvalStages(det, layers, p);
+  std::vector<ClipWindow> hits = engine::runPipeline(
+      ctx, candidates, s.clip, s.features, s.kernels, s.feedback);
+  return finishEval(index, std::move(hits), p, ctx, std::move(res), t0);
+}
+
 EvalResult evaluateLayout(const Detector& det, const Layout& layout,
-                          const EvalParams& p) {
+                          const EvalParams& p, engine::RunContext& ctx) {
+  const auto t0 = std::chrono::steady_clock::now();
   const Layer* l = layout.findLayer(det.params.layer);
   if (l == nullptr || l->empty()) return {};
   const GridIndex index(l->rects(), p.extract.clip.clipSide);
-  const std::vector<ClipWindow> candidates =
-      extractCandidateClips(index, p.extract);
-  return evaluateCandidates(det, index, candidates, p);
+
+  EvalResult res;
+  const LayerIndex layers{{det.params.layer, &index}};
+
+  // One streaming pipeline from anchors to hits: extraction chains
+  // straight into scoring, so the candidate list never materializes.
+  auto screen = engine::filterMapStage<Point>(
+      "extract/screen",
+      [&index, &p](const Point& a) -> std::optional<ClipWindow> {
+        const ClipWindow win = anchorWindow(a, p.extract.clip);
+        if (!passesScreen(index, win, p.extract)) return std::nullopt;
+        return win;
+      });
+  // Counter stage: tallies extraction survivors as they stream past.
+  engine::Stage<ClipWindow, ClipWindow> tap{
+      "extract/candidates",
+      [&res](engine::RunContext&, std::vector<ClipWindow>&& b) {
+        res.candidateClips += b.size();
+        return std::move(b);
+      }};
+  EvalStages s = makeEvalStages(det, layers, p);
+  std::vector<ClipWindow> hits = engine::runPipeline(
+      ctx, candidateAnchors(index, p.extract.clip.coreSide), screen, tap,
+      s.clip, s.features, s.kernels, s.feedback);
+  return finishEval(index, std::move(hits), p, ctx, std::move(res), t0);
 }
 
 std::vector<RankedReport> rankReports(const Detector& det,
                                       const GridIndex& index,
-                                      const std::vector<ClipWindow>& reports) {
-  std::vector<RankedReport> out;
-  out.reserve(reports.size());
-  const std::vector<std::pair<LayerId, const GridIndex*>> layers{
-      {det.params.layer, &index}};
-  for (const ClipWindow& w : reports) {
-    const Clip clip = extractClip(layers, w);
-    out.push_back(
-        {w, det.hotspotProbability(CorePattern::fromCore(clip, det.params.layer))});
-  }
+                                      const std::vector<ClipWindow>& reports,
+                                      engine::RunContext& ctx) {
+  const LayerIndex layers{{det.params.layer, &index}};
+  auto rank = engine::mapStage<ClipWindow>(
+      "eval/rank", [&det, &layers](const ClipWindow& w) {
+        const Clip clip = extractClip(layers, w);
+        return RankedReport{
+            w, det.hotspotProbability(
+                   CorePattern::fromCore(clip, det.params.layer))};
+      });
+  std::vector<RankedReport> out = engine::runPipeline(ctx, reports, rank);
   std::sort(out.begin(), out.end(),
             [](const RankedReport& a, const RankedReport& b) {
               return a.probability > b.probability;
@@ -66,7 +153,8 @@ std::vector<RankedReport> rankReports(const Detector& det,
 }
 
 EvalResult evaluateLayoutWindowScan(const Detector& det, const Layout& layout,
-                                    const EvalParams& p, double overlap) {
+                                    const EvalParams& p,
+                                    engine::RunContext& ctx, double overlap) {
   const Layer* l = layout.findLayer(det.params.layer);
   if (l == nullptr || l->empty()) return {};
   const GridIndex index(l->rects(), p.extract.clip.clipSide);
@@ -77,7 +165,33 @@ EvalResult evaluateLayoutWindowScan(const Detector& det, const Layout& layout,
   std::erase_if(windows, [&index](const ClipWindow& w) {
     return !index.anyOverlap(w.clip);
   });
-  return evaluateCandidates(det, index, windows, p);
+  return evaluateCandidates(det, index, windows, p, ctx);
+}
+
+EvalResult evaluateLayout(const Detector& det, const Layout& layout,
+                          const EvalParams& p) {
+  engine::RunContext ctx(p.threads);
+  return evaluateLayout(det, layout, p, ctx);
+}
+
+EvalResult evaluateCandidates(const Detector& det, const GridIndex& index,
+                              const std::vector<ClipWindow>& candidates,
+                              const EvalParams& p) {
+  engine::RunContext ctx(p.threads);
+  return evaluateCandidates(det, index, candidates, p, ctx);
+}
+
+std::vector<RankedReport> rankReports(const Detector& det,
+                                      const GridIndex& index,
+                                      const std::vector<ClipWindow>& reports) {
+  engine::RunContext ctx(1);
+  return rankReports(det, index, reports, ctx);
+}
+
+EvalResult evaluateLayoutWindowScan(const Detector& det, const Layout& layout,
+                                    const EvalParams& p, double overlap) {
+  engine::RunContext ctx(p.threads);
+  return evaluateLayoutWindowScan(det, layout, p, ctx, overlap);
 }
 
 }  // namespace hsd::core

@@ -1,6 +1,18 @@
 // End-to-end evaluation pipeline (Fig. 3, right half): clip extraction ->
 // multiple-kernel + feedback evaluation -> redundant clip removal ->
 // reported hotspot windows.
+//
+// The flow runs as a staged streaming pipeline on engine::RunContext:
+//
+//   anchors -> [extract/screen] -> [extract/candidates] -> [eval/clip]
+//           -> [eval/features] -> [eval/svm] -> [eval/feedback]
+//           -> hits -> [eval/removal] -> reported
+//
+// Candidate windows stream through the stages in bounded batches instead
+// of materializing full vectors between phases; every stage's calls /
+// items / wall seconds land in the context's EngineStats. All stages use
+// index-stable parallelism, so reports are byte-identical across thread
+// counts.
 #pragma once
 
 #include <cstddef>
@@ -9,6 +21,7 @@
 #include "core/extract.hpp"
 #include "core/removal.hpp"
 #include "core/trainer.hpp"
+#include "engine/run_context.hpp"
 
 namespace hsd::core {
 
@@ -21,6 +34,8 @@ struct EvalParams {
   double decisionBias = 0.0;
   bool useFeedback = true;
   bool useRemoval = true;
+  /// Thread count used only by the RunContext-free back-compat overloads;
+  /// with an explicit context, ctx.threadCount() governs.
   std::size_t threads = 1;
 };
 
@@ -31,15 +46,17 @@ struct EvalResult {
   double evalSeconds = 0.0;
 };
 
-/// Run the full evaluation phase of `det` on `layout`.
+/// Run the full evaluation phase of `det` on `layout`, streaming candidate
+/// clips from extraction through scoring without materializing the
+/// candidate list.
 EvalResult evaluateLayout(const Detector& det, const Layout& layout,
-                          const EvalParams& p);
+                          const EvalParams& p, engine::RunContext& ctx);
 
 /// Evaluate a pre-extracted candidate list against a prebuilt geometry
 /// index (used by benches that reuse extraction across operating points).
 EvalResult evaluateCandidates(const Detector& det, const GridIndex& index,
                               const std::vector<ClipWindow>& candidates,
-                              const EvalParams& p);
+                              const EvalParams& p, engine::RunContext& ctx);
 
 /// A reported hotspot with its Platt-calibrated confidence.
 struct RankedReport {
@@ -54,12 +71,28 @@ struct RankedReport {
 /// (descending), so downstream correction can triage the worst first.
 std::vector<RankedReport> rankReports(const Detector& det,
                                       const GridIndex& index,
-                                      const std::vector<ClipWindow>& reports);
+                                      const std::vector<ClipWindow>& reports,
+                                      engine::RunContext& ctx);
 
 /// Full-layout scanning comparator (what Sec. III-E avoids): evaluate
 /// every sliding window at the given overlap instead of the extracted
 /// candidates. Same detector, same scoring — used to measure the
 /// evaluation-time saving of clip extraction (Table V).
+EvalResult evaluateLayoutWindowScan(const Detector& det, const Layout& layout,
+                                    const EvalParams& p,
+                                    engine::RunContext& ctx,
+                                    double overlap = 0.5);
+
+// Back-compat overloads: construct a default context (p.threads for the
+// evaluators, serial for ranking) per call.
+EvalResult evaluateLayout(const Detector& det, const Layout& layout,
+                          const EvalParams& p);
+EvalResult evaluateCandidates(const Detector& det, const GridIndex& index,
+                              const std::vector<ClipWindow>& candidates,
+                              const EvalParams& p);
+std::vector<RankedReport> rankReports(const Detector& det,
+                                      const GridIndex& index,
+                                      const std::vector<ClipWindow>& reports);
 EvalResult evaluateLayoutWindowScan(const Detector& det, const Layout& layout,
                                     const EvalParams& p,
                                     double overlap = 0.5);

@@ -1,11 +1,11 @@
 #include "core/extract.hpp"
 
 #include <algorithm>
-#include <mutex>
+#include <optional>
 #include <unordered_set>
 
+#include "engine/pipeline.hpp"
 #include "geom/rectset.hpp"
-#include "par/thread_pool.hpp"
 
 namespace hsd::core {
 
@@ -29,8 +29,8 @@ std::vector<Rect> cutToCoreSize(const std::vector<Rect>& rects,
   return out;
 }
 
-// Polygon-distribution screen of Sec. III-E: density, rect count, and the
-// four margins between the clip boundary and the polygon bounding box.
+}  // namespace
+
 bool passesScreen(const GridIndex& index, const ClipWindow& win,
                   const ExtractParams& p) {
   const std::vector<std::size_t> ids = index.query(win.clip);
@@ -60,48 +60,60 @@ bool passesScreen(const GridIndex& index, const ClipWindow& win,
   return worst <= p.maxMargin;
 }
 
-}  // namespace
+std::vector<Point> candidateAnchors(const GridIndex& index, Coord coreSide) {
+  const std::vector<Rect> pieces = cutToCoreSize(index.rects(), coreSide);
+
+  // One candidate per piece, core anchored at the piece's bottom-left
+  // corner (Fig. 11b); dedupe anchors, keeping first-seen order.
+  std::vector<Point> anchors;
+  std::unordered_set<Point> seen;
+  anchors.reserve(pieces.size());
+  for (const Rect& r : pieces)
+    if (seen.insert(r.lo).second) anchors.push_back(r.lo);
+  return anchors;
+}
+
+ClipWindow anchorWindow(const Point& a, const ClipParams& clip) {
+  // Anchor the core so the piece's corner sits at the core center-ish:
+  // the paper anchors the core at the piece's bottom-left corner.
+  return ClipWindow::atCore(
+      {a.x - clip.coreSide / 2, a.y - clip.coreSide / 2}, clip);
+}
+
+std::vector<ClipWindow> extractCandidateClips(const GridIndex& index,
+                                              const ExtractParams& p,
+                                              engine::RunContext& ctx) {
+  auto screen = engine::filterMapStage<Point>(
+      "extract/screen", [&index, &p](const Point& a) -> std::optional<ClipWindow> {
+        const ClipWindow win = anchorWindow(a, p.clip);
+        if (!passesScreen(index, win, p)) return std::nullopt;
+        return win;
+      });
+  return engine::runPipeline(ctx, candidateAnchors(index, p.clip.coreSide),
+                             screen);
+}
+
+std::vector<ClipWindow> extractCandidateClips(const Layout& layout,
+                                              LayerId layer,
+                                              const ExtractParams& p,
+                                              engine::RunContext& ctx) {
+  const Layer* l = layout.findLayer(layer);
+  if (l == nullptr || l->empty()) return {};
+  const GridIndex index(l->rects(), p.clip.clipSide);
+  return extractCandidateClips(index, p, ctx);
+}
 
 std::vector<ClipWindow> extractCandidateClips(const GridIndex& index,
                                               const ExtractParams& p) {
-  const std::vector<Rect> pieces =
-      cutToCoreSize(index.rects(), p.clip.coreSide);
-
-  // One candidate per piece, core anchored at the piece's bottom-left
-  // corner (Fig. 11b); dedupe anchors.
-  std::vector<Point> anchors;
-  {
-    std::unordered_set<Point> seen;
-    anchors.reserve(pieces.size());
-    for (const Rect& r : pieces)
-      if (seen.insert(r.lo).second) anchors.push_back(r.lo);
-  }
-
-  std::vector<char> keep(anchors.size(), 0);
-  std::vector<ClipWindow> wins(anchors.size());
-  parallelFor(anchors.size(), p.threads, [&](std::size_t i) {
-    // Anchor the core so the piece's corner sits at the core center-ish:
-    // the paper anchors the core at the piece's bottom-left corner.
-    const ClipWindow win = ClipWindow::atCore(
-        {anchors[i].x - p.clip.coreSide / 2, anchors[i].y - p.clip.coreSide / 2},
-        p.clip);
-    wins[i] = win;
-    keep[i] = passesScreen(index, win, p) ? 1 : 0;
-  });
-
-  std::vector<ClipWindow> out;
-  for (std::size_t i = 0; i < anchors.size(); ++i)
-    if (keep[i]) out.push_back(wins[i]);
-  return out;
+  engine::RunContext ctx(p.threads);
+  return extractCandidateClips(index, p, ctx);
 }
 
 std::vector<ClipWindow> extractCandidateClips(const Layout& layout,
                                               LayerId layer,
                                               const ExtractParams& p) {
-  const Layer* l = layout.findLayer(layer);
-  if (l == nullptr || l->empty()) return {};
-  const GridIndex index(l->rects(), p.clip.clipSide);
-  return extractCandidateClips(index, p);
+  engine::RunContext ctx(p.threads);
+  return extractCandidateClips(layout, layer, p, ctx);
 }
 
 std::vector<ClipWindow> windowScanClips(const Layout& layout, LayerId layer,

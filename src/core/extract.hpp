@@ -4,11 +4,17 @@
 // only clips whose polygon distribution passes the user screen (density,
 // polygon count, boundary margins). A window-based extractor (50 % overlap)
 // is provided as the Table V baseline.
+//
+// Extraction runs as a streaming stage on engine::RunContext: anchors are
+// enumerated once, then screened in batches ("extract/screen"), so the
+// evaluator can chain extraction straight into scoring without
+// materializing the full candidate list.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "engine/run_context.hpp"
 #include "layout/clip.hpp"
 #include "layout/layout.hpp"
 #include "layout/spatial_index.hpp"
@@ -27,16 +33,39 @@ struct ExtractParams {
   double minDensity = 0.005;
   double maxDensity = 0.90;
   std::size_t minRectCount = 1;
+  /// Thread count used only by the RunContext-free back-compat overloads.
   std::size_t threads = 1;
 };
+
+/// Deduplicated candidate core anchors (bottom-left corners of the
+/// core-sized polygon pieces, Fig. 11b) in deterministic first-seen order
+/// — the source of the streaming extraction stage.
+std::vector<Point> candidateAnchors(const GridIndex& index, Coord coreSide);
+
+/// The candidate window whose core is centered on anchor `a`.
+ClipWindow anchorWindow(const Point& a, const ClipParams& clip);
+
+/// Polygon-distribution screen of Sec. III-E: density, rect count, and the
+/// four margins between the clip boundary and the polygon bounding box.
+bool passesScreen(const GridIndex& index, const ClipWindow& win,
+                  const ExtractParams& p);
 
 /// Candidate clip windows of `layout` on `layer` (deduplicated by core
 /// anchor). The returned windows are screened but not yet classified.
 std::vector<ClipWindow> extractCandidateClips(const Layout& layout,
                                               LayerId layer,
-                                              const ExtractParams& p);
+                                              const ExtractParams& p,
+                                              engine::RunContext& ctx);
 
 /// Same, but against a prebuilt rect index (reused across calls).
+std::vector<ClipWindow> extractCandidateClips(const GridIndex& index,
+                                              const ExtractParams& p,
+                                              engine::RunContext& ctx);
+
+/// Back-compat overloads: run on a fresh default context with p.threads.
+std::vector<ClipWindow> extractCandidateClips(const Layout& layout,
+                                              LayerId layer,
+                                              const ExtractParams& p);
 std::vector<ClipWindow> extractCandidateClips(const GridIndex& index,
                                               const ExtractParams& p);
 

@@ -211,16 +211,28 @@ ClipWindow shiftToGravity(const ClipWindow& win, const GridIndex& layoutIndex,
 
 std::vector<ClipWindow> removeRedundantClips(
     const std::vector<ClipWindow>& reported, const GridIndex& layoutIndex,
-    const RemovalParams& p) {
+    const RemovalParams& p, engine::RunContext& ctx) {
   if (reported.empty()) return {};
+  const engine::StageTimer timer(ctx.stats(), "eval/removal",
+                                 reported.size());
   // Pass 1: merge + reframe.
   std::vector<ClipWindow> wins = mergeAndReframe(reported, p);
-  // Pass 2: drop cores fully covered by their neighbors.
+  // Pass 2: drop cores fully covered by their neighbors (inherently
+  // sequential: each verdict depends on which earlier cores survived).
   wins = pruneCovered(wins, layoutIndex, p);
-  // Pass 3: recenter clips hugging one side.
-  for (ClipWindow& w : wins) w = shiftToGravity(w, layoutIndex, p);
+  // Pass 3: recenter clips hugging one side (independent per window).
+  ctx.parallelFor(wins.size(), [&](std::size_t i) {
+    wins[i] = shiftToGravity(wins[i], layoutIndex, p);
+  });
   // Pass 4: merge + reframe again.
   return mergeAndReframe(wins, p);
+}
+
+std::vector<ClipWindow> removeRedundantClips(
+    const std::vector<ClipWindow>& reported, const GridIndex& layoutIndex,
+    const RemovalParams& p) {
+  engine::RunContext ctx(1);
+  return removeRedundantClips(reported, layoutIndex, p, ctx);
 }
 
 }  // namespace hsd::core

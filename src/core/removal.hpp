@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "engine/run_context.hpp"
 #include "layout/clip.hpp"
 #include "layout/spatial_index.hpp"
 
@@ -30,6 +31,13 @@ struct RemovalParams {
 };
 
 /// Filter `reported` hotspot windows against the layout geometry index.
+/// Recorded as the "eval/removal" stage; the clip-shifting pass runs on
+/// the context's pool (index-stable, thread-count independent).
+std::vector<ClipWindow> removeRedundantClips(
+    const std::vector<ClipWindow>& reported, const GridIndex& layoutIndex,
+    const RemovalParams& p, engine::RunContext& ctx);
+
+/// Back-compat overload: serial, on a fresh default context.
 std::vector<ClipWindow> removeRedundantClips(
     const std::vector<ClipWindow>& reported, const GridIndex& layoutIndex,
     const RemovalParams& p);

@@ -7,7 +7,7 @@
 #include <set>
 #include <stdexcept>
 
-#include "par/thread_pool.hpp"
+#include "engine/stats.hpp"
 
 namespace hsd::core {
 
@@ -46,15 +46,18 @@ double classAccuracy(const svm::SvmModel& model,
 
 // Self-training loop of Sec. III-D2: double C and gamma until both class
 // accuracies (hotspots of this cluster; the full raw non-hotspot set) meet
-// the target, or the iteration bound is hit.
+// the target, or the iteration bound is hit. Polls the run's cancellation
+// flag between iterations so a long kernel fit can be abandoned.
 IterativeResult iterativeTrain(const svm::Dataset& scaled,
                                const std::vector<svm::FeatureVector>& valPos,
                                const std::vector<svm::FeatureVector>& valNeg,
-                               const TrainParams& tp) {
+                               const TrainParams& tp,
+                               engine::RunContext& ctx) {
   IterativeResult res;
   double C = tp.initC;
   double gamma = tp.initGamma;
   for (std::size_t it = 0;; ++it) {
+    ctx.throwIfCancelled();
     svm::SvmParams sp;
     sp.C = C;
     sp.gamma = gamma;
@@ -87,7 +90,7 @@ std::vector<Clip> shiftDerivatives(const Clip& clip, Coord shiftNm) {
 }
 
 Detector trainDetector(const std::vector<Clip>& training,
-                       const TrainParams& tp) {
+                       const TrainParams& tp, engine::RunContext& ctx) {
   const auto t0 = std::chrono::steady_clock::now();
   Detector det;
   det.params = tp;
@@ -129,6 +132,8 @@ Detector trainDetector(const std::vector<Clip>& training,
   for (const Clip& c : nhs)
     nhsCores.push_back(CorePattern::fromCore(c, tp.layer));
 
+  engine::StageTimer classifyTimer(ctx.stats(), "train/classify",
+                                   hs.size() + nhs.size());
   std::vector<Cluster> hsClusters;
   if (tp.singleKernel) {
     Cluster all;
@@ -142,6 +147,7 @@ Detector trainDetector(const std::vector<Clip>& training,
   }
   const std::vector<Cluster> nhsClusters =
       classifyPatterns(nhsCores, tp.classify);
+  classifyTimer.stop();
   det.stats.hotspotClusters = hsClusters.size();
   det.stats.nonHotspotClusters = nhsClusters.size();
 
@@ -159,21 +165,26 @@ Detector trainDetector(const std::vector<Clip>& training,
 
   // Core feature vectors (shared across kernels). The full raw non-hotspot
   // feature list doubles as the self-training validation set.
+  engine::StageTimer featureTimer(ctx.stats(), "train/features",
+                                  hs.size() + nhs.size());
   std::vector<svm::FeatureVector> hsFeat(hs.size());
-  parallelFor(hs.size(), tp.threads, [&](std::size_t i) {
+  ctx.parallelFor(hs.size(), [&](std::size_t i) {
     hsFeat[i] = buildFeatureVector(hsCores[i], tp.features);
   });
   std::vector<svm::FeatureVector> allNhsFeat(nhs.size());
-  parallelFor(nhs.size(), tp.threads, [&](std::size_t i) {
+  ctx.parallelFor(nhs.size(), [&](std::size_t i) {
     allNhsFeat[i] = buildFeatureVector(nhsCores[i], tp.features);
   });
+  featureTimer.stop();
   std::vector<svm::FeatureVector> nhsFeat(nhsSelected.size());
   for (std::size_t i = 0; i < nhsSelected.size(); ++i)
     nhsFeat[i] = allNhsFeat[nhsSelected[i]];
 
   // One SVM kernel per hotspot cluster (Fig. 9a), trained in parallel.
+  engine::StageTimer kernelTimer(ctx.stats(), "train/kernels",
+                                 hsClusters.size());
   det.kernels.resize(hsClusters.size());
-  parallelFor(hsClusters.size(), tp.threads, [&](std::size_t k) {
+  ctx.parallelFor(hsClusters.size(), [&](std::size_t k) {
     const Cluster& cluster = hsClusters[k];
     svm::Dataset data;
     for (const std::size_t m : cluster.members) data.add(hsFeat[m], +1);
@@ -194,21 +205,24 @@ Detector trainDetector(const std::vector<Clip>& training,
     for (const svm::FeatureVector& f : allNhsFeat)
       valNeg.push_back(entry.scaler.transform(f));
 
-    IterativeResult res = iterativeTrain(data, valPos, valNeg, tp);
+    IterativeResult res = iterativeTrain(data, valPos, valNeg, tp, ctx);
     entry.model = std::move(res.model);
     entry.finalC = res.finalC;
     entry.finalGamma = res.finalGamma;
     entry.selfIterations = res.iterations;
   });
+  kernelTimer.stop();
 
   // Feedback kernel (Sec. III-D4): self-evaluate the non-hotspot centroids;
   // the ones some kernel still flags as hotspots ("extras") become, with
   // their ambit, the negative side of the feedback training set.
   if (tp.enableFeedback) {
+    engine::StageTimer feedbackTimer(ctx.stats(), "train/feedback",
+                                     nhs.size());
     std::vector<std::size_t> extraClipIdx;   // indices into nhs
     std::set<std::size_t> implicatedKernels;
     std::mutex mu;
-    parallelFor(nhs.size(), tp.threads, [&](std::size_t i) {
+    ctx.parallelFor(nhs.size(), [&](std::size_t i) {
       for (std::size_t k = 0; k < det.kernels.size(); ++k) {
         const svm::FeatureVector scaled =
             det.kernels[k].scaler.transform(allNhsFeat[i]);
@@ -256,7 +270,7 @@ Detector trainDetector(const std::vector<Clip>& training,
         std::vector<svm::FeatureVector> valPos, valNeg;
         for (std::size_t i = 0; i < data.size(); ++i)
           (data.y[i] > 0 ? valPos : valNeg).push_back(data.x[i]);
-        det.feedbackModel = iterativeTrain(data, valPos, valNeg, tp).model;
+        det.feedbackModel = iterativeTrain(data, valPos, valNeg, tp, ctx).model;
         det.hasFeedback = true;
       }
     }
@@ -265,23 +279,24 @@ Detector trainDetector(const std::vector<Clip>& training,
   // Platt calibration on the training cores: max-kernel decision value vs
   // label, so reports can be ranked by P(hotspot).
   {
-    std::vector<double> f;
-    std::vector<int> y;
-    f.reserve(hs.size() + allNhsFeat.size());
+    const engine::StageTimer plattTimer(ctx.stats(), "train/platt",
+                                        hs.size() + allNhsFeat.size());
+    std::vector<double> f(hsFeat.size() + allNhsFeat.size());
+    std::vector<int> y(f.size());
     const auto maxDecision = [&det](const svm::FeatureVector& feat) {
       double best = -std::numeric_limits<double>::infinity();
       for (const KernelEntry& k : det.kernels)
         best = std::max(best, k.model.decision(k.scaler.transform(feat)));
       return best;
     };
-    for (const svm::FeatureVector& feat : hsFeat) {
-      f.push_back(maxDecision(feat));
-      y.push_back(+1);
-    }
-    for (const svm::FeatureVector& feat : allNhsFeat) {
-      f.push_back(maxDecision(feat));
-      y.push_back(-1);
-    }
+    ctx.parallelFor(hsFeat.size(), [&](std::size_t i) {
+      f[i] = maxDecision(hsFeat[i]);
+      y[i] = +1;
+    });
+    ctx.parallelFor(allNhsFeat.size(), [&](std::size_t i) {
+      f[hsFeat.size() + i] = maxDecision(allNhsFeat[i]);
+      y[hsFeat.size() + i] = -1;
+    });
     try {
       det.platt = svm::fitPlatt(f, y);
       det.hasPlatt = true;
@@ -294,6 +309,12 @@ Detector trainDetector(const std::vector<Clip>& training,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return det;
+}
+
+Detector trainDetector(const std::vector<Clip>& training,
+                       const TrainParams& tp) {
+  engine::RunContext ctx(tp.threads);
+  return trainDetector(training, tp, ctx);
 }
 
 double Detector::hotspotProbability(const CorePattern& core) const {

@@ -13,6 +13,7 @@
 #include "core/classify.hpp"
 #include "core/features.hpp"
 #include "core/pattern.hpp"
+#include "engine/run_context.hpp"
 #include "layout/clip.hpp"
 #include "svm/platt.hpp"
 #include "svm/scaler.hpp"
@@ -49,7 +50,9 @@ struct TrainParams {
   /// train a single huge SVM kernel (no topological classification).
   bool singleKernel = false;
 
-  std::size_t threads = 1;  ///< parallel kernel training (Sec. III-G)
+  /// Thread count used only by the RunContext-free back-compat overload;
+  /// with an explicit context, ctx.threadCount() governs (Sec. III-G).
+  std::size_t threads = 1;
   LayerId layer = 1;        ///< layer the detector operates on
 };
 
@@ -120,6 +123,15 @@ class Detector {
 
 /// Train a detector from labeled clips (labels must be kHotspot /
 /// kNonHotspot). Throws std::invalid_argument when either class is absent.
+/// Feature builds, per-cluster kernel fits, the self-evaluation sweep and
+/// Platt calibration all run on the context's shared pool and are recorded
+/// as "train/*" stages; the self-iteration loop polls the context's
+/// cancellation flag between iterations.
+Detector trainDetector(const std::vector<Clip>& training,
+                       const TrainParams& params, engine::RunContext& ctx);
+
+/// Back-compat overload: runs on a fresh default context with
+/// params.threads.
 Detector trainDetector(const std::vector<Clip>& training,
                        const TrainParams& params);
 

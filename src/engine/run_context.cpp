@@ -1,0 +1,32 @@
+#include "engine/run_context.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace hsd::engine {
+
+RunContext::RunContext(std::size_t threads, std::size_t batchSize)
+    : threads_(threads == 0 ? std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency())
+                            : threads),
+      batch_(batchSize == 0 ? 1 : batchSize) {}
+
+ThreadPool& RunContext::pool() {
+  std::call_once(poolOnce_,
+                 [this] { pool_ = std::make_unique<ThreadPool>(threads_); });
+  return *pool_;
+}
+
+void RunContext::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t grain) {
+  if (n == 0) return;
+  throwIfCancelled();
+  if (threads_ <= 1 || n == 1 || ThreadPool::inWorker()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool().parallelFor(n, body, grain);
+}
+
+}  // namespace hsd::engine

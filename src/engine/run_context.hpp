@@ -1,0 +1,77 @@
+// RunContext: the execution substrate of a detection/training run. Owns
+// one ThreadPool shared by every phase (no more per-call pool or ad-hoc
+// thread construction), the per-stage EngineStats registry, the streaming
+// batch size, and a cooperative cancellation flag. Every long-running
+// entry point in src/core takes a RunContext& (with a back-compat
+// overload that builds a default context), so thread count, batch size,
+// and per-stage wall time are controlled and observed from one place.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "engine/stats.hpp"
+#include "par/thread_pool.hpp"
+
+namespace hsd::engine {
+
+/// Thrown by RunContext::throwIfCancelled() once cancellation is
+/// requested; pipelines and stage loops let it propagate to the caller.
+struct CancelledError : std::runtime_error {
+  CancelledError() : std::runtime_error("engine: run cancelled") {}
+};
+
+class RunContext {
+ public:
+  static constexpr std::size_t kDefaultBatchSize = 512;
+
+  /// `threads` == 0 selects hardware_concurrency; 1 means fully serial
+  /// (no worker threads are ever spawned). The pool itself is created
+  /// lazily on first parallel use.
+  explicit RunContext(std::size_t threads = 0,
+                      std::size_t batchSize = kDefaultBatchSize);
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  std::size_t threadCount() const { return threads_; }
+  std::size_t batchSize() const { return batch_; }
+  void setBatchSize(std::size_t b) { batch_ = b == 0 ? 1 : b; }
+
+  EngineStats& stats() { return stats_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Shared pool (created on first call; never call with threadCount()==1
+  /// code paths that want to stay thread-free).
+  ThreadPool& pool();
+
+  // Cooperative cancellation: long loops poll cancelRequested() or call
+  // throwIfCancelled() at batch boundaries.
+  void requestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancelRequested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+  void throwIfCancelled() const {
+    if (cancelRequested()) throw CancelledError();
+  }
+
+  /// Run body(i) for i in [0, n) on the shared pool, chunked by `grain`
+  /// (0 = auto). Serial when threadCount() == 1. Index-stable writes make
+  /// results independent of the thread count.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                   std::size_t grain = 0);
+
+ private:
+  std::size_t threads_;
+  std::size_t batch_;
+  EngineStats stats_;
+  std::atomic<bool> cancel_{false};
+  std::once_flag poolOnce_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace hsd::engine

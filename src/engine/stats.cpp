@@ -1,0 +1,47 @@
+#include "engine/stats.hpp"
+
+#include <sstream>
+
+namespace hsd::engine {
+
+void EngineStats::record(const std::string& stage, std::size_t items,
+                         double seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  StageStats& s = stages_[stage];
+  ++s.calls;
+  s.items += items;
+  s.seconds += seconds;
+}
+
+std::map<std::string, StageStats> EngineStats::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stages_;
+}
+
+StageStats EngineStats::stage(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stages_.find(name);
+  return it == stages_.end() ? StageStats{} : it->second;
+}
+
+std::string EngineStats::toJson() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << '{';
+  bool first = true;
+  for (const auto& [name, s] : snapshot()) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << name << "\": {\"calls\": " << s.calls
+       << ", \"items\": " << s.items << ", \"seconds\": " << s.seconds << '}';
+  }
+  os << '}';
+  return os.str();
+}
+
+void EngineStats::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stages_.clear();
+}
+
+}  // namespace hsd::engine

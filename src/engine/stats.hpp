@@ -1,0 +1,86 @@
+// Per-stage instrumentation registry: every pipeline stage (and any code
+// that wants coarse phase timing) records (calls, items, wall seconds)
+// under a stage name. One EngineStats lives in each RunContext, so a whole
+// detection run — extraction, evaluation, removal, training — is observable
+// from a single object and dumpable as JSON for the bench harness.
+#pragma once
+
+#include <cstddef>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace hsd::engine {
+
+/// Accumulated counters of one named stage.
+struct StageStats {
+  std::size_t calls = 0;    ///< number of batch invocations
+  std::size_t items = 0;    ///< total items processed
+  double seconds = 0.0;     ///< total wall time inside the stage
+
+  friend constexpr auto operator<=>(const StageStats&,
+                                    const StageStats&) = default;
+};
+
+/// Thread-safe stage-name -> StageStats registry.
+class EngineStats {
+ public:
+  /// Add one invocation of `stage` covering `items` items in `seconds`.
+  void record(const std::string& stage, std::size_t items, double seconds);
+
+  /// Copy of the current registry (stable, sorted by stage name).
+  std::map<std::string, StageStats> snapshot() const;
+
+  /// Stats of one stage (zeros when the stage never ran).
+  StageStats stage(const std::string& name) const;
+
+  /// JSON object: {"stage": {"calls": N, "items": N, "seconds": S}, ...}.
+  /// Keys are sorted; suitable for appending to BENCH_*.json trackers.
+  std::string toJson() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, StageStats> stages_;
+};
+
+/// RAII timer: records one invocation into `stats` on destruction.
+/// `items` can be adjusted before the scope closes (e.g. filter stages
+/// that only learn their output size at the end).
+class StageTimer {
+ public:
+  StageTimer(EngineStats& stats, std::string stage, std::size_t items)
+      : stats_(stats),
+        stage_(std::move(stage)),
+        items_(items),
+        t0_(std::chrono::steady_clock::now()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  void setItems(std::size_t items) { items_ = items; }
+
+  /// Record now instead of at scope exit (for mid-function stage
+  /// boundaries); the destructor then does nothing.
+  void stop() {
+    if (done_) return;
+    done_ = true;
+    const double sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0_)
+                           .count();
+    stats_.record(stage_, items_, sec);
+  }
+
+  ~StageTimer() { stop(); }
+
+ private:
+  EngineStats& stats_;
+  std::string stage_;
+  std::size_t items_;
+  std::chrono::steady_clock::time_point t0_;
+  bool done_ = false;
+};
+
+}  // namespace hsd::engine

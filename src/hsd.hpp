@@ -3,8 +3,9 @@
 //   #include "hsd.hpp"
 //
 // pulls in the geometry substrate, layout database, GDSII / text I/O, the
-// lithography oracle + OPC, DRC, the SVM engine, and the hotspot-detection
-// framework (training, evaluation, scoring, extensions) plus the synthetic
+// lithography oracle + OPC, DRC, the SVM engine, the staged execution
+// engine (RunContext + pipeline), and the hotspot-detection framework
+// (training, evaluation, scoring, extensions) plus the synthetic
 // benchmark generator.
 #pragma once
 
@@ -24,6 +25,9 @@
 #include "data/generator.hpp"
 #include "data/motifs.hpp"
 #include "drc/drc.hpp"
+#include "engine/pipeline.hpp"
+#include "engine/run_context.hpp"
+#include "engine/stats.hpp"
 #include "gds/ascii.hpp"
 #include "gds/gdsii.hpp"
 #include "geom/geom.hpp"

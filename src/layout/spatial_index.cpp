@@ -31,7 +31,6 @@ GridIndex::GridIndex(std::vector<Rect> rects, Coord targetBin)
       for (std::size_t bx = x0; bx <= x1; ++bx)
         bins_[by * nx_ + bx].push_back(std::uint32_t(i));
   }
-  stamp_.assign(rects_.size(), 0);
 }
 
 std::pair<std::size_t, std::size_t> GridIndex::binRangeX(Coord lo,
@@ -57,16 +56,26 @@ std::pair<std::size_t, std::size_t> GridIndex::binRangeY(Coord lo,
 }
 
 std::vector<std::size_t> GridIndex::query(const Rect& query) const {
+  // Dedup stamping uses per-thread scratch (shared across all GridIndex
+  // instances on the thread; the generation counter strictly increases per
+  // query, so stale stamps from another index can never collide). This
+  // keeps query() const-thread-safe: the old shared `mutable` stamp buffer
+  // raced under parallel evaluation and made multithreaded runs
+  // nondeterministic.
+  thread_local std::vector<std::uint64_t> stamp;
+  thread_local std::uint64_t stampGen = 0;
+
   std::vector<std::size_t> out;
   if (rects_.empty() || !extent_.overlaps(query)) return out;
-  ++stampGen_;
+  if (stamp.size() < rects_.size()) stamp.resize(rects_.size(), 0);
+  ++stampGen;
   const auto [x0, x1] = binRangeX(query.lo.x, query.hi.x);
   const auto [y0, y1] = binRangeY(query.lo.y, query.hi.y);
   for (std::size_t by = y0; by <= y1; ++by) {
     for (std::size_t bx = x0; bx <= x1; ++bx) {
       for (const std::uint32_t idx : bins_[by * nx_ + bx]) {
-        if (stamp_[idx] == stampGen_) continue;
-        stamp_[idx] = stampGen_;
+        if (stamp[idx] == stampGen) continue;
+        stamp[idx] = stampGen;
         if (rects_[idx].overlaps(query)) out.push_back(idx);
       }
     }

@@ -23,7 +23,10 @@ class GridIndex {
   bool empty() const { return rects_.empty(); }
 
   /// Indices of rects whose bounding boxes have positive-area overlap with
-  /// `query`. Each index appears exactly once (deduplicated via stamping).
+  /// `query`. Each index appears exactly once (deduplicated via stamping),
+  /// in bin-iteration order. Thread-safe: the dedup scratch is per-thread,
+  /// so concurrent queries against the same index are race-free and return
+  /// exactly what a serial caller would see.
   std::vector<std::size_t> query(const Rect& query) const;
 
   /// True if any rect overlaps `query` (early-out form of query()).
@@ -40,8 +43,6 @@ class GridIndex {
   std::size_t nx_ = 0;
   std::size_t ny_ = 0;
   std::vector<std::vector<std::uint32_t>> bins_;
-  mutable std::vector<std::uint32_t> stamp_;
-  mutable std::uint32_t stampGen_ = 0;
 };
 
 }  // namespace hsd

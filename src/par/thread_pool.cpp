@@ -6,6 +6,12 @@
 
 namespace hsd {
 
+namespace {
+thread_local bool tlsInWorker = false;
+}  // namespace
+
+bool ThreadPool::inWorker() { return tlsInWorker; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0)
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -24,6 +30,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::workerLoop() {
+  tlsInWorker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -37,7 +44,64 @@ void ThreadPool::workerLoop() {
   }
 }
 
-void parallelFor(std::size_t n, std::size_t threads,
+std::size_t autoGrain(std::size_t n, std::size_t threads) {
+  if (threads <= 1) return std::max<std::size_t>(1, n);
+  // ~8 chunks per thread balances scheduling overhead against load skew.
+  return std::max<std::size_t>(1, n / (threads * 8));
+}
+
+namespace {
+
+// Shared chunk-claiming loop: workers grab `grain` consecutive indices per
+// atomic fetch instead of one task/fetch per item (which is pathological
+// for >100k-item ranges).
+void chunkLoop(std::atomic<std::size_t>& next, std::size_t n,
+               std::size_t grain,
+               const std::function<void(std::size_t)>& body,
+               std::exception_ptr& firstError, std::mutex& errMu) {
+  for (;;) {
+    const std::size_t i0 = next.fetch_add(grain);
+    if (i0 >= n) return;
+    const std::size_t i1 = std::min(i0 + grain, n);
+    try {
+      for (std::size_t i = i0; i < i1; ++i) body(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(errMu);
+      if (!firstError) firstError = std::current_exception();
+    }
+  }
+}
+
+}  // namespace
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t grain) {
+  if (n == 0) return;
+  // Running inline when called from a pool worker avoids deadlocking on
+  // our own queue (the waiting task would occupy the slot its children
+  // need).
+  if (threadCount() <= 1 || n == 1 || inWorker()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  if (grain == 0) grain = autoGrain(n, threadCount());
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr firstError;
+  std::mutex errMu;
+  const std::size_t tasks =
+      std::min(threadCount(), (n + grain - 1) / grain);
+  std::vector<std::future<void>> futs;
+  futs.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t)
+    futs.push_back(submit([&] {
+      chunkLoop(next, n, grain, body, firstError, errMu);
+    }));
+  for (auto& f : futs) f.get();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+void parallelFor(std::size_t n, std::size_t threads, std::size_t grain,
                  const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   if (threads == 0)
@@ -47,27 +111,23 @@ void parallelFor(std::size_t n, std::size_t threads,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  if (grain == 0) grain = autoGrain(n, threads);
   std::atomic<std::size_t> next{0};
   std::exception_ptr firstError;
   std::mutex errMu;
   std::vector<std::thread> ts;
   ts.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
+  for (std::size_t t = 0; t < threads; ++t)
     ts.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        try {
-          body(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(errMu);
-          if (!firstError) firstError = std::current_exception();
-        }
-      }
+      chunkLoop(next, n, grain, body, firstError, errMu);
     });
-  }
   for (std::thread& t : ts) t.join();
   if (firstError) std::rethrow_exception(firstError);
+}
+
+void parallelFor(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)>& body) {
+  parallelFor(n, threads, 0, body);
 }
 
 }  // namespace hsd

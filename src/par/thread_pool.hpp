@@ -1,6 +1,10 @@
 // Small thread pool + parallel_for, replacing the raw pthread usage of the
 // paper (Sec. III-G). Kernel training, clip extraction and evaluation are
 // all embarrassingly parallel over independent work items.
+//
+// Production call sites should not construct a ThreadPool directly: one
+// pool lives inside engine::RunContext and is shared by every stage of a
+// detection run (see src/engine/run_context.hpp).
 #pragma once
 
 #include <condition_variable>
@@ -26,6 +30,11 @@ class ThreadPool {
 
   std::size_t threadCount() const { return workers_.size(); }
 
+  /// True when called from one of this process's pool worker threads (any
+  /// pool). Used to run nested parallel_for calls inline instead of
+  /// deadlocking on the pool's own queue.
+  static bool inWorker();
+
   /// Enqueue a task; the future resolves when it completes (exceptions
   /// propagate through the future).
   template <typename F>
@@ -42,6 +51,14 @@ class ThreadPool {
     return fut;
   }
 
+  /// Run body(i) for i in [0, n) on the pool, chunked: at most
+  /// threadCount() tasks are submitted, each claiming `grain` consecutive
+  /// indices at a time (0 = auto). Blocks until every iteration finishes;
+  /// the first exception is rethrown. Safe to call from a worker thread
+  /// (runs inline serially to avoid self-deadlock).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                   std::size_t grain = 0);
+
  private:
   void workerLoop();
 
@@ -52,10 +69,19 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Run body(i) for i in [0, n) across `threads` threads (0 = hardware
-/// concurrency, 1 = serial in the calling thread). Blocks until all
-/// iterations finish; the first exception (if any) is rethrown.
+/// Run body(i) for i in [0, n) across `threads` ad-hoc threads (0 =
+/// hardware concurrency, 1 = serial in the calling thread), each thread
+/// claiming `grain` consecutive indices per atomic fetch (0 = auto-sized
+/// so a range never degenerates into per-item contention). Blocks until
+/// all iterations finish; the first exception (if any) is rethrown.
+void parallelFor(std::size_t n, std::size_t threads, std::size_t grain,
+                 const std::function<void(std::size_t)>& body);
+
+/// Back-compat overload: auto grain size.
 void parallelFor(std::size_t n, std::size_t threads,
                  const std::function<void(std::size_t)>& body);
+
+/// Auto grain: aim for ~8 chunks per thread, at least 1 index each.
+std::size_t autoGrain(std::size_t n, std::size_t threads);
 
 }  // namespace hsd

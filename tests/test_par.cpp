@@ -1,4 +1,6 @@
-// Thread pool and parallelFor tests.
+// Thread pool and parallelFor tests. The pool under test is obtained
+// through engine::RunContext — production code never constructs a
+// ThreadPool directly (the context owns the one pool per run).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -6,13 +8,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "engine/run_context.hpp"
 #include "par/thread_pool.hpp"
 
 namespace hsd {
 namespace {
 
 TEST(ThreadPool, ExecutesAllTasks) {
-  ThreadPool pool(4);
+  engine::RunContext ctx(4);
+  ThreadPool& pool = ctx.pool();
   EXPECT_EQ(pool.threadCount(), 4u);
   std::atomic<int> count{0};
   std::vector<std::future<void>> futs;
@@ -23,9 +27,32 @@ TEST(ThreadPool, ExecutesAllTasks) {
 }
 
 TEST(ThreadPool, PropagatesExceptions) {
-  ThreadPool pool(2);
-  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  engine::RunContext ctx(2);
+  auto fut = ctx.pool().submit([] { throw std::runtime_error("boom"); });
   EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, MemberParallelForChunksByGrain) {
+  engine::RunContext ctx(4);
+  ThreadPool& pool = ctx.pool();
+  for (const std::size_t grain : {std::size_t(0), std::size_t(1),
+                                  std::size_t(7), std::size_t(1000)}) {
+    std::vector<std::atomic<int>> hits(500);
+    pool.parallelFor(500, [&](std::size_t i) { ++hits[i]; }, grain);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPool, NestedMemberParallelForRunsInline) {
+  engine::RunContext ctx(2);
+  ThreadPool& pool = ctx.pool();
+  std::atomic<int> count{0};
+  pool.parallelFor(4, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::inWorker());
+    pool.parallelFor(8, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 32);
+  EXPECT_FALSE(ThreadPool::inWorker());
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
@@ -35,6 +62,23 @@ TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
     parallelFor(500, threads, [&](std::size_t i) { ++hits[i]; });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
   }
+}
+
+TEST(ParallelFor, GrainOverloadCoversEveryIndexExactlyOnce) {
+  for (const std::size_t grain : {std::size_t(0), std::size_t(1),
+                                  std::size_t(13), std::size_t(512)}) {
+    std::vector<std::atomic<int>> hits(500);
+    parallelFor(500, 4, grain, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ParallelFor, AutoGrainIsSaneAcrossSizes) {
+  EXPECT_EQ(autoGrain(0, 4), 1u);
+  EXPECT_EQ(autoGrain(1, 4), 1u);
+  EXPECT_EQ(autoGrain(31, 4), 1u);   // fewer items than 8*threads
+  EXPECT_EQ(autoGrain(3200, 4), 100u);
+  EXPECT_GE(autoGrain(1u << 20, 8), 1u);
 }
 
 TEST(ParallelFor, ZeroIterationsIsNoop) {

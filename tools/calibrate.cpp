@@ -89,8 +89,9 @@ int main() {
   }
 
   // 4. Train with defaults and report kernel stats.
+  engine::RunContext ctx;
   core::TrainParams tp;
-  const core::Detector det = core::trainDetector(ts.clips, tp);
+  const core::Detector det = core::trainDetector(ts.clips, tp, ctx);
   std::printf("kernels: %zu, feedback=%d, extras-at-selfeval=%zu\n",
               det.kernels.size(), int(det.hasFeedback),
               det.stats.feedbackExtras);

@@ -51,11 +51,12 @@ int main(int argc, char** argv) {
     ep.extract.clip = det.params.clip;
     ep.removal.clip = det.params.clip;
     ep.decisionBias = argDouble(argc, argv, "--bias", 0.0);
-    ep.threads = std::size_t(argDouble(argc, argv, "--threads", 0.0));
     ep.useRemoval = !hasFlag(argc, argv, "--no-removal");
     ep.useFeedback = !hasFlag(argc, argv, "--no-feedback");
 
-    const core::EvalResult res = core::evaluateLayout(det, layout, ep);
+    engine::RunContext ctx(
+        std::size_t(argDouble(argc, argv, "--threads", 0.0)));
+    const core::EvalResult res = core::evaluateLayout(det, layout, ep, ctx);
     gds::writeWindowListFile(argv[3], res.reported, det.params.clip);
     std::printf("%s: %zu candidates -> %zu flagged -> %zu reported "
                 "(%.1fs) -> %s\n",
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
     const Layer* l = layout.findLayer(det.params.layer);
     if (l != nullptr && !res.reported.empty()) {
       const GridIndex idx(l->rects(), det.params.clip.clipSide);
-      const auto ranked = core::rankReports(det, idx, res.reported);
+      const auto ranked = core::rankReports(det, idx, res.reported, ctx);
       const std::size_t show = std::min<std::size_t>(5, ranked.size());
       std::printf("top %zu by P(hotspot):\n", show);
       for (std::size_t i = 0; i < show; ++i)

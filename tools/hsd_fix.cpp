@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
     ep.extract.clip = det.params.clip;
     ep.removal.clip = det.params.clip;
     ep.decisionBias = argDouble(argc, argv, "--bias", 0.0);
-    const core::EvalResult res = core::evaluateLayout(det, layout, ep);
+    engine::RunContext ctx;
+    const core::EvalResult res = core::evaluateLayout(det, layout, ep, ctx);
 
     litho::OpcRules rules;
     rules.minWidth = Coord(argDouble(argc, argv, "--min-width", 170));

@@ -40,13 +40,13 @@ int main(int argc, char** argv) {
     const gds::ClipSet set = gds::readClipSetFile(argv[1]);
     core::TrainParams tp;
     tp.clip = set.params;
-    tp.threads = std::size_t(argValue(argc, argv, "--threads", 0));
     tp.enableShift = !hasFlag(argc, argv, "--no-shift");
     tp.balancePopulation = !hasFlag(argc, argv, "--no-balance");
     tp.enableFeedback = !hasFlag(argc, argv, "--no-feedback");
     tp.singleKernel = hasFlag(argc, argv, "--single-kernel");
 
-    const core::Detector det = core::trainDetector(set.clips, tp);
+    engine::RunContext ctx(std::size_t(argValue(argc, argv, "--threads", 0)));
+    const core::Detector det = core::trainDetector(set.clips, tp, ctx);
     std::ofstream os(argv[2]);
     if (!os) {
       std::fprintf(stderr, "error: cannot write %s\n", argv[2]);
