@@ -1,10 +1,14 @@
 #include "core/evaluator.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <optional>
 #include <utility>
 
+#include "engine/cache.hpp"
 #include "engine/pipeline.hpp"
+#include "geom/hashing.hpp"
 
 namespace hsd::core {
 
@@ -12,17 +16,53 @@ namespace {
 
 using LayerIndex = std::vector<std::pair<LayerId, const GridIndex*>>;
 
+/// Stage-name hash of the per-window verdict cache (the memoized output of
+/// the eval/features -> eval/svm -> eval/feedback chain).
+constexpr std::uint64_t kVerdictStage = hashString("eval/verdict");
+
+/// Content hash of a clip: window dimensions plus the window-local (i.e.
+/// translation-invariant) geometry of every layer. Two windows anywhere on
+/// the layout with identical content share this hash — and therefore one
+/// cached verdict.
+std::uint64_t clipContentHash(const Clip& clip) {
+  const ClipWindow& w = clip.window();
+  std::uint64_t h = hashCombine(hashCoord(w.clip.width()),
+                                hashCoord(w.clip.height()));
+  for (const LayerId id : clip.layerIds()) {
+    h = hashCombine(h, hashMix(id));
+    h = hashCombine(h, hashRectsUnordered(clip.localClipRects(id)));
+  }
+  return h;
+}
+
+/// Config component of verdict keys: everything besides window content
+/// that can change a verdict — the whole trained detector, the decision
+/// bias, and the feedback toggle.
+std::uint64_t verdictConfig(const Detector& det, const EvalParams& p) {
+  std::uint64_t h = hashString("eval/verdict/v1");
+  h = hashCombine(h, det.fingerprint());
+  h = hashCombine(h, hashDouble(p.decisionBias));
+  h = hashCombine(h, hashMix(p.useFeedback ? 1 : 0));
+  return h;
+}
+
 /// A candidate clip in flight through the evaluation stages.
 struct EvalItem {
   ClipWindow win;
   Clip clip;
   svm::FeatureVector coreFeat;
+  engine::CacheKey key;       ///< verdict cache key (set when caching)
+  std::int8_t verdict = -1;   ///< -1 unknown, 0/1 cached verdict
 };
 
 /// The Fig. 3 right-half scoring stages, decomposed so each step is
 /// separately timed and batched. Together they compute exactly
 /// Detector::evaluateClip (same feature builds, same kernel order, same
-/// thresholds), so reports are identical to the monolithic path.
+/// thresholds), so reports are identical to the monolithic path. With a
+/// StageCache attached to the context, the clip stage looks up the cached
+/// verdict per window and the downstream stages skip all computation for
+/// hits — warm runs stay byte-identical to cold runs because a verdict is
+/// a pure function of its key.
 struct EvalStages {
   engine::Stage<ClipWindow, EvalItem> clip;
   engine::Stage<EvalItem, EvalItem> features;
@@ -33,39 +73,113 @@ struct EvalStages {
 EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
                           const EvalParams& p) {
   EvalStages s;
-  s.clip = engine::mapStage<ClipWindow>(
-      "eval/clip", [&layers](const ClipWindow& w) {
-        return EvalItem{w, extractClip(layers, w), {}};
-      });
-  s.features = engine::mapStage<EvalItem>(
-      "eval/features", [&det](EvalItem it) {
-        it.coreFeat = buildFeatureVector(
-            CorePattern::fromCore(it.clip, det.params.layer),
-            det.params.features);
-        return it;
-      });
-  s.kernels = engine::filterMapStage<EvalItem>(
+  const std::uint64_t cfg = verdictConfig(det, p);
+  s.clip = engine::Stage<ClipWindow, EvalItem>{
+      "eval/clip",
+      [&layers, cfg](engine::RunContext& ctx, std::vector<ClipWindow>&& in) {
+        engine::StageCache* const cache = ctx.cache();
+        std::vector<EvalItem> out(in.size());
+        std::atomic<std::size_t> hits{0};
+        std::atomic<std::size_t> misses{0};
+        ctx.parallelFor(in.size(), [&](std::size_t i) {
+          EvalItem& it = out[i];
+          it.win = in[i];
+          it.clip = extractClip(layers, in[i]);
+          if (cache == nullptr) return;
+          it.key = engine::CacheKey{kVerdictStage, cfg,
+                                    clipContentHash(it.clip)};
+          if (const std::optional<bool> v = cache->find<bool>(it.key)) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+            it.verdict = *v ? 1 : 0;
+          } else {
+            misses.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+        if (cache != nullptr)
+          ctx.stats().recordCache("eval/verdict", hits, misses, 0);
+        return out;
+      }};
+  s.features = engine::Stage<EvalItem, EvalItem>{
+      "eval/features",
+      [&det](engine::RunContext& ctx, std::vector<EvalItem>&& in) {
+        ctx.parallelFor(in.size(), [&](std::size_t i) {
+          if (in[i].verdict >= 0) return;  // cached: nothing to compute
+          in[i].coreFeat = buildFeatureVector(
+              CorePattern::fromCore(in[i].clip, det.params.layer),
+              det.params.features);
+        });
+        return std::move(in);
+      }};
+  s.kernels = engine::Stage<EvalItem, EvalItem>{
       "eval/svm",
-      [&det, bias = p.decisionBias](const EvalItem& it)
-          -> std::optional<EvalItem> {
-        for (const KernelEntry& k : det.kernels)
-          if (k.model.decision(k.scaler.transform(it.coreFeat)) > bias)
-            return it;
-        return std::nullopt;
-      });
-  s.feedback = engine::filterMapStage<EvalItem>(
+      [&det, bias = p.decisionBias](engine::RunContext& ctx,
+                                    std::vector<EvalItem>&& in) {
+        engine::StageCache* const cache = ctx.cache();
+        std::vector<char> keep(in.size(), 0);
+        std::atomic<std::size_t> evictions{0};
+        ctx.parallelFor(in.size(), [&](std::size_t i) {
+          EvalItem& it = in[i];
+          if (it.verdict >= 0) {
+            keep[i] = it.verdict == 1;
+            return;
+          }
+          bool flagged = false;
+          for (const KernelEntry& k : det.kernels)
+            if (k.model.decision(k.scaler.transform(it.coreFeat)) > bias) {
+              flagged = true;
+              break;
+            }
+          if (!flagged && cache != nullptr) {
+            // The final verdict is already known: the feedback kernel can
+            // only reclaim *flagged* clips, never promote unflagged ones.
+            evictions.fetch_add(cache->insert(it.key, false),
+                                std::memory_order_relaxed);
+          }
+          keep[i] = flagged;  // verdict stays -1: feedback decides
+        });
+        if (cache != nullptr)
+          ctx.stats().recordCache("eval/verdict", 0, 0, evictions);
+        std::vector<EvalItem> out;
+        out.reserve(in.size());
+        for (std::size_t i = 0; i < in.size(); ++i)
+          if (keep[i]) out.push_back(std::move(in[i]));
+        return out;
+      }};
+  s.feedback = engine::Stage<EvalItem, ClipWindow>{
       "eval/feedback",
-      [&det, useFeedback = p.useFeedback](const EvalItem& it)
-          -> std::optional<ClipWindow> {
-        if (useFeedback && det.hasFeedback) {
-          const svm::FeatureVector fb = buildFeatureVector(
-              CorePattern::fromClip(it.clip, det.params.layer),
-              det.params.feedbackFeatures);
-          if (det.feedbackModel.predict(det.feedbackScaler.transform(fb)) < 0)
-            return std::nullopt;  // reclaimed by the ambit-aware kernel
-        }
-        return it.win;
-      });
+      [&det, useFeedback = p.useFeedback](engine::RunContext& ctx,
+                                          std::vector<EvalItem>&& in) {
+        engine::StageCache* const cache = ctx.cache();
+        std::vector<std::optional<ClipWindow>> tmp(in.size());
+        std::atomic<std::size_t> evictions{0};
+        ctx.parallelFor(in.size(), [&](std::size_t i) {
+          EvalItem& it = in[i];
+          if (it.verdict >= 0) {
+            if (it.verdict == 1) tmp[i] = it.win;
+            return;
+          }
+          bool hot = true;
+          if (useFeedback && det.hasFeedback) {
+            const svm::FeatureVector fb = buildFeatureVector(
+                CorePattern::fromClip(it.clip, det.params.layer),
+                det.params.feedbackFeatures);
+            if (det.feedbackModel.predict(det.feedbackScaler.transform(fb)) <
+                0)
+              hot = false;  // reclaimed by the ambit-aware kernel
+          }
+          if (cache != nullptr)
+            evictions.fetch_add(cache->insert(it.key, hot),
+                                std::memory_order_relaxed);
+          if (hot) tmp[i] = it.win;
+        });
+        if (cache != nullptr)
+          ctx.stats().recordCache("eval/verdict", 0, 0, evictions);
+        std::vector<ClipWindow> out;
+        out.reserve(in.size());
+        for (std::optional<ClipWindow>& o : tmp)
+          if (o.has_value()) out.push_back(*o);
+        return out;
+      }};
   return s;
 }
 
@@ -84,6 +198,16 @@ EvalResult finishEval(const GridIndex& index, std::vector<ClipWindow> hits,
 }
 
 }  // namespace
+
+std::uint64_t EvalParams::fingerprint() const {
+  std::uint64_t h = hashString("EvalParams/v1");
+  h = hashCombine(h, extract.fingerprint());
+  h = hashCombine(h, removal.fingerprint());
+  h = hashCombine(h, hashDouble(decisionBias));
+  h = hashCombine(h, hashMix((useFeedback ? 1u : 0u) |
+                             (useRemoval ? 2u : 0u)));
+  return h;
+}
 
 EvalResult evaluateCandidates(const Detector& det, const GridIndex& index,
                               const std::vector<ClipWindow>& candidates,
@@ -111,13 +235,7 @@ EvalResult evaluateLayout(const Detector& det, const Layout& layout,
 
   // One streaming pipeline from anchors to hits: extraction chains
   // straight into scoring, so the candidate list never materializes.
-  auto screen = engine::filterMapStage<Point>(
-      "extract/screen",
-      [&index, &p](const Point& a) -> std::optional<ClipWindow> {
-        const ClipWindow win = anchorWindow(a, p.extract.clip);
-        if (!passesScreen(index, win, p.extract)) return std::nullopt;
-        return win;
-      });
+  engine::Stage<Point, ClipWindow> screen = screenStage(index, p.extract);
   // Counter stage: tallies extraction survivors as they stream past.
   engine::Stage<ClipWindow, ClipWindow> tap{
       "extract/candidates",

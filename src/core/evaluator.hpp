@@ -37,6 +37,10 @@ struct EvalParams {
   /// Thread count used only by the RunContext-free back-compat overloads;
   /// with an explicit context, ctx.threadCount() governs.
   std::size_t threads = 1;
+
+  /// Stable config fingerprint over every field that changes evaluation
+  /// results (extract + removal + bias + toggles; threads excluded).
+  std::uint64_t fingerprint() const;
 };
 
 struct EvalResult {

@@ -1,10 +1,13 @@
 #include "core/extract.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 #include <unordered_set>
 
+#include "engine/cache.hpp"
 #include "engine/pipeline.hpp"
+#include "geom/hashing.hpp"
 #include "geom/rectset.hpp"
 
 namespace hsd::core {
@@ -29,25 +32,32 @@ std::vector<Rect> cutToCoreSize(const std::vector<Rect>& rects,
   return out;
 }
 
-}  // namespace
-
-bool passesScreen(const GridIndex& index, const ClipWindow& win,
-                  const ExtractParams& p) {
+// Rects overlapping win.clip, clipped to it: the geometry both the screen
+// predicate and the cache's window-content hash consume. Every id returned
+// by the index has positive-area overlap, so no piece comes out empty.
+std::vector<Rect> windowPieces(const GridIndex& index, const ClipWindow& win) {
   const std::vector<std::size_t> ids = index.query(win.clip);
-  if (ids.size() < p.minRectCount) return false;
-
-  Area covered = 0;
-  std::optional<Rect> bbox;
   std::vector<Rect> pieces;
   pieces.reserve(ids.size());
   for (const std::size_t i : ids) {
     const Rect c = index.rects()[i].intersect(win.clip);
     if (!c.valid() || c.empty()) continue;
     pieces.push_back(c);
-    bbox = bbox ? bbox->unite(c) : c;
   }
+  return pieces;
+}
+
+// The screen predicate on pre-clipped window geometry. Translation
+// invariant: density is relative to the window area and margins to the
+// window edges, so equal window content gives an equal verdict — the
+// property the content-addressed screen cache relies on.
+bool screenPieces(const ClipWindow& win, const std::vector<Rect>& pieces,
+                  const ExtractParams& p) {
+  if (pieces.size() < p.minRectCount) return false;
+  std::optional<Rect> bbox;
+  for (const Rect& c : pieces) bbox = bbox ? bbox->unite(c) : c;
   if (!bbox) return false;
-  covered = unionArea(pieces);
+  const Area covered = unionArea(pieces);
   const double density = double(covered) / double(win.clip.area());
   if (density < p.minDensity || density > p.maxDensity) return false;
 
@@ -58,6 +68,67 @@ bool passesScreen(const GridIndex& index, const ClipWindow& win,
   const Coord mt = win.clip.hi.y - bbox->hi.y;
   const Coord worst = std::max({ml, mr, mb, mt});
   return worst <= p.maxMargin;
+}
+
+}  // namespace
+
+std::uint64_t ExtractParams::fingerprint() const {
+  std::uint64_t h = hashString("ExtractParams/v1");
+  h = hashCombine(h, clip.fingerprint());
+  h = hashCombine(h, hashCoord(maxMargin));
+  h = hashCombine(h, hashDouble(minDensity));
+  h = hashCombine(h, hashDouble(maxDensity));
+  h = hashCombine(h, hashMix(minRectCount));
+  return h;
+}
+
+bool passesScreen(const GridIndex& index, const ClipWindow& win,
+                  const ExtractParams& p) {
+  return screenPieces(win, windowPieces(index, win), p);
+}
+
+engine::Stage<Point, ClipWindow> screenStage(const GridIndex& index,
+                                             const ExtractParams& p) {
+  return {"extract/screen",
+          [&index, &p](engine::RunContext& ctx, std::vector<Point>&& in) {
+            engine::StageCache* const cache = ctx.cache();
+            std::vector<std::optional<ClipWindow>> tmp(in.size());
+            if (cache == nullptr) {
+              ctx.parallelFor(in.size(), [&](std::size_t i) {
+                const ClipWindow win = anchorWindow(in[i], p.clip);
+                if (passesScreen(index, win, p)) tmp[i] = win;
+              });
+            } else {
+              constexpr std::uint64_t kStage = hashString("extract/screen");
+              const std::uint64_t cfg = p.fingerprint();
+              std::atomic<std::size_t> hits{0};
+              std::atomic<std::size_t> misses{0};
+              std::atomic<std::size_t> evictions{0};
+              ctx.parallelFor(in.size(), [&](std::size_t i) {
+                const ClipWindow win = anchorWindow(in[i], p.clip);
+                const std::vector<Rect> pieces = windowPieces(index, win);
+                const engine::CacheKey key{
+                    kStage, cfg, hashWindowContent(win.clip, pieces)};
+                if (const std::optional<bool> v = cache->find<bool>(key)) {
+                  hits.fetch_add(1, std::memory_order_relaxed);
+                  if (*v) tmp[i] = win;
+                  return;
+                }
+                misses.fetch_add(1, std::memory_order_relaxed);
+                const bool pass = screenPieces(win, pieces, p);
+                evictions.fetch_add(cache->insert(key, pass),
+                                    std::memory_order_relaxed);
+                if (pass) tmp[i] = win;
+              });
+              ctx.stats().recordCache("extract/screen", hits, misses,
+                                      evictions);
+            }
+            std::vector<ClipWindow> out;
+            out.reserve(in.size());
+            for (std::optional<ClipWindow>& o : tmp)
+              if (o.has_value()) out.push_back(*o);
+            return out;
+          }};
 }
 
 std::vector<Point> candidateAnchors(const GridIndex& index, Coord coreSide) {
@@ -83,12 +154,7 @@ ClipWindow anchorWindow(const Point& a, const ClipParams& clip) {
 std::vector<ClipWindow> extractCandidateClips(const GridIndex& index,
                                               const ExtractParams& p,
                                               engine::RunContext& ctx) {
-  auto screen = engine::filterMapStage<Point>(
-      "extract/screen", [&index, &p](const Point& a) -> std::optional<ClipWindow> {
-        const ClipWindow win = anchorWindow(a, p.clip);
-        if (!passesScreen(index, win, p)) return std::nullopt;
-        return win;
-      });
+  engine::Stage<Point, ClipWindow> screen = screenStage(index, p);
   return engine::runPipeline(ctx, candidateAnchors(index, p.clip.coreSide),
                              screen);
 }

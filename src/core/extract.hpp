@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "engine/pipeline.hpp"
 #include "engine/run_context.hpp"
 #include "layout/clip.hpp"
 #include "layout/layout.hpp"
@@ -35,6 +36,11 @@ struct ExtractParams {
   std::size_t minRectCount = 1;
   /// Thread count used only by the RunContext-free back-compat overloads.
   std::size_t threads = 1;
+
+  /// Stable config fingerprint for stage-cache keys: covers every field
+  /// that changes a screen verdict (threads deliberately excluded — the
+  /// thread count must never change results).
+  std::uint64_t fingerprint() const;
 };
 
 /// Deduplicated candidate core anchors (bottom-left corners of the
@@ -49,6 +55,14 @@ ClipWindow anchorWindow(const Point& a, const ClipParams& clip);
 /// four margins between the clip boundary and the polygon bounding box.
 bool passesScreen(const GridIndex& index, const ClipWindow& win,
                   const ExtractParams& p);
+
+/// The streaming "extract/screen" stage: anchors in, surviving windows
+/// out. Cache-aware — when the running context has a StageCache attached,
+/// screen verdicts are keyed on (stage, p.fingerprint(), window content)
+/// and hit/miss/evict counts land under "extract/screen" in EngineStats.
+/// `index` and `p` are captured by reference and must outlive the stage.
+engine::Stage<Point, ClipWindow> screenStage(const GridIndex& index,
+                                             const ExtractParams& p);
 
 /// Candidate clip windows of `layout` on `layer` (deduplicated by core
 /// anchor). The returned windows are screened but not yet classified.

@@ -4,9 +4,20 @@
 #include <cmath>
 #include <numeric>
 
+#include "geom/hashing.hpp"
 #include "geom/rectset.hpp"
 
 namespace hsd::core {
+
+std::uint64_t RemovalParams::fingerprint() const {
+  std::uint64_t h = hashString("RemovalParams/v1");
+  h = hashCombine(h, clip.fingerprint());
+  h = hashCombine(h, hashDouble(minCoreOverlapFrac));
+  h = hashCombine(h, hashCoord(reframeSeparation));
+  h = hashCombine(h, hashMix(reframeThreshold));
+  h = hashCombine(h, hashCoord(maxMargin));
+  return h;
+}
 
 namespace {
 

@@ -28,6 +28,9 @@ struct RemovalParams {
   /// Max allowed clip-boundary-to-polygon-bbox margin before the clip is
   /// recentered on the polygon center of gravity (paper: 1440 nm).
   Coord maxMargin = 1440;
+
+  /// Stable config fingerprint for stage-cache keys.
+  std::uint64_t fingerprint() const;
 };
 
 /// Filter `reported` hotspot windows against the layout geometry index.

@@ -5,7 +5,10 @@
 #include <limits>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+
+#include "geom/hashing.hpp"
 
 #include "engine/stats.hpp"
 
@@ -415,6 +418,17 @@ void Detector::save(std::ostream& os) const {
     feedbackModel.save(os);
   }
   os << int(hasPlatt) << ' ' << platt.a << ' ' << platt.b << '\n';
+}
+
+std::uint64_t Detector::fingerprint() const {
+  // Hash the serialized form at full double precision: any retrain, load
+  // of a different model, or parameter nudge changes some emitted byte.
+  // Cheap relative to a single window evaluation; callers compute it once
+  // per run, never per window.
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  save(os);
+  return hashString(os.str());
 }
 
 Detector Detector::load(std::istream& is) {

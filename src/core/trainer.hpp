@@ -119,6 +119,13 @@ class Detector {
 
   void save(std::ostream& os) const;
   static Detector load(std::istream& is);
+
+  /// Stable 64-bit fingerprint of everything evaluation depends on
+  /// (params, kernels, scalers, feedback and Platt models), computed by
+  /// hashing the high-precision serialized form. Used as the detector
+  /// component of stage-cache config keys: retraining or loading a
+  /// different model invalidates every cached verdict.
+  std::uint64_t fingerprint() const;
 };
 
 /// Train a detector from labeled clips (labels must be kHotspot /

@@ -1,0 +1,59 @@
+#include "engine/cache.hpp"
+
+namespace hsd::engine {
+
+bool StageCache::findErased(const CacheKey& key, std::any& out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++counters_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to most recent
+  ++counters_.hits;
+  out = it->second->value;
+  return true;
+}
+
+std::size_t StageCache::insertErased(const CacheKey& key, std::any value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh: same key recomputed (e.g. two threads raced on one miss).
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  lru_.push_front(Entry{key, std::move(value)});
+  map_.emplace(key, lru_.begin());
+  std::size_t evicted = 0;
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++counters_.evictions;
+    ++evicted;
+  }
+  counters_.entries = map_.size();
+  return evicted;
+}
+
+std::size_t StageCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+StageCache::Counters StageCache::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Counters c = counters_;
+  c.entries = map_.size();
+  return c;
+}
+
+void StageCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  counters_.entries = 0;
+}
+
+}  // namespace hsd::engine

@@ -1,0 +1,126 @@
+// Content-addressed stage cache for incremental re-evaluation. A cache
+// entry is the memoized result of one pipeline stage on one window of
+// layout content, keyed by a triple of 64-bit hashes:
+//
+//   (stage name, stage config fingerprint, canonicalized window geometry)
+//
+// The geometry component is translation-invariant (hashWindowContent in
+// geom/hashing.hpp), so an unchanged window re-hashes to the same key on
+// the next run — and identical repeated patterns at different positions
+// share one entry. Any parameter change flows into the config fingerprint
+// and invalidates cleanly; a single-rect edit changes the geometry hash of
+// exactly the windows that see that rect.
+//
+// Correctness contract: cached values must be *pure functions of the key*
+// (same key -> byte-identical value no matter which thread or run computed
+// it). Under that contract a warm run returns byte-identical reports to a
+// cold run at any thread count; LRU scheduling only changes hit rates,
+// never results. The full 192-bit key triple is stored and compared on
+// lookup; residual collision risk is the 64-bit content hash itself
+// (~2^-64 per pair, negligible at bounded capacity — see DESIGN.md §6).
+//
+// The cache is opt-in: attach one to a RunContext and the extract/* and
+// eval/* stages use it; without one, nothing changes. Thread-safe; bounded
+// capacity with LRU eviction; hit/miss/evict counters are tallied here and
+// surfaced per-stage in EngineStats JSON by the call sites.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "geom/hashing.hpp"
+
+namespace hsd::engine {
+
+/// Cache key triple. All three components are stable 64-bit hashes; the
+/// whole triple participates in equality, the combined mix only buckets.
+struct CacheKey {
+  std::uint64_t stage = 0;     ///< hashString(stage name)
+  std::uint64_t config = 0;    ///< parameter-struct fingerprint
+  std::uint64_t geometry = 0;  ///< canonicalized window-content hash
+
+  friend constexpr bool operator==(const CacheKey&, const CacheKey&) = default;
+
+  constexpr std::uint64_t combined() const {
+    return hashCombine(hashCombine(stage, config), geometry);
+  }
+
+  static CacheKey of(std::string_view stageName, std::uint64_t config,
+                     std::uint64_t geometry) {
+    return {hashString(stageName), config, geometry};
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    return std::size_t(k.combined());
+  }
+};
+
+/// Bounded, thread-safe, LRU-evicting map from CacheKey to a small
+/// type-erased value. Values are returned by copy (keep them small — the
+/// detection stages store verdict booleans); a type mismatch on lookup is
+/// treated as a miss, so a key can never deliver a value of the wrong type.
+class StageCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// `capacity` == 0 is clamped to 1 (a cache that can hold something).
+  explicit StageCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  StageCache(const StageCache&) = delete;
+  StageCache& operator=(const StageCache&) = delete;
+
+  /// Lifetime totals across every stage using this cache.
+  struct Counters {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;  ///< current resident entry count
+  };
+
+  template <typename T>
+  std::optional<T> find(const CacheKey& key) {
+    std::any out;
+    if (!findErased(key, out)) return std::nullopt;
+    if (const T* v = std::any_cast<T>(&out)) return *v;
+    return std::nullopt;  // foreign type under this key: treat as miss
+  }
+
+  /// Insert (or refresh) `key`; returns how many entries were evicted to
+  /// make room (0 or 1 — capacity is enforced per insert).
+  template <typename T>
+  std::size_t insert(const CacheKey& key, T value) {
+    return insertErased(key, std::any(std::move(value)));
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  Counters counters() const;
+  void clear();
+
+ private:
+  bool findErased(const CacheKey& key, std::any& out);
+  std::size_t insertErased(const CacheKey& key, std::any value);
+
+  struct Entry {
+    CacheKey key;
+    std::any value;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+  Counters counters_;
+};
+
+}  // namespace hsd::engine

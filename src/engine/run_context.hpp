@@ -13,7 +13,9 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 
+#include "engine/cache.hpp"
 #include "engine/stats.hpp"
 #include "par/thread_pool.hpp"
 
@@ -45,6 +47,16 @@ class RunContext {
   EngineStats& stats() { return stats_; }
   const EngineStats& stats() const { return stats_; }
 
+  /// Attach a content-addressed stage cache (opt-in; see engine/cache.hpp).
+  /// Sharing one StageCache across contexts/runs is what makes warm
+  /// re-evaluation skip unchanged windows. Pass nullptr to detach.
+  void attachCache(std::shared_ptr<StageCache> cache) {
+    cache_ = std::move(cache);
+  }
+  /// The attached stage cache, or nullptr when running uncached.
+  StageCache* cache() const { return cache_.get(); }
+  std::shared_ptr<StageCache> sharedCache() const { return cache_; }
+
   /// Shared pool (created on first call; never call with threadCount()==1
   /// code paths that want to stay thread-free).
   ThreadPool& pool();
@@ -72,6 +84,7 @@ class RunContext {
   std::atomic<bool> cancel_{false};
   std::once_flag poolOnce_;
   std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<StageCache> cache_;
 };
 
 }  // namespace hsd::engine

@@ -4,24 +4,61 @@
 
 namespace hsd::engine {
 
+namespace {
+
+/// Index of `name` in the (vector, index-map) registry, appending a fresh
+/// slot on first sight — this is what pins registration order.
+template <typename V, typename M>
+std::size_t slotOf(V& vec, M& index, const std::string& name) {
+  const auto it = index.find(name);
+  if (it != index.end()) return it->second;
+  const std::size_t slot = vec.size();
+  vec.emplace_back(name, typename V::value_type::second_type{});
+  index.emplace(name, slot);
+  return slot;
+}
+
+}  // namespace
+
 void EngineStats::record(const std::string& stage, std::size_t items,
                          double seconds) {
   const std::lock_guard<std::mutex> lock(mu_);
-  StageStats& s = stages_[stage];
+  StageStats& s = stages_[slotOf(stages_, stageIndex_, stage)].second;
   ++s.calls;
   s.items += items;
   s.seconds += seconds;
 }
 
-std::map<std::string, StageStats> EngineStats::snapshot() const {
+void EngineStats::recordCache(const std::string& stage, std::size_t hits,
+                              std::size_t misses, std::size_t evictions) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  CacheStats& c = caches_[slotOf(caches_, cacheIndex_, stage)].second;
+  c.hits += hits;
+  c.misses += misses;
+  c.evictions += evictions;
+}
+
+std::vector<std::pair<std::string, StageStats>> EngineStats::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return stages_;
 }
 
+std::vector<std::pair<std::string, CacheStats>> EngineStats::cacheSnapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return caches_;
+}
+
 StageStats EngineStats::stage(const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = stages_.find(name);
-  return it == stages_.end() ? StageStats{} : it->second;
+  const auto it = stageIndex_.find(name);
+  return it == stageIndex_.end() ? StageStats{} : stages_[it->second].second;
+}
+
+CacheStats EngineStats::cache(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cacheIndex_.find(name);
+  return it == cacheIndex_.end() ? CacheStats{} : caches_[it->second].second;
 }
 
 std::string EngineStats::toJson() const {
@@ -35,6 +72,13 @@ std::string EngineStats::toJson() const {
     os << '"' << name << "\": {\"calls\": " << s.calls
        << ", \"items\": " << s.items << ", \"seconds\": " << s.seconds << '}';
   }
+  for (const auto& [name, c] : cacheSnapshot()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"cache/" << name << "\": {\"hits\": " << c.hits
+       << ", \"misses\": " << c.misses << ", \"evictions\": " << c.evictions
+       << '}';
+  }
   os << '}';
   return os.str();
 }
@@ -42,6 +86,9 @@ std::string EngineStats::toJson() const {
 void EngineStats::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   stages_.clear();
+  stageIndex_.clear();
+  caches_.clear();
+  cacheIndex_.clear();
 }
 
 }  // namespace hsd::engine

@@ -3,13 +3,19 @@
 // under a stage name. One EngineStats lives in each RunContext, so a whole
 // detection run — extraction, evaluation, removal, training — is observable
 // from a single object and dumpable as JSON for the bench harness.
+//
+// Stage and cache entries are reported in *registration order* (first
+// record wins the slot), not sorted by name, so ENGINE_STATS JSON lines
+// and golden-report diffs stay stable as stages are added or renamed.
 #pragma once
 
 #include <cstddef>
 #include <chrono>
-#include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace hsd::engine {
 
@@ -23,27 +29,55 @@ struct StageStats {
                                     const StageStats&) = default;
 };
 
-/// Thread-safe stage-name -> StageStats registry.
+/// Accumulated stage-cache counters of one cached stage (see
+/// engine/cache.hpp): lookups that hit, lookups that missed (and were
+/// recomputed), and entries this stage's inserts evicted.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+
+  friend constexpr auto operator<=>(const CacheStats&,
+                                    const CacheStats&) = default;
+};
+
+/// Thread-safe stage-name -> StageStats registry (plus per-stage cache
+/// counters). Iteration order of snapshots and JSON is registration order.
 class EngineStats {
  public:
   /// Add one invocation of `stage` covering `items` items in `seconds`.
   void record(const std::string& stage, std::size_t items, double seconds);
 
-  /// Copy of the current registry (stable, sorted by stage name).
-  std::map<std::string, StageStats> snapshot() const;
+  /// Add stage-cache lookup/eviction deltas for `stage`.
+  void recordCache(const std::string& stage, std::size_t hits,
+                   std::size_t misses, std::size_t evictions);
+
+  /// Copy of the current registry, in registration order.
+  std::vector<std::pair<std::string, StageStats>> snapshot() const;
+
+  /// Cache counters of every cached stage, in registration order.
+  std::vector<std::pair<std::string, CacheStats>> cacheSnapshot() const;
 
   /// Stats of one stage (zeros when the stage never ran).
   StageStats stage(const std::string& name) const;
 
-  /// JSON object: {"stage": {"calls": N, "items": N, "seconds": S}, ...}.
-  /// Keys are sorted; suitable for appending to BENCH_*.json trackers.
+  /// Cache counters of one stage (zeros when never recorded).
+  CacheStats cache(const std::string& name) const;
+
+  /// JSON object: {"stage": {"calls": N, "items": N, "seconds": S}, ...,
+  /// "cache/stage": {"hits": N, "misses": N, "evictions": N}, ...}.
+  /// Keys appear in registration order; suitable for appending to
+  /// BENCH_*.json trackers and for byte-stable ENGINE_STATS diffs.
   std::string toJson() const;
 
   void clear();
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, StageStats> stages_;
+  std::vector<std::pair<std::string, StageStats>> stages_;
+  std::unordered_map<std::string, std::size_t> stageIndex_;
+  std::vector<std::pair<std::string, CacheStats>> caches_;
+  std::unordered_map<std::string, std::size_t> cacheIndex_;
 };
 
 /// RAII timer: records one invocation into `stats` on destruction.

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "geom/hashing.hpp"
 #include "geom/rect.hpp"
 #include "layout/layout.hpp"
 #include "layout/spatial_index.hpp"
@@ -24,6 +25,12 @@ struct ClipParams {
 
   friend constexpr auto operator<=>(const ClipParams&,
                                     const ClipParams&) = default;
+
+  /// Stable config fingerprint for stage-cache keys (engine/cache.hpp):
+  /// any change to the clip geometry invalidates every cached window.
+  constexpr std::uint64_t fingerprint() const {
+    return hashCombine(hashCoord(coreSide), hashCoord(clipSide));
+  }
 };
 
 /// Placement of one clip: the outer window and its centered core.

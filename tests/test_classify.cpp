@@ -5,22 +5,21 @@
 #include <random>
 #include <set>
 
+#include "common.hpp"
 #include "core/classify.hpp"
 #include "core/topo_string.hpp"
 
 namespace hsd::core {
 namespace {
 
+using tests::corePattern;
+
 CorePattern pattern(std::vector<Rect> rects) {
-  CorePattern p;
-  p.w = 1200;
-  p.h = 1200;
-  p.rects = std::move(rects);
-  return p;
+  return corePattern(std::move(rects));
 }
 
 // A vertical line pattern at position x with width w.
-CorePattern line(Coord x, Coord w) { return pattern({{x, 0, x + w, 1200}}); }
+CorePattern line(Coord x, Coord w) { return tests::linePattern(x, w); }
 
 TEST(Classify, IdenticalPatternsOneCluster) {
   const std::vector<CorePattern> pats(5, line(500, 120));

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/evaluator.hpp"
 #include "data/generator.hpp"
 #include "engine/pipeline.hpp"
@@ -86,6 +87,34 @@ TEST(EngineStats, RecordsAndDumpsJson) {
 
   stats.clear();
   EXPECT_TRUE(stats.snapshot().empty());
+}
+
+TEST(EngineStats, JsonAndSnapshotsFollowRegistrationOrder) {
+  // Keys come out in first-record order, not name order, so ENGINE_STATS
+  // JSON lines stay byte-stable run over run.
+  EngineStats stats;
+  stats.record("zeta", 1, 0.0);
+  stats.record("alpha", 1, 0.0);
+  stats.record("zeta", 1, 0.0);
+  stats.recordCache("mu", 2, 1, 0);
+  stats.recordCache("kappa", 1, 1, 0);
+
+  const auto snap = stats.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "zeta");
+  EXPECT_EQ(snap[1].first, "alpha");
+  const auto cacheSnap = stats.cacheSnapshot();
+  ASSERT_EQ(cacheSnap.size(), 2u);
+  EXPECT_EQ(cacheSnap[0].first, "mu");
+  EXPECT_EQ(cacheSnap[1].first, "kappa");
+  EXPECT_EQ(stats.cache("mu").hits, 2u);
+
+  const std::string json = stats.toJson();
+  EXPECT_LT(json.find("\"zeta\""), json.find("\"alpha\""));
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"cache/mu\""));
+  EXPECT_LT(json.find("\"cache/mu\""), json.find("\"cache/kappa\""));
+  EXPECT_NE(json.find("\"cache/mu\": {\"hits\": 2, \"misses\": 1"),
+            std::string::npos);
 }
 
 TEST(Pipeline, ComposesStagesInOrderPerBatch) {
@@ -176,29 +205,9 @@ TEST(Pipeline, EmptyInputRunsNoStages) {
 // sorted ClipWindow lists for threads=1 vs threads=8 on a seeded layout
 // (guards the refactor against reduction-order bugs).
 
-struct EvalFixture {
-  gds::ClipSet training;
-  data::TestLayout test;
-  core::Detector detector;
-};
+using EvalFixture = tests::DetectorFixture;
 
-const EvalFixture& evalFixture() {
-  static const EvalFixture f = [] {
-    EvalFixture out;
-    data::GeneratorParams gp;
-    gp.seed = 77;
-    data::TrainingTargets t;
-    t.hotspots = 30;
-    t.nonHotspots = 120;
-    out.training = data::generateTrainingSet(gp, t);
-    out.test = data::generateTestLayout(gp, 30000, 30000, 20, 0.6);
-    RunContext ctx(2);
-    out.detector =
-        core::trainDetector(out.training.clips, core::TrainParams{}, ctx);
-    return out;
-  }();
-  return f;
-}
+const EvalFixture& evalFixture() { return tests::detectorFixture(); }
 
 TEST(EngineDeterminism, EvaluateLayoutSingleVsEightThreadsByteIdentical) {
   const EvalFixture& f = evalFixture();

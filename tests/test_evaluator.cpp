@@ -4,6 +4,7 @@
 // extras, bias trades accuracy for extras).
 #include <gtest/gtest.h>
 
+#include "common.hpp"
 #include "core/evaluator.hpp"
 #include "core/metrics.hpp"
 #include "data/generator.hpp"
@@ -11,26 +12,15 @@
 namespace hsd::core {
 namespace {
 
-struct Fixture {
-  gds::ClipSet training;
-  data::TestLayout test;
-  Detector detector;
-};
+using Fixture = tests::DetectorFixture;
 
 const Fixture& fixture() {
-  static const Fixture f = [] {
-    Fixture out;
-    data::GeneratorParams gp;
-    gp.seed = 2024;
-    data::TrainingTargets t;
-    t.hotspots = 40;
-    t.nonHotspots = 160;
-    out.training = data::generateTrainingSet(gp, t);
-    out.test = data::generateTestLayout(gp, 36000, 36000, 25, 0.6);
-    out.detector = trainDetector(out.training.clips, TrainParams{});
-    return out;
-  }();
-  return f;
+  return tests::detectorFixture({.seed = 2024,
+                                 .hotspots = 40,
+                                 .nonHotspots = 160,
+                                 .width = 36000,
+                                 .height = 36000,
+                                 .sites = 25});
 }
 
 TEST(Evaluator, EndToEndAccuracy) {

@@ -5,17 +5,15 @@
 
 #include <random>
 
+#include "common.hpp"
 #include "core/metrics.hpp"
 #include "core/removal.hpp"
 
 namespace hsd::core {
 namespace {
 
-const ClipParams kP;
-
-ClipWindow at(Coord x, Coord y) { return ClipWindow::atCore({x, y}, kP); }
-
-GridIndex emptyIndex() { return GridIndex({}, kP.clipSide); }
+using tests::at;
+using tests::emptyIndex;
 
 TEST(Removal, EmptyInput) {
   const GridIndex idx = emptyIndex();
@@ -117,7 +115,7 @@ TEST(Removal, ShiftRecentersOffsetClip) {
   std::vector<Rect> geom;
   for (int i = 0; i < 5; ++i)
     geom.push_back({2500 + i * 150, 1000, 2600 + i * 150, 3800});
-  const GridIndex idx(geom, kP.clipSide);
+  const GridIndex idx(geom, tests::kClip.clipSide);
   RemovalParams rp;
   rp.maxMargin = 1440;
   const ClipWindow rep = at(300, 1800);  // clip [-1500..3300]: 4000nm left margin

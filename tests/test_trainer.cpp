@@ -6,30 +6,15 @@
 #include <random>
 #include <sstream>
 
+#include "common.hpp"
 #include "core/trainer.hpp"
 #include "data/generator.hpp"
 
 namespace hsd::core {
 namespace {
 
-const ClipParams kP;
-
-// A labeled clip with a vertical line of width w through the core.
-Clip lineClip(Coord w, Label label, Coord jitterX = 0) {
-  Clip c(ClipWindow::atCore({1800, 1800}, kP), label);
-  const Coord x = 2400 - w / 2 + jitterX;
-  c.setRects(1, {{x, 0, x + w, 4800}});
-  return c;
-}
-
-std::vector<Clip> lineTrainingSet() {
-  std::vector<Clip> clips;
-  std::mt19937 rng(3);
-  std::uniform_int_distribution<Coord> j(-200, 200);
-  for (int i = 0; i < 12; ++i) clips.push_back(lineClip(100, Label::kHotspot, j(rng)));
-  for (int i = 0; i < 40; ++i) clips.push_back(lineClip(220, Label::kNonHotspot, j(rng)));
-  return clips;
-}
+using tests::lineClip;
+using tests::lineTrainingSet;
 
 TEST(ShiftDerivatives, FourWayPlusOriginal) {
   const Clip c = lineClip(100, Label::kHotspot);
