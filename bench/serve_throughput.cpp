@@ -1,0 +1,86 @@
+// Serving throughput: the async front end (src/serve) multiplexing
+// concurrent evaluation requests over a RunContext pool with one shared
+// StageCache. Two scenarios on one trained detector:
+//
+//   cold  — every request a distinct layout (no cross-request reuse);
+//   warm  — every request the same layout (repeated IP block, the
+//           cache's best case: all but the first request hit).
+//
+// Each scenario prints a SERVE_STATS JSON line (requests by outcome, wall
+// seconds, throughput, shared-cache hit rate) for the perf tracker,
+// mirroring the ENGINE_STATS lines of the table benches.
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+void runScenario(const char* name, hsd::serve::DetectionServer& server,
+                 const hsd::core::Detector& det,
+                 const std::vector<const hsd::Layout*>& layouts,
+                 const hsd::core::EvalParams& ep) {
+  using namespace hsd;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<serve::ServeResult>> futs;
+  futs.reserve(layouts.size());
+  for (const Layout* l : layouts) futs.push_back(server.submit(det, *l, ep));
+  std::size_t ok = 0;
+  for (auto& f : futs) ok += f.get().ok() ? 1 : 0;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("  %-5s %zu requests, %zu ok, %.2fs wall, %.2f req/s\n", name,
+              layouts.size(), ok, wall,
+              wall > 0.0 ? double(layouts.size()) / wall : 0.0);
+  std::printf("SERVE_STATS %s {\"requests\": %zu, \"wallSeconds\": %.6f, "
+              "\"throughputRps\": %.3f, \"server\": %s}\n",
+              name, layouts.size(), wall,
+              wall > 0.0 ? double(layouts.size()) / wall : 0.0,
+              server.statsJson().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace hsd;
+  bench::printHeader("Serving throughput (async front end, shared cache)");
+
+  const auto spec = bench::smallSuite()[0];
+  const data::Benchmark b = data::generateBenchmark(spec);
+  engine::RunContext trainCtx(bench::hwThreads());
+  const core::Detector det =
+      core::trainDetector(b.training.clips, bench::makeOurs().train, trainCtx);
+  const core::EvalParams ep = bench::makeOurs().eval;
+
+  // Distinct layouts for the cold scenario (different seeds), one layout
+  // submitted repeatedly for the warm one.
+  constexpr std::size_t kRequests = 8;
+  std::vector<data::TestLayout> distinct;
+  distinct.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    data::GeneratorParams gp;
+    gp.seed = 1000 + i;
+    distinct.push_back(data::generateTestLayout(gp, spec.width, spec.height,
+                                                spec.sites, spec.riskyFrac));
+  }
+
+  serve::ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.threadsPerContext = 2;
+
+  {
+    serve::DetectionServer server(cfg);
+    std::vector<const Layout*> layouts;
+    for (const auto& t : distinct) layouts.push_back(&t.layout);
+    runScenario("cold", server, det, layouts, ep);
+  }
+  {
+    serve::DetectionServer server(cfg);
+    const std::vector<const Layout*> layouts(kRequests, &b.test.layout);
+    runScenario("warm", server, det, layouts, ep);
+  }
+  return 0;
+}

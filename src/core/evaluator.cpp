@@ -187,6 +187,9 @@ EvalResult finishEval(const GridIndex& index, std::vector<ClipWindow> hits,
                       const EvalParams& p, engine::RunContext& ctx,
                       EvalResult res,
                       std::chrono::steady_clock::time_point t0) {
+  // Removal is a serial epilogue; honor a cancel/deadline that landed
+  // during the last pipeline batch before starting it.
+  ctx.throwIfCancelled();
   res.flaggedBeforeRemoval = hits.size();
   res.reported = p.useRemoval
                      ? removeRedundantClips(hits, index, p.removal, ctx)
@@ -213,6 +216,7 @@ EvalResult evaluateCandidates(const Detector& det, const GridIndex& index,
                               const std::vector<ClipWindow>& candidates,
                               const EvalParams& p, engine::RunContext& ctx) {
   const auto t0 = std::chrono::steady_clock::now();
+  ctx.throwIfCancelled();
   EvalResult res;
   res.candidateClips = candidates.size();
 
@@ -228,6 +232,9 @@ EvalResult evaluateLayout(const Detector& det, const Layout& layout,
   const auto t0 = std::chrono::steady_clock::now();
   const Layer* l = layout.findLayer(det.params.layer);
   if (l == nullptr || l->empty()) return {};
+  // Phase-boundary check: index construction is serial and can dominate a
+  // short deadline; fail fast before paying for it.
+  ctx.throwIfCancelled();
   const GridIndex index(l->rects(), p.extract.clip.clipSide);
 
   EvalResult res;
@@ -254,6 +261,7 @@ std::vector<RankedReport> rankReports(const Detector& det,
                                       const GridIndex& index,
                                       const std::vector<ClipWindow>& reports,
                                       engine::RunContext& ctx) {
+  ctx.throwIfCancelled();
   const LayerIndex layers{{det.params.layer, &index}};
   auto rank = engine::mapStage<ClipWindow>(
       "eval/rank", [&det, &layers](const ClipWindow& w) {
@@ -275,6 +283,7 @@ EvalResult evaluateLayoutWindowScan(const Detector& det, const Layout& layout,
                                     engine::RunContext& ctx, double overlap) {
   const Layer* l = layout.findLayer(det.params.layer);
   if (l == nullptr || l->empty()) return {};
+  ctx.throwIfCancelled();
   const GridIndex index(l->rects(), p.extract.clip.clipSide);
   std::vector<ClipWindow> windows =
       windowScanClips(layout, det.params.layer, p.extract.clip, overlap);

@@ -68,6 +68,17 @@ struct CacheKeyHash {
 /// type-erased value. Values are returned by copy (keep them small — the
 /// detection stages store verdict booleans); a type mismatch on lookup is
 /// treated as a miss, so a key can never deliver a value of the wrong type.
+///
+/// Concurrency audit (multi-request serving): every operation — lookup,
+/// LRU promotion, insert, eviction — runs under the one `mu_` and `find`
+/// copies the value out *before* releasing it, so an eviction racing a hit
+/// on the same key either misses cleanly or returns the complete value;
+/// no caller ever observes a dangling or partially-written entry. Two
+/// requests racing on the same miss both compute and insert (the second
+/// insert is a refresh, not a duplicate) — harmless because values are
+/// pure functions of their key. Pinned under TSan by the concurrent
+/// hammer test in tests/test_stage_cache.cpp (tiny capacity, many
+/// threads, continuous eviction).
 class StageCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;

@@ -23,10 +23,22 @@ void RunContext::parallelFor(std::size_t n,
   if (n == 0) return;
   throwIfCancelled();
   if (threads_ <= 1 || n == 1 || ThreadPool::inWorker()) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      throwIfCancelled();
+      body(i);
+    }
     return;
   }
-  pool().parallelFor(n, body, grain);
+  // Poll cancellation per item so a requestCancel()/deadline expiry lands
+  // mid-loop: the throwing worker makes ThreadPool::parallelFor stop
+  // claiming further chunks and rethrow CancelledError on this thread.
+  pool().parallelFor(
+      n,
+      [this, &body](std::size_t i) {
+        throwIfCancelled();
+        body(i);
+      },
+      grain);
 }
 
 }  // namespace hsd::engine

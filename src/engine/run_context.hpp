@@ -8,7 +8,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -62,13 +64,45 @@ class RunContext {
   ThreadPool& pool();
 
   // Cooperative cancellation: long loops poll cancelRequested() or call
-  // throwIfCancelled() at batch boundaries.
+  // throwIfCancelled() at batch boundaries; parallelFor additionally polls
+  // per item, so a cancel lands mid-stage, not just between stages.
+  //
+  // Cancellation-reuse contract: requestCancel() (and an expired deadline)
+  // poisons the context until resetCancel() is called — every subsequent
+  // run on it throws CancelledError. Pooled contexts (serve::ContextPool)
+  // call resetCancel() on checkin so a reused context starts clean.
   void requestCancel() { cancel_.store(true, std::memory_order_relaxed); }
   bool cancelRequested() const {
-    return cancel_.load(std::memory_order_relaxed);
+    return cancel_.load(std::memory_order_relaxed) || deadlineExpired();
   }
   void throwIfCancelled() const {
     if (cancelRequested()) throw CancelledError();
+  }
+  /// Re-arm a cancelled context for reuse: clears the flag and any armed
+  /// deadline. Call only between runs (not while a run is in flight).
+  void resetCancel() {
+    cancel_.store(false, std::memory_order_relaxed);
+    deadlineNs_.store(0, std::memory_order_relaxed);
+  }
+
+  // Deadline: an absolute steady_clock point after which the context
+  // behaves as cancelled (polled wherever cancellation is polled). This is
+  // what backs per-request timeouts in the serving front end; no watchdog
+  // thread is involved, expiry is detected cooperatively.
+  void setDeadline(std::chrono::steady_clock::time_point d) {
+    deadlineNs_.store(d.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+  void clearDeadline() { deadlineNs_.store(0, std::memory_order_relaxed); }
+  bool hasDeadline() const {
+    return deadlineNs_.load(std::memory_order_relaxed) != 0;
+  }
+  /// True once an armed deadline has passed (false when none is armed).
+  /// Stays true until resetCancel()/clearDeadline(), so a caller that
+  /// caught CancelledError can distinguish timeout from explicit cancel.
+  bool deadlineExpired() const {
+    const std::int64_t d = deadlineNs_.load(std::memory_order_relaxed);
+    return d != 0 &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >= d;
   }
 
   /// Run body(i) for i in [0, n) on the shared pool, chunked by `grain`
@@ -82,6 +116,7 @@ class RunContext {
   std::size_t batch_;
   EngineStats stats_;
   std::atomic<bool> cancel_{false};
+  std::atomic<std::int64_t> deadlineNs_{0};  ///< steady_clock epoch ns; 0=none
   std::once_flag poolOnce_;
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<StageCache> cache_;

@@ -2,24 +2,49 @@
 
 namespace hsd {
 
+Layer& Layer::operator=(const Layer& other) {
+  if (this != &other) {
+    polys_ = other.polys_;
+    rectCache_.clear();
+    cacheValid_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Layer& Layer::operator=(Layer&& other) noexcept {
+  if (this != &other) {
+    polys_ = std::move(other.polys_);
+    rectCache_.clear();
+    cacheValid_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 void Layer::addPolygon(Polygon poly) {
   polys_.push_back(std::move(poly));
-  cacheValid_ = false;
+  cacheValid_.store(false, std::memory_order_relaxed);
 }
 
 void Layer::addRect(const Rect& r) {
   polys_.emplace_back(r);
-  cacheValid_ = false;
+  cacheValid_.store(false, std::memory_order_relaxed);
 }
 
 const std::vector<Rect>& Layer::rects() const {
-  if (!cacheValid_) {
-    rectCache_.clear();
-    for (const Polygon& p : polys_) {
-      std::vector<Rect> rs = p.sliceHorizontal();
-      rectCache_.insert(rectCache_.end(), rs.begin(), rs.end());
+  // Double-checked lazy fill so concurrent const readers (server workers
+  // evaluating one shared Layout) never race: the builder publishes with
+  // a release store only after rectCache_ is fully written, and fast-path
+  // readers acquire it.
+  if (!cacheValid_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(cacheMu_);
+    if (!cacheValid_.load(std::memory_order_relaxed)) {
+      rectCache_.clear();
+      for (const Polygon& p : polys_) {
+        std::vector<Rect> rs = p.sliceHorizontal();
+        rectCache_.insert(rectCache_.end(), rs.begin(), rs.end());
+      }
+      cacheValid_.store(true, std::memory_order_release);
     }
-    cacheValid_ = true;
   }
   return rectCache_;
 }

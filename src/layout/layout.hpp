@@ -3,10 +3,13 @@
 // of a GDSII/ASCII design the detector operates on.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "geom/polygon.hpp"
@@ -19,8 +22,20 @@ using LayerId = std::uint16_t;
 
 /// Geometry of one layer: polygons plus their (lazily cached) horizontal
 /// rectangle decomposition.
+///
+/// Const access is thread-safe: rects() fills its cache under a mutex
+/// with double-checked locking, so many evaluation threads (e.g. server
+/// workers sharing one Layout across requests) may read one Layer
+/// concurrently. Mutation (addPolygon/addRect) is NOT safe against
+/// concurrent readers — finish building a layout before sharing it.
 class Layer {
  public:
+  Layer() = default;
+  Layer(const Layer& other) : polys_(other.polys_) {}
+  Layer(Layer&& other) noexcept : polys_(std::move(other.polys_)) {}
+  Layer& operator=(const Layer& other);
+  Layer& operator=(Layer&& other) noexcept;
+
   void addPolygon(Polygon poly);
   void addRect(const Rect& r);
 
@@ -32,8 +47,11 @@ class Layer {
 
  private:
   std::vector<Polygon> polys_;
+  // Copies/moves transfer only polys_ and start with a cold cache (the
+  // mutex and atomic are not copyable; rebuilding is cheap and lazy).
+  mutable std::mutex cacheMu_;
   mutable std::vector<Rect> rectCache_;
-  mutable bool cacheValid_ = false;
+  mutable std::atomic<bool> cacheValid_{false};
 };
 
 /// A design: layers by id, a name, and database units.

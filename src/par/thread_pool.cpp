@@ -55,6 +55,13 @@ namespace {
 // Shared chunk-claiming loop: workers grab `grain` consecutive indices per
 // atomic fetch instead of one task/fetch per item (which is pathological
 // for >100k-item ranges).
+//
+// An exception from `body` (notably engine::CancelledError) is captured
+// into `firstError` for the submitting thread to rethrow, and the claim
+// counter is pushed past `n` so every worker — this one included — stops
+// claiming chunks instead of grinding through the remaining range. That
+// makes cancellation prompt and keeps the pool reusable: no exception
+// ever escapes into a worker thread (which would std::terminate).
 void chunkLoop(std::atomic<std::size_t>& next, std::size_t n,
                std::size_t grain,
                const std::function<void(std::size_t)>& body,
@@ -66,8 +73,12 @@ void chunkLoop(std::atomic<std::size_t>& next, std::size_t n,
     try {
       for (std::size_t i = i0; i < i1; ++i) body(i);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(errMu);
-      if (!firstError) firstError = std::current_exception();
+      {
+        const std::lock_guard<std::mutex> lock(errMu);
+        if (!firstError) firstError = std::current_exception();
+      }
+      next.store(n, std::memory_order_relaxed);  // drain all claimers
+      return;
     }
   }
 }

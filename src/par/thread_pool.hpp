@@ -53,9 +53,12 @@ class ThreadPool {
 
   /// Run body(i) for i in [0, n) on the pool, chunked: at most
   /// threadCount() tasks are submitted, each claiming `grain` consecutive
-  /// indices at a time (0 = auto). Blocks until every iteration finishes;
-  /// the first exception is rethrown. Safe to call from a worker thread
-  /// (runs inline serially to avoid self-deadlock).
+  /// indices at a time (0 = auto). Blocks until every worker finishes; the
+  /// first exception is rethrown on the calling thread and stops all
+  /// workers from claiming further chunks (prompt cancellation — a
+  /// CancelledError does not grind through the remaining range). Safe to
+  /// call from a worker thread (runs inline serially to avoid
+  /// self-deadlock).
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
                    std::size_t grain = 0);
 
@@ -73,7 +76,8 @@ class ThreadPool {
 /// hardware concurrency, 1 = serial in the calling thread), each thread
 /// claiming `grain` consecutive indices per atomic fetch (0 = auto-sized
 /// so a range never degenerates into per-item contention). Blocks until
-/// all iterations finish; the first exception (if any) is rethrown.
+/// the threads finish; the first exception (if any) is rethrown after
+/// stopping all threads from claiming further chunks.
 void parallelFor(std::size_t n, std::size_t threads, std::size_t grain,
                  const std::function<void(std::size_t)>& body);
 

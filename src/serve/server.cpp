@@ -1,0 +1,237 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hsd::serve {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point t0,
+                    std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+const char* toString(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kTimeout: return "timeout";
+    case RequestStatus::kCancelled: return "cancelled";
+    case RequestStatus::kError: return "error";
+    case RequestStatus::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+engine::CacheStats ServeResult::cache(const std::string& stage) const {
+  for (const auto& [name, c] : cacheStats)
+    if (name == stage) return c;
+  return {};
+}
+
+ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
+                         std::size_t batchSize,
+                         std::shared_ptr<engine::StageCache> cache) {
+  contexts = std::max<std::size_t>(1, contexts);
+  all_.reserve(contexts);
+  free_.reserve(contexts);
+  for (std::size_t i = 0; i < contexts; ++i) {
+    auto ctx = std::make_unique<engine::RunContext>(threadsPerContext,
+                                                    batchSize);
+    if (cache) ctx->attachCache(cache);
+    // Pre-warm: spawn the worker threads now so the first request doesn't
+    // pay pool construction latency (threads=1 contexts stay thread-free).
+    if (ctx->threadCount() > 1) ctx->pool();
+    free_.push_back(ctx.get());
+    all_.push_back(std::move(ctx));
+  }
+}
+
+engine::RunContext* ContextPool::checkout() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !free_.empty(); });
+  engine::RunContext* ctx = free_.back();
+  free_.pop_back();
+  return ctx;
+}
+
+void ContextPool::checkin(engine::RunContext* ctx) {
+  // The cancellation-reuse contract: a context that served a cancelled or
+  // timed-out request must run the next request cleanly. resetCancel()
+  // clears both the flag and any armed deadline; the stats wipe makes the
+  // next request's EngineStats snapshot purely its own.
+  ctx->resetCancel();
+  ctx->stats().clear();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(ctx);
+  }
+  cv_.notify_one();
+}
+
+DetectionServer::DetectionServer(ServerConfig cfg) : cfg_(cfg) {
+  cfg_.workers = std::max<std::size_t>(1, cfg_.workers);
+  if (cfg_.contexts == 0) cfg_.contexts = cfg_.workers;
+  if (cfg_.enableCache)
+    cache_ = std::make_shared<engine::StageCache>(cfg_.cacheCapacity);
+  pool_ = std::make_unique<ContextPool>(cfg_.contexts, cfg_.threadsPerContext,
+                                        cfg_.batchSize, cache_);
+  workers_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+DetectionServer::~DetectionServer() { shutdown(); }
+
+std::future<ServeResult> DetectionServer::submit(
+    const core::Detector& det, const Layout& layout, core::EvalParams params,
+    std::optional<std::chrono::steady_clock::duration> timeout,
+    Callback callback) {
+  Request req;
+  req.det = &det;
+  req.layout = &layout;
+  req.params = std::move(params);
+  req.submitted = std::chrono::steady_clock::now();
+  if (timeout) req.deadline = req.submitted + *timeout;
+  req.callback = std::move(callback);
+  std::future<ServeResult> fut = req.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!accepting_) {
+      ++stats_.rejected;
+      lock.unlock();
+      ServeResult res;
+      res.status = RequestStatus::kRejected;
+      res.error = "server is shut down";
+      if (req.callback) {
+        try {
+          req.callback(res);
+        } catch (...) {  // callbacks must not take down the caller
+        }
+      }
+      req.promise.set_value(std::move(res));
+      return fut;
+    }
+    ++stats_.submitted;
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void DetectionServer::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+void DetectionServer::workerLoop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    finish(req, process(req));
+  }
+}
+
+ServeResult DetectionServer::process(Request& req) {
+  ServeResult res;
+  const auto dequeued = std::chrono::steady_clock::now();
+  res.queueSeconds = secondsSince(req.submitted, dequeued);
+  // Fast-fail requests that aged out while queued: no context checkout,
+  // no evaluation, just a typed timeout.
+  if (req.deadline && dequeued >= *req.deadline) {
+    res.status = RequestStatus::kTimeout;
+    return res;
+  }
+  engine::RunContext* ctx = pool_->checkout();
+  if (req.deadline) ctx->setDeadline(*req.deadline);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    res.result = core::evaluateLayout(*req.det, *req.layout, req.params, *ctx);
+    res.status = RequestStatus::kOk;
+  } catch (const engine::CancelledError&) {
+    res.status = ctx->deadlineExpired() ? RequestStatus::kTimeout
+                                        : RequestStatus::kCancelled;
+  } catch (const std::exception& e) {
+    res.status = RequestStatus::kError;
+    res.error = e.what();
+  } catch (...) {
+    res.status = RequestStatus::kError;
+    res.error = "unknown exception";
+  }
+  res.runSeconds = secondsSince(t0, std::chrono::steady_clock::now());
+  res.statsJson = ctx->stats().toJson();
+  res.cacheStats = ctx->stats().cacheSnapshot();
+  pool_->checkin(ctx);
+  return res;
+}
+
+void DetectionServer::finish(Request& req, ServeResult res) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.completed;
+    switch (res.status) {
+      case RequestStatus::kOk: ++stats_.ok; break;
+      case RequestStatus::kTimeout: ++stats_.timeout; break;
+      case RequestStatus::kCancelled: ++stats_.cancelled; break;
+      case RequestStatus::kError: ++stats_.error; break;
+      case RequestStatus::kRejected: break;  // counted at submit
+    }
+    stats_.busySeconds += res.runSeconds;
+  }
+  if (req.callback) {
+    try {
+      req.callback(res);
+    } catch (...) {  // a throwing callback must not kill the worker
+    }
+  }
+  req.promise.set_value(std::move(res));
+}
+
+DetectionServer::Stats DetectionServer::stats() const {
+  Stats s;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  if (cache_) s.cache = cache_->counters();
+  return s;
+}
+
+std::string DetectionServer::statsJson() const {
+  const Stats s = stats();
+  const std::size_t lookups = s.cache.hits + s.cache.misses;
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"requests\": {\"submitted\": " << s.submitted
+     << ", \"completed\": " << s.completed << ", \"ok\": " << s.ok
+     << ", \"timeout\": " << s.timeout << ", \"cancelled\": " << s.cancelled
+     << ", \"error\": " << s.error << ", \"rejected\": " << s.rejected
+     << "}, \"busySeconds\": " << s.busySeconds
+     << ", \"workers\": " << cfg_.workers
+     << ", \"contexts\": " << cfg_.contexts
+     << ", \"threadsPerContext\": " << cfg_.threadsPerContext
+     << ", \"cache\": {\"enabled\": " << (cache_ ? "true" : "false")
+     << ", \"hits\": " << s.cache.hits << ", \"misses\": " << s.cache.misses
+     << ", \"evictions\": " << s.cache.evictions
+     << ", \"entries\": " << s.cache.entries << ", \"hitRate\": "
+     << (lookups == 0 ? 0.0 : double(s.cache.hits) / double(lookups))
+     << "}}";
+  return os.str();
+}
+
+}  // namespace hsd::serve

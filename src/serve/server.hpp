@@ -1,0 +1,180 @@
+// Async serving front end over the detection engine (EPIC-style: hotspot
+// prediction as a service that amortizes model cost across many queries).
+//
+// A DetectionServer multiplexes many evaluation requests — each a
+// (detector, layout, EvalParams, optional deadline) tuple — over a bounded
+// pool of pre-warmed engine::RunContexts. All contexts share one
+// StageCache, so repeated IP blocks across *different* requests hit warm
+// verdict/screen entries; the cache's purity contract (values are pure
+// functions of their key) makes concurrent reports byte-identical to
+// serial ones. Requests past their deadline are cancelled cooperatively
+// via the context's deadline (RunContext::setDeadline) and surface a
+// typed RequestStatus::kTimeout result — no exception ever escapes a
+// worker thread.
+//
+// Threading model: N worker threads drain a FIFO request queue; each
+// checks a RunContext out of the ContextPool for the duration of one
+// evaluation and checks it back in reset (cancellation flag cleared,
+// deadline disarmed, per-request stats wiped — the cancellation-reuse
+// contract in src/engine/README.md). Contexts may be fewer than workers;
+// checkout then blocks, bounding the number of in-flight evaluations.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "engine/cache.hpp"
+#include "engine/run_context.hpp"
+#include "engine/stats.hpp"
+
+namespace hsd::serve {
+
+struct ServerConfig {
+  std::size_t workers = 2;       ///< request-draining threads
+  std::size_t contexts = 0;      ///< RunContext pool size (0 = workers)
+  std::size_t threadsPerContext = 1;  ///< intra-request parallelism
+  std::size_t batchSize = engine::RunContext::kDefaultBatchSize;
+  bool enableCache = true;       ///< share one StageCache across requests
+  std::size_t cacheCapacity = engine::StageCache::kDefaultCapacity;
+};
+
+enum class RequestStatus {
+  kOk,         ///< evaluation completed; ServeResult::result is valid
+  kTimeout,    ///< deadline expired before or during evaluation
+  kCancelled,  ///< cancelled without a deadline having expired
+  kError,      ///< evaluation threw; ServeResult::error holds what()
+  kRejected,   ///< submitted after shutdown()
+};
+
+const char* toString(RequestStatus s);
+
+/// Outcome of one request. `result` is meaningful only when ok();
+/// stats/cache snapshots cover exactly this request (the pooled context's
+/// registry is wiped between requests).
+struct ServeResult {
+  RequestStatus status = RequestStatus::kRejected;
+  core::EvalResult result;
+  std::string error;
+  std::string statsJson;  ///< per-request EngineStats JSON dump
+  std::vector<std::pair<std::string, engine::CacheStats>> cacheStats;
+  double queueSeconds = 0.0;  ///< submit -> dequeue
+  double runSeconds = 0.0;    ///< dequeue -> completion (0 if never ran)
+
+  bool ok() const { return status == RequestStatus::kOk; }
+  /// Per-request cache counters of one stage (zeros when never recorded).
+  engine::CacheStats cache(const std::string& stage) const;
+};
+
+/// Bounded blocking pool of pre-warmed RunContexts. checkout() blocks
+/// until a context is free; checkin() resets it (cancellation flag,
+/// deadline, per-request stats) so the next request starts clean even
+/// after a cancelled/timed-out run.
+class ContextPool {
+ public:
+  ContextPool(std::size_t contexts, std::size_t threadsPerContext,
+              std::size_t batchSize,
+              std::shared_ptr<engine::StageCache> cache);
+
+  ContextPool(const ContextPool&) = delete;
+  ContextPool& operator=(const ContextPool&) = delete;
+
+  engine::RunContext* checkout();
+  void checkin(engine::RunContext* ctx);
+  std::size_t size() const { return all_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<engine::RunContext>> all_;
+  std::vector<engine::RunContext*> free_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// The serving front end. Callers must keep the detector and layout alive
+/// until the returned future resolves (the server stores references, not
+/// copies — layouts are large).
+class DetectionServer {
+ public:
+  using Callback = std::function<void(const ServeResult&)>;
+
+  explicit DetectionServer(ServerConfig cfg = {});
+  ~DetectionServer();  // shutdown(): drains the queue, joins workers
+
+  DetectionServer(const DetectionServer&) = delete;
+  DetectionServer& operator=(const DetectionServer&) = delete;
+
+  /// Enqueue one evaluation. `timeout` is measured from submission; an
+  /// expired request is cancelled mid-run (or skipped if still queued) and
+  /// resolves to kTimeout instead of throwing. `callback`, if given, runs
+  /// on the worker thread right before the future resolves (exceptions it
+  /// throws are swallowed).
+  std::future<ServeResult> submit(
+      const core::Detector& det, const Layout& layout, core::EvalParams params,
+      std::optional<std::chrono::steady_clock::duration> timeout = {},
+      Callback callback = nullptr);
+
+  /// Stop accepting, drain every queued request, join the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Aggregate lifetime counters (requests by outcome, worker busy time,
+  /// shared-cache totals).
+  struct Stats {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;  ///< ok + timeout + cancelled + error
+    std::size_t ok = 0;
+    std::size_t timeout = 0;
+    std::size_t cancelled = 0;
+    std::size_t error = 0;
+    std::size_t rejected = 0;
+    double busySeconds = 0.0;  ///< summed per-request run time
+    engine::StageCache::Counters cache;  ///< zeros when caching is off
+  };
+  Stats stats() const;
+  /// One-line JSON of stats() plus the pool/worker shape — the
+  /// SERVE_STATS payload of tools/hsd_serve and bench/serve_throughput.
+  std::string statsJson() const;
+
+  std::shared_ptr<engine::StageCache> cache() const { return cache_; }
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    const core::Detector* det = nullptr;
+    const Layout* layout = nullptr;
+    core::EvalParams params;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::chrono::steady_clock::time_point submitted;
+    Callback callback;
+    std::promise<ServeResult> promise;
+  };
+
+  void workerLoop();
+  ServeResult process(Request& req);
+  void finish(Request& req, ServeResult res);
+
+  ServerConfig cfg_;
+  std::shared_ptr<engine::StageCache> cache_;
+  std::unique_ptr<ContextPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hsd::serve

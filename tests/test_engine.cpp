@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <optional>
 #include <stdexcept>
@@ -65,6 +66,65 @@ TEST(RunContext, CancellationStopsParallelFor) {
   ctx.requestCancel();
   EXPECT_TRUE(ctx.cancelRequested());
   EXPECT_THROW(ctx.parallelFor(10, [](std::size_t) {}), CancelledError);
+}
+
+TEST(RunContext, ResetCancelMakesACancelledContextReusable) {
+  // Regression: cancellation used to be one-shot — a pooled context that
+  // served a cancelled run rejected every subsequent run.
+  RunContext ctx(2);
+  ctx.requestCancel();
+  EXPECT_THROW(ctx.parallelFor(10, [](std::size_t) {}), CancelledError);
+  ctx.resetCancel();
+  EXPECT_FALSE(ctx.cancelRequested());
+  std::atomic<int> count{0};
+  ctx.parallelFor(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(RunContext, CancelMidParallelForPropagatesCleanlyAtEightThreads) {
+  // A CancelledError thrown inside pool workers must surface on the
+  // submitting thread (not terminate the process or deadlock the pool)
+  // and must stop the remaining range promptly.
+  RunContext ctx(8);
+  constexpr std::size_t kN = 1 << 20;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(ctx.parallelFor(kN,
+                               [&](std::size_t i) {
+                                 executed.fetch_add(
+                                     1, std::memory_order_relaxed);
+                                 if (i == 1000) ctx.requestCancel();
+                               }),
+               CancelledError);
+  EXPECT_GT(executed.load(), 0u);
+  EXPECT_LT(executed.load(), kN);  // workers stopped claiming chunks
+  // The pool survives and the context runs again after a reset.
+  ctx.resetCancel();
+  std::atomic<std::size_t> after{0};
+  ctx.parallelFor(1000, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 1000u);
+}
+
+TEST(RunContext, ExpiredDeadlineBehavesAsCancellation) {
+  RunContext ctx(2);
+  EXPECT_FALSE(ctx.hasDeadline());
+  ctx.setDeadline(std::chrono::steady_clock::now() +
+                  std::chrono::hours(1));
+  EXPECT_TRUE(ctx.hasDeadline());
+  EXPECT_FALSE(ctx.deadlineExpired());
+  EXPECT_FALSE(ctx.cancelRequested());
+  std::atomic<int> count{0};
+  ctx.parallelFor(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+
+  ctx.setDeadline(std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1));
+  EXPECT_TRUE(ctx.deadlineExpired());
+  EXPECT_TRUE(ctx.cancelRequested());
+  EXPECT_THROW(ctx.parallelFor(8, [](std::size_t) {}), CancelledError);
+  // resetCancel clears the deadline along with the flag.
+  ctx.resetCancel();
+  EXPECT_FALSE(ctx.hasDeadline());
+  EXPECT_FALSE(ctx.cancelRequested());
 }
 
 TEST(EngineStats, RecordsAndDumpsJson) {
@@ -268,6 +328,41 @@ TEST(EngineDeterminism, CancelledEvaluationThrows) {
   EXPECT_THROW(core::evaluateLayout(f.detector, f.test.layout,
                                     core::EvalParams{}, ctx),
                CancelledError);
+}
+
+TEST(EngineDeterminism, ContextRunsCleanlyAfterCancelledEvaluation) {
+  // The pool-checkin contract end to end: cancel an evaluation, reset the
+  // context, and the same context must produce the same report as a fresh
+  // one (no cancellation residue, no stats bleed changing behavior).
+  const EvalFixture& f = evalFixture();
+  RunContext fresh(2);
+  const core::EvalResult want =
+      core::evaluateLayout(f.detector, f.test.layout, core::EvalParams{},
+                           fresh);
+
+  RunContext reused(2);
+  reused.requestCancel();
+  EXPECT_THROW(core::evaluateLayout(f.detector, f.test.layout,
+                                    core::EvalParams{}, reused),
+               CancelledError);
+  reused.resetCancel();
+  reused.stats().clear();
+  const core::EvalResult got = core::evaluateLayout(
+      f.detector, f.test.layout, core::EvalParams{}, reused);
+  EXPECT_EQ(got.reported, want.reported);
+  EXPECT_EQ(got.candidateClips, want.candidateClips);
+  EXPECT_EQ(got.flaggedBeforeRemoval, want.flaggedBeforeRemoval);
+}
+
+TEST(EngineDeterminism, DeadlineExpiryCancelsEvaluationMidRun) {
+  const EvalFixture& f = evalFixture();
+  RunContext ctx(4);
+  ctx.setDeadline(std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(200));
+  EXPECT_THROW(core::evaluateLayout(f.detector, f.test.layout,
+                                    core::EvalParams{}, ctx),
+               CancelledError);
+  EXPECT_TRUE(ctx.deadlineExpired());
 }
 
 TEST(EngineDeterminism, TrainerStatsAndSharedContext) {

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <random>
+#include <thread>
+#include <vector>
 
 #include "layout/clip.hpp"
 #include "layout/layout.hpp"
@@ -18,6 +20,33 @@ TEST(Layout, LayerRectCacheInvalidation) {
   EXPECT_EQ(l.layer(1).rects().size(), 1u);
   l.addRect(1, {20, 0, 30, 10});
   EXPECT_EQ(l.layer(1).rects().size(), 2u);  // cache rebuilt
+}
+
+TEST(Layout, ConcurrentRectsOnColdCacheIsSafe) {
+  // Regression (caught by TSan via the detection server): many threads
+  // calling rects() on a shared const Layer used to race on the lazy
+  // cache fill. All callers must see the same fully-built decomposition.
+  Layout l;
+  for (int i = 0; i < 64; ++i) l.addRect(1, {i * 100, 0, i * 100 + 50, 50});
+  const Layer* layer = l.findLayer(1);
+  ASSERT_NE(layer, nullptr);
+  std::vector<std::thread> threads;
+  std::vector<std::size_t> sizes(8, 0);
+  for (std::size_t t = 0; t < sizes.size(); ++t)
+    threads.emplace_back(
+        [&, t] { sizes[t] = layer->rects().size(); });
+  for (auto& th : threads) th.join();
+  for (const std::size_t s : sizes) EXPECT_EQ(s, 64u);
+}
+
+TEST(Layout, CopiedLayerRebuildsItsOwnRectCache) {
+  Layout l;
+  l.addRect(1, {0, 0, 10, 10});
+  EXPECT_EQ(l.layer(1).rects().size(), 1u);  // warm the cache
+  Layout copy = l;
+  copy.addRect(1, {20, 0, 30, 10});
+  EXPECT_EQ(copy.layer(1).rects().size(), 2u);
+  EXPECT_EQ(l.layer(1).rects().size(), 1u);  // original untouched
 }
 
 TEST(Layout, BboxAcrossLayers) {

@@ -107,5 +107,32 @@ TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
   EXPECT_EQ(count.load(), 3);
 }
 
+TEST(ParallelFor, CancelledErrorInWorkersPropagatesAndStopsClaiming) {
+  // A CancelledError thrown inside pool workers at threads=8 must come
+  // back to the submitting thread as that exact type (clean cancellation,
+  // no std::terminate, no deadlock) and stop the remaining range instead
+  // of grinding through it.
+  engine::RunContext ctx(8);
+  ThreadPool& pool = ctx.pool();
+  constexpr std::size_t kN = 1 << 20;
+  std::atomic<std::size_t> executed{0};
+  std::atomic<bool> cancelled{false};
+  EXPECT_THROW(
+      pool.parallelFor(kN,
+                       [&](std::size_t i) {
+                         executed.fetch_add(1, std::memory_order_relaxed);
+                         if (i == 500) cancelled.store(true);
+                         if (cancelled.load(std::memory_order_relaxed))
+                           throw engine::CancelledError();
+                       },
+                       /*grain=*/256),
+      engine::CancelledError);
+  EXPECT_LT(executed.load(), kN);
+  // The pool is still usable afterwards — workers survived the throw.
+  std::atomic<std::size_t> after{0};
+  pool.parallelFor(1024, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 1024u);
+}
+
 }  // namespace
 }  // namespace hsd

@@ -1,0 +1,235 @@
+// Serving-level tests (ctest label: serve). Pins the DetectionServer
+// contract:
+//  - the same layout submitted serially vs. concurrently produces
+//    byte-identical canonical reports (shared cache + context reuse leak
+//    no state between requests);
+//  - a repeated layout gets cross-request cache hits (the second request
+//    recomputes nothing);
+//  - deadline-expired requests resolve to a typed kTimeout result — both
+//    the aged-out-in-queue and the cancelled-mid-run paths — and the
+//    pooled context that served a timed-out run serves the next request
+//    cleanly (resetCancel-on-checkin regression);
+//  - callbacks fire, shutdown rejects new work, aggregate stats add up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/evaluator.hpp"
+#include "engine/run_context.hpp"
+#include "serve/server.hpp"
+
+namespace hsd::serve {
+namespace {
+
+const tests::DetectorFixture& fx() { return tests::detectorFixture(); }
+
+/// Canonical report of a plain (serverless) single-threaded evaluation —
+/// the baseline every served result must match byte-for-byte.
+const std::string& baselineReport() {
+  static const std::string report = [] {
+    engine::RunContext ctx(1);
+    return tests::canonicalReport(
+        core::evaluateLayout(fx().detector, fx().test.layout,
+                             core::EvalParams{}, ctx));
+  }();
+  return report;
+}
+
+TEST(DetectionServer, SerialSubmissionsMatchBaseline) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.threadsPerContext = 2;
+  DetectionServer server(cfg);
+  for (int i = 0; i < 3; ++i) {
+    const ServeResult r =
+        server.submit(fx().detector, fx().test.layout, core::EvalParams{})
+            .get();
+    ASSERT_EQ(r.status, RequestStatus::kOk) << toString(r.status);
+    EXPECT_EQ(tests::canonicalReport(r.result), baselineReport())
+        << "serial request " << i;
+    EXPECT_GE(r.queueSeconds, 0.0);
+    EXPECT_GT(r.runSeconds, 0.0);
+  }
+  const DetectionServer::Stats s = server.stats();
+  EXPECT_EQ(s.submitted, 3u);
+  EXPECT_EQ(s.ok, 3u);
+  EXPECT_EQ(s.completed, 3u);
+}
+
+TEST(DetectionServer, ConcurrentSubmissionsByteIdenticalToSerial) {
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.threadsPerContext = 2;
+  DetectionServer server(cfg);
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < 8; ++i)
+    futs.push_back(
+        server.submit(fx().detector, fx().test.layout, core::EvalParams{}));
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const ServeResult r = futs[i].get();
+    ASSERT_EQ(r.status, RequestStatus::kOk) << toString(r.status);
+    EXPECT_EQ(tests::canonicalReport(r.result), baselineReport())
+        << "concurrent request " << i;
+  }
+  EXPECT_EQ(server.stats().ok, 8u);
+}
+
+TEST(DetectionServer, RepeatedLayoutHitsSharedCacheAcrossRequests) {
+  ServerConfig cfg;
+  cfg.workers = 1;  // strict order: first populates, second must hit
+  cfg.threadsPerContext = 2;
+  DetectionServer server(cfg);
+  const ServeResult first =
+      server.submit(fx().detector, fx().test.layout, core::EvalParams{}).get();
+  const ServeResult second =
+      server.submit(fx().detector, fx().test.layout, core::EvalParams{}).get();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  // Per-request counters: the cold request misses, the warm one serves
+  // every window from the shared cache and recomputes nothing.
+  EXPECT_GT(first.cache("eval/verdict").misses, 0u);
+  EXPECT_EQ(first.cache("eval/verdict").hits, 0u);
+  EXPECT_EQ(second.cache("eval/verdict").misses, 0u);
+  EXPECT_GT(second.cache("eval/verdict").hits, 0u);
+  EXPECT_EQ(second.cache("extract/screen").misses, 0u);
+  EXPECT_GT(second.cache("extract/screen").hits, 0u);
+  EXPECT_EQ(tests::canonicalReport(second.result), baselineReport());
+
+  // Aggregate view: cross-request hits show up in stats and the JSON.
+  const DetectionServer::Stats s = server.stats();
+  EXPECT_GT(s.cache.hits, 0u);
+  const std::string json = server.statsJson();
+  EXPECT_NE(json.find("\"hitRate\""), std::string::npos);
+  EXPECT_EQ(json.find("\"hitRate\": 0.000000"), std::string::npos);
+}
+
+TEST(DetectionServer, CacheDisabledStillServesIdenticalResults) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.enableCache = false;
+  DetectionServer server(cfg);
+  EXPECT_EQ(server.cache(), nullptr);
+  const ServeResult r =
+      server.submit(fx().detector, fx().test.layout, core::EvalParams{}).get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(tests::canonicalReport(r.result), baselineReport());
+  EXPECT_EQ(server.stats().cache.hits, 0u);
+}
+
+TEST(DetectionServer, AlreadyExpiredDeadlineIsTypedTimeout) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  DetectionServer server(cfg);
+  // A zero timeout is expired by the time a worker dequeues it: the
+  // request must resolve (no exception, no crash) with kTimeout and must
+  // never have started evaluating.
+  const ServeResult r =
+      server
+          .submit(fx().detector, fx().test.layout, core::EvalParams{},
+                  std::chrono::steady_clock::duration::zero())
+          .get();
+  EXPECT_EQ(r.status, RequestStatus::kTimeout);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.runSeconds, 0.0);
+  EXPECT_EQ(server.stats().timeout, 1u);
+}
+
+TEST(DetectionServer, MidRunDeadlineTimesOutAndContextServesNextRequest) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.contexts = 1;  // the timed-out context is necessarily the reused one
+  cfg.threadsPerContext = 4;
+  DetectionServer server(cfg);
+  // 200µs is far below one evaluation of the fixture layout but (usually)
+  // above queue latency, exercising the cancel-mid-run path; either way
+  // the result must be a typed timeout.
+  const ServeResult timedOut =
+      server
+          .submit(fx().detector, fx().test.layout, core::EvalParams{},
+                  std::chrono::microseconds(200))
+          .get();
+  EXPECT_EQ(timedOut.status, RequestStatus::kTimeout);
+
+  // Cancellation-reuse regression: the pooled context just aborted a run;
+  // checkin must have reset it so this request runs cleanly and matches
+  // the baseline.
+  const ServeResult ok =
+      server.submit(fx().detector, fx().test.layout, core::EvalParams{}).get();
+  ASSERT_EQ(ok.status, RequestStatus::kOk) << toString(ok.status);
+  EXPECT_EQ(tests::canonicalReport(ok.result), baselineReport());
+}
+
+TEST(DetectionServer, MixedDeadlinesNeverPoisonHealthyRequests) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.contexts = 2;
+  cfg.threadsPerContext = 2;
+  DetectionServer server(cfg);
+  std::vector<std::future<ServeResult>> doomed;
+  std::vector<std::future<ServeResult>> healthy;
+  for (int i = 0; i < 4; ++i) {
+    doomed.push_back(server.submit(fx().detector, fx().test.layout,
+                                   core::EvalParams{},
+                                   std::chrono::microseconds(100)));
+    healthy.push_back(
+        server.submit(fx().detector, fx().test.layout, core::EvalParams{}));
+  }
+  for (auto& f : doomed) {
+    const ServeResult r = f.get();
+    EXPECT_TRUE(r.status == RequestStatus::kTimeout ||
+                r.status == RequestStatus::kOk)
+        << toString(r.status);
+  }
+  for (auto& f : healthy) {
+    const ServeResult r = f.get();
+    ASSERT_EQ(r.status, RequestStatus::kOk) << toString(r.status);
+    EXPECT_EQ(tests::canonicalReport(r.result), baselineReport());
+  }
+}
+
+TEST(DetectionServer, CallbackFiresBeforeFutureResolves) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  DetectionServer server(cfg);
+  std::atomic<int> called{0};
+  const ServeResult r =
+      server
+          .submit(fx().detector, fx().test.layout, core::EvalParams{}, {},
+                  [&called](const ServeResult& cb) {
+                    called += cb.ok() ? 1 : 0;
+                    throw std::runtime_error("callback throws are swallowed");
+                  })
+          .get();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(called.load(), 1);
+}
+
+TEST(DetectionServer, ShutdownRejectsNewWorkAndIsIdempotent) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  DetectionServer server(cfg);
+  server.shutdown();
+  server.shutdown();  // idempotent
+  const ServeResult r =
+      server.submit(fx().detector, fx().test.layout, core::EvalParams{}).get();
+  EXPECT_EQ(r.status, RequestStatus::kRejected);
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+TEST(DetectionServer, StatusNamesAreStable) {
+  EXPECT_STREQ(toString(RequestStatus::kOk), "ok");
+  EXPECT_STREQ(toString(RequestStatus::kTimeout), "timeout");
+  EXPECT_STREQ(toString(RequestStatus::kCancelled), "cancelled");
+  EXPECT_STREQ(toString(RequestStatus::kError), "error");
+  EXPECT_STREQ(toString(RequestStatus::kRejected), "rejected");
+}
+
+}  // namespace
+}  // namespace hsd::serve

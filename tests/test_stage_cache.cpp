@@ -10,9 +10,11 @@
 //     capacity evicts without ever changing results.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
@@ -90,6 +92,45 @@ TEST(StageCacheUnit, ZeroCapacityClampsToOne) {
   cache.insert(key(1), 1);
   EXPECT_EQ(cache.insert(key(2), 2), 1u);  // evicts key 1
   EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(StageCacheUnit, ConcurrentHammerTinyCapacityKeepsEntriesIntact) {
+  // Multi-request serving audit: many threads hammering a tiny cache so
+  // eviction continuously races hits on the same keys. Values are a pure
+  // function of the key, so any lookup that returns a dangling, partial,
+  // or foreign entry is detectable as a value mismatch. Run under the
+  // TSan build (ctest -L cache) this also vets the locking itself.
+  StageCache cache(16);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 4000;
+  constexpr std::uint64_t kKeys = 64;  // 4x capacity: constant eviction
+  const auto valueOf = [](std::uint64_t g) {
+    return g * 0x9e3779b97f4a7c15ull + 17;
+  };
+  std::atomic<std::size_t> corrupt{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t op = 0; op < kOpsPerThread; ++op) {
+        const std::uint64_t g = (t * 31 + op * 7) % kKeys;
+        const CacheKey k = key(g);
+        if (const auto got = cache.find<std::uint64_t>(k)) {
+          if (*got != valueOf(g))
+            corrupt.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.insert(k, valueOf(g));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(corrupt.load(), 0u);
+  EXPECT_LE(cache.size(), 16u);
+  const StageCache::Counters c = cache.counters();
+  EXPECT_GT(c.evictions, 0u);  // capacity pressure actually occurred
+  EXPECT_EQ(c.hits + c.misses, kThreads * kOpsPerThread);
 }
 
 TEST(StageCacheUnit, ClearDropsEntriesKeepsLifetimeCounters) {

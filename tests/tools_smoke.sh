@@ -11,4 +11,13 @@ trap 'rm -rf "$OUT"' EXIT
 "$BIN/tools/hsd_score" "$OUT/report.txt" "$OUT/golden_hotspots.txt" --layout "$OUT/layout.gds" | grep -q accuracy
 "$BIN/tools/hsd_fix" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/fixed.gds"
 test -s "$OUT/fixed.gds"
+# Serving front end: concurrent repeated requests must agree byte-for-byte
+# (reportsIdentical) and hit the shared cache; an already-expired deadline
+# must surface typed timeouts, not a crash.
+"$BIN/tools/hsd_serve" "$OUT/model.txt" "$OUT/layout.gds" \
+  --requests 4 --workers 2 --threads 2 \
+  | grep -q '"reportsIdentical": true'
+"$BIN/tools/hsd_serve" "$OUT/model.txt" "$OUT/layout.gds" \
+  --requests 3 --workers 2 --deadline-ms 0.001 \
+  | grep -q '"timeout": 3'
 echo "tools smoke OK"

@@ -1,0 +1,123 @@
+// CLI: drive the async serving front end — feed N concurrent evaluation
+// requests of a layout through a DetectionServer and print one aggregate
+// SERVE_STATS JSON line (throughput, per-outcome request counts, shared
+// stage-cache hit rate, cross-request report identity).
+//
+//   hsd_serve <model> <layout.gds> [--requests N] [--workers W]
+//             [--contexts C] [--threads T] [--deadline-ms D] [--no-cache]
+//
+// With --deadline-ms, requests whose deadline expires resolve to a typed
+// timeout result (counted under "timeout") — the process never crashes on
+// an expired request. Repeated submissions of one layout are the serving
+// cache's best case: every request after the first should hit the shared
+// verdict/screen entries ("cache" counters in the JSON).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "gds/gdsii.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+bool hasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+double argDouble(int argc, char** argv, const char* flag, double def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsd;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <model> <layout.gds> [--requests N] "
+                 "[--workers W] [--contexts C] [--threads T] "
+                 "[--deadline-ms D] [--no-cache]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    std::ifstream ms(argv[1]);
+    if (!ms) {
+      std::fprintf(stderr, "error: cannot open model %s\n", argv[1]);
+      return 1;
+    }
+    const core::Detector det = core::Detector::load(ms);
+    const Layout layout = gds::readGdsiiFile(argv[2]);
+
+    const std::size_t requests =
+        std::size_t(argDouble(argc, argv, "--requests", 8));
+    serve::ServerConfig cfg;
+    cfg.workers = std::size_t(argDouble(argc, argv, "--workers", 4));
+    cfg.contexts = std::size_t(argDouble(argc, argv, "--contexts", 0));
+    cfg.threadsPerContext =
+        std::size_t(argDouble(argc, argv, "--threads", 2));
+    cfg.enableCache = !hasFlag(argc, argv, "--no-cache");
+    const double deadlineMs = argDouble(argc, argv, "--deadline-ms", 0.0);
+
+    core::EvalParams ep;
+    ep.extract.clip = det.params.clip;
+    ep.removal.clip = det.params.clip;
+
+    serve::DetectionServer server(cfg);
+    std::optional<std::chrono::steady_clock::duration> timeout;
+    if (deadlineMs > 0.0)
+      timeout = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(deadlineMs));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<serve::ServeResult>> futs;
+    futs.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i)
+      futs.push_back(server.submit(det, layout, ep, timeout));
+
+    std::vector<serve::ServeResult> results;
+    results.reserve(requests);
+    for (auto& f : futs) results.push_back(f.get());
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    // Concurrent submissions of one layout must agree byte-for-byte; any
+    // divergence would mean the shared cache or context reuse leaks state.
+    bool identical = true;
+    const serve::ServeResult* first = nullptr;
+    for (const serve::ServeResult& r : results) {
+      if (!r.ok()) continue;
+      if (first == nullptr) {
+        first = &r;
+        continue;
+      }
+      if (r.result.reported != first->result.reported ||
+          r.result.candidateClips != first->result.candidateClips)
+        identical = false;
+    }
+
+    server.shutdown();
+    std::printf(
+        "SERVE_STATS {\"layout\": \"%s\", \"requests\": %zu, "
+        "\"wallSeconds\": %.6f, \"throughputRps\": %.3f, "
+        "\"reportsIdentical\": %s, \"server\": %s}\n",
+        layout.name().c_str(), requests, wall,
+        wall > 0.0 ? double(results.size()) / wall : 0.0,
+        identical ? "true" : "false", server.statsJson().c_str());
+    return identical ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
