@@ -1,6 +1,7 @@
 // Microbenchmarks (google-benchmark) of the framework's inner loops:
 // string encoding, canonical keys, MTCG construction, feature extraction,
-// density distance, SMO training, oracle simulation, clip extraction.
+// density distance, SMO training, oracle simulation, clip extraction,
+// tracing-span overhead (disabled vs enabled).
 #include <benchmark/benchmark.h>
 
 #include <random>
@@ -11,8 +12,10 @@
 #include "core/mtcg.hpp"
 #include "core/topo_string.hpp"
 #include "data/generator.hpp"
+#include "engine/stats.hpp"
 #include "geom/density_grid.hpp"
 #include "litho/litho.hpp"
+#include "obs/trace.hpp"
 #include "svm/svm.hpp"
 
 namespace {
@@ -108,6 +111,41 @@ void BM_ClipExtraction(benchmark::State& state) {
     benchmark::DoNotOptimize(core::extractCandidateClips(test.layout, 1, p));
 }
 BENCHMARK(BM_ClipExtraction)->Arg(20000)->Arg(40000)->Unit(benchmark::kMillisecond);
+
+// The disabled-span path is what every instrumentation site pays when no
+// tracer is attached: it must stay at a branch or two, no clock read.
+void BM_SpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Span span(nullptr, "bench/span", "bench");
+    span.arg("i", 1);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::TraceRecorder rec;
+  for (auto _ : state) {
+    obs::Span span(&rec, "bench/span", "bench");
+    span.arg("i", 1);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanEnabled);
+
+// The stage loop as the pipeline drives it — EngineStats recording plus
+// (Arg(1)) a span per batch. Arg(0) vs Arg(1) is the per-batch cost of
+// attaching a TraceRecorder to a RunContext.
+void BM_StageTimer(benchmark::State& state) {
+  engine::EngineStats stats;
+  obs::TraceRecorder rec;
+  obs::TraceRecorder* const tracer = state.range(0) != 0 ? &rec : nullptr;
+  for (auto _ : state) {
+    engine::StageTimer t(stats, "bench/stage", 32, tracer);
+    benchmark::DoNotOptimize(&t);
+  }
+}
+BENCHMARK(BM_StageTimer)->Arg(0)->Arg(1);
 
 void BM_Classify(benchmark::State& state) {
   std::vector<core::CorePattern> pats;

@@ -35,6 +35,12 @@ void runScenario(const char* name, hsd::serve::DetectionServer& server,
   std::printf("  %-5s %zu requests, %zu ok, %.2fs wall, %.2f req/s\n", name,
               layouts.size(), ok, wall,
               wall > 0.0 ? double(layouts.size()) / wall : 0.0);
+  const hsd::obs::Histogram& run = server.runLatency();
+  std::printf("  %-5s run latency p50 %.1fms  p95 %.1fms  p99 %.1fms\n", name,
+              run.quantile(0.50) * 1e3, run.quantile(0.95) * 1e3,
+              run.quantile(0.99) * 1e3);
+  // statsJson() carries the same percentiles under "latency" for the
+  // perf tracker.
   std::printf("SERVE_STATS %s {\"requests\": %zu, \"wallSeconds\": %.6f, "
               "\"throughputRps\": %.3f, \"server\": %s}\n",
               name, layouts.size(), wall,

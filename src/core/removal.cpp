@@ -225,7 +225,7 @@ std::vector<ClipWindow> removeRedundantClips(
     const RemovalParams& p, engine::RunContext& ctx) {
   if (reported.empty()) return {};
   const engine::StageTimer timer(ctx.stats(), "eval/removal",
-                                 reported.size());
+                                 reported.size(), ctx.tracer());
   // Pass 1: merge + reframe.
   std::vector<ClipWindow> wins = mergeAndReframe(reported, p);
   // Pass 2: drop cores fully covered by their neighbors (inherently

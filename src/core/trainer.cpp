@@ -136,7 +136,7 @@ Detector trainDetector(const std::vector<Clip>& training,
     nhsCores.push_back(CorePattern::fromCore(c, tp.layer));
 
   engine::StageTimer classifyTimer(ctx.stats(), "train/classify",
-                                   hs.size() + nhs.size());
+                                   hs.size() + nhs.size(), ctx.tracer());
   std::vector<Cluster> hsClusters;
   if (tp.singleKernel) {
     Cluster all;
@@ -169,7 +169,7 @@ Detector trainDetector(const std::vector<Clip>& training,
   // Core feature vectors (shared across kernels). The full raw non-hotspot
   // feature list doubles as the self-training validation set.
   engine::StageTimer featureTimer(ctx.stats(), "train/features",
-                                  hs.size() + nhs.size());
+                                  hs.size() + nhs.size(), ctx.tracer());
   std::vector<svm::FeatureVector> hsFeat(hs.size());
   ctx.parallelFor(hs.size(), [&](std::size_t i) {
     hsFeat[i] = buildFeatureVector(hsCores[i], tp.features);
@@ -185,7 +185,7 @@ Detector trainDetector(const std::vector<Clip>& training,
 
   // One SVM kernel per hotspot cluster (Fig. 9a), trained in parallel.
   engine::StageTimer kernelTimer(ctx.stats(), "train/kernels",
-                                 hsClusters.size());
+                                 hsClusters.size(), ctx.tracer());
   det.kernels.resize(hsClusters.size());
   ctx.parallelFor(hsClusters.size(), [&](std::size_t k) {
     const Cluster& cluster = hsClusters[k];
@@ -221,7 +221,7 @@ Detector trainDetector(const std::vector<Clip>& training,
   // their ambit, the negative side of the feedback training set.
   if (tp.enableFeedback) {
     engine::StageTimer feedbackTimer(ctx.stats(), "train/feedback",
-                                     nhs.size());
+                                     nhs.size(), ctx.tracer());
     std::vector<std::size_t> extraClipIdx;   // indices into nhs
     std::set<std::size_t> implicatedKernels;
     std::mutex mu;
@@ -283,7 +283,8 @@ Detector trainDetector(const std::vector<Clip>& training,
   // label, so reports can be ranked by P(hotspot).
   {
     const engine::StageTimer plattTimer(ctx.stats(), "train/platt",
-                                        hs.size() + allNhsFeat.size());
+                                        hs.size() + allNhsFeat.size(),
+                                        ctx.tracer());
     std::vector<double> f(hsFeat.size() + allNhsFeat.size());
     std::vector<int> y(f.size());
     const auto maxDecision = [&det](const svm::FeatureVector& feat) {

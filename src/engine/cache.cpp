@@ -3,14 +3,17 @@
 namespace hsd::engine {
 
 bool StageCache::findErased(const CacheKey& key, std::any& out) {
+  obs::Span span(tracer_.get(), "cache/lookup", "cache");
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++counters_.misses;
+    span.arg("hit", 0);
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to most recent
   ++counters_.hits;
+  span.arg("hit", 1);
   out = it->second->value;
   return true;
 }

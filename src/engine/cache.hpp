@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string_view>
@@ -36,6 +37,7 @@
 #include <utility>
 
 #include "geom/hashing.hpp"
+#include "obs/trace.hpp"
 
 namespace hsd::engine {
 
@@ -84,8 +86,13 @@ class StageCache {
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
 
   /// `capacity` == 0 is clamped to 1 (a cache that can hold something).
-  explicit StageCache(std::size_t capacity = kDefaultCapacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  /// With a non-null `tracer`, every lookup is recorded as one
+  /// "cache"-category span annotated hit=0/1 (see obs/trace.hpp). The
+  /// tracer is fixed at construction — no set-while-racing hazard — and
+  /// must outlive the cache.
+  explicit StageCache(std::size_t capacity = kDefaultCapacity,
+                      std::shared_ptr<obs::TraceRecorder> tracer = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity), tracer_(std::move(tracer)) {}
 
   StageCache(const StageCache&) = delete;
   StageCache& operator=(const StageCache&) = delete;
@@ -128,6 +135,7 @@ class StageCache {
   };
 
   const std::size_t capacity_;
+  const std::shared_ptr<obs::TraceRecorder> tracer_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;

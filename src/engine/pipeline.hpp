@@ -83,7 +83,7 @@ auto applyStages(RunContext& ctx, std::vector<In>&& batch, S& stage,
   ctx.throwIfCancelled();
   std::vector<typename S::out_type> out;
   {
-    StageTimer timer(ctx.stats(), stage.name, batch.size());
+    StageTimer timer(ctx.stats(), stage.name, batch.size(), ctx.tracer());
     out = stage.run(ctx, std::move(batch));
   }
   return applyStages(ctx, std::move(out), rest...);

@@ -38,7 +38,7 @@ void RunContext::parallelFor(std::size_t n,
         throwIfCancelled();
         body(i);
       },
-      grain);
+      grain, tracer_.get());
 }
 
 }  // namespace hsd::engine

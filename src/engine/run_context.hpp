@@ -19,6 +19,7 @@
 
 #include "engine/cache.hpp"
 #include "engine/stats.hpp"
+#include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 
 namespace hsd::engine {
@@ -58,6 +59,19 @@ class RunContext {
   /// The attached stage cache, or nullptr when running uncached.
   StageCache* cache() const { return cache_.get(); }
   std::shared_ptr<StageCache> sharedCache() const { return cache_; }
+
+  /// Attach a span trace recorder (opt-in, like the stage cache; see
+  /// obs/trace.hpp). Every stage batch, parallelFor chunk, and — via the
+  /// cache's own recorder — StageCache lookup then lands in the trace.
+  /// The recorder may be shared across contexts (its ring buffers are
+  /// per-thread); pass nullptr to detach. Attach between runs, not while
+  /// one is in flight.
+  void attachTracer(std::shared_ptr<obs::TraceRecorder> tracer) {
+    tracer_ = std::move(tracer);
+  }
+  /// The attached trace recorder, or nullptr when tracing is off.
+  obs::TraceRecorder* tracer() const { return tracer_.get(); }
+  std::shared_ptr<obs::TraceRecorder> sharedTracer() const { return tracer_; }
 
   /// Shared pool (created on first call; never call with threadCount()==1
   /// code paths that want to stay thread-free).
@@ -120,6 +134,7 @@ class RunContext {
   std::once_flag poolOnce_;
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<StageCache> cache_;
+  std::shared_ptr<obs::TraceRecorder> tracer_;
 };
 
 }  // namespace hsd::engine

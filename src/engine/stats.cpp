@@ -1,6 +1,9 @@
 #include "engine/stats.hpp"
 
+#include <locale>
 #include <sstream>
+
+#include "obs/json.hpp"
 
 namespace hsd::engine {
 
@@ -63,19 +66,28 @@ CacheStats EngineStats::cache(const std::string& name) const {
 
 std::string EngineStats::toJson() const {
   std::ostringstream os;
+  // A global-locale change must not reformat numbers (0.123 -> "0,123"
+  // would corrupt every ENGINE_STATS/SERVE_STATS consumer), so pin the
+  // classic locale; stage names are escaped so a quote or backslash in a
+  // name can't break the JSON either.
+  os.imbue(std::locale::classic());
   os.precision(6);
   os << std::fixed << '{';
+  // One critical section for both registries: stage and cache counters in
+  // a single dump are a consistent cut, not two snapshots a concurrent
+  // recorder could land between.
+  const std::lock_guard<std::mutex> lock(mu_);
   bool first = true;
-  for (const auto& [name, s] : snapshot()) {
+  for (const auto& [name, s] : stages_) {
     if (!first) os << ", ";
     first = false;
-    os << '"' << name << "\": {\"calls\": " << s.calls
+    os << '"' << obs::jsonEscape(name) << "\": {\"calls\": " << s.calls
        << ", \"items\": " << s.items << ", \"seconds\": " << s.seconds << '}';
   }
-  for (const auto& [name, c] : cacheSnapshot()) {
+  for (const auto& [name, c] : caches_) {
     if (!first) os << ", ";
     first = false;
-    os << "\"cache/" << name << "\": {\"hits\": " << c.hits
+    os << "\"cache/" << obs::jsonEscape(name) << "\": {\"hits\": " << c.hits
        << ", \"misses\": " << c.misses << ", \"evictions\": " << c.evictions
        << '}';
   }

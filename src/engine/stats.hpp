@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace hsd::engine {
 
 /// Accumulated counters of one named stage.
@@ -82,13 +84,18 @@ class EngineStats {
 
 /// RAII timer: records one invocation into `stats` on destruction.
 /// `items` can be adjusted before the scope closes (e.g. filter stages
-/// that only learn their output size at the end).
+/// that only learn their output size at the end). With a non-null
+/// `tracer` (pass RunContext::tracer()) each invocation additionally
+/// lands in the trace as one "stage"-category span carrying the item
+/// count — one span per batch invocation.
 class StageTimer {
  public:
-  StageTimer(EngineStats& stats, std::string stage, std::size_t items)
+  StageTimer(EngineStats& stats, std::string stage, std::size_t items,
+             obs::TraceRecorder* tracer = nullptr)
       : stats_(stats),
         stage_(std::move(stage)),
         items_(items),
+        tracer_(tracer),
         t0_(std::chrono::steady_clock::now()) {}
 
   StageTimer(const StageTimer&) = delete;
@@ -101,10 +108,11 @@ class StageTimer {
   void stop() {
     if (done_) return;
     done_ = true;
-    const double sec = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - t0_)
-                           .count();
-    stats_.record(stage_, items_, sec);
+    const auto t1 = std::chrono::steady_clock::now();
+    stats_.record(stage_, items_,
+                  std::chrono::duration<double>(t1 - t0_).count());
+    if (tracer_ != nullptr)
+      tracer_->recordSpan(stage_, "stage", t0_, t1, {"items", items_});
   }
 
   ~StageTimer() { stop(); }
@@ -113,6 +121,7 @@ class StageTimer {
   EngineStats& stats_;
   std::string stage_;
   std::size_t items_;
+  obs::TraceRecorder* tracer_;
   std::chrono::steady_clock::time_point t0_;
   bool done_ = false;
 };

@@ -1,0 +1,220 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <locale>
+#include <sstream>
+#include <stdexcept>
+
+namespace hsd::obs {
+
+namespace {
+
+/// Escape a HELP line or label value per the exposition format: backslash,
+/// newline (and for label values, double quote).
+std::string expositionEscape(const std::string& s, bool labelValue) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (labelValue && c == '"') {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Deterministic, locale-independent float formatting for bounds/sums.
+std::string formatDouble(double v) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << v;
+  return os.str();
+}
+
+const char* typeName(bool isCounter, bool isGauge) {
+  return isCounter ? "counter" : isGauge ? "gauge" : "histogram";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)), buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument(
+          "Histogram: bucket bounds must be strictly increasing");
+}
+
+std::vector<double> Histogram::exponentialBuckets(double start, double factor,
+                                                  std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0)
+    throw std::invalid_argument(
+        "Histogram::exponentialBuckets: need start > 0 and factor > 1");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[std::size_t(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucketCounts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucketCounts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * double(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t prevCum = cum;
+    cum += counts[i];
+    if (double(cum) < rank) continue;
+    if (i == bounds_.size())  // +Inf bucket: clamp to largest finite bound
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const double within = (rank - double(prevCum)) / double(counts[i]);
+    return lo + within * (hi - lo);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::string MetricsRegistry::sanitizeName(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (char& c : out)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':'))
+      c = '_';
+  if (std::isdigit(static_cast<unsigned char>(out[0]))) out.insert(0, 1, '_');
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::familyOf(const std::string& name,
+                                                   const std::string& help,
+                                                   Type type) {
+  const std::string clean = sanitizeName(name);
+  for (const auto& fam : families_)
+    if (fam->name == clean) {
+      if (fam->type != type)
+        throw std::invalid_argument("MetricsRegistry: metric '" + clean +
+                                    "' re-registered with a different type");
+      return *fam;
+    }
+  families_.push_back(
+      std::make_unique<Family>(Family{clean, help, type, {}}));
+  return *families_.back();
+}
+
+MetricsRegistry::Sample& MetricsRegistry::sampleOf(Family& fam,
+                                                   const Labels& labels) {
+  std::string rendered;
+  for (const auto& [k, v] : labels) {
+    if (!rendered.empty()) rendered += ',';
+    rendered += sanitizeName(k) + "=\"" + expositionEscape(v, true) + '"';
+  }
+  for (auto& s : fam.samples)
+    if (s.labels == rendered) return s;
+  fam.samples.push_back(Sample{rendered, nullptr, nullptr, nullptr});
+  return fam.samples.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Sample& s = sampleOf(familyOf(name, help, Type::kCounter), labels);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Sample& s = sampleOf(familyOf(name, help, Type::kGauge), labels);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> upperBounds,
+                                      const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Sample& s = sampleOf(familyOf(name, help, Type::kHistogram), labels);
+  if (!s.histogram)
+    s.histogram = std::make_unique<Histogram>(std::move(upperBounds));
+  return *s.histogram;
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  for (const auto& fam : families_) {
+    if (!fam->help.empty())
+      os << "# HELP " << fam->name << ' ' << expositionEscape(fam->help, false)
+         << '\n';
+    os << "# TYPE " << fam->name << ' '
+       << typeName(fam->type == Type::kCounter, fam->type == Type::kGauge)
+       << '\n';
+    for (const auto& s : fam->samples) {
+      const std::string block =
+          s.labels.empty() ? std::string() : '{' + s.labels + '}';
+      switch (fam->type) {
+        case Type::kCounter:
+          os << fam->name << block << ' ' << s.counter->value() << '\n';
+          break;
+        case Type::kGauge:
+          os << fam->name << block << ' ' << s.gauge->value() << '\n';
+          break;
+        case Type::kHistogram: {
+          const Histogram& h = *s.histogram;
+          const std::vector<std::uint64_t> counts = h.bucketCounts();
+          const std::vector<double>& bounds = h.bounds();
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < bounds.size(); ++i) {
+            cum += counts[i];
+            os << fam->name << "_bucket{"
+               << (s.labels.empty() ? std::string() : s.labels + ",")
+               << "le=\"" << formatDouble(bounds[i]) << "\"} " << cum << '\n';
+          }
+          cum += counts[bounds.size()];
+          os << fam->name << "_bucket{"
+             << (s.labels.empty() ? std::string() : s.labels + ",")
+             << "le=\"+Inf\"} " << cum << '\n';
+          std::ostringstream sum;
+          sum.imbue(std::locale::classic());
+          sum.precision(6);
+          sum << std::fixed << h.sum();
+          os << fam->name << "_sum" << block << ' ' << sum.str() << '\n';
+          os << fam->name << "_count" << block << ' ' << h.count() << '\n';
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hsd::obs

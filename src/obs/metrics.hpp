@@ -1,0 +1,150 @@
+// Metrics: a MetricsRegistry of counters, gauges, and log-bucketed
+// histograms with a Prometheus text-exposition renderer. Registration is
+// mutex-guarded and *ordered* — renderPrometheus() emits metric families
+// in first-registration order, never sorted, so repeated scrapes and
+// golden diffs are byte-stable as metrics are added. Updates after
+// registration are lock-free (relaxed atomics); registered metric
+// references stay valid for the registry's lifetime.
+//
+// Labels are baked in at registration: counter(name, help, {{"status",
+// "ok"}}) registers one sample of the `name` family. All samples of a
+// family share its HELP/TYPE header; re-registering an existing
+// (name, labels) pair returns the same metric object.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hsd::obs {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Settable up/down gauge (queue depths, in-flight counts).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void inc(std::int64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void dec(std::int64_t delta = 1) {
+    v_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram (Prometheus `le` semantics: an observation
+/// lands in the first bucket whose upper bound is >= the value; values
+/// above every bound land in the implicit +Inf bucket). Observation is
+/// lock-free; bounds are immutable after construction.
+class Histogram {
+ public:
+  /// `upperBounds` must be strictly increasing; empty means +Inf only.
+  explicit Histogram(std::vector<double> upperBounds);
+
+  /// Log-spaced bounds: start, start*factor, ... (count bounds total).
+  static std::vector<double> exponentialBuckets(double start, double factor,
+                                                std::size_t count);
+  /// The registry default for latency-in-seconds histograms:
+  /// 10µs .. ~21s, doubling per bucket.
+  static std::vector<double> defaultLatencySeconds() {
+    return exponentialBuckets(1e-5, 2.0, 22);
+  }
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Per-bucket (non-cumulative) counts; the last entry is +Inf.
+  std::vector<std::uint64_t> bucketCounts() const;
+
+  /// Estimated q-quantile (q in [0, 1]) via linear interpolation inside
+  /// the bucket holding the target rank — the same estimate Prometheus's
+  /// histogram_quantile() computes. Observations in the +Inf bucket clamp
+  /// to the largest finite bound; an empty histogram reports 0.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Ordered, thread-safe registry. The counter/gauge/histogram getters
+/// register on first use and return a reference that stays valid for the
+/// registry's lifetime (entries are never removed).
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) a metric. `name` is sanitized to a valid
+  /// Prometheus identifier ([a-zA-Z_:][a-zA-Z0-9_:]*, invalid bytes
+  /// become '_'). Registering an existing name with a different metric
+  /// type throws std::invalid_argument.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> upperBounds =
+                           Histogram::defaultLatencySeconds(),
+                       const Labels& labels = {});
+
+  /// Prometheus text exposition (version 0.0.4): families in registration
+  /// order, samples within a family in registration order, histogram
+  /// buckets cumulative with a +Inf bucket, _sum and _count.
+  std::string renderPrometheus() const;
+
+  static std::string sanitizeName(const std::string& name);
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Sample {
+    std::string labels;  ///< rendered label block, e.g. {status="ok"}
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type;
+    std::vector<Sample> samples;  ///< registration order
+  };
+
+  Family& familyOf(const std::string& name, const std::string& help,
+                   Type type);
+  Sample& sampleOf(Family& fam, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Family>> families_;  ///< registration order
+};
+
+}  // namespace hsd::obs

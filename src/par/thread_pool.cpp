@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/trace.hpp"
+
 namespace hsd {
 
 namespace {
@@ -65,11 +67,15 @@ namespace {
 void chunkLoop(std::atomic<std::size_t>& next, std::size_t n,
                std::size_t grain,
                const std::function<void(std::size_t)>& body,
-               std::exception_ptr& firstError, std::mutex& errMu) {
+               std::exception_ptr& firstError, std::mutex& errMu,
+               obs::TraceRecorder* tracer) {
   for (;;) {
     const std::size_t i0 = next.fetch_add(grain);
     if (i0 >= n) return;
     const std::size_t i1 = std::min(i0 + grain, n);
+    obs::Span span(tracer, "chunk", "par");
+    span.arg("first", i0);
+    span.arg("count", i1 - i0);
     try {
       for (std::size_t i = i0; i < i1; ++i) body(i);
     } catch (...) {
@@ -87,7 +93,7 @@ void chunkLoop(std::atomic<std::size_t>& next, std::size_t n,
 
 void ThreadPool::parallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& body,
-                             std::size_t grain) {
+                             std::size_t grain, obs::TraceRecorder* tracer) {
   if (n == 0) return;
   // Running inline when called from a pool worker avoids deadlocking on
   // our own queue (the waiting task would occupy the slot its children
@@ -106,7 +112,7 @@ void ThreadPool::parallelFor(std::size_t n,
   futs.reserve(tasks);
   for (std::size_t t = 0; t < tasks; ++t)
     futs.push_back(submit([&] {
-      chunkLoop(next, n, grain, body, firstError, errMu);
+      chunkLoop(next, n, grain, body, firstError, errMu, tracer);
     }));
   for (auto& f : futs) f.get();
   if (firstError) std::rethrow_exception(firstError);
@@ -130,7 +136,7 @@ void parallelFor(std::size_t n, std::size_t threads, std::size_t grain,
   ts.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t)
     ts.emplace_back([&] {
-      chunkLoop(next, n, grain, body, firstError, errMu);
+      chunkLoop(next, n, grain, body, firstError, errMu, nullptr);
     });
   for (std::thread& t : ts) t.join();
   if (firstError) std::rethrow_exception(firstError);

@@ -16,6 +16,10 @@
 #include <thread>
 #include <vector>
 
+namespace hsd::obs {
+class TraceRecorder;
+}  // namespace hsd::obs
+
 namespace hsd {
 
 /// Fixed-size pool of worker threads executing enqueued tasks FIFO.
@@ -58,9 +62,12 @@ class ThreadPool {
   /// workers from claiming further chunks (prompt cancellation — a
   /// CancelledError does not grind through the remaining range). Safe to
   /// call from a worker thread (runs inline serially to avoid
-  /// self-deadlock).
+  /// self-deadlock). With a non-null `tracer`, every claimed chunk is
+  /// recorded as one "par"-category span (args: first index, count) on
+  /// the worker that ran it — the per-thread view of how a range was
+  /// scheduled.
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
-                   std::size_t grain = 0);
+                   std::size_t grain = 0, obs::TraceRecorder* tracer = nullptr);
 
  private:
   void workerLoop();

@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <locale>
 #include <sstream>
 
 namespace hsd::serve {
@@ -10,6 +11,11 @@ namespace {
 double secondsSince(std::chrono::steady_clock::time_point t0,
                     std::chrono::steady_clock::time_point t1) {
   return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Dense index of a status for the per-status counter array.
+std::size_t statusIndex(RequestStatus s) {
+  return std::size_t(s) < 5 ? std::size_t(s) : 0;
 }
 
 }  // namespace
@@ -33,7 +39,8 @@ engine::CacheStats ServeResult::cache(const std::string& stage) const {
 
 ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
                          std::size_t batchSize,
-                         std::shared_ptr<engine::StageCache> cache) {
+                         std::shared_ptr<engine::StageCache> cache,
+                         std::shared_ptr<obs::TraceRecorder> tracer) {
   contexts = std::max<std::size_t>(1, contexts);
   all_.reserve(contexts);
   free_.reserve(contexts);
@@ -41,6 +48,7 @@ ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
     auto ctx = std::make_unique<engine::RunContext>(threadsPerContext,
                                                     batchSize);
     if (cache) ctx->attachCache(cache);
+    if (tracer) ctx->attachTracer(tracer);
     // Pre-warm: spawn the worker threads now so the first request doesn't
     // pay pool construction latency (threads=1 contexts stay thread-free).
     if (ctx->threadCount() > 1) ctx->pool();
@@ -74,13 +82,42 @@ void ContextPool::checkin(engine::RunContext* ctx) {
 DetectionServer::DetectionServer(ServerConfig cfg) : cfg_(cfg) {
   cfg_.workers = std::max<std::size_t>(1, cfg_.workers);
   if (cfg_.contexts == 0) cfg_.contexts = cfg_.workers;
+  registerMetrics();
   if (cfg_.enableCache)
-    cache_ = std::make_shared<engine::StageCache>(cfg_.cacheCapacity);
+    cache_ = std::make_shared<engine::StageCache>(cfg_.cacheCapacity,
+                                                  cfg_.tracer);
   pool_ = std::make_unique<ContextPool>(cfg_.contexts, cfg_.threadsPerContext,
-                                        cfg_.batchSize, cache_);
+                                        cfg_.batchSize, cache_, cfg_.tracer);
   workers_.reserve(cfg_.workers);
   for (std::size_t i = 0; i < cfg_.workers; ++i)
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+void DetectionServer::registerMetrics() {
+  metrics_ = std::make_shared<obs::MetricsRegistry>();
+  // Registration order is exposition order — keep it stable.
+  queueDepth_ = &metrics_->gauge(
+      "hsd_serve_queue_depth", "Requests accepted but not yet dequeued");
+  inflight_ = &metrics_->gauge("hsd_serve_inflight_requests",
+                               "Requests currently being processed");
+  submittedTotal_ = &metrics_->counter("hsd_serve_requests_submitted_total",
+                                       "Requests accepted into the queue");
+  for (const RequestStatus s :
+       {RequestStatus::kOk, RequestStatus::kTimeout, RequestStatus::kCancelled,
+        RequestStatus::kError, RequestStatus::kRejected})
+    statusTotal_[statusIndex(s)] =
+        &metrics_->counter("hsd_serve_requests_total",
+                           "Finished requests by outcome",
+                           {{"status", toString(s)}});
+  queueHist_ = &metrics_->histogram(
+      "hsd_serve_queue_seconds", "Queue wait per request (submit to dequeue)");
+  runHist_ = &metrics_->histogram("hsd_serve_run_seconds",
+                                  "Evaluation wall time per request");
+  cacheHits_ = &metrics_->counter("hsd_serve_cache_hits_total",
+                                  "Shared stage-cache hits across requests");
+  cacheMisses_ = &metrics_->counter(
+      "hsd_serve_cache_misses_total",
+      "Shared stage-cache misses across requests");
 }
 
 DetectionServer::~DetectionServer() { shutdown(); }
@@ -102,6 +139,7 @@ std::future<ServeResult> DetectionServer::submit(
     if (!accepting_) {
       ++stats_.rejected;
       lock.unlock();
+      statusTotal_[statusIndex(RequestStatus::kRejected)]->inc();
       ServeResult res;
       res.status = RequestStatus::kRejected;
       res.error = "server is shut down";
@@ -115,8 +153,11 @@ std::future<ServeResult> DetectionServer::submit(
       return fut;
     }
     ++stats_.submitted;
+    req.id = stats_.submitted;
     queue_.push_back(std::move(req));
   }
+  submittedTotal_->inc();
+  queueDepth_->inc();
   cv_.notify_one();
   return fut;
 }
@@ -132,7 +173,9 @@ void DetectionServer::shutdown() {
     if (t.joinable()) t.join();
 }
 
-void DetectionServer::workerLoop() {
+void DetectionServer::workerLoop(std::size_t workerIndex) {
+  if (cfg_.tracer)
+    cfg_.tracer->nameThread("serve-worker-" + std::to_string(workerIndex));
   for (;;) {
     Request req;
     {
@@ -150,12 +193,24 @@ ServeResult DetectionServer::process(Request& req) {
   ServeResult res;
   const auto dequeued = std::chrono::steady_clock::now();
   res.queueSeconds = secondsSince(req.submitted, dequeued);
+  queueDepth_->dec();
+  queueHist_->observe(res.queueSeconds);
+  obs::TraceRecorder* const tracer = cfg_.tracer.get();
+  if (tracer != nullptr)
+    tracer->recordSpan("serve/queued", "serve", req.submitted, dequeued,
+                       {"request", req.id});
   // Fast-fail requests that aged out while queued: no context checkout,
   // no evaluation, just a typed timeout.
   if (req.deadline && dequeued >= *req.deadline) {
     res.status = RequestStatus::kTimeout;
+    runHist_->observe(0.0);
+    if (tracer != nullptr)
+      tracer->recordSpan("serve/run", "serve", dequeued, dequeued,
+                         {"request", req.id}, {},
+                         {"status", toString(res.status)});
     return res;
   }
+  inflight_->inc();
   engine::RunContext* ctx = pool_->checkout();
   if (req.deadline) ctx->setDeadline(*req.deadline);
   const auto t0 = std::chrono::steady_clock::now();
@@ -172,10 +227,16 @@ ServeResult DetectionServer::process(Request& req) {
     res.status = RequestStatus::kError;
     res.error = "unknown exception";
   }
-  res.runSeconds = secondsSince(t0, std::chrono::steady_clock::now());
+  const auto t1 = std::chrono::steady_clock::now();
+  res.runSeconds = secondsSince(t0, t1);
   res.statsJson = ctx->stats().toJson();
   res.cacheStats = ctx->stats().cacheSnapshot();
   pool_->checkin(ctx);
+  inflight_->dec();
+  runHist_->observe(res.runSeconds);
+  if (tracer != nullptr)
+    tracer->recordSpan("serve/run", "serve", t0, t1, {"request", req.id}, {},
+                       {"status", toString(res.status)});
   return res;
 }
 
@@ -192,6 +253,17 @@ void DetectionServer::finish(Request& req, ServeResult res) {
     }
     stats_.busySeconds += res.runSeconds;
   }
+  statusTotal_[statusIndex(res.status)]->inc();
+  // Per-request cache counters are deltas (the pooled context's stats are
+  // wiped between requests), so summing them here yields server totals.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& [stage, c] : res.cacheStats) {
+    hits += c.hits;
+    misses += c.misses;
+  }
+  if (hits > 0) cacheHits_->inc(hits);
+  if (misses > 0) cacheMisses_->inc(misses);
   if (req.callback) {
     try {
       req.callback(res);
@@ -215,6 +287,7 @@ std::string DetectionServer::statsJson() const {
   const Stats s = stats();
   const std::size_t lookups = s.cache.hits + s.cache.misses;
   std::ostringstream os;
+  os.imbue(std::locale::classic());  // valid JSON under any global locale
   os.precision(6);
   os << std::fixed;
   os << "{\"requests\": {\"submitted\": " << s.submitted
@@ -230,7 +303,13 @@ std::string DetectionServer::statsJson() const {
      << ", \"evictions\": " << s.cache.evictions
      << ", \"entries\": " << s.cache.entries << ", \"hitRate\": "
      << (lookups == 0 ? 0.0 : double(s.cache.hits) / double(lookups))
-     << "}}";
+     << "}, \"latency\": {\"queueSeconds\": {\"p50\": "
+     << queueHist_->quantile(0.50) << ", \"p95\": "
+     << queueHist_->quantile(0.95) << ", \"p99\": "
+     << queueHist_->quantile(0.99)
+     << "}, \"runSeconds\": {\"p50\": " << runHist_->quantile(0.50)
+     << ", \"p95\": " << runHist_->quantile(0.95)
+     << ", \"p99\": " << runHist_->quantile(0.99) << "}}}";
   return os.str();
 }
 

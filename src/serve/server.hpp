@@ -38,6 +38,8 @@
 #include "engine/cache.hpp"
 #include "engine/run_context.hpp"
 #include "engine/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hsd::serve {
 
@@ -48,6 +50,12 @@ struct ServerConfig {
   std::size_t batchSize = engine::RunContext::kDefaultBatchSize;
   bool enableCache = true;       ///< share one StageCache across requests
   std::size_t cacheCapacity = engine::StageCache::kDefaultCapacity;
+  /// Opt-in span tracing of the whole serving path: worker threads are
+  /// named in the trace, every request contributes queued/run spans
+  /// (request-id and status annotated), pooled contexts emit per-batch
+  /// stage spans and parallelFor chunk spans, and the shared StageCache
+  /// records hit/miss-annotated lookups. Near-zero overhead when null.
+  std::shared_ptr<obs::TraceRecorder> tracer;
 };
 
 enum class RequestStatus {
@@ -85,7 +93,8 @@ class ContextPool {
  public:
   ContextPool(std::size_t contexts, std::size_t threadsPerContext,
               std::size_t batchSize,
-              std::shared_ptr<engine::StageCache> cache);
+              std::shared_ptr<engine::StageCache> cache,
+              std::shared_ptr<obs::TraceRecorder> tracer = nullptr);
 
   ContextPool(const ContextPool&) = delete;
   ContextPool& operator=(const ContextPool&) = delete;
@@ -142,12 +151,26 @@ class DetectionServer {
     engine::StageCache::Counters cache;  ///< zeros when caching is off
   };
   Stats stats() const;
-  /// One-line JSON of stats() plus the pool/worker shape — the
-  /// SERVE_STATS payload of tools/hsd_serve and bench/serve_throughput.
+  /// One-line JSON of stats() plus the pool/worker shape and queue/run
+  /// latency percentiles — the SERVE_STATS payload of tools/hsd_serve and
+  /// bench/serve_throughput.
   std::string statsJson() const;
 
   std::shared_ptr<engine::StageCache> cache() const { return cache_; }
   const ServerConfig& config() const { return cfg_; }
+
+  /// The server's metric registry (always present, updated live):
+  /// hsd_serve_queue_depth / hsd_serve_inflight_requests gauges,
+  /// hsd_serve_requests_submitted_total and per-status
+  /// hsd_serve_requests_total counters, hsd_serve_queue_seconds /
+  /// hsd_serve_run_seconds histograms, shared-cache hit/miss counters.
+  std::shared_ptr<obs::MetricsRegistry> metrics() const { return metrics_; }
+  /// Prometheus text exposition of metrics() — the on-demand scrape
+  /// surface; tools/hsd_serve dumps it to --metrics-out at exit.
+  std::string renderPrometheus() const { return metrics_->renderPrometheus(); }
+  /// Live latency histograms (for percentile reporting in benches).
+  const obs::Histogram& queueLatency() const { return *queueHist_; }
+  const obs::Histogram& runLatency() const { return *runHist_; }
 
  private:
   struct Request {
@@ -156,17 +179,31 @@ class DetectionServer {
     core::EvalParams params;
     std::optional<std::chrono::steady_clock::time_point> deadline;
     std::chrono::steady_clock::time_point submitted;
+    std::uint64_t id = 0;  ///< 1-based submission index (trace span arg)
     Callback callback;
     std::promise<ServeResult> promise;
   };
 
-  void workerLoop();
+  void workerLoop(std::size_t workerIndex);
   ServeResult process(Request& req);
   void finish(Request& req, ServeResult res);
+  void registerMetrics();
 
   ServerConfig cfg_;
   std::shared_ptr<engine::StageCache> cache_;
   std::unique_ptr<ContextPool> pool_;
+
+  // Registered once in the constructor; the pointees live in metrics_ and
+  // are updated lock-free on the request path.
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Gauge* queueDepth_ = nullptr;
+  obs::Gauge* inflight_ = nullptr;
+  obs::Counter* submittedTotal_ = nullptr;
+  obs::Counter* statusTotal_[5] = {};  ///< indexed by RequestStatus
+  obs::Histogram* queueHist_ = nullptr;
+  obs::Histogram* runHist_ = nullptr;
+  obs::Counter* cacheHits_ = nullptr;
+  obs::Counter* cacheMisses_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -12,9 +12,13 @@
 //  - callbacks fire, shutdown rejects new work, aggregate stats add up.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -221,6 +225,66 @@ TEST(DetectionServer, ShutdownRejectsNewWorkAndIsIdempotent) {
   EXPECT_EQ(r.status, RequestStatus::kRejected);
   EXPECT_EQ(server.stats().rejected, 1u);
   EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+TEST(DetectionServer, MetricsAndTraceAccountForEveryRequest) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.threadsPerContext = 2;
+  cfg.tracer = std::make_shared<obs::TraceRecorder>();
+  DetectionServer server(cfg);
+  constexpr std::size_t kN = 4;
+  std::vector<std::future<ServeResult>> futs;
+  for (std::size_t i = 0; i < kN; ++i)
+    futs.push_back(
+        server.submit(fx().detector, fx().test.layout, core::EvalParams{}));
+  for (auto& f : futs) ASSERT_EQ(f.get().status, RequestStatus::kOk);
+  server.shutdown();
+
+  // Every submitted request lands in both latency histograms — the
+  // _count == submitted invariant the Prometheus surface promises.
+  EXPECT_EQ(server.queueLatency().count(), kN);
+  EXPECT_EQ(server.runLatency().count(), kN);
+  const std::string prom = server.renderPrometheus();
+  EXPECT_NE(prom.find("hsd_serve_requests_submitted_total 4\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hsd_serve_requests_total{status=\"ok\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hsd_serve_run_seconds_count 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("hsd_serve_queue_seconds_count 4\n"),
+            std::string::npos);
+  // Gauges settle back to zero once the queue drains.
+  EXPECT_NE(prom.find("hsd_serve_queue_depth 0\n"), std::string::npos);
+  EXPECT_NE(prom.find("hsd_serve_inflight_requests 0\n"), std::string::npos);
+  // Repeated submissions of one layout must hit the shared cache, and the
+  // per-request deltas must roll up into the server-level counter.
+  const char* const hitsLine = "\nhsd_serve_cache_hits_total ";
+  const std::size_t hitsPos = prom.find(hitsLine);
+  ASSERT_NE(hitsPos, std::string::npos);
+  EXPECT_GT(std::atoll(prom.c_str() + hitsPos + std::strlen(hitsLine)), 0);
+  // statsJson carries the same percentiles for the SERVE_STATS line.
+  EXPECT_NE(server.statsJson().find("\"latency\""), std::string::npos);
+
+  // The trace holds one queued and one run span per request, each
+  // annotated with its 1-based request id, on named worker threads.
+  std::vector<std::uint64_t> queuedIds;
+  std::size_t runSpans = 0;
+  for (const auto& se : cfg.tracer->snapshot()) {
+    if (std::strcmp(se.event.cat, "serve") != 0) continue;
+    if (std::strcmp(se.event.name, "serve/queued") == 0)
+      queuedIds.push_back(se.event.a0.value);
+    if (std::strcmp(se.event.name, "serve/run") == 0) {
+      ++runSpans;
+      ASSERT_NE(se.event.s0.key, nullptr);
+      EXPECT_STREQ(se.event.s0.value, "ok");
+    }
+  }
+  std::sort(queuedIds.begin(), queuedIds.end());
+  EXPECT_EQ(queuedIds, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(runSpans, kN);
+  const std::vector<std::string> names = cfg.tracer->threadNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "serve-worker-0"),
+            names.end());
 }
 
 TEST(DetectionServer, StatusNamesAreStable) {

@@ -1,22 +1,49 @@
 #!/bin/sh
 # End-to-end smoke test of the CLI tool chain:
-# genbench -> train -> detect -> score.
+# genbench -> train -> detect -> score, plus the serving front end and the
+# observability surfaces (ENGINE_STATS / SERVE_STATS JSON, Chrome trace
+# JSON, Prometheus exposition) — every machine-readable line is piped
+# through a real parser, not just grepped.
 set -e
 BIN="$1"
 OUT=$(mktemp -d)
 trap 'rm -rf "$OUT"' EXIT
 "$BIN/tools/hsd_genbench" "$OUT" --bench 5 --hs 8 --nhs 30 --width 24000 --height 24000 --sites 8
 "$BIN/tools/hsd_train" "$OUT/training_clips.txt" "$OUT/model.txt"
-"$BIN/tools/hsd_detect" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/report.txt"
+"$BIN/tools/hsd_detect" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/report.txt" \
+  --trace-out "$OUT/detect_trace.json" | tee "$OUT/detect.out"
 "$BIN/tools/hsd_score" "$OUT/report.txt" "$OUT/golden_hotspots.txt" --layout "$OUT/layout.gds" | grep -q accuracy
 "$BIN/tools/hsd_fix" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/fixed.gds"
 test -s "$OUT/fixed.gds"
+# The ENGINE_STATS payload and the trace file must be valid JSON.
+grep '^ENGINE_STATS ' "$OUT/detect.out" | sed 's/^ENGINE_STATS //' \
+  | python3 -m json.tool > /dev/null
+python3 -m json.tool < "$OUT/detect_trace.json" > /dev/null
+# The trace must contain per-batch stage spans.
+grep -q '"cat": "stage"' "$OUT/detect_trace.json"
 # Serving front end: concurrent repeated requests must agree byte-for-byte
 # (reportsIdentical) and hit the shared cache; an already-expired deadline
-# must surface typed timeouts, not a crash.
+# must surface typed timeouts, not a crash. --trace-out/--metrics-out
+# exercise the full observability path end to end.
 "$BIN/tools/hsd_serve" "$OUT/model.txt" "$OUT/layout.gds" \
   --requests 4 --workers 2 --threads 2 \
-  | grep -q '"reportsIdentical": true'
+  --trace-out "$OUT/serve_trace.json" --metrics-out "$OUT/serve.prom" \
+  | tee "$OUT/serve.out"
+grep -q '"reportsIdentical": true' "$OUT/serve.out"
+grep '^SERVE_STATS ' "$OUT/serve.out" | sed 's/^SERVE_STATS //' \
+  | python3 -m json.tool > /dev/null
+python3 -m json.tool < "$OUT/serve_trace.json" > /dev/null
+# The serve trace must carry named workers and per-request lifecycle spans.
+grep -q 'serve-worker-' "$OUT/serve_trace.json"
+grep -q 'serve/queued' "$OUT/serve_trace.json"
+grep -q 'serve/run' "$OUT/serve_trace.json"
+# Prometheus exposition: HELP/TYPE headers present, every submitted
+# request accounted for in the run-latency histogram (_count == 4).
+grep -q '^# HELP hsd_serve_queue_depth ' "$OUT/serve.prom"
+grep -q '^# TYPE hsd_serve_run_seconds histogram' "$OUT/serve.prom"
+grep -q '^hsd_serve_requests_submitted_total 4$' "$OUT/serve.prom"
+grep -q '^hsd_serve_run_seconds_count 4$' "$OUT/serve.prom"
+grep -q '^hsd_serve_requests_total{status="ok"} 4$' "$OUT/serve.prom"
 "$BIN/tools/hsd_serve" "$OUT/model.txt" "$OUT/layout.gds" \
   --requests 3 --workers 2 --deadline-ms 0.001 \
   | grep -q '"timeout": 3'

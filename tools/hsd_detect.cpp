@@ -3,14 +3,21 @@
 //
 //   hsd_detect <model> <layout.gds> <out_report.txt> [--bias B]
 //              [--threads N] [--no-removal] [--no-feedback]
+//              [--trace-out trace.json]
+//
+// --trace-out records the whole run as Chrome trace-event JSON (per-batch
+// stage spans, parallelFor chunk spans) — open it in Perfetto or
+// chrome://tracing. The ENGINE_STATS line is the per-stage timing JSON.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/evaluator.hpp"
 #include "gds/ascii.hpp"
 #include "gds/gdsii.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -23,6 +30,13 @@ bool hasFlag(int argc, char** argv, const char* flag) {
 double argDouble(int argc, char** argv, const char* flag, double def) {
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  return def;
+}
+
+const char* argString(int argc, char** argv, const char* flag,
+                      const char* def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   return def;
 }
 
@@ -56,6 +70,13 @@ int main(int argc, char** argv) {
 
     engine::RunContext ctx(
         std::size_t(argDouble(argc, argv, "--threads", 0.0)));
+    const char* traceOut = argString(argc, argv, "--trace-out", nullptr);
+    std::shared_ptr<obs::TraceRecorder> tracer;
+    if (traceOut != nullptr) {
+      tracer = std::make_shared<obs::TraceRecorder>();
+      tracer->nameThread("hsd_detect-main");
+      ctx.attachTracer(tracer);
+    }
     const core::EvalResult res = core::evaluateLayout(det, layout, ep, ctx);
     gds::writeWindowListFile(argv[3], res.reported, det.params.clip);
     std::printf("%s: %zu candidates -> %zu flagged -> %zu reported "
@@ -63,6 +84,19 @@ int main(int argc, char** argv) {
                 layout.name().c_str(), res.candidateClips,
                 res.flaggedBeforeRemoval, res.reported.size(),
                 res.evalSeconds, argv[3]);
+    std::printf("ENGINE_STATS %s\n", ctx.stats().toJson().c_str());
+    if (tracer) {
+      std::ofstream ts(traceOut);
+      if (!ts) {
+        std::fprintf(stderr, "error: cannot open trace file %s\n", traceOut);
+        return 1;
+      }
+      tracer->writeJson(ts);
+      std::printf("trace: %zu spans (%llu dropped) -> %s\n",
+                  tracer->spanCount(),
+                  static_cast<unsigned long long>(tracer->droppedEvents()),
+                  traceOut);
+    }
 
     // Triage view: the highest-confidence reports first.
     const Layer* l = layout.findLayer(det.params.layer);

@@ -5,23 +5,31 @@
 //
 //   hsd_serve <model> <layout.gds> [--requests N] [--workers W]
 //             [--contexts C] [--threads T] [--deadline-ms D] [--no-cache]
+//             [--trace-out trace.json] [--metrics-out metrics.prom]
 //
 // With --deadline-ms, requests whose deadline expires resolve to a typed
 // timeout result (counted under "timeout") — the process never crashes on
 // an expired request. Repeated submissions of one layout are the serving
 // cache's best case: every request after the first should hit the shared
 // verdict/screen entries ("cache" counters in the JSON).
+//
+// --trace-out records the whole serving run (named worker threads, one
+// queued + one run span per request, per-batch stage spans, cache-lookup
+// spans) as Chrome trace-event JSON for Perfetto. --metrics-out writes the
+// server's Prometheus text exposition after shutdown.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "gds/gdsii.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -35,6 +43,13 @@ bool hasFlag(int argc, char** argv, const char* flag) {
 double argDouble(int argc, char** argv, const char* flag, double def) {
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  return def;
+}
+
+const char* argString(int argc, char** argv, const char* flag,
+                      const char* def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   return def;
 }
 
@@ -68,6 +83,12 @@ int main(int argc, char** argv) {
         std::size_t(argDouble(argc, argv, "--threads", 2));
     cfg.enableCache = !hasFlag(argc, argv, "--no-cache");
     const double deadlineMs = argDouble(argc, argv, "--deadline-ms", 0.0);
+    const char* traceOut = argString(argc, argv, "--trace-out", nullptr);
+    const char* metricsOut = argString(argc, argv, "--metrics-out", nullptr);
+    if (traceOut != nullptr) {
+      cfg.tracer = std::make_shared<hsd::obs::TraceRecorder>();
+      cfg.tracer->nameThread("hsd_serve-main");
+    }
 
     core::EvalParams ep;
     ep.extract.clip = det.params.clip;
@@ -115,6 +136,28 @@ int main(int argc, char** argv) {
         layout.name().c_str(), requests, wall,
         wall > 0.0 ? double(results.size()) / wall : 0.0,
         identical ? "true" : "false", server.statsJson().c_str());
+    if (cfg.tracer) {
+      std::ofstream ts(traceOut);
+      if (!ts) {
+        std::fprintf(stderr, "error: cannot open trace file %s\n", traceOut);
+        return 1;
+      }
+      cfg.tracer->writeJson(ts);
+      std::printf("trace: %zu spans (%llu dropped) -> %s\n",
+                  cfg.tracer->spanCount(),
+                  static_cast<unsigned long long>(cfg.tracer->droppedEvents()),
+                  traceOut);
+    }
+    if (metricsOut != nullptr) {
+      std::ofstream ms2(metricsOut);
+      if (!ms2) {
+        std::fprintf(stderr, "error: cannot open metrics file %s\n",
+                     metricsOut);
+        return 1;
+      }
+      ms2 << server.renderPrometheus();
+      std::printf("metrics: -> %s\n", metricsOut);
+    }
     return identical ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
