@@ -5,6 +5,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +16,37 @@
 #include "core/trainer.hpp"
 #include "data/generator.hpp"
 
+// Stamped by bench/CMakeLists.txt at configure time so the BENCH_*.json
+// trajectory files attribute every number to a commit.
+#ifndef HSD_GIT_DESCRIBE
+#define HSD_GIT_DESCRIBE "unknown"
+#endif
+
 namespace hsd::bench {
+
+inline const char* gitDescribe() { return HSD_GIT_DESCRIBE; }
+
+/// `--flag value` lookup for the bench binaries' tiny CLIs (same
+/// convention as the hsd_* tools).
+inline const char* argString(int argc, char** argv, const char* flag,
+                             const char* def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return def;
+}
+
+/// Write a machine-readable artifact (the BENCH_*.json trajectory files);
+/// prints where it went. Returns false (with a stderr note) on I/O error.
+inline bool writeJsonFile(const std::string& path, const std::string& json) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return false;
+  }
+  os << json;
+  std::printf("bench json: -> %s\n", path.c_str());
+  return true;
+}
 
 /// One detection method: trainer + evaluator configuration.
 struct Method {

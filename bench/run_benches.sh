@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Perf-trajectory driver: runs the two JSON-emitting benches and leaves
+# BENCH_table1.json / BENCH_serve.json in the output directory, each
+# validated as parseable JSON and stamped with `git describe`.
+#
+#   bench/run_benches.sh [build-dir] [out-dir]
+#
+# Defaults: build-dir=build, out-dir=<build-dir>/bench. Exits non-zero if
+# either bench fails or emits unparseable JSON.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}/bench}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: ${BUILD_DIR}/bench not found (configure+build first)" >&2
+  exit 1
+fi
+mkdir -p "${OUT_DIR}"
+
+run_bench() {
+  local exe="$1" out="$2"
+  echo "== ${exe} -> ${out}"
+  "${BUILD_DIR}/bench/${exe}" --json-out "${out}"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "${out}" >/dev/null
+    echo "   ${out}: valid JSON"
+  else
+    echo "   (python3 unavailable; skipped JSON validation)"
+  fi
+}
+
+run_bench table1_benchmarks "${OUT_DIR}/BENCH_table1.json"
+run_bench serve_throughput "${OUT_DIR}/BENCH_serve.json"
+
+echo "bench trajectory written to ${OUT_DIR}"

@@ -8,51 +8,108 @@
 //
 // Each scenario prints a SERVE_STATS JSON line (requests by outcome, wall
 // seconds, throughput, shared-cache hit rate) for the perf tracker,
-// mirroring the ENGINE_STATS lines of the table benches.
+// mirroring the ENGINE_STATS lines of the table benches. With
+// `--json-out BENCH_serve.json` the run also writes one machine-readable
+// trajectory record (throughput, run-latency p50/p95/p99, cache hit
+// rate, git describe) — the input of bench/run_benches.sh.
 #include <chrono>
 #include <future>
+#include <locale>
+#include <sstream>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/json.hpp"
 #include "serve/server.hpp"
 
 namespace {
 
-void runScenario(const char* name, hsd::serve::DetectionServer& server,
-                 const hsd::core::Detector& det,
-                 const std::vector<const hsd::Layout*>& layouts,
-                 const hsd::core::EvalParams& ep) {
+struct ScenarioResult {
+  std::string name;
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  double wallSeconds = 0.0;
+  double throughputRps = 0.0;
+  double p50RunSeconds = 0.0;
+  double p95RunSeconds = 0.0;
+  double p99RunSeconds = 0.0;
+  double cacheHitRate = 0.0;
+  std::string serverStatsJson;
+};
+
+ScenarioResult runScenario(const char* name,
+                           hsd::serve::DetectionServer& server,
+                           const hsd::core::Detector& det,
+                           const std::vector<const hsd::Layout*>& layouts,
+                           const hsd::core::EvalParams& ep) {
   using namespace hsd;
+  ScenarioResult out;
+  out.name = name;
+  out.requests = layouts.size();
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::future<serve::ServeResult>> futs;
   futs.reserve(layouts.size());
   for (const Layout* l : layouts) futs.push_back(server.submit(det, *l, ep));
-  std::size_t ok = 0;
-  for (auto& f : futs) ok += f.get().ok() ? 1 : 0;
-  const double wall =
+  for (auto& f : futs) out.ok += f.get().ok() ? 1 : 0;
+  out.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  out.throughputRps =
+      out.wallSeconds > 0.0 ? double(layouts.size()) / out.wallSeconds : 0.0;
+  const obs::Histogram& run = server.runLatency();
+  out.p50RunSeconds = run.quantile(0.50);
+  out.p95RunSeconds = run.quantile(0.95);
+  out.p99RunSeconds = run.quantile(0.99);
+  const serve::DetectionServer::Stats stats = server.stats();
+  const std::size_t lookups = stats.cache.hits + stats.cache.misses;
+  out.cacheHitRate =
+      lookups == 0 ? 0.0 : double(stats.cache.hits) / double(lookups);
+  out.serverStatsJson = server.statsJson();
+
   std::printf("  %-5s %zu requests, %zu ok, %.2fs wall, %.2f req/s\n", name,
-              layouts.size(), ok, wall,
-              wall > 0.0 ? double(layouts.size()) / wall : 0.0);
-  const hsd::obs::Histogram& run = server.runLatency();
+              out.requests, out.ok, out.wallSeconds, out.throughputRps);
   std::printf("  %-5s run latency p50 %.1fms  p95 %.1fms  p99 %.1fms\n", name,
-              run.quantile(0.50) * 1e3, run.quantile(0.95) * 1e3,
-              run.quantile(0.99) * 1e3);
+              out.p50RunSeconds * 1e3, out.p95RunSeconds * 1e3,
+              out.p99RunSeconds * 1e3);
   // statsJson() carries the same percentiles under "latency" for the
   // perf tracker.
   std::printf("SERVE_STATS %s {\"requests\": %zu, \"wallSeconds\": %.6f, "
               "\"throughputRps\": %.3f, \"server\": %s}\n",
-              name, layouts.size(), wall,
-              wall > 0.0 ? double(layouts.size()) / wall : 0.0,
-              server.statsJson().c_str());
+              name, out.requests, out.wallSeconds, out.throughputRps,
+              out.serverStatsJson.c_str());
+  return out;
+}
+
+std::string toJson(const std::vector<ScenarioResult>& scenarios) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"bench\": \"serve_throughput\", \"git\": \""
+     << hsd::obs::jsonEscape(hsd::bench::gitDescribe())
+     << "\", \"scenarios\": [";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioResult& s = scenarios[i];
+    if (i != 0) os << ",";
+    os << "\n{\"name\": \"" << hsd::obs::jsonEscape(s.name)
+       << "\", \"requests\": " << s.requests << ", \"ok\": " << s.ok
+       << ", \"wallSeconds\": " << s.wallSeconds
+       << ", \"throughputRps\": " << s.throughputRps
+       << ", \"runSeconds\": {\"p50\": " << s.p50RunSeconds
+       << ", \"p95\": " << s.p95RunSeconds << ", \"p99\": " << s.p99RunSeconds
+       << "}, \"cacheHitRate\": " << s.cacheHitRate
+       << ", \"server\": " << s.serverStatsJson << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hsd;
   bench::printHeader("Serving throughput (async front end, shared cache)");
+  const char* jsonOut = bench::argString(argc, argv, "--json-out", nullptr);
 
   const auto spec = bench::smallSuite()[0];
   const data::Benchmark b = data::generateBenchmark(spec);
@@ -77,16 +134,20 @@ int main() {
   cfg.workers = 4;
   cfg.threadsPerContext = 2;
 
+  std::vector<ScenarioResult> scenarios;
   {
     serve::DetectionServer server(cfg);
     std::vector<const Layout*> layouts;
     for (const auto& t : distinct) layouts.push_back(&t.layout);
-    runScenario("cold", server, det, layouts, ep);
+    scenarios.push_back(runScenario("cold", server, det, layouts, ep));
   }
   {
     serve::DetectionServer server(cfg);
     const std::vector<const Layout*> layouts(kRequests, &b.test.layout);
-    runScenario("warm", server, det, layouts, ep);
+    scenarios.push_back(runScenario("warm", server, det, layouts, ep));
   }
+  if (jsonOut != nullptr &&
+      !bench::writeJsonFile(jsonOut, toJson(scenarios)))
+    return 1;
   return 0;
 }

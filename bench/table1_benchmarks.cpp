@@ -1,18 +1,76 @@
 // Table I: benchmark suite statistics — training hotspot / non-hotspot
 // counts, testing-layout hotspot counts, area and process node.
 // (Synthetic ICCAD-2012-like suite; see DESIGN.md for the substitution.)
+// With `--json-out BENCH_table1.json` also writes one machine-readable
+// trajectory record: the suite rows plus the benchmark1 train+eval
+// profile (accuracy, runtime, per-stage EngineStats) and git describe —
+// the input of bench/run_benches.sh.
 #include <cstdio>
+#include <locale>
+#include <sstream>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "obs/json.hpp"
 
-int main() {
+namespace {
+
+struct SuiteRow {
+  std::string training;
+  std::size_t hs = 0;
+  std::size_t nhs = 0;
+  std::string layout;
+  std::size_t layoutHotspots = 0;
+  double areaUm2 = 0.0;
+  std::size_t sites = 0;
+  std::string process;
+};
+
+std::string toJson(const std::vector<SuiteRow>& rows,
+                   const hsd::bench::RunResult& profile) {
+  using hsd::obs::jsonEscape;
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"bench\": \"table1\", \"git\": \""
+     << jsonEscape(hsd::bench::gitDescribe()) << "\", \"benchmarks\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SuiteRow& r = rows[i];
+    if (i != 0) os << ",";
+    os << "\n{\"training\": \"" << jsonEscape(r.training)
+       << "\", \"hotspots\": " << r.hs << ", \"nonHotspots\": " << r.nhs
+       << ", \"layout\": \"" << jsonEscape(r.layout)
+       << "\", \"layoutHotspots\": " << r.layoutHotspots
+       << ", \"areaUm2\": " << r.areaUm2 << ", \"sites\": " << r.sites
+       << ", \"process\": \"" << jsonEscape(r.process) << "\"}";
+  }
+  os << "\n], \"profile\": {\"benchmark\": \"benchmark1\", \"method\": \""
+     << jsonEscape(profile.method)
+     << "\", \"accuracy\": " << profile.score.accuracy()
+     << ", \"hits\": " << profile.score.hits
+     << ", \"actualHotspots\": " << profile.score.actualHotspots
+     << ", \"extras\": " << profile.score.extras
+     << ", \"trainSeconds\": " << profile.trainSec
+     << ", \"evalSeconds\": " << profile.evalSec << ", \"engineStats\": "
+     << (profile.engineStats.empty() ? std::string("null")
+                                     : profile.engineStats)
+     << "}}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace hsd;
   bench::printHeader("Table I: benchmark statistics");
+  const char* jsonOut = bench::argString(argc, argv, "--json-out", nullptr);
   std::printf("%-22s %5s %6s | %-18s %5s %12s %8s %6s\n", "Training data",
               "#hs", "#nhs", "Testing layout", "#hs", "area(um^2)",
               "#sites", "proc");
 
   const auto specs = data::iccad2012LikeSuite();
+  std::vector<SuiteRow> rows;
   data::Benchmark first;  // kept for the blind layout below
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const data::Benchmark b = data::generateBenchmark(specs[i]);
@@ -24,6 +82,9 @@ int main() {
                 b.test.layout.name().c_str(), b.test.actualHotspots.size(),
                 b.test.layout.areaUm2(), b.test.motifSites,
                 b.process.c_str());
+    rows.push_back({b.training.name, hs, b.training.clips.size() - hs,
+                    b.test.layout.name(), b.test.actualHotspots.size(),
+                    b.test.layout.areaUm2(), b.test.motifSites, b.process});
     if (i == 0) first = b;
   }
 
@@ -38,6 +99,9 @@ int main() {
               "-", "-", blind.layout.name().c_str(),
               blind.actualHotspots.size(), blind.layout.areaUm2(),
               blind.motifSites, "32nm");
+  rows.push_back({"(benchmark1)", 0, 0, blind.layout.name(),
+                  blind.actualHotspots.size(), blind.layout.areaUm2(),
+                  blind.motifSites, "32nm"});
   std::printf("\ncore %lld x %lld nm, clip %lld x %lld nm (contest format)\n",
               static_cast<long long>(ClipParams{}.coreSide),
               static_cast<long long>(ClipParams{}.coreSide),
@@ -51,5 +115,7 @@ int main() {
       bench::runMethod(bench::makeOurs(), first.training.clips, first.test);
   bench::printRow("benchmark1", r);
   bench::printEngineStats("benchmark1", r);
+  if (jsonOut != nullptr && !bench::writeJsonFile(jsonOut, toJson(rows, r)))
+    return 1;
   return 0;
 }

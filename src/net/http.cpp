@@ -1,0 +1,491 @@
+#include "net/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace hsd::net {
+
+namespace {
+
+std::string toLower(std::string s) {
+  for (char& c : s) c = char(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+void setSocketTimeouts(int fd, int timeoutMs) {
+  timeval tv{};
+  tv.tv_sec = timeoutMs / 1000;
+  tv.tv_usec = (timeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// send() the whole buffer; false on error/timeout. MSG_NOSIGNAL keeps a
+/// peer that hung up from killing the process with SIGPIPE.
+bool sendAll(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += std::size_t(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool parseRequestHead(std::string_view head, HttpRequest& req) {
+  // Request line: METHOD SP TARGET SP VERSION. Lines are CRLF-separated;
+  // we tolerate bare LF (trim strips the CR).
+  const std::size_t eol = head.find('\n');
+  const std::string_view line =
+      trim(eol == std::string_view::npos ? head : head.substr(0, eol));
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return false;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  req.version = std::string(line.substr(sp2 + 1));
+  if (req.method.empty() || req.target.empty() ||
+      req.target.front() != '/' ||
+      req.version.compare(0, 5, "HTTP/") != 0)
+    return false;
+  const std::size_t qm = req.target.find('?');
+  req.path = req.target.substr(0, qm);
+  req.query = qm == std::string::npos ? std::string()
+                                      : req.target.substr(qm + 1);
+  // Header fields, one per line, until the blank line (already excluded
+  // from `head` by the caller).
+  std::size_t pos = eol == std::string_view::npos ? head.size() : eol + 1;
+  while (pos < head.size()) {
+    std::size_t end = head.find('\n', pos);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view raw = trim(head.substr(pos, end - pos));
+    pos = end + 1;
+    if (raw.empty()) continue;
+    const std::size_t colon = raw.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    req.headers.emplace_back(toLower(std::string(trim(raw.substr(0, colon)))),
+                             std::string(trim(raw.substr(colon + 1))));
+  }
+  return true;
+}
+
+bool wantsKeepAlive(const HttpRequest& req) {
+  const std::string* conn = req.header("connection");
+  if (conn != nullptr) {
+    const std::string v = toLower(*conn);
+    if (v.find("close") != std::string::npos) return false;
+    if (v.find("keep-alive") != std::string::npos) return true;
+  }
+  return req.version == "HTTP/1.1";  // 1.1 defaults to persistent
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view lowerName) const {
+  for (const auto& [k, v] : headers)
+    if (k == lowerName) return &v;
+  return nullptr;
+}
+
+std::string HttpRequest::queryParam(std::string_view key) const {
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string_view pair =
+        std::string_view(query).substr(pos, end - pos);
+    const std::size_t eq = pair.find('=');
+    const std::string_view k =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (k == key)
+      return eq == std::string_view::npos
+                 ? std::string()
+                 : std::string(pair.substr(eq + 1));
+    pos = end + 1;
+  }
+  return {};
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse res;
+  res.status = status;
+  res.body = std::move(body);
+  return res;
+}
+
+HttpResponse HttpResponse::json(std::string body) {
+  HttpResponse res;
+  res.contentType = "application/json; charset=utf-8";
+  res.body = std::move(body);
+  return res;
+}
+
+const char* statusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpServer::HttpServer(HttpServerOptions opts) : opts_(std::move(opts)) {
+  opts_.handlerThreads = std::max<std::size_t>(1, opts_.handlerThreads);
+  opts_.maxHeaderBytes = std::max<std::size_t>(128, opts_.maxHeaderBytes);
+  opts_.maxQueuedConnections =
+      std::max<std::size_t>(1, opts_.maxQueuedConnections);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  if (running())
+    throw std::logic_error("HttpServer::handle: register routes before start");
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+std::vector<std::string> HttpServer::routes() const {
+  std::vector<std::string> out;
+  out.reserve(routes_.size());
+  for (const auto& [path, handler] : routes_) out.push_back(path);
+  return out;
+}
+
+void HttpServer::start() {
+  if (running()) throw std::logic_error("HttpServer::start: already running");
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0)
+    throw std::runtime_error(std::string("HttpServer: socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bindAddress.c_str(), &addr.sin_addr) != 1) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw std::runtime_error("HttpServer: bad bind address '" +
+                             opts_.bindAddress + "' (numeric IPv4 required)");
+  }
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listenFd_, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw std::runtime_error("HttpServer: bind/listen on " +
+                             opts_.bindAddress + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0)
+    port_ = ntohs(bound.sin_port);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { acceptLoop(); });
+  handlers_.reserve(opts_.handlerThreads);
+  for (std::size_t i = 0; i < opts_.handlerThreads; ++i)
+    handlers_.emplace_back([this] { handlerLoop(); });
+}
+
+void HttpServer::stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake blocked reads on in-flight keep-alive connections; their write
+  // side stays open so a response in progress still goes out.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : active_) ::shutdown(fd, SHUT_RD);
+  }
+  cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& t : handlers_)
+    if (t.joinable()) t.join();
+  handlers_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : pending_) ::close(fd);  // accepted, never served
+    pending_.clear();
+  }
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::acceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listenFd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 50);  // 50ms bound on stop() latency
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;  // listener broken; handler threads still drain the queue
+    }
+    setSocketTimeouts(fd, opts_.ioTimeoutMs);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_.size() >= opts_.maxQueuedConnections) {
+        lock.unlock();
+        ::close(fd);  // overloaded: shed instead of queueing unboundedly
+        continue;
+      }
+      pending_.push_back(fd);
+    }
+    cv_.notify_one();
+  }
+}
+
+void HttpServer::handlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stopping and nothing queued
+      if (stopping_.load(std::memory_order_acquire)) return;  // shed queued
+      fd = pending_.front();
+      pending_.pop_front();
+      active_.insert(fd);
+    }
+    serveConnection(fd);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      active_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+bool HttpServer::readRequest(int fd, std::string& buf, HttpRequest& req,
+                             int& errStatus) {
+  errStatus = 0;
+  // Accumulate until the header terminator, enforcing the header cap.
+  std::size_t headEnd;
+  for (;;) {
+    headEnd = buf.find("\r\n\r\n");
+    if (headEnd != std::string::npos) break;
+    if (buf.size() > opts_.maxHeaderBytes) {
+      errStatus = 431;
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      buf.append(chunk, std::size_t(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    // Peer closed (or recv timed out / read side was shut down by
+    // stop()). Bytes short of a full head mean a truncated request: owe
+    // a 400 unless the connection is simply idle-closed.
+    if (!buf.empty()) errStatus = 400;
+    return false;
+  }
+  if (headEnd > opts_.maxHeaderBytes) {
+    errStatus = 431;
+    return false;
+  }
+  req = HttpRequest();
+  if (!parseRequestHead(std::string_view(buf).substr(0, headEnd), req)) {
+    errStatus = 400;
+    return false;
+  }
+  std::size_t bodyLen = 0;
+  if (const std::string* cl = req.header("content-length")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (end == cl->c_str() || *end != '\0') {
+      errStatus = 400;
+      return false;
+    }
+    bodyLen = std::size_t(v);
+  } else if (req.header("transfer-encoding") != nullptr) {
+    errStatus = 400;  // chunked bodies are out of scope for admin traffic
+    return false;
+  }
+  if (bodyLen > opts_.maxBodyBytes) {
+    errStatus = 413;
+    return false;
+  }
+  const std::size_t bodyStart = headEnd + 4;
+  while (buf.size() < bodyStart + bodyLen) {
+    char chunk[4096];
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      buf.append(chunk, std::size_t(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    errStatus = 400;  // body shorter than Content-Length promised
+    return false;
+  }
+  req.body = buf.substr(bodyStart, bodyLen);
+  buf.erase(0, bodyStart + bodyLen);  // keep-alive: leftover is next request
+  return true;
+}
+
+void HttpServer::writeResponse(int fd, const HttpResponse& res,
+                               bool keepAlive, bool headOnly) {
+  std::string head = "HTTP/1.1 " + std::to_string(res.status) + ' ' +
+                     statusReason(res.status) + "\r\nContent-Type: " +
+                     res.contentType + "\r\nContent-Length: " +
+                     std::to_string(res.body.size()) + "\r\nConnection: " +
+                     (keepAlive ? "keep-alive" : "close") + "\r\n\r\n";
+  if (!sendAll(fd, head.data(), head.size())) return;
+  if (!headOnly) sendAll(fd, res.body.data(), res.body.size());
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& req) {
+  for (const auto& [path, handler] : routes_)
+    if (path == req.path) {
+      try {
+        return handler(req);
+      } catch (const std::exception& e) {
+        return HttpResponse::text(500, std::string("handler error: ") +
+                                           e.what() + "\n");
+      } catch (...) {
+        return HttpResponse::text(500, "handler error\n");
+      }
+    }
+  std::string body = "404 not found: " + req.path + "\nendpoints:\n";
+  for (const auto& [path, handler] : routes_) body += "  " + path + "\n";
+  return HttpResponse::text(404, std::move(body));
+}
+
+void HttpServer::serveConnection(int fd) {
+  std::string buf;
+  bool keep = true;
+  while (keep && !stopping_.load(std::memory_order_acquire)) {
+    HttpRequest req;
+    int errStatus = 0;
+    if (!readRequest(fd, buf, req, errStatus)) {
+      if (errStatus != 0) {
+        HttpResponse err = HttpResponse::text(
+            errStatus, std::string(statusReason(errStatus)) + "\n");
+        writeResponse(fd, err, /*keepAlive=*/false, /*headOnly=*/false);
+      }
+      return;
+    }
+    const bool headOnly = req.method == "HEAD";
+    HttpResponse res;
+    if (req.method != "GET" && !headOnly)
+      res = HttpResponse::text(405, "only GET and HEAD are supported\n");
+    else
+      res = dispatch(req);
+    keep = opts_.keepAlive && wantsKeepAlive(req) && res.status < 400 &&
+           !res.closeConnection &&
+           !stopping_.load(std::memory_order_acquire);
+    writeResponse(fd, res, keep, headOnly);
+  }
+}
+
+HttpGetResult httpGet(const std::string& host, std::uint16_t port,
+                      const std::string& target, int timeoutMs) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("httpGet: socket: ") +
+                             std::strerror(errno));
+  struct FdGuard {
+    int fd;
+    ~FdGuard() { ::close(fd); }
+  } guard{fd};
+  setSocketTimeouts(fd, timeoutMs);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("httpGet: bad host '" + host +
+                             "' (numeric IPv4 required)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0)
+    throw std::runtime_error("httpGet: connect " + host + ':' +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+  const std::string reqText = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!sendAll(fd, reqText.data(), reqText.size()))
+    throw std::runtime_error("httpGet: send failed");
+  std::string resp;
+  for (;;) {
+    char chunk[8192];
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      resp.append(chunk, std::size_t(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      throw std::runtime_error("httpGet: read timed out");
+    break;  // EOF: Connection: close means the response is complete
+  }
+  const std::size_t headEnd = resp.find("\r\n\r\n");
+  if (headEnd == std::string::npos)
+    throw std::runtime_error("httpGet: malformed response (no header end)");
+  const std::string_view head = std::string_view(resp).substr(0, headEnd);
+  // Status line: HTTP/1.1 SP code SP reason.
+  const std::size_t sp = head.find(' ');
+  if (sp == std::string_view::npos || head.compare(0, 5, "HTTP/") != 0)
+    throw std::runtime_error("httpGet: malformed status line");
+  HttpGetResult out;
+  out.status = std::atoi(std::string(head.substr(sp + 1, 3)).c_str());
+  if (out.status < 100 || out.status > 599)
+    throw std::runtime_error("httpGet: malformed status code");
+  // Pull Content-Type out of the headers (case-insensitive name match).
+  std::size_t pos = head.find('\n');
+  while (pos != std::string_view::npos && pos < head.size()) {
+    std::size_t end = head.find('\n', pos + 1);
+    const std::string_view line = trim(head.substr(
+        pos + 1, (end == std::string_view::npos ? head.size() : end) - pos -
+                     1));
+    pos = end;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    if (toLower(std::string(trim(line.substr(0, colon)))) == "content-type")
+      out.contentType = std::string(trim(line.substr(colon + 1)));
+  }
+  out.body = resp.substr(headEnd + 4);
+  return out;
+}
+
+}  // namespace hsd::net

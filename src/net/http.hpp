@@ -1,0 +1,167 @@
+// Minimal, dependency-free HTTP/1.1 transport (POSIX sockets, blocking
+// I/O) — the listener behind obs::AdminServer and every later
+// remote-serving surface. Deliberately small: exact-path GET/HEAD
+// routing, bounded request parsing, optional keep-alive, and a graceful
+// stop. Not a general web server; it serves trusted operator traffic on
+// a loopback/infra port.
+//
+// Threading model: one acceptor thread poll()s the listening socket and
+// feeds accepted connections to a small fixed pool of handler threads
+// (bounded queue). Each handler thread owns one connection at a time and
+// runs its request/response loop to completion. stop() is graceful in
+// the drain sense: the acceptor stops accepting, queued-but-unserved
+// connections are closed, in-flight requests finish and write their
+// responses (their read side is shutdown(2) so keep-alive loops exit),
+// then the threads are joined. Handlers may be called concurrently from
+// several threads — route handlers must be thread-safe.
+//
+// Parsing limits (all configurable): request line + headers are capped
+// at maxHeaderBytes (431 when exceeded), bodies at maxBodyBytes (413),
+// and only GET/HEAD are routed (405 otherwise). Malformed requests get
+// a 400. Every limit violation closes the connection after the error
+// response — a client that overflows a limit never gets keep-alive.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace hsd::net {
+
+/// One parsed request. Header names are lower-cased at parse time;
+/// values keep their bytes (leading/trailing whitespace trimmed).
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET" (upper-case as sent)
+  std::string target;   ///< raw request target, e.g. "/tracez?limit=10"
+  std::string path;     ///< target up to '?', e.g. "/tracez"
+  std::string query;    ///< target after '?', e.g. "limit=10" ("" if none)
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with this (lower-case) name, or nullptr.
+  const std::string* header(std::string_view lowerName) const;
+  /// Value of `key` in the query string ("" when absent; no %-decoding —
+  /// admin endpoints use plain numeric/identifier params).
+  std::string queryParam(std::string_view key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string contentType = "text/plain; charset=utf-8";
+  std::string body;
+  bool closeConnection = false;  ///< force Connection: close
+
+  static HttpResponse text(int status, std::string body);
+  static HttpResponse json(std::string body);
+};
+
+/// Canonical reason phrase ("OK", "Not Found", ...; "Unknown" fallback).
+const char* statusReason(int status);
+
+struct HttpServerOptions {
+  std::uint16_t port = 0;            ///< 0 = ephemeral, read back via port()
+  std::string bindAddress = "127.0.0.1";  ///< numeric IPv4
+  std::size_t handlerThreads = 2;
+  std::size_t maxHeaderBytes = 16 * 1024;
+  std::size_t maxBodyBytes = 1 << 20;
+  std::size_t maxQueuedConnections = 64;  ///< accepted-but-unserved cap
+  bool keepAlive = true;
+  /// Per-recv/send timeout; also bounds how long stop() can block on an
+  /// idle keep-alive connection that never saw the shutdown(2).
+  int ioTimeoutMs = 2000;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HttpServerOptions opts = {});
+  ~HttpServer();  ///< stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register an exact-path route. Call before start(); handlers run
+  /// concurrently on the handler pool and must be thread-safe. A handler
+  /// that throws produces a 500 with the exception message.
+  void handle(std::string path, Handler handler);
+
+  /// Bind, listen, and spawn the acceptor + handler threads. Throws
+  /// std::runtime_error on socket/bind/listen failure. Call once.
+  void start();
+
+  /// The bound port (the chosen one when options.port was 0); 0 before
+  /// start().
+  std::uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Registered route paths, in registration order (the "/" index and
+  /// 404 bodies list these).
+  std::vector<std::string> routes() const;
+
+  /// Graceful stop: stop accepting, close queued connections, let
+  /// in-flight requests finish their response, join all threads.
+  /// Idempotent.
+  void stop();
+
+ private:
+  void acceptLoop();
+  void handlerLoop();
+  void serveConnection(int fd);
+  /// Reads one request from fd into req, carrying leftover bytes across
+  /// keep-alive requests in `buf`. Returns true on success; on failure
+  /// sets errStatus (0 = clean close / timeout, no response owed).
+  bool readRequest(int fd, std::string& buf, HttpRequest& req,
+                   int& errStatus);
+  void writeResponse(int fd, const HttpResponse& res, bool keepAlive,
+                     bool headOnly);
+  HttpResponse dispatch(const HttpRequest& req);
+
+  HttpServerOptions opts_;
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::pair<std::string, Handler>> routes_;  ///< registration order
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;             ///< accepted fds awaiting a handler
+  std::unordered_set<int> active_;      ///< fds currently being served
+
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+};
+
+/// Result of one client GET. `status` is 0 only on transport failure
+/// paths that throw instead, so a returned result always has a parsed
+/// status line.
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+  std::string contentType;
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+/// Minimal blocking HTTP/1.1 GET (Connection: close, numeric IPv4 host).
+/// The curl-free scrape path of tests and tools_smoke.sh (via
+/// tools/hsd_scrape). Throws std::runtime_error on connect/socket/parse
+/// failure; HTTP-level errors come back as the status code.
+HttpGetResult httpGet(const std::string& host, std::uint16_t port,
+                      const std::string& target, int timeoutMs = 5000);
+
+}  // namespace hsd::net

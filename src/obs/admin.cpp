@@ -1,0 +1,217 @@
+#include "obs/admin.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <locale>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace hsd::obs {
+
+namespace {
+
+enum ScrapeIndex {
+  kMetrics = 0,
+  kStatsz = 1,
+  kTracez = 2,
+  kHealthz = 3,
+  kReadyz = 4,
+};
+
+constexpr const char* kPromContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace
+
+AdminServer::AdminServer(AdminOptions opts)
+    : opts_(opts),
+      http_([&opts] {
+        net::HttpServerOptions h;
+        h.port = opts.port;
+        h.bindAddress = opts.bindAddress;
+        h.handlerThreads = opts.handlerThreads;
+        return h;
+      }()),
+      self_(std::make_shared<MetricsRegistry>()) {
+  // Registration order is exposition order — keep it stable.
+  uptime_ = &self_->gauge("hsd_admin_uptime_seconds",
+                          "Whole seconds since the admin server started");
+  const std::pair<int, const char*> endpoints[] = {
+      {kMetrics, "/metrics"}, {kStatsz, "/statsz"},  {kTracez, "/tracez"},
+      {kHealthz, "/healthz"}, {kReadyz, "/readyz"}};
+  for (const auto& [idx, endpoint] : endpoints)
+    scrapes_[idx] = &self_->counter("hsd_admin_scrapes_total",
+                                    "Admin endpoint hits by endpoint",
+                                    {{"endpoint", endpoint}});
+
+  http_.handle("/", [this](const net::HttpRequest&) {
+    std::string body = "openhsd admin server\nendpoints:\n";
+    for (const std::string& r : http_.routes()) body += "  " + r + "\n";
+    return net::HttpResponse::text(200, std::move(body));
+  });
+  http_.handle("/healthz", [this](const net::HttpRequest&) {
+    scrapes_[kHealthz]->inc();
+    return net::HttpResponse::text(200, "ok\n");
+  });
+  http_.handle("/readyz", [this](const net::HttpRequest&) {
+    scrapes_[kReadyz]->inc();
+    for (const auto& ready : readiness_)
+      if (!ready()) return net::HttpResponse::text(503, "unready\n");
+    return net::HttpResponse::text(200, "ready\n");
+  });
+  http_.handle("/metrics",
+               [this](const net::HttpRequest& req) { return handleMetrics(req); });
+  http_.handle("/statsz",
+               [this](const net::HttpRequest& req) { return handleStatsz(req); });
+  http_.handle("/tracez",
+               [this](const net::HttpRequest& req) { return handleTracez(req); });
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::requireNotStarted(const char* what) const {
+  if (http_.running())
+    throw std::logic_error(std::string("AdminServer: ") + what +
+                           " must happen before start()");
+}
+
+void AdminServer::addMetrics(std::shared_ptr<const MetricsRegistry> registry) {
+  requireNotStarted("addMetrics");
+  if (registry) registries_.push_back(std::move(registry));
+}
+
+void AdminServer::setTracer(std::shared_ptr<const TraceRecorder> tracer) {
+  requireNotStarted("setTracer");
+  tracer_ = std::move(tracer);
+}
+
+void AdminServer::addStatsProvider(std::string key,
+                                   std::function<std::string()> fn) {
+  requireNotStarted("addStatsProvider");
+  stats_.emplace_back(std::move(key), std::move(fn));
+}
+
+void AdminServer::addReadiness(std::function<bool()> ready) {
+  requireNotStarted("addReadiness");
+  readiness_.push_back(std::move(ready));
+}
+
+void AdminServer::start() {
+  started_ = std::chrono::steady_clock::now();
+  http_.start();
+}
+
+void AdminServer::stop() { http_.stop(); }
+
+net::HttpResponse AdminServer::handleMetrics(const net::HttpRequest&) {
+  scrapes_[kMetrics]->inc();
+  uptime_->set(std::chrono::duration_cast<std::chrono::seconds>(
+                   std::chrono::steady_clock::now() - started_)
+                   .count());
+  std::string out;
+  for (const auto& reg : registries_) out += reg->renderPrometheus();
+  out += self_->renderPrometheus();
+  net::HttpResponse res;
+  res.contentType = kPromContentType;
+  res.body = std::move(out);
+  return res;
+}
+
+net::HttpResponse AdminServer::handleStatsz(const net::HttpRequest&) {
+  scrapes_[kStatsz]->inc();
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(3);
+  os << std::fixed << "{\"uptimeSeconds\": "
+     << std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+  for (const auto& [key, fn] : stats_) {
+    os << ", \"" << jsonEscape(key) << "\": ";
+    try {
+      os << fn();
+    } catch (const std::exception& e) {
+      os << "{\"error\": \"" << jsonEscape(e.what()) << "\"}";
+    } catch (...) {
+      os << "{\"error\": \"unknown\"}";
+    }
+  }
+  os << "}\n";
+  return net::HttpResponse::json(os.str());
+}
+
+net::HttpResponse AdminServer::handleTracez(const net::HttpRequest& req) {
+  scrapes_[kTracez]->inc();
+  std::size_t limit = opts_.tracezDefaultLimit;
+  if (const std::string raw = req.queryParam("limit"); !raw.empty()) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+    if (end != raw.c_str() && *end == '\0' && v > 0)
+      limit = std::size_t(std::min<unsigned long long>(v, 1u << 20));
+  }
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  if (!tracer_) {
+    os << "{\"enabled\": false, \"spans\": []}\n";
+    return net::HttpResponse::json(os.str());
+  }
+  // Non-destructive: snapshot() copies the per-thread rings while
+  // recording continues (spans landing mid-copy may be missed — that is
+  // the documented quiescence contract, fine for a live peek).
+  std::vector<TraceRecorder::SnapshotEvent> events = tracer_->snapshot();
+  const std::vector<std::string> names = tracer_->threadNames();
+  const std::size_t total = events.size();
+  // Most recent spans win the cap; render the survivors oldest-first so
+  // the JSON reads chronologically.
+  std::sort(events.begin(), events.end(),
+            [](const TraceRecorder::SnapshotEvent& a,
+               const TraceRecorder::SnapshotEvent& b) {
+              return a.event.tsNs + a.event.durNs <
+                     b.event.tsNs + b.event.durNs;
+            });
+  if (events.size() > limit)
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(limit));
+  os << "{\"enabled\": true, \"spanCount\": " << total
+     << ", \"returnedSpans\": " << events.size() << ", \"droppedEvents\": "
+     << tracer_->droppedEvents() << ", \"threads\": [";
+  for (std::size_t tid = 0; tid < names.size(); ++tid) {
+    if (tid != 0) os << ", ";
+    os << "{\"tid\": " << tid << ", \"name\": \"" << jsonEscape(names[tid])
+       << "\"}";
+  }
+  os << "], \"spans\": [";
+  bool first = true;
+  for (const TraceRecorder::SnapshotEvent& se : events) {
+    if (!first) os << ",";
+    first = false;
+    const TraceRecorder::Event& e = se.event;
+    os << "\n{\"tid\": " << se.tid << ", \"name\": \"" << jsonEscape(e.name)
+       << "\", \"cat\": \"" << jsonEscape(e.cat) << "\", \"tsNs\": " << e.tsNs
+       << ", \"durNs\": " << e.durNs;
+    if (e.a0.key != nullptr || e.s0.key != nullptr) {
+      os << ", \"args\": {";
+      bool firstArg = true;
+      for (const TraceArg* a : {&e.a0, &e.a1}) {
+        if (a->key == nullptr) continue;
+        if (!firstArg) os << ", ";
+        firstArg = false;
+        os << '"' << jsonEscape(a->key) << "\": " << a->value;
+      }
+      if (e.s0.key != nullptr) {
+        if (!firstArg) os << ", ";
+        os << '"' << jsonEscape(e.s0.key) << "\": \"" << jsonEscape(e.s0.value)
+           << '"';
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+  return net::HttpResponse::json(os.str());
+}
+
+}  // namespace hsd::obs

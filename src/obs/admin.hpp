@@ -1,0 +1,109 @@
+// AdminServer: the live observability endpoint — an embedded HTTP admin
+// surface (net::HttpServer underneath) that exposes the in-process
+// instrumentation of src/obs while the process runs, instead of only as
+// files written at exit:
+//
+//   GET /          plain-text endpoint index
+//   GET /healthz   liveness: 200 "ok" as long as the server thread runs
+//   GET /readyz    readiness: 200 "ready" when every registered readiness
+//                  hook returns true, else 503 "unready" (hsd_serve wires
+//                  DetectionServer::accepting() here, so readiness flips
+//                  on after the ContextPool is pre-warmed and flips off
+//                  the moment a drain begins)
+//   GET /metrics   Prometheus text exposition 0.0.4: every mounted
+//                  MetricsRegistry in mount order, then the admin's own
+//                  self-metrics registry
+//   GET /statsz    one JSON object per mounted stats provider (e.g. the
+//                  DetectionServer statsJson() roll-up) plus uptime
+//   GET /tracez    JSON snapshot of the most recent spans in the mounted
+//                  TraceRecorder (?limit=N caps the span count, default
+//                  256) — non-destructive, recording continues
+//
+// Mount everything before start(); the handler pool calls the hooks
+// concurrently, so providers must be thread-safe (renderPrometheus,
+// TraceRecorder::snapshot, and DetectionServer::statsJson all are).
+// The admin server is transport only: it never mutates the serving state
+// it reports on.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hsd::obs {
+
+struct AdminOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  std::string bindAddress = "127.0.0.1";
+  std::size_t handlerThreads = 2;
+  std::size_t tracezDefaultLimit = 256;  ///< spans per /tracez unless ?limit=
+};
+
+class AdminServer {
+ public:
+  explicit AdminServer(AdminOptions opts = {});
+  ~AdminServer();  ///< stop()
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Mount a registry on /metrics (rendered in mount order). Families
+  /// must be unique across mounted registries — the exposition is a
+  /// plain concatenation.
+  void addMetrics(std::shared_ptr<const MetricsRegistry> registry);
+
+  /// Mount the span recorder behind /tracez. At most one; pass nullptr
+  /// to unmount. /tracez reports {"enabled": false} without one.
+  void setTracer(std::shared_ptr<const TraceRecorder> tracer);
+
+  /// Mount a /statsz section: `fn` must return a complete JSON value
+  /// (object/number/string) and be thread-safe. Sections render in mount
+  /// order as {"<key>": <fn()>, ...}; a throwing provider degrades to an
+  /// {"error": ...} object for its key, never a failed scrape.
+  void addStatsProvider(std::string key, std::function<std::string()> fn);
+
+  /// Add a readiness hook; /readyz is 200 only when ALL hooks return
+  /// true. With no hooks readiness equals liveness.
+  void addReadiness(std::function<bool()> ready);
+
+  /// Bind and serve. Throws std::runtime_error when the port can't be
+  /// bound. Call after mounting; mounting after start() throws.
+  void start();
+  void stop();
+
+  bool running() const { return http_.running(); }
+  /// The bound port (the kernel's pick when AdminOptions::port was 0).
+  std::uint16_t port() const { return http_.port(); }
+
+  /// The admin's own registry (scrape counters, uptime) — rendered last
+  /// on /metrics. Exposed so tools can add process-level metrics.
+  MetricsRegistry& selfMetrics() { return *self_; }
+
+ private:
+  net::HttpResponse handleMetrics(const net::HttpRequest& req);
+  net::HttpResponse handleStatsz(const net::HttpRequest& req);
+  net::HttpResponse handleTracez(const net::HttpRequest& req);
+  void requireNotStarted(const char* what) const;
+
+  AdminOptions opts_;
+  net::HttpServer http_;
+  std::vector<std::shared_ptr<const MetricsRegistry>> registries_;
+  std::shared_ptr<const TraceRecorder> tracer_;
+  std::vector<std::pair<std::string, std::function<std::string()>>> stats_;
+  std::vector<std::function<bool()>> readiness_;
+  std::shared_ptr<MetricsRegistry> self_;
+  Counter* scrapes_[5] = {};  ///< /metrics /statsz /tracez /healthz /readyz
+  Gauge* uptime_ = nullptr;   ///< whole seconds since start()
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace hsd::obs

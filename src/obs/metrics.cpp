@@ -110,6 +110,13 @@ std::string MetricsRegistry::sanitizeName(const std::string& name) {
   return out;
 }
 
+std::string MetricsRegistry::sanitizeLabelName(const std::string& name) {
+  std::string out = sanitizeName(name);
+  for (char& c : out)
+    if (c == ':') c = '_';
+  return out;
+}
+
 MetricsRegistry::Family& MetricsRegistry::familyOf(const std::string& name,
                                                    const std::string& help,
                                                    Type type) {
@@ -131,7 +138,7 @@ MetricsRegistry::Sample& MetricsRegistry::sampleOf(Family& fam,
   std::string rendered;
   for (const auto& [k, v] : labels) {
     if (!rendered.empty()) rendered += ',';
-    rendered += sanitizeName(k) + "=\"" + expositionEscape(v, true) + '"';
+    rendered += sanitizeLabelName(k) + "=\"" + expositionEscape(v, true) + '"';
   }
   for (auto& s : fam.samples)
     if (s.labels == rendered) return s;

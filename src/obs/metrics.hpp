@@ -121,6 +121,9 @@ class MetricsRegistry {
   std::string renderPrometheus() const;
 
   static std::string sanitizeName(const std::string& name);
+  /// Label names are stricter than metric names: [a-zA-Z_][a-zA-Z0-9_]*
+  /// — colons are reserved for metric names and become '_' here.
+  static std::string sanitizeLabelName(const std::string& name);
 
  private:
   enum class Type { kCounter, kGauge, kHistogram };

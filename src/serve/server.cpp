@@ -162,6 +162,11 @@ std::future<ServeResult> DetectionServer::submit(
   return fut;
 }
 
+bool DetectionServer::accepting() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return accepting_ && !stopping_;
+}
+
 void DetectionServer::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mu_);

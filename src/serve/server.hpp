@@ -137,6 +137,12 @@ class DetectionServer {
   /// Idempotent; the destructor calls it.
   void shutdown();
 
+  /// True from construction (the ContextPool is pre-warmed in the
+  /// constructor, so a constructed server is a ready server) until
+  /// shutdown() begins. This is the /readyz readiness hook: it flips
+  /// false the moment a drain starts, while in-flight requests finish.
+  bool accepting() const;
+
   /// Aggregate lifetime counters (requests by outcome, worker busy time,
   /// shared-cache totals).
   struct Stats {

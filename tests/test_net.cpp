@@ -1,0 +1,469 @@
+// Transport + admin-surface tests (ctest label: net). Pins the src/net
+// HTTP/1.1 listener and the obs::AdminServer built on it:
+//  - routing, query params, 404 endpoint listing, HEAD semantics;
+//  - the parsing limits: malformed -> 400, oversized header -> 431,
+//    oversized body -> 413, chunked -> 400, non-GET/HEAD -> 405 — each
+//    error response closes the connection;
+//  - keep-alive serves several requests on one connection; stop() is
+//    graceful and idempotent; httpGet fails loudly on a dead port;
+//  - AdminServer endpoint contracts: /healthz, /readyz readiness flips,
+//    /metrics (Prometheus 0.0.4, mount order + self-metrics), /statsz
+//    (JSON; throwing providers degrade, never fail the scrape), /tracez
+//    (non-destructive snapshot, ?limit=);
+//  - the concurrent-scrape hammer: many client threads scraping every
+//    endpoint while a DetectionServer runs real detection traffic — every
+//    response parses; run under TSan via the `net` label.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "mini_json.hpp"
+#include "net/http.hpp"
+#include "obs/admin.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+
+namespace hsd::net {
+namespace {
+
+using hsd::tests::parsesAsJson;
+
+// Raw TCP client: send `request` verbatim, read until EOF. Lets the tests
+// exercise wire-level cases (malformed requests, keep-alive pipelining)
+// that the well-behaved httpGet client cannot produce.
+std::string rawExchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t w =
+        ::send(fd, request.data() + off, request.size() - off, MSG_NOSIGNAL);
+    if (w <= 0) break;
+    off += std::size_t(w);
+  }
+  std::string resp;
+  for (;;) {
+    char chunk[4096];
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r <= 0) break;
+    resp.append(chunk, std::size_t(r));
+  }
+  ::close(fd);
+  return resp;
+}
+
+int countOccurrences(const std::string& text, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer: routing and the happy path
+
+TEST(HttpServer, RoutesRequestsAndParsesQueryParams) {
+  HttpServer server;
+  server.handle("/hello", [](const HttpRequest& req) {
+    std::string who = req.queryParam("name");
+    if (who.empty()) who = "anonymous";
+    EXPECT_NE(req.header("host"), nullptr);
+    return HttpResponse::text(200, "hello " + who + "\n");
+  });
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  const HttpGetResult plain = httpGet("127.0.0.1", server.port(), "/hello");
+  EXPECT_EQ(plain.status, 200);
+  EXPECT_EQ(plain.body, "hello anonymous\n");
+  EXPECT_NE(plain.contentType.find("text/plain"), std::string::npos);
+
+  const HttpGetResult q =
+      httpGet("127.0.0.1", server.port(), "/hello?name=world&x=1");
+  EXPECT_EQ(q.status, 200);
+  EXPECT_EQ(q.body, "hello world\n");
+}
+
+TEST(HttpServer, UnknownPathGets404ListingEndpoints) {
+  HttpServer server;
+  server.handle("/a", [](const HttpRequest&) {
+    return HttpResponse::text(200, "a");
+  });
+  server.handle("/b", [](const HttpRequest&) {
+    return HttpResponse::text(200, "b");
+  });
+  server.start();
+  const HttpGetResult res = httpGet("127.0.0.1", server.port(), "/missing");
+  EXPECT_EQ(res.status, 404);
+  EXPECT_NE(res.body.find("/missing"), std::string::npos);
+  EXPECT_NE(res.body.find("/a"), std::string::npos);
+  EXPECT_NE(res.body.find("/b"), std::string::npos);
+}
+
+TEST(HttpServer, HeadReturnsHeadersWithoutBody) {
+  HttpServer server;
+  server.handle("/x", [](const HttpRequest&) {
+    return HttpResponse::text(200, "body-bytes");
+  });
+  server.start();
+  const std::string resp = rawExchange(
+      server.port(), "HEAD /x HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Length: 10"), std::string::npos) << resp;
+  // The header block ends the response: no body follows for HEAD.
+  EXPECT_EQ(resp.substr(resp.find("\r\n\r\n") + 4), "");
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500) {
+  HttpServer server;
+  server.handle("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("kaboom");
+  });
+  server.start();
+  const HttpGetResult res = httpGet("127.0.0.1", server.port(), "/boom");
+  EXPECT_EQ(res.status, 500);
+  EXPECT_NE(res.body.find("kaboom"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parsing limits on the wire
+
+TEST(HttpServer, MalformedRequestLineGets400) {
+  HttpServer server;
+  server.start();
+  const std::string resp =
+      rawExchange(server.port(), "THIS IS NOT HTTP\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 400 Bad Request"), std::string::npos) << resp;
+}
+
+TEST(HttpServer, OversizedHeadersGet431) {
+  HttpServerOptions opts;
+  opts.maxHeaderBytes = 128;  // constructor floor; tiny on purpose
+  HttpServer server(opts);
+  server.start();
+  const std::string resp = rawExchange(
+      server.port(), "GET / HTTP/1.1\r\nX-Pad: " + std::string(4096, 'x') +
+                         "\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 431 "), std::string::npos) << resp;
+}
+
+TEST(HttpServer, OversizedBodyGets413) {
+  HttpServer server;  // default 1 MiB body cap
+  server.start();
+  const std::string resp = rawExchange(
+      server.port(),
+      "GET / HTTP/1.1\r\nContent-Length: 16777216\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 413 "), std::string::npos) << resp;
+}
+
+TEST(HttpServer, ChunkedTransferEncodingGets400) {
+  HttpServer server;
+  server.start();
+  const std::string resp = rawExchange(
+      server.port(),
+      "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 400 "), std::string::npos) << resp;
+}
+
+TEST(HttpServer, NonGetMethodsGet405) {
+  HttpServer server;
+  server.handle("/x", [](const HttpRequest&) {
+    return HttpResponse::text(200, "x");
+  });
+  server.start();
+  const std::string resp = rawExchange(
+      server.port(),
+      "POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+  EXPECT_NE(resp.find("HTTP/1.1 405 "), std::string::npos) << resp;
+  // Limit/method violations never get keep-alive.
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos) << resp;
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive and lifecycle
+
+TEST(HttpServer, KeepAliveServesTwoRequestsOnOneConnection) {
+  std::atomic<int> hits{0};
+  HttpServer server;
+  server.handle("/k", [&hits](const HttpRequest&) {
+    return HttpResponse::text(200,
+                              "hit " + std::to_string(++hits) + "\n");
+  });
+  server.start();
+  const std::string resp = rawExchange(
+      server.port(),
+      "GET /k HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /k HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(countOccurrences(resp, "HTTP/1.1 200 OK"), 2) << resp;
+  EXPECT_NE(resp.find("hit 1"), std::string::npos);
+  EXPECT_NE(resp.find("hit 2"), std::string::npos);
+  EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(HttpServer, StopIsGracefulAndIdempotentAndFreesThePort) {
+  HttpServer server;
+  server.handle("/x", [](const HttpRequest&) {
+    return HttpResponse::text(200, "x");
+  });
+  server.start();
+  const std::uint16_t port = server.port();
+  EXPECT_TRUE(server.running());
+  EXPECT_EQ(httpGet("127.0.0.1", port, "/x").status, 200);
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(server.running());
+  EXPECT_THROW(httpGet("127.0.0.1", port, "/x", /*timeoutMs=*/500),
+               std::runtime_error);
+}
+
+TEST(HttpServer, RegisteringRoutesAfterStartThrows) {
+  HttpServer server;
+  server.start();
+  EXPECT_THROW(server.handle("/late",
+                             [](const HttpRequest&) {
+                               return HttpResponse::text(200, "");
+                             }),
+               std::logic_error);
+}
+
+TEST(HttpGet, ConnectFailureThrows) {
+  // Bind-then-stop guarantees the port was just free.
+  HttpServer server;
+  server.start();
+  const std::uint16_t port = server.port();
+  server.stop();
+  EXPECT_THROW(httpGet("127.0.0.1", port, "/", /*timeoutMs=*/500),
+               std::runtime_error);
+  EXPECT_THROW(httpGet("not-an-ip", 1, "/"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// AdminServer endpoints
+
+TEST(AdminServer, ServesAllEndpointsWithSelfMetrics) {
+  auto reg = std::make_shared<obs::MetricsRegistry>();
+  reg->counter("app_events_total", "demo").inc(5);
+  auto tracer = std::make_shared<obs::TraceRecorder>();
+  tracer->recordSpan("warm", "test", std::chrono::steady_clock::now(),
+                     std::chrono::steady_clock::now());
+
+  obs::AdminServer admin;
+  admin.addMetrics(reg);
+  admin.setTracer(tracer);
+  admin.addStatsProvider("demo", [] { return std::string("{\"n\": 1}"); });
+  admin.start();
+  ASSERT_NE(admin.port(), 0);
+
+  const HttpGetResult index = httpGet("127.0.0.1", admin.port(), "/");
+  EXPECT_EQ(index.status, 200);
+  for (const char* ep : {"/healthz", "/readyz", "/metrics", "/statsz",
+                         "/tracez"})
+    EXPECT_NE(index.body.find(ep), std::string::npos) << index.body;
+
+  EXPECT_EQ(httpGet("127.0.0.1", admin.port(), "/healthz").body, "ok\n");
+  EXPECT_EQ(httpGet("127.0.0.1", admin.port(), "/readyz").body, "ready\n");
+
+  const HttpGetResult metrics =
+      httpGet("127.0.0.1", admin.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.contentType.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.body.find("app_events_total 5\n"), std::string::npos);
+  // Self-metrics render last and count this very scrape.
+  EXPECT_NE(metrics.body.find("hsd_admin_scrapes_total"), std::string::npos);
+  EXPECT_LT(metrics.body.find("app_events_total"),
+            metrics.body.find("hsd_admin_scrapes_total"));
+  EXPECT_NE(
+      metrics.body.find(
+          "hsd_admin_scrapes_total{endpoint=\"/metrics\"} 1\n"),
+      std::string::npos)
+      << metrics.body;
+
+  const HttpGetResult statsz = httpGet("127.0.0.1", admin.port(), "/statsz");
+  EXPECT_EQ(statsz.status, 200);
+  EXPECT_NE(statsz.contentType.find("application/json"), std::string::npos);
+  EXPECT_TRUE(parsesAsJson(statsz.body)) << statsz.body;
+  EXPECT_NE(statsz.body.find("\"demo\": {\"n\": 1}"), std::string::npos);
+  EXPECT_NE(statsz.body.find("\"uptimeSeconds\""), std::string::npos);
+
+  const HttpGetResult tracez = httpGet("127.0.0.1", admin.port(), "/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_TRUE(parsesAsJson(tracez.body)) << tracez.body;
+  EXPECT_NE(tracez.body.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"warm\""), std::string::npos);
+  // Non-destructive: the recorder still holds the span afterwards.
+  EXPECT_EQ(tracer->spanCount(), 1u);
+}
+
+TEST(AdminServer, ReadyzReflectsEveryReadinessHook) {
+  std::atomic<bool> ready{false};
+  obs::AdminServer admin;
+  admin.addReadiness([&ready] { return ready.load(); });
+  admin.addReadiness([] { return true; });
+  admin.start();
+  EXPECT_EQ(httpGet("127.0.0.1", admin.port(), "/readyz").status, 503);
+  EXPECT_EQ(httpGet("127.0.0.1", admin.port(), "/readyz").body, "unready\n");
+  ready.store(true);
+  EXPECT_EQ(httpGet("127.0.0.1", admin.port(), "/readyz").status, 200);
+  // Liveness is independent of readiness.
+  EXPECT_EQ(httpGet("127.0.0.1", admin.port(), "/healthz").status, 200);
+}
+
+TEST(AdminServer, ThrowingStatsProviderDegradesToErrorObject) {
+  obs::AdminServer admin;
+  admin.addStatsProvider("good", [] { return std::string("7"); });
+  admin.addStatsProvider("bad", []() -> std::string {
+    throw std::runtime_error("provider down");
+  });
+  admin.start();
+  const HttpGetResult res = httpGet("127.0.0.1", admin.port(), "/statsz");
+  EXPECT_EQ(res.status, 200);  // a broken provider never fails the scrape
+  EXPECT_TRUE(parsesAsJson(res.body)) << res.body;
+  EXPECT_NE(res.body.find("\"good\": 7"), std::string::npos);
+  EXPECT_NE(res.body.find("provider down"), std::string::npos);
+}
+
+TEST(AdminServer, TracezHonorsLimitAndReportsDisabledWithoutTracer) {
+  auto tracer = std::make_shared<obs::TraceRecorder>();
+  const auto t = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i)
+    tracer->recordSpan("s" + std::to_string(i), "test", t, t);
+  obs::AdminServer admin;
+  admin.setTracer(tracer);
+  admin.start();
+  const HttpGetResult limited =
+      httpGet("127.0.0.1", admin.port(), "/tracez?limit=3");
+  EXPECT_TRUE(parsesAsJson(limited.body)) << limited.body;
+  EXPECT_NE(limited.body.find("\"spanCount\": 10"), std::string::npos);
+  EXPECT_NE(limited.body.find("\"returnedSpans\": 3"), std::string::npos);
+  EXPECT_EQ(countOccurrences(limited.body, "\"name\": \"s"), 3);
+  admin.stop();
+
+  obs::AdminServer bare;
+  bare.start();
+  const HttpGetResult off = httpGet("127.0.0.1", bare.port(), "/tracez");
+  EXPECT_EQ(off.status, 200);
+  EXPECT_TRUE(parsesAsJson(off.body)) << off.body;
+  EXPECT_NE(off.body.find("\"enabled\": false"), std::string::npos);
+}
+
+TEST(AdminServer, MountingAfterStartThrows) {
+  obs::AdminServer admin;
+  admin.start();
+  EXPECT_THROW(admin.addMetrics(std::make_shared<obs::MetricsRegistry>()),
+               std::logic_error);
+  EXPECT_THROW(admin.addStatsProvider("x", [] { return std::string("1"); }),
+               std::logic_error);
+  EXPECT_THROW(admin.addReadiness([] { return true; }),
+               std::logic_error);
+  EXPECT_THROW(admin.setTracer(nullptr), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// The concurrent-scrape hammer: every admin endpoint scraped from many
+// threads while the DetectionServer runs real detection traffic. Run
+// under TSan via the `net` ctest label; every response must parse.
+
+TEST(AdminServer, ConcurrentScrapesDuringDetectionTrafficAllParse) {
+  hsd::tests::FixtureSpec spec;
+  spec.hotspots = 12;
+  spec.nonHotspots = 48;
+  spec.width = 20000;
+  spec.height = 20000;
+  spec.sites = 8;
+  const hsd::tests::DetectorFixture& fx = hsd::tests::detectorFixture(spec);
+
+  serve::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.threadsPerContext = 1;
+  cfg.tracer = std::make_shared<obs::TraceRecorder>();
+  serve::DetectionServer server(cfg);
+
+  obs::AdminServer admin;
+  admin.addMetrics(server.metrics());
+  admin.setTracer(cfg.tracer);
+  admin.addStatsProvider("serve", [&server] { return server.statsJson(); });
+  admin.addReadiness([&server] { return server.accepting(); });
+  admin.start();
+  const std::uint16_t port = admin.port();
+  EXPECT_EQ(httpGet("127.0.0.1", port, "/readyz").status, 200);
+
+  // Detection traffic: a stream of real evaluations on the fixture.
+  constexpr int kRequests = 6;
+  core::EvalParams ep;
+  ep.threads = 1;
+  std::vector<std::future<serve::ServeResult>> futs;
+  futs.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i)
+    futs.push_back(server.submit(fx.detector, fx.test.layout, ep));
+
+  // Scrapers: four threads cycling through every endpoint.
+  constexpr int kScrapers = 4;
+  constexpr int kRounds = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> scrapers;
+  scrapers.reserve(kScrapers);
+  for (int s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([port, &failures] {
+      const char* targets[] = {"/metrics", "/tracez?limit=64", "/statsz",
+                               "/healthz"};
+      for (int round = 0; round < kRounds; ++round) {
+        const std::string target(targets[round % 4]);
+        try {
+          const HttpGetResult res = httpGet("127.0.0.1", port, target);
+          bool good = res.status == 200;
+          if (target == "/metrics")
+            good = good && res.body.find(
+                               "hsd_serve_requests_submitted_total") !=
+                               std::string::npos;
+          else if (target != "/healthz")
+            good = good && parsesAsJson(res.body);
+          if (!good) ++failures;
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : scrapers) t.join();
+  std::size_t ok = 0;
+  for (auto& f : futs) ok += f.get().ok() ? 1 : 0;
+  EXPECT_EQ(ok, std::size_t(kRequests));
+  EXPECT_EQ(failures.load(), 0);
+
+  // Drain flips readiness off while the admin surface stays live.
+  server.shutdown();
+  EXPECT_EQ(httpGet("127.0.0.1", port, "/readyz").status, 503);
+  EXPECT_EQ(httpGet("127.0.0.1", port, "/healthz").status, 200);
+  const HttpGetResult finalStats = httpGet("127.0.0.1", port, "/statsz");
+  EXPECT_TRUE(parsesAsJson(finalStats.body)) << finalStats.body;
+  EXPECT_NE(finalStats.body.find("\"submitted\": 6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsd::net

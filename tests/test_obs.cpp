@@ -9,7 +9,8 @@
 //  - the canonical stage-span multiset of a pipeline run is byte-identical
 //    at threads=1 and threads=8 (tracing never perturbs what runs);
 //  - Histogram bucket/quantile math and MetricsRegistry's Prometheus
-//    exposition (registration-order stability, type-mismatch rejection);
+//    exposition (registration-order stability, type-mismatch rejection,
+//    hostile HELP/label-value escaping per the 0.0.4 text format);
 //  - the disabled-span fast path performs zero heap allocations (global
 //    operator-new counter) — the "near-zero overhead when off" guarantee;
 //  - EngineStats::toJson stays valid JSON under a hostile global locale.
@@ -30,6 +31,7 @@
 #include "engine/pipeline.hpp"
 #include "engine/run_context.hpp"
 #include "engine/stats.hpp"
+#include "mini_json.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -69,127 +71,8 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace hsd::obs {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal strict JSON parser — enough to *reject* malformed output, which
-// substring checks cannot.
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse() {
-    skipWs();
-    if (!value()) return false;
-    skipWs();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skipWs();
-    if (peek() == '}') { ++pos_; return true; }
-    for (;;) {
-      skipWs();
-      if (!string()) return false;
-      skipWs();
-      if (peek() != ':') return false;
-      ++pos_;
-      skipWs();
-      if (!value()) return false;
-      skipWs();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skipWs();
-    if (peek() == ']') { ++pos_; return true; }
-    for (;;) {
-      skipWs();
-      if (!value()) return false;
-      skipWs();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size()) {
-      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
-      if (c == '"') { ++pos_; return true; }
-      if (c < 0x20) return false;  // raw control byte: invalid
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        const char e = s_[pos_];
-        if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (pos_ >= s_.size() ||
-                !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
-              return false;
-          }
-        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;  // unterminated
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-'))
-      ++pos_;
-    return pos_ > start && std::isdigit(static_cast<unsigned char>(
-                               s_[start] == '-' ? s_[start + 1] : s_[start]));
-  }
-
-  bool literal(const char* lit) {
-    const std::size_t n = std::strlen(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void skipWs() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-bool parsesAsJson(const std::string& text) {
-  return JsonParser(text).parse();
-}
+// Strict mini JSON parser shared with test_net.cpp (tests/mini_json.hpp).
+using hsd::tests::parsesAsJson;
 
 int countOccurrences(const std::string& text, const std::string& needle) {
   int n = 0;
@@ -483,6 +366,52 @@ TEST(MetricsRegistry, ReRegistrationReturnsSameMetricMismatchThrows) {
 TEST(MetricsRegistry, SanitizesInvalidNames) {
   EXPECT_EQ(MetricsRegistry::sanitizeName("9bad-name.x"), "_9bad_name_x");
   EXPECT_EQ(MetricsRegistry::sanitizeName("good:name_1"), "good:name_1");
+  // Label names are stricter than metric names: no colons allowed.
+  EXPECT_EQ(MetricsRegistry::sanitizeLabelName("good:name_1"), "good_name_1");
+  EXPECT_EQ(MetricsRegistry::sanitizeLabelName("9bad-label"), "_9bad_label");
+}
+
+// Prometheus 0.0.4 text-format escaping: HELP escapes backslash and
+// newline (quotes stay raw); label values escape backslash, quote and
+// newline. A hostile help string must not be able to smuggle an extra
+// exposition line or truncate the comment.
+TEST(MetricsRegistry, HostileHelpStringsEscapePerSpec) {
+  MetricsRegistry reg;
+  reg.counter("evil_total",
+              "line1\nline2 \"quoted\" back\\slash\n# HELP fake_metric x")
+      .inc(1);
+  const std::string text = reg.renderPrometheus();
+  EXPECT_NE(
+      text.find("# HELP evil_total line1\\nline2 \"quoted\" "
+                "back\\\\slash\\n# HELP fake_metric x\n"),
+      std::string::npos)
+      << text;
+  // The embedded "# HELP fake_metric" stays inside the one escaped
+  // comment line: exactly one real HELP line in the exposition.
+  EXPECT_EQ(countOccurrences(text, "\n# HELP"), 0);
+  EXPECT_EQ(text.rfind("# HELP", 0), 0u);
+  EXPECT_NE(text.find("evil_total 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, HostileLabelValuesEscapePerSpec) {
+  MetricsRegistry reg;
+  reg.counter("req_total", "by path", {{"path", "a\"b\\c\nd"}}).inc(3);
+  const std::string text = reg.renderPrometheus();
+  EXPECT_NE(text.find("req_total{path=\"a\\\"b\\\\c\\nd\"} 3\n"),
+            std::string::npos)
+      << text;
+  // No raw newline escaped the label value.
+  for (std::size_t pos = text.find('{'); pos < text.find('}'); ++pos)
+    EXPECT_NE(text[pos], '\n');
+}
+
+TEST(MetricsRegistry, HostileLabelNamesAreSanitized) {
+  MetricsRegistry reg;
+  reg.counter("c_total", "h", {{"bad:label-name", "v"}}).inc(1);
+  const std::string text = reg.renderPrometheus();
+  EXPECT_NE(text.find("c_total{bad_label_name=\"v\"} 1\n"),
+            std::string::npos)
+      << text;
 }
 
 // ---------------------------------------------------------------------------

@@ -47,4 +47,43 @@ grep -q '^hsd_serve_requests_total{status="ok"} 4$' "$OUT/serve.prom"
 "$BIN/tools/hsd_serve" "$OUT/model.txt" "$OUT/layout.gds" \
   --requests 3 --workers 2 --deadline-ms 0.001 \
   | grep -q '"timeout": 3'
+# Live admin surface: hsd_serve with --admin-port 0 picks an ephemeral
+# port and prints it; --linger-ms keeps the process (and /readyz "ready")
+# up after the batch so we can scrape every endpoint with the curl-free
+# hsd_scrape client. SIGTERM then triggers the graceful drain — the
+# process must still exit 0 with SERVE_STATS printed and both
+# observability files flushed.
+"$BIN/tools/hsd_serve" "$OUT/model.txt" "$OUT/layout.gds" \
+  --requests 2 --workers 2 --admin-port 0 --linger-ms 60000 \
+  --trace-out "$OUT/admin_trace.json" --metrics-out "$OUT/admin.prom" \
+  > "$OUT/admin_serve.out" 2>&1 &
+SERVE_PID=$!
+tries=0
+while ! grep -q '^ADMIN_PORT ' "$OUT/admin_serve.out" 2>/dev/null; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 150 ]; then
+    echo "hsd_serve never printed ADMIN_PORT" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.2
+done
+PORT=$(sed -n 's/^ADMIN_PORT //p' "$OUT/admin_serve.out" | head -1)
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" /healthz | grep -q '^ok$'
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" /readyz | grep -q '^ready$'
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" /metrics > "$OUT/scraped.prom"
+grep -q '^# TYPE hsd_serve_run_seconds histogram' "$OUT/scraped.prom"
+grep -q '^hsd_serve_requests_submitted_total 2$' "$OUT/scraped.prom"
+grep -q '^hsd_admin_scrapes_total{endpoint="/metrics"} 1$' "$OUT/scraped.prom"
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" /statsz | python3 -m json.tool > /dev/null
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" '/tracez?limit=100' > "$OUT/tracez.json"
+python3 -m json.tool < "$OUT/tracez.json" > /dev/null
+grep -q '"enabled": true' "$OUT/tracez.json"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q '"reportsIdentical": true' "$OUT/admin_serve.out"
+grep '^SERVE_STATS ' "$OUT/admin_serve.out" | sed 's/^SERVE_STATS //' \
+  | python3 -m json.tool > /dev/null
+python3 -m json.tool < "$OUT/admin_trace.json" > /dev/null
+grep -q '^# TYPE hsd_serve_run_seconds histogram' "$OUT/admin.prom"
 echo "tools smoke OK"

@@ -1,0 +1,41 @@
+// CLI: curl-free HTTP GET against the embedded admin server (or any
+// plain HTTP endpoint) — the scrape client of tests/tools_smoke.sh and
+// the verify drive steps, built on net::httpGet.
+//
+//   hsd_scrape <host> <port> <path>
+//
+// Prints the response body to stdout. Exit 0 on a 2xx status, 1 on any
+// other status or transport failure (the status line goes to stderr so
+// the body stays pipeable).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/http.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: %s <host> <port> <path>\n", argv[0]);
+    return 2;
+  }
+  const long port = std::strtol(argv[2], nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "error: bad port '%s'\n", argv[2]);
+    return 2;
+  }
+  try {
+    const hsd::net::HttpGetResult res =
+        hsd::net::httpGet(argv[1], std::uint16_t(port), argv[3]);
+    std::fwrite(res.body.data(), 1, res.body.size(), stdout);
+    if (!res.ok()) {
+      std::fprintf(stderr, "hsd_scrape: HTTP %d for %s\n", res.status,
+                   argv[3]);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hsd_scrape: %s\n", e.what());
+    return 1;
+  }
+}

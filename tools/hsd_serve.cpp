@@ -6,6 +6,7 @@
 //   hsd_serve <model> <layout.gds> [--requests N] [--workers W]
 //             [--contexts C] [--threads T] [--deadline-ms D] [--no-cache]
 //             [--trace-out trace.json] [--metrics-out metrics.prom]
+//             [--admin-port P] [--linger-ms L]
 //
 // With --deadline-ms, requests whose deadline expires resolve to a typed
 // timeout result (counted under "timeout") — the process never crashes on
@@ -13,10 +14,25 @@
 // cache's best case: every request after the first should hit the shared
 // verdict/screen entries ("cache" counters in the JSON).
 //
+// --admin-port P starts the embedded HTTP admin server (obs::AdminServer)
+// on 127.0.0.1:P — P = 0 picks an ephemeral port, printed as one
+// "ADMIN_PORT <port>" line so scripts can scrape it. Endpoints: /metrics
+// (Prometheus), /healthz, /readyz (flips unready when the drain starts),
+// /statsz (live SERVE_STATS JSON), /tracez (recent spans). --linger-ms
+// keeps the process (and admin server) alive that long after the batch
+// finishes, so external scrapers get a ready window; a signal cuts the
+// linger short.
+//
+// SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish every
+// queued and in-flight request, then print SERVE_STATS and flush
+// --trace-out/--metrics-out before exiting — an interrupted run loses
+// neither file.
+//
 // --trace-out records the whole serving run (named worker threads, one
 // queued + one run span per request, per-batch stage spans, cache-lookup
 // spans) as Chrome trace-event JSON for Perfetto. --metrics-out writes the
 // server's Prometheus text exposition after shutdown.
+#include <csignal>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -25,14 +41,29 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "gds/gdsii.hpp"
+#include "obs/admin.hpp"
 #include "obs/trace.hpp"
 #include "serve/server.hpp"
 
 namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void onSignal(int sig) { g_signal = sig; }
+
+void installSignalHandlers() {
+  struct sigaction sa{};
+  sa.sa_handler = &onSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking waits see the interruption
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 bool hasFlag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i)
@@ -53,6 +84,15 @@ const char* argString(int argc, char** argv, const char* flag,
   return def;
 }
 
+/// Sleep in short slices until `ms` elapse or a signal lands.
+void interruptibleSleepMs(double ms) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+  while (g_signal == 0 && std::chrono::steady_clock::now() < until)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,7 +101,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <model> <layout.gds> [--requests N] "
                  "[--workers W] [--contexts C] [--threads T] "
-                 "[--deadline-ms D] [--no-cache]\n",
+                 "[--deadline-ms D] [--no-cache] [--trace-out f.json] "
+                 "[--metrics-out f.prom] [--admin-port P] [--linger-ms L]\n",
                  argv[0]);
     return 2;
   }
@@ -85,16 +126,41 @@ int main(int argc, char** argv) {
     const double deadlineMs = argDouble(argc, argv, "--deadline-ms", 0.0);
     const char* traceOut = argString(argc, argv, "--trace-out", nullptr);
     const char* metricsOut = argString(argc, argv, "--metrics-out", nullptr);
-    if (traceOut != nullptr) {
+    const double adminPort = argDouble(argc, argv, "--admin-port", -1.0);
+    const double lingerMs = argDouble(argc, argv, "--linger-ms", 0.0);
+    const bool adminEnabled = adminPort >= 0.0 && adminPort <= 65535.0;
+    // The admin /tracez endpoint needs a recorder even when no trace file
+    // was requested; the file is still written only with --trace-out.
+    if (traceOut != nullptr || adminEnabled) {
       cfg.tracer = std::make_shared<hsd::obs::TraceRecorder>();
       cfg.tracer->nameThread("hsd_serve-main");
     }
+
+    installSignalHandlers();
 
     core::EvalParams ep;
     ep.extract.clip = det.params.clip;
     ep.removal.clip = det.params.clip;
 
     serve::DetectionServer server(cfg);
+
+    std::unique_ptr<obs::AdminServer> admin;
+    if (adminEnabled) {
+      obs::AdminOptions ao;
+      ao.port = std::uint16_t(adminPort);
+      admin = std::make_unique<obs::AdminServer>(ao);
+      admin->addMetrics(server.metrics());
+      admin->setTracer(cfg.tracer);
+      admin->addStatsProvider("serve",
+                              [&server] { return server.statsJson(); });
+      admin->addReadiness([&server] { return server.accepting(); });
+      admin->start();
+      // One greppable line; flushed so a pipe/file reader sees it while
+      // the batch is still running.
+      std::printf("ADMIN_PORT %u\n", unsigned(admin->port()));
+      std::fflush(stdout);
+    }
+
     std::optional<std::chrono::steady_clock::duration> timeout;
     if (deadlineMs > 0.0)
       timeout = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -105,6 +171,28 @@ int main(int argc, char** argv) {
     futs.reserve(requests);
     for (std::size_t i = 0; i < requests; ++i)
       futs.push_back(server.submit(det, layout, ep, timeout));
+
+    // Signal-aware wait: a SIGINT/SIGTERM here starts the graceful drain
+    // (stop accepting, finish queued + in-flight) instead of killing the
+    // run with its stats and trace unwritten.
+    bool interrupted = false;
+    for (const auto& f : futs) {
+      while (f.wait_for(std::chrono::milliseconds(50)) !=
+             std::future_status::ready) {
+        if (g_signal != 0) {
+          interrupted = true;
+          break;
+        }
+      }
+      if (interrupted) break;
+    }
+    if (interrupted) {
+      std::fprintf(stderr,
+                   "hsd_serve: signal %d: draining (finishing queued and "
+                   "in-flight requests)\n",
+                   int(g_signal));
+      server.shutdown();  // drains; every future below is resolved
+    }
 
     std::vector<serve::ServeResult> results;
     results.reserve(requests);
@@ -128,15 +216,21 @@ int main(int argc, char** argv) {
         identical = false;
     }
 
-    server.shutdown();
+    // Scrape window: the server stays up (readyz "ready", live /metrics,
+    // /statsz, /tracez) until the linger elapses or a signal arrives.
+    if (!interrupted && lingerMs > 0.0) interruptibleSleepMs(lingerMs);
+
+    server.shutdown();  // idempotent when the drain already ran
     std::printf(
         "SERVE_STATS {\"layout\": \"%s\", \"requests\": %zu, "
         "\"wallSeconds\": %.6f, \"throughputRps\": %.3f, "
-        "\"reportsIdentical\": %s, \"server\": %s}\n",
+        "\"reportsIdentical\": %s, \"interrupted\": %s, \"server\": %s}\n",
         layout.name().c_str(), requests, wall,
         wall > 0.0 ? double(results.size()) / wall : 0.0,
-        identical ? "true" : "false", server.statsJson().c_str());
-    if (cfg.tracer) {
+        identical ? "true" : "false", interrupted ? "true" : "false",
+        server.statsJson().c_str());
+    std::fflush(stdout);
+    if (cfg.tracer && traceOut != nullptr) {
       std::ofstream ts(traceOut);
       if (!ts) {
         std::fprintf(stderr, "error: cannot open trace file %s\n", traceOut);
@@ -158,6 +252,7 @@ int main(int argc, char** argv) {
       ms2 << server.renderPrometheus();
       std::printf("metrics: -> %s\n", metricsOut);
     }
+    if (admin) admin->stop();
     return identical ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
