@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Perf-trajectory driver: runs the two JSON-emitting benches and leaves
-# BENCH_table1.json / BENCH_serve.json in the output directory, each
-# validated as parseable JSON and stamped with `git describe`.
+# Perf-trajectory driver: runs the JSON-emitting benches and leaves
+# BENCH_table1.json / BENCH_serve.json / BENCH_tiling.json in the output
+# directory, each validated as parseable JSON and stamped with
+# `git describe`.
 #
 #   bench/run_benches.sh [build-dir] [out-dir]
 #
@@ -32,5 +33,6 @@ run_bench() {
 
 run_bench table1_benchmarks "${OUT_DIR}/BENCH_table1.json"
 run_bench serve_throughput "${OUT_DIR}/BENCH_serve.json"
+run_bench tiling_scaling "${OUT_DIR}/BENCH_tiling.json"
 
 echo "bench trajectory written to ${OUT_DIR}"

@@ -4,7 +4,10 @@
 //
 //   cold  — every request a distinct layout (no cross-request reuse);
 //   warm  — every request the same layout (repeated IP block, the
-//           cache's best case: all but the first request hit).
+//           cache's best case: all but the first request hit);
+//   tiled — the warm scenario with tiled requests: each request fans its
+//           tiles across the context pool (serve/server.hpp fan-out) and
+//           must stay byte-identical to the untiled runs.
 //
 // Each scenario prints a SERVE_STATS JSON line (requests by outcome, wall
 // seconds, throughput, shared-cache hit rate) for the perf tracker,
@@ -145,6 +148,19 @@ int main(int argc, char** argv) {
     serve::DetectionServer server(cfg);
     const std::vector<const Layout*> layouts(kRequests, &b.test.layout);
     scenarios.push_back(runScenario("warm", server, det, layouts, ep));
+  }
+  {
+    // Tiled requests over the same repeated layout: the per-request tile
+    // fan-out borrows idle pooled contexts, and the shared cache serves
+    // warm tiles whichever request computed them first.
+    serve::ServerConfig tiledCfg = cfg;
+    tiledCfg.contexts = cfg.workers + 2;  // idle contexts to borrow
+    serve::DetectionServer server(tiledCfg);
+    core::EvalParams tiledEp = ep;
+    tiledEp.tiling.tileSize = spec.width / 4;
+    tiledEp.tiling.tileThreads = 4;
+    const std::vector<const Layout*> layouts(kRequests, &b.test.layout);
+    scenarios.push_back(runScenario("tiled", server, det, layouts, tiledEp));
   }
   if (jsonOut != nullptr &&
       !bench::writeJsonFile(jsonOut, toJson(scenarios)))

@@ -3,7 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "engine/cache.hpp"
@@ -70,13 +74,21 @@ struct EvalStages {
   engine::Stage<EvalItem, ClipWindow> feedback;
 };
 
+/// `prefix` namespaces the stage/cache *stats* names ("tile<k>/" in tiled
+/// runs, "" monolithic). The verdict cache key keeps the canonical
+/// kVerdictStage hash either way — content hashes are translation
+/// invariant, so tiled and monolithic runs (and different tiles) share
+/// one verdict cache.
 EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
-                          const EvalParams& p) {
+                          const EvalParams& p,
+                          const std::string& prefix = {}) {
   EvalStages s;
   const std::uint64_t cfg = verdictConfig(det, p);
+  const std::string cacheName = prefix + "eval/verdict";
   s.clip = engine::Stage<ClipWindow, EvalItem>{
-      "eval/clip",
-      [&layers, cfg](engine::RunContext& ctx, std::vector<ClipWindow>&& in) {
+      prefix + "eval/clip",
+      [&layers, cfg, cacheName](engine::RunContext& ctx,
+                                std::vector<ClipWindow>&& in) {
         engine::StageCache* const cache = ctx.cache();
         std::vector<EvalItem> out(in.size());
         std::atomic<std::size_t> hits{0};
@@ -96,11 +108,11 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
           }
         });
         if (cache != nullptr)
-          ctx.stats().recordCache("eval/verdict", hits, misses, 0);
+          ctx.stats().recordCache(cacheName, hits, misses, 0);
         return out;
       }};
   s.features = engine::Stage<EvalItem, EvalItem>{
-      "eval/features",
+      prefix + "eval/features",
       [&det](engine::RunContext& ctx, std::vector<EvalItem>&& in) {
         ctx.parallelFor(in.size(), [&](std::size_t i) {
           if (in[i].verdict >= 0) return;  // cached: nothing to compute
@@ -111,9 +123,9 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
         return std::move(in);
       }};
   s.kernels = engine::Stage<EvalItem, EvalItem>{
-      "eval/svm",
-      [&det, bias = p.decisionBias](engine::RunContext& ctx,
-                                    std::vector<EvalItem>&& in) {
+      prefix + "eval/svm",
+      [&det, bias = p.decisionBias, cacheName](engine::RunContext& ctx,
+                                               std::vector<EvalItem>&& in) {
         engine::StageCache* const cache = ctx.cache();
         std::vector<char> keep(in.size(), 0);
         std::atomic<std::size_t> evictions{0};
@@ -138,7 +150,7 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
           keep[i] = flagged;  // verdict stays -1: feedback decides
         });
         if (cache != nullptr)
-          ctx.stats().recordCache("eval/verdict", 0, 0, evictions);
+          ctx.stats().recordCache(cacheName, 0, 0, evictions);
         std::vector<EvalItem> out;
         out.reserve(in.size());
         for (std::size_t i = 0; i < in.size(); ++i)
@@ -146,9 +158,9 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
         return out;
       }};
   s.feedback = engine::Stage<EvalItem, ClipWindow>{
-      "eval/feedback",
-      [&det, useFeedback = p.useFeedback](engine::RunContext& ctx,
-                                          std::vector<EvalItem>&& in) {
+      prefix + "eval/feedback",
+      [&det, useFeedback = p.useFeedback, cacheName](
+          engine::RunContext& ctx, std::vector<EvalItem>&& in) {
         engine::StageCache* const cache = ctx.cache();
         std::vector<std::optional<ClipWindow>> tmp(in.size());
         std::atomic<std::size_t> evictions{0};
@@ -173,7 +185,7 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
           if (hot) tmp[i] = it.win;
         });
         if (cache != nullptr)
-          ctx.stats().recordCache("eval/verdict", 0, 0, evictions);
+          ctx.stats().recordCache(cacheName, 0, 0, evictions);
         std::vector<ClipWindow> out;
         out.reserve(in.size());
         for (std::optional<ClipWindow>& o : tmp)
@@ -227,8 +239,160 @@ EvalResult evaluateCandidates(const Detector& det, const GridIndex& index,
   return finishEval(index, std::move(hits), p, ctx, std::move(res), t0);
 }
 
+TiledLayout prepareTiledLayout(const Layout& layout, LayerId layer,
+                               const EvalParams& p) {
+  TiledLayout t;
+  const Layer* l = layout.findLayer(layer);
+  std::vector<Rect> rects =
+      l == nullptr ? std::vector<Rect>{} : l->rects();
+  const std::optional<Rect> bb = boundingBox(rects.begin(), rects.end());
+  t.plan =
+      engine::TilePlan::make(bb.value_or(Rect{}), p.tiling, p.extract.clip);
+  t.index = GridIndex(std::move(rects), p.extract.clip.clipSide);
+
+  // The monolithic anchor stream, enumerated exactly once: the sequence
+  // number is an anchor's position in it, and the merge sorts hits back
+  // into this order. Partitioning keys on the ownership rule, so every
+  // anchor lands in exactly one tile's work list.
+  const std::vector<Point> anchors =
+      candidateAnchors(t.index, p.extract.clip.coreSide);
+  t.anchorCount = anchors.size();
+  // Ordered map keyed by tile id: memory stays proportional to non-empty
+  // tiles (a tiny tileSize over a big layout implies a huge, mostly
+  // empty grid) and work comes out in tile-id order.
+  std::map<std::size_t, std::vector<std::pair<std::uint64_t, Point>>> buckets;
+  for (std::size_t i = 0; i < anchors.size(); ++i)
+    buckets[t.plan.ownerOf(anchors[i])].emplace_back(i, anchors[i]);
+  t.work.reserve(buckets.size());
+  for (auto& [id, owned] : buckets)
+    t.work.push_back({id, std::move(owned)});
+  return t;
+}
+
+void declareTileStages(engine::EngineStats& stats, const TiledLayout& tiled,
+                       bool withCache) {
+  static const char* const kStages[] = {
+      "extract/screen", "extract/candidates", "eval/clip",
+      "eval/features",  "eval/svm",           "eval/feedback"};
+  for (const TiledLayout::Work& w : tiled.work) {
+    const std::string prefix = "tile" + std::to_string(w.tileId) + "/";
+    for (const char* const s : kStages) stats.declare(prefix + s);
+    if (withCache) {
+      stats.declareCache(prefix + "extract/screen");
+      stats.declareCache(prefix + "eval/verdict");
+    }
+  }
+}
+
+TileEvalResult evaluateTile(const Detector& det, const TiledLayout& tiled,
+                            std::size_t workIndex, const EvalParams& p,
+                            engine::RunContext& ctx) {
+  const TiledLayout::Work& w = tiled.work[workIndex];
+  const engine::TileSpec spec = tiled.plan.tile(w.tileId);
+  ctx.throwIfCancelled();
+
+  // Local geometry slice: every *unclipped* rect overlapping the
+  // halo-expanded tile, in global relative order. halo >= minTileHalo
+  // guarantees any clip window of an owned anchor lies inside the
+  // expanded region, so each window's rect set — and hence its screen
+  // verdict, content hash, features and kernel scores, all of which are
+  // query-order independent — equals the monolithic run's.
+  std::vector<std::size_t> ids = tiled.index.query(spec.expanded);
+  std::sort(ids.begin(), ids.end());
+  std::vector<Rect> slice;
+  slice.reserve(ids.size());
+  for (const std::size_t i : ids) slice.push_back(tiled.index.rects()[i]);
+  const GridIndex local(std::move(slice), p.extract.clip.clipSide);
+
+  const std::string prefix = "tile" + std::to_string(w.tileId) + "/";
+  TileEvalResult out;
+  engine::Stage<Point, ClipWindow> screen =
+      screenStage(local, p.extract, prefix + "extract/screen");
+  engine::Stage<ClipWindow, ClipWindow> tap{
+      prefix + "extract/candidates",
+      [&out](engine::RunContext&, std::vector<ClipWindow>&& b) {
+        out.candidateClips += b.size();
+        return std::move(b);
+      }};
+  const LayerIndex layers{{det.params.layer, &local}};
+  EvalStages s = makeEvalStages(det, layers, p, prefix);
+
+  std::vector<Point> anchors;
+  anchors.reserve(w.anchors.size());
+  for (const auto& [seq, a] : w.anchors) anchors.push_back(a);
+  const std::vector<ClipWindow> hits =
+      engine::runPipeline(ctx, std::move(anchors), screen, tap, s.clip,
+                          s.features, s.kernels, s.feedback);
+
+  // Tag each hit with its global sequence number via the anchor inverse
+  // of anchorWindow: core.lo + coreSide/2 (exact in integer dbu).
+  std::unordered_map<Point, std::uint64_t> seqOf;
+  seqOf.reserve(w.anchors.size());
+  for (const auto& [seq, a] : w.anchors) seqOf.emplace(a, seq);
+  const Coord half = p.extract.clip.coreSide / 2;
+  out.hits.reserve(hits.size());
+  for (const ClipWindow& win : hits) {
+    const Point a{win.core.lo.x + half, win.core.lo.y + half};
+    const auto it = seqOf.find(a);
+    if (it == seqOf.end())
+      throw std::logic_error(
+          "evaluateTile: hit window does not invert to an owned anchor");
+    out.hits.push_back({it->second, a, win});
+  }
+  return out;
+}
+
+EvalResult finishTiledEval(const TiledLayout& tiled,
+                           std::vector<TileEvalResult>&& tiles,
+                           const EvalParams& p, engine::RunContext& ctx,
+                           std::chrono::steady_clock::time_point t0) {
+  EvalResult res;
+  engine::ReportMerger merger(tiled.plan);
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    res.candidateClips += tiles[i].candidateClips;
+    merger.add(tiled.work[i].tileId, std::move(tiles[i].hits));
+  }
+  // Removal runs *globally* over the merged, monolithic-order hit stream
+  // against the global index: it is order-dependent (sequential prune)
+  // and seam-crossing (gravity shifts, covering merges), so running it
+  // per tile would change reports.
+  return finishEval(tiled.index, merger.finish(), p, ctx, std::move(res),
+                    t0);
+}
+
+namespace {
+
+EvalResult evaluateLayoutTiled(const Detector& det, const Layout& layout,
+                               const EvalParams& p,
+                               engine::RunContext& ctx) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const Layer* l = layout.findLayer(det.params.layer);
+  if (l == nullptr || l->empty()) return {};
+  ctx.throwIfCancelled();
+  const TiledLayout tiled = prepareTiledLayout(layout, det.params.layer, p);
+  declareTileStages(ctx.stats(), tiled, ctx.cache() != nullptr);
+
+  // Coarse tile-grain fan-out: each worker claims a tile and runs its
+  // whole stage chain (nested stage parallelFor runs inline), so
+  // different tiles sit in different stages concurrently — extraction on
+  // one tile overlaps scoring on another. tileThreads caps the fan-out
+  // by chunking consecutive tiles.
+  const std::size_t n = tiled.work.size();
+  std::vector<TileEvalResult> tiles(n);
+  std::size_t grain = 1;
+  if (p.tiling.tileThreads > 0 && n > p.tiling.tileThreads)
+    grain = (n + p.tiling.tileThreads - 1) / p.tiling.tileThreads;
+  ctx.parallelFor(
+      n, [&](std::size_t i) { tiles[i] = evaluateTile(det, tiled, i, p, ctx); },
+      grain);
+  return finishTiledEval(tiled, std::move(tiles), p, ctx, t0);
+}
+
+}  // namespace
+
 EvalResult evaluateLayout(const Detector& det, const Layout& layout,
                           const EvalParams& p, engine::RunContext& ctx) {
+  if (p.tiling.enabled()) return evaluateLayoutTiled(det, layout, p, ctx);
   const auto t0 = std::chrono::steady_clock::now();
   const Layer* l = layout.findLayer(det.params.layer);
   if (l == nullptr || l->empty()) return {};

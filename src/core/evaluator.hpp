@@ -15,13 +15,17 @@
 // counts.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/extract.hpp"
 #include "core/removal.hpp"
 #include "core/trainer.hpp"
 #include "engine/run_context.hpp"
+#include "engine/tiler.hpp"
 
 namespace hsd::core {
 
@@ -37,6 +41,12 @@ struct EvalParams {
   /// Thread count used only by the RunContext-free back-compat overloads;
   /// with an explicit context, ctx.threadCount() governs.
   std::size_t threads = 1;
+  /// Spatial tiling (engine/tiler.hpp): when enabled, evaluateLayout
+  /// partitions the layout into halo-expanded grid tiles, runs the stage
+  /// pipeline per tile, and deterministically merges — reports are
+  /// byte-identical to the monolithic path, so (like threads) tiling is
+  /// deliberately excluded from fingerprint().
+  engine::TilingParams tiling;
 
   /// Stable config fingerprint over every field that changes evaluation
   /// results (extract + removal + bias + toggles; threads excluded).
@@ -52,9 +62,71 @@ struct EvalResult {
 
 /// Run the full evaluation phase of `det` on `layout`, streaming candidate
 /// clips from extraction through scoring without materializing the
-/// candidate list.
+/// candidate list. With p.tiling enabled the run is tiled (see below) but
+/// the reports stay byte-identical.
 EvalResult evaluateLayout(const Detector& det, const Layout& layout,
                           const EvalParams& p, engine::RunContext& ctx);
+
+// --- Tiled evaluation -----------------------------------------------
+// evaluateLayout dispatches through these when p.tiling.enabled(). They
+// are public so the serving layer can fan one request's tiles across
+// several pooled contexts: prepare once, evaluate each tile on whatever
+// context is free, merge once. Determinism contract: the merge output
+// never depends on which context ran which tile, in what order, or with
+// how many threads.
+
+/// The per-request tiling plan: the global geometry index, the tile grid,
+/// and the monolithic anchor stream partitioned to tiles by the ownership
+/// rule (anchor's canonical corner, engine::TilePlan::ownerOf).
+struct TiledLayout {
+  GridIndex index;        ///< global geometry index (also used by removal)
+  engine::TilePlan plan;
+  /// One entry per *non-empty* tile, in tile-id order: the tile and its
+  /// owned anchors as (global sequence number, anchor), sequence-sorted.
+  struct Work {
+    std::size_t tileId = 0;
+    std::vector<std::pair<std::uint64_t, Point>> anchors;
+  };
+  std::vector<Work> work;
+  std::size_t anchorCount = 0;
+};
+
+/// Enumerate the monolithic candidate-anchor stream once and partition it
+/// to tiles. Throws std::invalid_argument when p.tiling is disabled or
+/// the halo is below the exactness minimum (engine::minTileHalo). A
+/// missing/empty layer yields an empty plan (no work).
+TiledLayout prepareTiledLayout(const Layout& layout, LayerId layer,
+                               const EvalParams& p);
+
+/// Pin every per-tile stage slot ("tile<k>/...") in tile order so the
+/// ENGINE_STATS key order is deterministic no matter how tiles are
+/// scheduled across threads or contexts.
+void declareTileStages(engine::EngineStats& stats, const TiledLayout& tiled,
+                       bool withCache);
+
+/// Hits and counters of one evaluated tile.
+struct TileEvalResult {
+  std::vector<engine::TileHit> hits;
+  std::size_t candidateClips = 0;
+};
+
+/// Evaluate one work item (tiled.work[workIndex]) on `ctx`: builds a
+/// local index over the tile's halo-expanded geometry and streams the
+/// tile's anchors through the full stage pipeline under "tile<k>/" names.
+/// Safe to call concurrently for different work items.
+TileEvalResult evaluateTile(const Detector& det, const TiledLayout& tiled,
+                            std::size_t workIndex, const EvalParams& p,
+                            engine::RunContext& ctx);
+
+/// Ownership-dedup merge (engine::ReportMerger) followed by the *global*
+/// redundant-clip removal pass — removal is order-dependent, so it runs
+/// once over the merged monolithic-order hit stream, never per tile.
+/// `t0` is the evaluation start, so evalSeconds covers prepare + tiles +
+/// merge.
+EvalResult finishTiledEval(const TiledLayout& tiled,
+                           std::vector<TileEvalResult>&& tiles,
+                           const EvalParams& p, engine::RunContext& ctx,
+                           std::chrono::steady_clock::time_point t0);
 
 /// Evaluate a pre-extracted candidate list against a prebuilt geometry
 /// index (used by benches that reuse extraction across operating points).

@@ -88,9 +88,11 @@ bool passesScreen(const GridIndex& index, const ClipWindow& win,
 }
 
 engine::Stage<Point, ClipWindow> screenStage(const GridIndex& index,
-                                             const ExtractParams& p) {
-  return {"extract/screen",
-          [&index, &p](engine::RunContext& ctx, std::vector<Point>&& in) {
+                                             const ExtractParams& p,
+                                             std::string statsName) {
+  return {statsName,
+          [&index, &p, statsName](engine::RunContext& ctx,
+                                  std::vector<Point>&& in) {
             engine::StageCache* const cache = ctx.cache();
             std::vector<std::optional<ClipWindow>> tmp(in.size());
             if (cache == nullptr) {
@@ -99,6 +101,8 @@ engine::Stage<Point, ClipWindow> screenStage(const GridIndex& index,
                 if (passesScreen(index, win, p)) tmp[i] = win;
               });
             } else {
+              // Canonical stage hash, NOT statsName: tiled (namespaced)
+              // and monolithic runs must share screen cache entries.
               constexpr std::uint64_t kStage = hashString("extract/screen");
               const std::uint64_t cfg = p.fingerprint();
               std::atomic<std::size_t> hits{0};
@@ -120,8 +124,7 @@ engine::Stage<Point, ClipWindow> screenStage(const GridIndex& index,
                                     std::memory_order_relaxed);
                 if (pass) tmp[i] = win;
               });
-              ctx.stats().recordCache("extract/screen", hits, misses,
-                                      evictions);
+              ctx.stats().recordCache(statsName, hits, misses, evictions);
             }
             std::vector<ClipWindow> out;
             out.reserve(in.size());

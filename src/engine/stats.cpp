@@ -21,6 +21,16 @@ std::size_t slotOf(V& vec, M& index, const std::string& name) {
   return slot;
 }
 
+/// Length of the "tile<k>/" prefix of a tile-namespaced stage name, or 0
+/// when `name` is a plain (monolithic) stage.
+std::size_t tilePrefixLen(const std::string& name) {
+  if (name.rfind("tile", 0) != 0) return 0;
+  std::size_t i = 4;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') ++i;
+  if (i == 4 || i >= name.size() || name[i] != '/') return 0;
+  return i + 1;
+}
+
 }  // namespace
 
 void EngineStats::record(const std::string& stage, std::size_t items,
@@ -39,6 +49,64 @@ void EngineStats::recordCache(const std::string& stage, std::size_t hits,
   c.hits += hits;
   c.misses += misses;
   c.evictions += evictions;
+}
+
+void EngineStats::declare(const std::string& stage) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  slotOf(stages_, stageIndex_, stage);
+}
+
+void EngineStats::declareCache(const std::string& stage) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  slotOf(caches_, cacheIndex_, stage);
+}
+
+void EngineStats::mergeFrom(const EngineStats& other) {
+  // Snapshot first: taking both locks at once would order them by object
+  // address, and a consistent cut of `other` is all merging needs.
+  const auto stages = other.snapshot();
+  const auto caches = other.cacheSnapshot();
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, s] : stages) {
+    StageStats& dst = stages_[slotOf(stages_, stageIndex_, name)].second;
+    dst.calls += s.calls;
+    dst.items += s.items;
+    dst.seconds += s.seconds;
+  }
+  for (const auto& [name, c] : caches) {
+    CacheStats& dst = caches_[slotOf(caches_, cacheIndex_, name)].second;
+    dst.hits += c.hits;
+    dst.misses += c.misses;
+    dst.evictions += c.evictions;
+  }
+}
+
+StageStats EngineStats::rollup(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  StageStats out;
+  for (const auto& [n, s] : stages_) {
+    const std::size_t p = tilePrefixLen(n);
+    if (n == name || (p > 0 && n.compare(p, std::string::npos, name) == 0)) {
+      out.calls += s.calls;
+      out.items += s.items;
+      out.seconds += s.seconds;
+    }
+  }
+  return out;
+}
+
+CacheStats EngineStats::cacheRollup(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  CacheStats out;
+  for (const auto& [n, c] : caches_) {
+    const std::size_t p = tilePrefixLen(n);
+    if (n == name || (p > 0 && n.compare(p, std::string::npos, name) == 0)) {
+      out.hits += c.hits;
+      out.misses += c.misses;
+      out.evictions += c.evictions;
+    }
+  }
+  return out;
 }
 
 std::vector<std::pair<std::string, StageStats>> EngineStats::snapshot() const {
@@ -90,6 +158,66 @@ std::string EngineStats::toJson() const {
     os << "\"cache/" << obs::jsonEscape(name) << "\": {\"hits\": " << c.hits
        << ", \"misses\": " << c.misses << ", \"evictions\": " << c.evictions
        << '}';
+  }
+  // Tiled-run roll-ups: per-tile counters summed under the plain stage
+  // name, keyed in first-appearance order of the suffix (deterministic
+  // because the tiled evaluator declares tile stages up front, in tile
+  // order). Absent entirely for monolithic runs.
+  {
+    std::vector<std::pair<std::string, StageStats>> agg;
+    std::unordered_map<std::string, std::size_t> aggIndex;
+    for (const auto& [name, s] : stages_) {
+      const std::size_t p = tilePrefixLen(name);
+      if (p == 0) continue;
+      StageStats& dst =
+          agg[slotOf(agg, aggIndex, name.substr(p))].second;
+      dst.calls += s.calls;
+      dst.items += s.items;
+      dst.seconds += s.seconds;
+    }
+    // Fold in same-named plain entries so each aggregate matches
+    // rollup(name) even when a run mixed tiled and monolithic recording.
+    for (const auto& [name, s] : stages_) {
+      const auto it = aggIndex.find(name);
+      if (tilePrefixLen(name) != 0 || it == aggIndex.end()) continue;
+      StageStats& dst = agg[it->second].second;
+      dst.calls += s.calls;
+      dst.items += s.items;
+      dst.seconds += s.seconds;
+    }
+    for (const auto& [name, s] : agg) {
+      if (!first) os << ", ";
+      first = false;
+      os << '"' << obs::jsonEscape(name) << "\": {\"calls\": " << s.calls
+         << ", \"items\": " << s.items << ", \"seconds\": " << s.seconds
+         << '}';
+    }
+    std::vector<std::pair<std::string, CacheStats>> cagg;
+    std::unordered_map<std::string, std::size_t> caggIndex;
+    for (const auto& [name, c] : caches_) {
+      const std::size_t p = tilePrefixLen(name);
+      if (p == 0) continue;
+      CacheStats& dst =
+          cagg[slotOf(cagg, caggIndex, name.substr(p))].second;
+      dst.hits += c.hits;
+      dst.misses += c.misses;
+      dst.evictions += c.evictions;
+    }
+    for (const auto& [name, c] : caches_) {
+      const auto it = caggIndex.find(name);
+      if (tilePrefixLen(name) != 0 || it == caggIndex.end()) continue;
+      CacheStats& dst = cagg[it->second].second;
+      dst.hits += c.hits;
+      dst.misses += c.misses;
+      dst.evictions += c.evictions;
+    }
+    for (const auto& [name, c] : cagg) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"cache/" << obs::jsonEscape(name) << "\": {\"hits\": " << c.hits
+         << ", \"misses\": " << c.misses << ", \"evictions\": " << c.evictions
+         << '}';
+    }
   }
   os << '}';
   return os.str();

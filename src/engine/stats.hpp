@@ -45,6 +45,14 @@ struct CacheStats {
 
 /// Thread-safe stage-name -> StageStats registry (plus per-stage cache
 /// counters). Iteration order of snapshots and JSON is registration order.
+///
+/// Tiled runs record the same logical stage once per tile under
+/// namespaced names ("tile<k>/extract/screen", "tile<k>/eval/svm", ...)
+/// so per-tile timings never collide. Consumers that want the monolithic
+/// view use `rollup`/`cacheRollup` (per-tile counters summed under the
+/// plain stage name), and `toJson` appends those aggregates after the raw
+/// entries — existing ENGINE_STATS consumers keep seeing "extract/screen"
+/// whether or not the run was tiled.
 class EngineStats {
  public:
   /// Add one invocation of `stage` covering `items` items in `seconds`.
@@ -53,6 +61,19 @@ class EngineStats {
   /// Add stage-cache lookup/eviction deltas for `stage`.
   void recordCache(const std::string& stage, std::size_t hits,
                    std::size_t misses, std::size_t evictions);
+
+  /// Pin a registration slot for `stage` without recording anything.
+  /// The tiled evaluator declares every per-tile stage name up front, in
+  /// tile order, so the JSON key order stays deterministic no matter
+  /// which tile's worker records first.
+  void declare(const std::string& stage);
+  void declareCache(const std::string& stage);
+
+  /// Fold another registry's counters into this one (serving fans one
+  /// request's tiles across pooled contexts and merges their stats back
+  /// into the request's primary context). Names merge into existing slots
+  /// or register fresh ones in `other`'s order.
+  void mergeFrom(const EngineStats& other);
 
   /// Copy of the current registry, in registration order.
   std::vector<std::pair<std::string, StageStats>> snapshot() const;
@@ -66,10 +87,20 @@ class EngineStats {
   /// Cache counters of one stage (zeros when never recorded).
   CacheStats cache(const std::string& name) const;
 
+  /// Aggregated view across tiles: the exact-name counters plus every
+  /// "tile<k>/<name>" instance summed in. Equals `stage(name)` for
+  /// monolithic runs.
+  StageStats rollup(const std::string& name) const;
+  CacheStats cacheRollup(const std::string& name) const;
+
   /// JSON object: {"stage": {"calls": N, "items": N, "seconds": S}, ...,
   /// "cache/stage": {"hits": N, "misses": N, "evictions": N}, ...}.
   /// Keys appear in registration order; suitable for appending to
   /// BENCH_*.json trackers and for byte-stable ENGINE_STATS diffs.
+  /// When tile-namespaced stages are present, their roll-ups (summed
+  /// under the plain stage name, first-tile-appearance order) follow the
+  /// raw entries, so existing consumers keep their keys. Monolithic runs
+  /// emit exactly the pre-tiling format.
   std::string toJson() const;
 
   void clear();

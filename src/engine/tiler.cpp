@@ -1,0 +1,70 @@
+#include "engine/tiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hsd::engine {
+
+TilePlan TilePlan::make(const Rect& bounds, const TilingParams& params,
+                        const ClipParams& clip) {
+  if (params.tileSize <= 0)
+    throw std::invalid_argument(
+        "TilePlan: tileSize must be > 0 (tiling disabled)");
+  const Coord need = minTileHalo(clip);
+  const Coord halo = params.halo == 0 ? need : params.halo;
+  if (halo < need)
+    throw std::invalid_argument(
+        "TilePlan: halo " + std::to_string(halo) +
+        " dbu is below the exactness minimum " + std::to_string(need) +
+        " dbu (ambit + half core side): clips near seams would lose "
+        "context and tiled verdicts would diverge from monolithic");
+  TilePlan plan;
+  plan.grid_ = GridTiling::over(bounds, params.tileSize);
+  plan.halo_ = halo;
+  return plan;
+}
+
+void ReportMerger::add(std::size_t tileId, std::vector<TileHit> hits) {
+  std::size_t dropped = 0;
+  // Ownership dedup outside the lock: a hit survives only in the stream
+  // of the tile owning its anchor, so redundant halo-region evaluation
+  // (the distributed path evaluates seam anchors on both sides) can
+  // never double-report.
+  std::vector<TileHit> owned;
+  owned.reserve(hits.size());
+  for (TileHit& h : hits) {
+    if (plan_->ownerOf(h.anchor) == tileId)
+      owned.push_back(std::move(h));
+    else
+      ++dropped;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  hits_.insert(hits_.end(), std::make_move_iterator(owned.begin()),
+               std::make_move_iterator(owned.end()));
+  dropped_ += dropped;
+}
+
+std::vector<ClipWindow> ReportMerger::finish() {
+  std::vector<TileHit> hits;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    hits.swap(hits_);
+  }
+  // Anchor sequence numbers are unique (one candidate window per anchor,
+  // one owner per anchor), so sorting by seq reproduces the monolithic
+  // stream order exactly regardless of tile completion order.
+  std::sort(hits.begin(), hits.end(),
+            [](const TileHit& a, const TileHit& b) { return a.seq < b.seq; });
+  std::vector<ClipWindow> out;
+  out.reserve(hits.size());
+  for (const TileHit& h : hits) out.push_back(h.win);
+  return out;
+}
+
+std::size_t ReportMerger::droppedNonOwned() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace hsd::engine

@@ -1,0 +1,127 @@
+// Spatial tiling plan and deterministic report merge for tiled layout
+// evaluation.
+//
+// A TilePlan partitions a layout bounding box into grid tiles (ids from
+// geom's GridTiling — row-major, deterministic) and expands each tile by a
+// halo so that every stage run inside the tile (clip extraction, screen,
+// feature extraction, fuzzy matching) sees the *full* geometry any owned
+// anchor's clip window can reach. The halo must cover the clip's reach
+// from an anchor — ambit plus half the core side (minTileHalo) — or the
+// plan refuses to build: an undersized halo would silently change
+// verdicts at seams, which is the one failure mode this layer exists to
+// prevent.
+//
+// Ownership rule: a hotspot belongs to the tile that owns its anchor's
+// canonical corner (GridTiling::ownerOf — half-open seams, one owner per
+// point). ReportMerger enforces it: hits whose anchor the contributing
+// tile does not own are dropped (halo-region duplicates from redundant
+// evaluation), survivors are ordered by the global anchor sequence number
+// — byte-identical to the monolithic evaluation stream no matter how many
+// tiles ran, in what order, on how many threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "geom/tiling.hpp"
+#include "layout/clip.hpp"
+
+namespace hsd::engine {
+
+/// Tiled-evaluation knobs. Tiling is off by default (tileSize == 0): the
+/// monolithic path runs unchanged. Deliberately *not* part of any config
+/// fingerprint — tiling must never change results, only their schedule.
+struct TilingParams {
+  /// Grid tile side in dbu; 0 disables tiling.
+  Coord tileSize = 0;
+  /// Halo width in dbu; 0 means "auto" (minTileHalo of the clip params).
+  /// Anything below the minimum is a hard error at plan time.
+  Coord halo = 0;
+  /// Cap on concurrently evaluated tiles (0 = no cap beyond the context's
+  /// thread count). Serving uses it to bound pooled-context fan-out.
+  std::size_t tileThreads = 0;
+
+  bool enabled() const { return tileSize > 0; }
+};
+
+/// Smallest halo that keeps tiled evaluation exact: the farthest a clip
+/// window reaches from its anchor — the ambit ring plus (rounded-up) half
+/// the core. Always larger than the ambit alone.
+constexpr Coord minTileHalo(const ClipParams& clip) {
+  return clip.ambit() + (clip.coreSide - clip.coreSide / 2);
+}
+
+/// One tile of a plan: its id, the owned (un-haloed) region, and the
+/// halo-expanded region whose geometry the tile's stages must see.
+struct TileSpec {
+  std::size_t id = 0;
+  Rect owned;
+  Rect expanded;
+};
+
+/// Deterministic tiling of a layout bounding box. Pure function of
+/// (bounds, params, clip): same inputs give the same tile ids, boxes and
+/// ownership on every run, thread count and machine.
+class TilePlan {
+ public:
+  /// Build a plan over `bounds`. Throws std::invalid_argument when tiling
+  /// is disabled (tileSize <= 0) or the halo is below minTileHalo(clip).
+  static TilePlan make(const Rect& bounds, const TilingParams& params,
+                       const ClipParams& clip);
+
+  const GridTiling& grid() const { return grid_; }
+  Coord halo() const { return halo_; }
+  std::size_t tileCount() const { return grid_.tileCount(); }
+
+  TileSpec tile(std::size_t id) const {
+    const Rect owned = grid_.tileBox(id);
+    return {id, owned, owned.inflated(halo_)};
+  }
+
+  /// Id of the tile owning anchor point `p` (total: every point has
+  /// exactly one owner — the ownership rule of the deterministic merge).
+  std::size_t ownerOf(const Point& p) const { return grid_.ownerOf(p); }
+
+ private:
+  GridTiling grid_;
+  Coord halo_ = 0;
+};
+
+/// One per-tile hit: the global anchor sequence number (position in the
+/// monolithic candidateAnchors stream), the anchor's canonical corner,
+/// and the flagged window.
+struct TileHit {
+  std::uint64_t seq = 0;
+  Point anchor;
+  ClipWindow win;
+};
+
+/// Canonical merge of per-tile hit streams. Thread-safe add; finish()
+/// applies the ownership dedup and emits windows in global anchor-sequence
+/// order — the exact order the monolithic pipeline would have produced.
+class ReportMerger {
+ public:
+  explicit ReportMerger(const TilePlan& plan) : plan_(&plan) {}
+
+  /// Fold in one tile's hits. Hits whose anchor `tileId` does not own are
+  /// dropped (halo-region duplicates); callable concurrently from tile
+  /// tasks.
+  void add(std::size_t tileId, std::vector<TileHit> hits);
+
+  /// Ownership-deduplicated windows sorted by anchor sequence. Consumes
+  /// the accumulated hits.
+  std::vector<ClipWindow> finish();
+
+  /// Number of non-owned (halo-duplicate) hits dropped so far.
+  std::size_t droppedNonOwned() const;
+
+ private:
+  const TilePlan* plan_;
+  mutable std::mutex mu_;
+  std::vector<TileHit> hits_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace hsd::engine

@@ -116,4 +116,44 @@ std::vector<Tile> verticalTiling(const std::vector<Rect>& blocksIn,
   return mergeHorizontally(std::move(tiles));
 }
 
+namespace {
+
+std::size_t tilesAlong(Coord extent, Coord tileSize) {
+  if (extent <= 0) return 1;
+  return std::size_t((extent + tileSize - 1) / tileSize);
+}
+
+std::size_t axisIndex(Coord p, Coord lo, Coord tileSize, std::size_t n) {
+  if (p <= lo) return 0;
+  const std::size_t i = std::size_t((p - lo) / tileSize);
+  return std::min(i, n - 1);
+}
+
+}  // namespace
+
+GridTiling GridTiling::over(const Rect& bounds, Coord tileSize) {
+  assert(tileSize > 0);
+  GridTiling g;
+  g.bounds = bounds;
+  g.tileSize = tileSize;
+  g.nx = tilesAlong(bounds.width(), tileSize);
+  g.ny = tilesAlong(bounds.height(), tileSize);
+  return g;
+}
+
+Rect GridTiling::tileBox(std::size_t id) const {
+  assert(id < tileCount());
+  const std::size_t ix = id % nx;
+  const std::size_t iy = id / nx;
+  const Point lo{bounds.lo.x + Coord(ix) * tileSize,
+                 bounds.lo.y + Coord(iy) * tileSize};
+  return {lo, Point{std::min(lo.x + tileSize, bounds.hi.x),
+                    std::min(lo.y + tileSize, bounds.hi.y)}};
+}
+
+std::size_t GridTiling::ownerOf(const Point& p) const {
+  return axisIndex(p.y, bounds.lo.y, tileSize, ny) * nx +
+         axisIndex(p.x, bounds.lo.x, tileSize, nx);
+}
+
 }  // namespace hsd

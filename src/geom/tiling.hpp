@@ -1,10 +1,19 @@
-// Maximal horizontal / vertical tilings of a window into block tiles
-// (covered by polygons) and space tiles (empty), as required by the MTCG
-// construction of Sec. III-C (Fig. 6). A horizontal tiling first maximizes
-// tiles in x within each band, then merges vertically adjacent tiles with
-// identical x-span and type; the vertical tiling is the transpose.
+// Two unrelated tilings share this header:
+//
+//  1. Maximal horizontal / vertical tilings of a window into block tiles
+//     (covered by polygons) and space tiles (empty), as required by the
+//     MTCG construction of Sec. III-C (Fig. 6). A horizontal tiling first
+//     maximizes tiles in x within each band, then merges vertically
+//     adjacent tiles with identical x-span and type; the vertical tiling
+//     is the transpose.
+//
+//  2. GridTiling: a uniform spatial partition of a layout bounding box
+//     into grid tiles, the geometry half of the engine's tiled-evaluation
+//     plan (engine/tiler.hpp). It owns the canonical ownership rule: every
+//     point of the plane maps to exactly one tile id.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "geom/rect.hpp"
@@ -29,5 +38,36 @@ std::vector<Tile> horizontalTiling(const std::vector<Rect>& blocks,
 /// Vertically tiled decomposition (maximal-in-y then merged-in-x).
 std::vector<Tile> verticalTiling(const std::vector<Rect>& blocks,
                                  const Rect& window);
+
+/// Uniform grid partition of `bounds` into up-to-`tileSize`-sided tiles.
+///
+/// Tile ids are row-major (x fastest, bottom row first) and depend only on
+/// (bounds, tileSize) — deterministic across runs, thread counts and
+/// machines. Ownership is half-open: tile (ix, iy) owns points with
+/// lo + i*tileSize <= p < lo + (i+1)*tileSize per axis, except that the
+/// last row/column also owns the bounds' upper edge, so `ownerOf` is a
+/// total function over `bounds` (and clamps points outside it). A point
+/// exactly on an interior tile boundary therefore belongs to the tile
+/// *above/right* of the seam — one owner, never two.
+struct GridTiling {
+  Rect bounds;
+  Coord tileSize = 0;
+  std::size_t nx = 1;  ///< number of tile columns
+  std::size_t ny = 1;  ///< number of tile rows
+
+  /// Partition `bounds` into ceil(extent / tileSize) tiles per axis
+  /// (at least one even for degenerate bounds). tileSize must be > 0.
+  static GridTiling over(const Rect& bounds, Coord tileSize);
+
+  std::size_t tileCount() const { return nx * ny; }
+
+  /// Owned (un-haloed) region of tile `id`; the last row/column is clipped
+  /// to `bounds`, so tile boxes exactly cover the bounding box.
+  Rect tileBox(std::size_t id) const;
+
+  /// Row-major id of the tile owning `p` (clamped into the grid, so every
+  /// point of the plane has exactly one owner).
+  std::size_t ownerOf(const Point& p) const;
+};
 
 }  // namespace hsd

@@ -1,6 +1,8 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <locale>
 #include <sstream>
 
@@ -60,6 +62,14 @@ ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
 engine::RunContext* ContextPool::checkout() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return !free_.empty(); });
+  engine::RunContext* ctx = free_.back();
+  free_.pop_back();
+  return ctx;
+}
+
+engine::RunContext* ContextPool::tryCheckout() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) return nullptr;
   engine::RunContext* ctx = free_.back();
   free_.pop_back();
   return ctx;
@@ -220,7 +230,10 @@ ServeResult DetectionServer::process(Request& req) {
   if (req.deadline) ctx->setDeadline(*req.deadline);
   const auto t0 = std::chrono::steady_clock::now();
   try {
-    res.result = core::evaluateLayout(*req.det, *req.layout, req.params, *ctx);
+    res.result =
+        req.params.tiling.enabled()
+            ? runTiled(req, *ctx)
+            : core::evaluateLayout(*req.det, *req.layout, req.params, *ctx);
     res.status = RequestStatus::kOk;
   } catch (const engine::CancelledError&) {
     res.status = ctx->deadlineExpired() ? RequestStatus::kTimeout
@@ -243,6 +256,76 @@ ServeResult DetectionServer::process(Request& req) {
     tracer->recordSpan("serve/run", "serve", t0, t1, {"request", req.id}, {},
                        {"status", toString(res.status)});
   return res;
+}
+
+core::EvalResult DetectionServer::runTiled(Request& req,
+                                           engine::RunContext& primary) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const Layer* l = req.layout->findLayer(req.det->params.layer);
+  if (l == nullptr || l->empty()) return {};
+  primary.throwIfCancelled();
+  const core::TiledLayout tiled = core::prepareTiledLayout(
+      *req.layout, req.det->params.layer, req.params);
+  // Declared up front on the primary registry: helper-context counters
+  // merge into pre-pinned slots, so the per-request ENGINE_STATS key
+  // order never depends on which context finished which tile first.
+  core::declareTileStages(primary.stats(), tiled,
+                          primary.cache() != nullptr);
+
+  const std::size_t n = tiled.work.size();
+  std::size_t wantExtras = n > 0 ? n - 1 : 0;
+  if (req.params.tiling.tileThreads > 0)
+    wantExtras = std::min(wantExtras, req.params.tiling.tileThreads - 1);
+  std::vector<engine::RunContext*> extras;
+  while (extras.size() < wantExtras) {
+    engine::RunContext* const c = pool_->tryCheckout();
+    if (c == nullptr) break;  // pool busy: the primary context suffices
+    if (req.deadline) c->setDeadline(*req.deadline);
+    extras.push_back(c);
+  }
+
+  // Shared tile queue: every participating context claims the next
+  // un-started tile. Index-stable result slots keep the outcome
+  // independent of claim order; the merge re-sorts by anchor sequence.
+  std::vector<core::TileEvalResult> tiles(n);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex errMu;
+  std::exception_ptr firstError;
+  const auto drain = [&](engine::RunContext& c) {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        tiles[i] = core::evaluateTile(*req.det, tiled, i, req.params, c);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(errMu);
+          if (!firstError) firstError = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        // Interrupt the other contexts' in-flight tiles promptly; every
+        // context is reset at checkin, so cancellation doesn't leak.
+        primary.requestCancel();
+        for (engine::RunContext* const e : extras) e->requestCancel();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> helpers;
+  helpers.reserve(extras.size());
+  for (engine::RunContext* const e : extras)
+    helpers.emplace_back([&drain, e] { drain(*e); });
+  drain(primary);
+  for (std::thread& h : helpers) h.join();
+  for (engine::RunContext* const e : extras) {
+    primary.stats().mergeFrom(e->stats());
+    pool_->checkin(e);
+  }
+  if (firstError) std::rethrow_exception(firstError);
+  return core::finishTiledEval(tiled, std::move(tiles), req.params, primary,
+                               t0);
 }
 
 void DetectionServer::finish(Request& req, ServeResult res) {

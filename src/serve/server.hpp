@@ -18,6 +18,15 @@
 // deadline disarmed, per-request stats wiped — the cancellation-reuse
 // contract in src/engine/README.md). Contexts may be fewer than workers;
 // checkout then blocks, bounding the number of in-flight evaluations.
+//
+// Tiled requests (params.tiling enabled) additionally fan their tiles
+// across the pool: the worker borrows idle contexts *non-blockingly*
+// (tryCheckout — the request always progresses on its own context, so
+// tile fan-out can never deadlock the fleet), each borrowed context
+// drains tiles from a shared queue, and the deterministic merge makes
+// the reports byte-identical to an untiled run. The shared StageCache is
+// keyed on translation-invariant content hashes, so warm tiles skip
+// recompute whichever context — or request — computed them first.
 #pragma once
 
 #include <chrono>
@@ -100,6 +109,11 @@ class ContextPool {
   ContextPool& operator=(const ContextPool&) = delete;
 
   engine::RunContext* checkout();
+  /// Non-blocking checkout: nullptr when no context is free right now.
+  /// Tiled fan-out uses this to borrow idle contexts without ever waiting
+  /// on one (a worker holding its own context while blocking for more is
+  /// a pool deadlock).
+  engine::RunContext* tryCheckout();
   void checkin(engine::RunContext* ctx);
   std::size_t size() const { return all_.size(); }
 
@@ -192,6 +206,11 @@ class DetectionServer {
 
   void workerLoop(std::size_t workerIndex);
   ServeResult process(Request& req);
+  /// Tiled request path: prepare the plan on `primary`, fan tiles across
+  /// borrowed pool contexts, merge deterministically, run removal
+  /// globally. Helper stats fold back into `primary` so the per-request
+  /// statsJson covers every tile.
+  core::EvalResult runTiled(Request& req, engine::RunContext& primary);
   void finish(Request& req, ServeResult res);
   void registerMetrics();
 

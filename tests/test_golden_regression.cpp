@@ -92,6 +92,38 @@ TEST_P(GoldenRegression, ReportMatchesCommittedGolden) {
          "HSD_UPDATE_GOLDEN=1 (see header).";
 }
 
+TEST_P(GoldenRegression, TiledEvaluationMatchesCommittedGolden) {
+  // The tiled path must reproduce the SAME committed goldens as the
+  // monolithic path — tiling is a schedule, never a behavior change, so
+  // goldens are shared and never regenerated for it (the
+  // HSD_UPDATE_GOLDEN writer above stays monolithic-only).
+  const GoldenCase& c = GetParam();
+  if (std::getenv("HSD_UPDATE_GOLDEN") != nullptr)
+    GTEST_SKIP() << "goldens regenerate from the monolithic path only";
+
+  const std::string path = goldenPath(c);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string golden = buf.str();
+
+  const tests::DetectorFixture& f = tests::detectorFixture(c.spec);
+  for (const Coord tileSize : {Coord(5000), Coord(11000)}) {
+    for (const std::size_t threads : {std::size_t(1), std::size_t(8)}) {
+      EvalParams ep;
+      ep.tiling.tileSize = tileSize;
+      engine::RunContext ctx(threads);
+      const std::string actual = tests::canonicalReport(
+          evaluateLayout(f.detector, f.test.layout, ep, ctx));
+      EXPECT_EQ(golden, actual)
+          << "tiled run (tileSize=" << tileSize << ", threads=" << threads
+          << ") diverged from " << path << "\n"
+          << tests::firstDiff(golden, actual);
+    }
+  }
+}
+
 TEST_P(GoldenRegression, EvaluationIsRunToRunDeterministic) {
   // The harness is only meaningful if two in-process runs agree with each
   // other (threads=1 vs threads=8 included — the engine's determinism

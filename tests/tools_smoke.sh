@@ -13,6 +13,23 @@ trap 'rm -rf "$OUT"' EXIT
 "$BIN/tools/hsd_detect" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/report.txt" \
   --trace-out "$OUT/detect_trace.json" | tee "$OUT/detect.out"
 "$BIN/tools/hsd_score" "$OUT/report.txt" "$OUT/golden_hotspots.txt" --layout "$OUT/layout.gds" | grep -q accuracy
+# Tiled detection must emit a report byte-identical to the untiled one
+# (the deterministic-merge contract), with per-tile stage namespaces plus
+# plain-name roll-ups in the ENGINE_STATS JSON.
+"$BIN/tools/hsd_detect" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/report_tiled.txt" \
+  --tile-size 8000 --threads 2 | tee "$OUT/detect_tiled.out"
+cmp "$OUT/report.txt" "$OUT/report_tiled.txt"
+grep '^ENGINE_STATS ' "$OUT/detect_tiled.out" | sed 's/^ENGINE_STATS //' \
+  | python3 -m json.tool > /dev/null
+grep -q '"tile0/extract/screen"' "$OUT/detect_tiled.out"
+grep -q '"eval/svm"' "$OUT/detect_tiled.out"
+# An undersized halo must hard-error, not silently degrade.
+if "$BIN/tools/hsd_detect" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/bad.txt" \
+  --tile-size 8000 --halo 100 2>"$OUT/halo_err.txt"; then
+  echo "undersized halo unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q 'halo' "$OUT/halo_err.txt"
 "$BIN/tools/hsd_fix" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/fixed.gds"
 test -s "$OUT/fixed.gds"
 # The ENGINE_STATS payload and the trace file must be valid JSON.
@@ -47,6 +64,11 @@ grep -q '^hsd_serve_requests_total{status="ok"} 4$' "$OUT/serve.prom"
 "$BIN/tools/hsd_serve" "$OUT/model.txt" "$OUT/layout.gds" \
   --requests 3 --workers 2 --deadline-ms 0.001 \
   | grep -q '"timeout": 3'
+# Tiled serving: each request fans its tiles across the context pool;
+# concurrent tiled requests must still agree byte-for-byte.
+"$BIN/tools/hsd_serve" "$OUT/model.txt" "$OUT/layout.gds" \
+  --requests 4 --workers 2 --contexts 3 --threads 2 --tile-size 8000 \
+  | grep -q '"reportsIdentical": true'
 # Live admin surface: hsd_serve with --admin-port 0 picks an ephemeral
 # port and prints it; --linger-ms keeps the process (and /readyz "ready")
 # up after the batch so we can scrape every endpoint with the curl-free

@@ -3,11 +3,19 @@
 //
 //   hsd_detect <model> <layout.gds> <out_report.txt> [--bias B]
 //              [--threads N] [--no-removal] [--no-feedback]
+//              [--tile-size S] [--halo H] [--tile-threads K]
 //              [--trace-out trace.json]
+//
+// --tile-size S partitions the layout into S-dbu grid tiles evaluated
+// concurrently with halo overlap (engine/tiler.hpp) and deterministically
+// merged — the report is byte-identical to an untiled run. --halo
+// overrides the halo width (default: the exactness minimum, ambit + half
+// core; smaller values hard-error). --tile-threads caps concurrent tiles.
 //
 // --trace-out records the whole run as Chrome trace-event JSON (per-batch
 // stage spans, parallelFor chunk spans) — open it in Perfetto or
-// chrome://tracing. The ENGINE_STATS line is the per-stage timing JSON.
+// chrome://tracing. The ENGINE_STATS line is the per-stage timing JSON
+// (per-tile "tile<k>/..." entries plus plain-name roll-ups when tiled).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,7 +56,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <model> <layout.gds> <out_report.txt> "
                  "[--bias B] [--threads N] [--no-removal] "
-                 "[--no-feedback]\n",
+                 "[--no-feedback] [--tile-size S] [--halo H] "
+                 "[--tile-threads K]\n",
                  argv[0]);
     return 2;
   }
@@ -67,6 +76,10 @@ int main(int argc, char** argv) {
     ep.decisionBias = argDouble(argc, argv, "--bias", 0.0);
     ep.useRemoval = !hasFlag(argc, argv, "--no-removal");
     ep.useFeedback = !hasFlag(argc, argv, "--no-feedback");
+    ep.tiling.tileSize = Coord(argDouble(argc, argv, "--tile-size", 0.0));
+    ep.tiling.halo = Coord(argDouble(argc, argv, "--halo", 0.0));
+    ep.tiling.tileThreads =
+        std::size_t(argDouble(argc, argv, "--tile-threads", 0.0));
 
     engine::RunContext ctx(
         std::size_t(argDouble(argc, argv, "--threads", 0.0)));

@@ -5,8 +5,16 @@
 //
 //   hsd_serve <model> <layout.gds> [--requests N] [--workers W]
 //             [--contexts C] [--threads T] [--deadline-ms D] [--no-cache]
+//             [--tile-size S] [--halo H] [--tile-threads K]
 //             [--trace-out trace.json] [--metrics-out metrics.prom]
 //             [--admin-port P] [--linger-ms L]
+//
+// --tile-size S makes every request a *tiled* evaluation: the worker
+// fans the request's tiles across idle pooled contexts (non-blocking
+// borrow, so fan-out can never deadlock the pool) and merges the
+// per-tile hits deterministically — reportsIdentical must stay true, and
+// repeated requests hit the shared cache tile by tile. --halo/
+// --tile-threads as in hsd_detect.
 //
 // With --deadline-ms, requests whose deadline expires resolve to a typed
 // timeout result (counted under "timeout") — the process never crashes on
@@ -101,7 +109,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <model> <layout.gds> [--requests N] "
                  "[--workers W] [--contexts C] [--threads T] "
-                 "[--deadline-ms D] [--no-cache] [--trace-out f.json] "
+                 "[--deadline-ms D] [--no-cache] [--tile-size S] "
+                 "[--halo H] [--tile-threads K] [--trace-out f.json] "
                  "[--metrics-out f.prom] [--admin-port P] [--linger-ms L]\n",
                  argv[0]);
     return 2;
@@ -141,6 +150,10 @@ int main(int argc, char** argv) {
     core::EvalParams ep;
     ep.extract.clip = det.params.clip;
     ep.removal.clip = det.params.clip;
+    ep.tiling.tileSize = Coord(argDouble(argc, argv, "--tile-size", 0.0));
+    ep.tiling.halo = Coord(argDouble(argc, argv, "--halo", 0.0));
+    ep.tiling.tileThreads =
+        std::size_t(argDouble(argc, argv, "--tile-threads", 0.0));
 
     serve::DetectionServer server(cfg);
 
