@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Perf-trajectory driver: runs the JSON-emitting benches and leaves
-# BENCH_table1.json / BENCH_serve.json / BENCH_tiling.json in the output
-# directory, each validated as parseable JSON and stamped with
-# `git describe`.
+# BENCH_table1.json / BENCH_serve.json / BENCH_wire.json /
+# BENCH_tiling.json in the output directory, each validated as parseable
+# JSON and stamped with `git describe`. (BENCH_wire.json is the
+# over-the-wire POST /detect trajectory: throughput, client-measured
+# latency percentiles, and the typed-429 rate at overload.)
 #
 #   bench/run_benches.sh [build-dir] [out-dir]
 #
@@ -23,6 +25,11 @@ run_bench() {
   local exe="$1" out="$2"
   echo "== ${exe} -> ${out}"
   "${BUILD_DIR}/bench/${exe}" --json-out "${out}"
+  validate_json "${out}"
+}
+
+validate_json() {
+  local out="$1"
   if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "${out}" >/dev/null
     echo "   ${out}: valid JSON"
@@ -32,7 +39,12 @@ run_bench() {
 }
 
 run_bench table1_benchmarks "${OUT_DIR}/BENCH_table1.json"
-run_bench serve_throughput "${OUT_DIR}/BENCH_serve.json"
+echo "== serve_throughput -> BENCH_serve.json + BENCH_wire.json"
+"${BUILD_DIR}/bench/serve_throughput" \
+  --json-out "${OUT_DIR}/BENCH_serve.json" \
+  --wire-json-out "${OUT_DIR}/BENCH_wire.json"
+validate_json "${OUT_DIR}/BENCH_serve.json"
+validate_json "${OUT_DIR}/BENCH_wire.json"
 run_bench tiling_scaling "${OUT_DIR}/BENCH_tiling.json"
 
 echo "bench trajectory written to ${OUT_DIR}"

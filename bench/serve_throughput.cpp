@@ -15,14 +15,31 @@
 // `--json-out BENCH_serve.json` the run also writes one machine-readable
 // trajectory record (throughput, run-latency p50/p95/p99, cache hit
 // rate, git describe) — the input of bench/run_benches.sh.
+//
+// Over-the-wire scenarios (POST /detect through net::HttpServer +
+// serve::DetectionEndpoint, concurrent real-socket clients):
+//
+//   wire          — concurrent GDSII posts of the warm layout; end-to-end
+//                   client-measured latency percentiles and throughput;
+//   wire-overload — the same posts against a one-deep admission queue on
+//                   a single slow worker: most requests must come back as
+//                   typed 429s (the reported rate429), never hangs/resets.
+//
+// `--wire-json-out BENCH_wire.json` writes their trajectory record.
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <locale>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "gds/gdsii.hpp"
+#include "net/http.hpp"
 #include "obs/json.hpp"
+#include "serve/detect_endpoint.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -107,12 +124,143 @@ std::string toJson(const std::vector<ScenarioResult>& scenarios) {
   return os.str();
 }
 
+// --- Over-the-wire scenarios ----------------------------------------
+
+struct WireResult {
+  std::string name;
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t tooBusy = 0;  ///< typed 429 responses (all carried Retry-After)
+  std::size_t failed = 0;   ///< any other status or transport error
+  double wallSeconds = 0.0;
+  double throughputRps = 0.0;
+  double rate429 = 0.0;
+  double p50Seconds = 0.0;  ///< client-measured, connect to full response
+  double p95Seconds = 0.0;
+  double p99Seconds = 0.0;
+};
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t idx = std::min(
+      sorted.size() - 1, std::size_t(q * double(sorted.size())));
+  return sorted[idx];
+}
+
+WireResult runWireScenario(const char* name, const hsd::core::Detector& det,
+                           const std::string& gdsBody, std::size_t posters,
+                           std::size_t perPoster,
+                           const hsd::serve::ServerConfig& scfg,
+                           std::size_t maxQueueDepth) {
+  using namespace hsd;
+  serve::DetectionServer server(scfg);
+  serve::DetectEndpointConfig dcfg;
+  dcfg.maxQueueDepth = maxQueueDepth;
+  serve::DetectionEndpoint endpoint(server, det, dcfg);
+  net::HttpServerOptions ho;
+  ho.maxBodyBytes = 256 << 20;
+  ho.handlerThreads = posters;
+  net::HttpServer http(ho);
+  endpoint.mount(http);
+  http.start();
+
+  WireResult out;
+  out.name = name;
+  out.requests = posters * perPoster;
+  std::mutex mu;
+  std::vector<double> latencies;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(posters);
+  for (std::size_t p = 0; p < posters; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = 0; i < perPoster; ++i) {
+        const auto r0 = std::chrono::steady_clock::now();
+        try {
+          const net::HttpResult res = net::httpPost(
+              "127.0.0.1", http.port(), "/detect", gdsBody,
+              "application/octet-stream", {}, 120000);
+          const double sec = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - r0)
+                                 .count();
+          std::lock_guard<std::mutex> lock(mu);
+          if (res.status == 200) {
+            out.ok++;
+            latencies.push_back(sec);
+          } else if (res.status == 429 &&
+                     res.header("retry-after") != nullptr) {
+            out.tooBusy++;
+          } else {
+            out.failed++;
+          }
+        } catch (const std::exception&) {
+          std::lock_guard<std::mutex> lock(mu);
+          out.failed++;
+        }
+      }
+      (void)p;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.throughputRps =
+      out.wallSeconds > 0.0 ? double(out.requests) / out.wallSeconds : 0.0;
+  out.rate429 =
+      out.requests == 0 ? 0.0 : double(out.tooBusy) / double(out.requests);
+  out.p50Seconds = percentile(latencies, 0.50);
+  out.p95Seconds = percentile(latencies, 0.95);
+  out.p99Seconds = percentile(latencies, 0.99);
+
+  http.stop();
+  server.shutdown();
+
+  std::printf("  %-13s %zu requests, %zu ok, %zu busy(429), %zu failed, "
+              "%.2fs wall, %.2f req/s\n",
+              name, out.requests, out.ok, out.tooBusy, out.failed,
+              out.wallSeconds, out.throughputRps);
+  std::printf("  %-13s wire latency p50 %.1fms  p95 %.1fms  p99 %.1fms  "
+              "429 rate %.0f%%\n",
+              name, out.p50Seconds * 1e3, out.p95Seconds * 1e3,
+              out.p99Seconds * 1e3, out.rate429 * 100.0);
+  return out;
+}
+
+std::string wireToJson(const std::vector<WireResult>& scenarios) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"bench\": \"serve_throughput_wire\", \"git\": \""
+     << hsd::obs::jsonEscape(hsd::bench::gitDescribe())
+     << "\", \"scenarios\": [";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const WireResult& s = scenarios[i];
+    if (i != 0) os << ",";
+    os << "\n{\"name\": \"" << hsd::obs::jsonEscape(s.name)
+       << "\", \"requests\": " << s.requests << ", \"ok\": " << s.ok
+       << ", \"tooBusy\": " << s.tooBusy << ", \"failed\": " << s.failed
+       << ", \"wallSeconds\": " << s.wallSeconds
+       << ", \"throughputRps\": " << s.throughputRps
+       << ", \"rate429\": " << s.rate429
+       << ", \"wireSeconds\": {\"p50\": " << s.p50Seconds
+       << ", \"p95\": " << s.p95Seconds << ", \"p99\": " << s.p99Seconds
+       << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace hsd;
   bench::printHeader("Serving throughput (async front end, shared cache)");
   const char* jsonOut = bench::argString(argc, argv, "--json-out", nullptr);
+  const char* wireJsonOut =
+      bench::argString(argc, argv, "--wire-json-out", nullptr);
 
   const auto spec = bench::smallSuite()[0];
   const data::Benchmark b = data::generateBenchmark(spec);
@@ -164,6 +312,29 @@ int main(int argc, char** argv) {
   }
   if (jsonOut != nullptr &&
       !bench::writeJsonFile(jsonOut, toJson(scenarios)))
+    return 1;
+
+  // Over-the-wire scenarios: the same warm layout POSTed as raw GDSII by
+  // concurrent real-socket clients.
+  std::ostringstream gdsStream;
+  gds::writeGdsii(gdsStream, b.test.layout);
+  const std::string gdsBody = gdsStream.str();
+  std::vector<WireResult> wire;
+  wire.push_back(
+      runWireScenario("wire", det, gdsBody, /*posters=*/4, /*perPoster=*/4,
+                      cfg, /*maxQueueDepth=*/64));
+  {
+    // Overload: one slow worker, a one-deep admission queue, and twice the
+    // posters — most requests must come back as typed 429s.
+    serve::ServerConfig slow;
+    slow.workers = 1;
+    slow.threadsPerContext = 1;
+    wire.push_back(runWireScenario("wire-overload", det, gdsBody,
+                                   /*posters=*/8, /*perPoster=*/2, slow,
+                                   /*maxQueueDepth=*/1));
+  }
+  if (wireJsonOut != nullptr &&
+      !bench::writeJsonFile(wireJsonOut, wireToJson(wire)))
     return 1;
   return 0;
 }

@@ -56,6 +56,21 @@ bool sendAll(int fd, const char* data, std::size_t n) {
   return true;
 }
 
+/// recv() once into buf; true when bytes arrived. EINTR retries; every
+/// other failure (timeout, reset, EOF) is false.
+bool recvSome(int fd, std::string& buf) {
+  for (;;) {
+    char chunk[4096];
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      buf.append(chunk, std::size_t(r));
+      return true;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
 bool parseRequestHead(std::string_view head, HttpRequest& req) {
   // Request line: METHOD SP TARGET SP VERSION. Lines are CRLF-separated;
   // we tolerate bare LF (trim strips the CR).
@@ -144,6 +159,17 @@ HttpResponse HttpResponse::json(std::string body) {
   return res;
 }
 
+HttpResponse& HttpResponse::withHeader(std::string name, std::string value) {
+  headers.emplace_back(std::move(name), std::move(value));
+  return *this;
+}
+
+const std::string* HttpResult::header(std::string_view lowerName) const {
+  for (const auto& [k, v] : headers)
+    if (k == lowerName) return &v;
+  return nullptr;
+}
+
 const char* statusReason(int status) {
   switch (status) {
     case 200: return "OK";
@@ -153,9 +179,13 @@ const char* statusReason(int status) {
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
+    case 415: return "Unsupported Media Type";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -169,16 +199,26 @@ HttpServer::HttpServer(HttpServerOptions opts) : opts_(std::move(opts)) {
 
 HttpServer::~HttpServer() { stop(); }
 
-void HttpServer::handle(std::string path, Handler handler) {
+void HttpServer::addRoute(Method method, std::string path, Handler handler) {
   if (running())
     throw std::logic_error("HttpServer::handle: register routes before start");
-  routes_.emplace_back(std::move(path), std::move(handler));
+  routes_.push_back(Route{method, std::move(path), std::move(handler)});
+}
+
+void HttpServer::handle(std::string path, Handler handler) {
+  addRoute(Method::kGet, std::move(path), std::move(handler));
+}
+
+void HttpServer::handlePost(std::string path, Handler handler) {
+  addRoute(Method::kPost, std::move(path), std::move(handler));
 }
 
 std::vector<std::string> HttpServer::routes() const {
   std::vector<std::string> out;
   out.reserve(routes_.size());
-  for (const auto& [path, handler] : routes_) out.push_back(path);
+  for (const Route& r : routes_)
+    if (std::find(out.begin(), out.end(), r.path) == out.end())
+      out.push_back(r.path);
   return out;
 }
 
@@ -297,6 +337,87 @@ void HttpServer::handlerLoop() {
   }
 }
 
+bool HttpServer::readChunkedBody(int fd, std::string& buf,
+                                 std::size_t bodyStart, HttpRequest& req,
+                                 int& errStatus) {
+  // De-frame "<hex-size>[;ext]\r\n<bytes>\r\n ... 0\r\n[trailers]\r\n",
+  // enforcing maxBodyBytes on the decoded total. `pos` walks the raw
+  // buffer; on success everything consumed is erased so keep-alive sees
+  // the next request at buf[0].
+  std::size_t pos = bodyStart;
+  std::string body;
+  // A line must appear within the raw cap; chunk framing overhead is
+  // bounded, so cap the raw buffer at body + header slack to stop a
+  // malicious endless-extension stream from growing memory unboundedly.
+  const std::size_t rawCap =
+      opts_.maxBodyBytes + opts_.maxHeaderBytes + (opts_.maxBodyBytes >> 2);
+  const auto needBytes = [&](std::size_t upto) -> bool {
+    while (buf.size() < upto) {
+      if (buf.size() > rawCap) return false;
+      if (!recvSome(fd, buf)) return false;
+    }
+    return true;
+  };
+  const auto readLine = [&](std::size_t from, std::size_t& eol) -> bool {
+    for (;;) {
+      eol = buf.find("\r\n", from);
+      if (eol != std::string::npos) return true;
+      if (buf.size() > rawCap) return false;
+      if (!recvSome(fd, buf)) return false;
+    }
+  };
+  for (;;) {
+    std::size_t eol;
+    if (!readLine(pos, eol)) {
+      errStatus = 400;
+      return false;
+    }
+    const std::string sizeLine = buf.substr(pos, eol - pos);
+    // Chunk extensions (";name=value") are tolerated and ignored.
+    const std::string sizeHex = sizeLine.substr(0, sizeLine.find(';'));
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long size =
+        std::strtoull(sizeHex.c_str(), &end, 16);
+    if (end == sizeHex.c_str() || errno == ERANGE ||
+        (end != nullptr && *trim(std::string_view(end)).data() != '\0' &&
+         !trim(std::string_view(end)).empty())) {
+      errStatus = 400;
+      return false;
+    }
+    pos = eol + 2;
+    if (size == 0) break;
+    if (body.size() + size > opts_.maxBodyBytes) {
+      errStatus = 413;
+      return false;
+    }
+    if (!needBytes(pos + size + 2)) {
+      errStatus = 400;
+      return false;
+    }
+    body.append(buf, pos, std::size_t(size));
+    if (buf.compare(pos + size, 2, "\r\n") != 0) {
+      errStatus = 400;  // chunk data must end in CRLF
+      return false;
+    }
+    pos += std::size_t(size) + 2;
+  }
+  // Trailer section: zero or more header lines, then an empty line.
+  for (;;) {
+    std::size_t eol;
+    if (!readLine(pos, eol)) {
+      errStatus = 400;
+      return false;
+    }
+    const bool blank = eol == pos;
+    pos = eol + 2;
+    if (blank) break;
+  }
+  req.body = std::move(body);
+  buf.erase(0, pos);  // keep-alive: leftover is the next request
+  return true;
+}
+
 bool HttpServer::readRequest(int fd, std::string& buf, HttpRequest& req,
                              int& errStatus) {
   errStatus = 0;
@@ -309,18 +430,13 @@ bool HttpServer::readRequest(int fd, std::string& buf, HttpRequest& req,
       errStatus = 431;
       return false;
     }
-    char chunk[4096];
-    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (r > 0) {
-      buf.append(chunk, std::size_t(r));
-      continue;
+    if (!recvSome(fd, buf)) {
+      // Peer closed (or recv timed out / read side was shut down by
+      // stop()). Bytes short of a full head mean a truncated request:
+      // owe a 400 unless the connection is simply idle-closed.
+      if (!buf.empty()) errStatus = 400;
+      return false;
     }
-    if (r < 0 && errno == EINTR) continue;
-    // Peer closed (or recv timed out / read side was shut down by
-    // stop()). Bytes short of a full head mean a truncated request: owe
-    // a 400 unless the connection is simply idle-closed.
-    if (!buf.empty()) errStatus = 400;
-    return false;
   }
   if (headEnd > opts_.maxHeaderBytes) {
     errStatus = 431;
@@ -331,6 +447,18 @@ bool HttpServer::readRequest(int fd, std::string& buf, HttpRequest& req,
     errStatus = 400;
     return false;
   }
+  const std::size_t bodyStart = headEnd + 4;
+  const std::string* te = req.header("transfer-encoding");
+  if (te != nullptr) {
+    if (toLower(*te).find("chunked") == std::string::npos ||
+        req.header("content-length") != nullptr) {
+      // Only chunked is implemented; Content-Length alongside
+      // Transfer-Encoding is a smuggling vector — reject both.
+      errStatus = 400;
+      return false;
+    }
+    return readChunkedBody(fd, buf, bodyStart, req, errStatus);
+  }
   std::size_t bodyLen = 0;
   if (const std::string* cl = req.header("content-length")) {
     char* end = nullptr;
@@ -340,25 +468,16 @@ bool HttpServer::readRequest(int fd, std::string& buf, HttpRequest& req,
       return false;
     }
     bodyLen = std::size_t(v);
-  } else if (req.header("transfer-encoding") != nullptr) {
-    errStatus = 400;  // chunked bodies are out of scope for admin traffic
-    return false;
   }
   if (bodyLen > opts_.maxBodyBytes) {
     errStatus = 413;
     return false;
   }
-  const std::size_t bodyStart = headEnd + 4;
   while (buf.size() < bodyStart + bodyLen) {
-    char chunk[4096];
-    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (r > 0) {
-      buf.append(chunk, std::size_t(r));
-      continue;
+    if (!recvSome(fd, buf)) {
+      errStatus = 400;  // body shorter than Content-Length promised
+      return false;
     }
-    if (r < 0 && errno == EINTR) continue;
-    errStatus = 400;  // body shorter than Content-Length promised
-    return false;
   }
   req.body = buf.substr(bodyStart, bodyLen);
   buf.erase(0, bodyStart + bodyLen);  // keep-alive: leftover is next request
@@ -371,16 +490,28 @@ void HttpServer::writeResponse(int fd, const HttpResponse& res,
                      statusReason(res.status) + "\r\nContent-Type: " +
                      res.contentType + "\r\nContent-Length: " +
                      std::to_string(res.body.size()) + "\r\nConnection: " +
-                     (keepAlive ? "keep-alive" : "close") + "\r\n\r\n";
+                     (keepAlive ? "keep-alive" : "close") + "\r\n";
+  for (const auto& [name, value] : res.headers)
+    head += name + ": " + value + "\r\n";
+  head += "\r\n";
   if (!sendAll(fd, head.data(), head.size())) return;
   if (!headOnly) sendAll(fd, res.body.data(), res.body.size());
 }
 
 HttpResponse HttpServer::dispatch(const HttpRequest& req) {
-  for (const auto& [path, handler] : routes_)
-    if (path == req.path) {
+  const bool headOnly = req.method == "HEAD";
+  const Method want =
+      req.method == "POST" ? Method::kPost : Method::kGet;
+  const bool methodRoutable =
+      req.method == "GET" || headOnly || req.method == "POST";
+  bool pathKnown = false;
+  std::string allow;
+  for (const Route& r : routes_) {
+    if (r.path != req.path) continue;
+    pathKnown = true;
+    if (methodRoutable && r.method == want) {
       try {
-        return handler(req);
+        return r.handler(req);
       } catch (const std::exception& e) {
         return HttpResponse::text(500, std::string("handler error: ") +
                                            e.what() + "\n");
@@ -388,8 +519,23 @@ HttpResponse HttpServer::dispatch(const HttpRequest& req) {
         return HttpResponse::text(500, "handler error\n");
       }
     }
+    const char* m = r.method == Method::kPost ? "POST" : "GET, HEAD";
+    if (allow.find(m) == std::string::npos) {
+      if (!allow.empty()) allow += ", ";
+      allow += m;
+    }
+  }
+  if (pathKnown) {
+    // Known path, wrong (or unimplemented) method: 405 names what would
+    // work. The request was fully read, so keep-alive is honored.
+    HttpResponse res = HttpResponse::text(
+        405, "method " + req.method + " not allowed for " + req.path +
+                 " (allow: " + allow + ")\n");
+    res.withHeader("Allow", allow);
+    return res;
+  }
   std::string body = "404 not found: " + req.path + "\nendpoints:\n";
-  for (const auto& [path, handler] : routes_) body += "  " + path + "\n";
+  for (const std::string& path : routes()) body += "  " + path + "\n";
   return HttpResponse::text(404, std::move(body));
 }
 
@@ -400,6 +546,8 @@ void HttpServer::serveConnection(int fd) {
     HttpRequest req;
     int errStatus = 0;
     if (!readRequest(fd, buf, req, errStatus)) {
+      // Transport/parse errors close the connection: past a framing
+      // error the request stream cannot be resynchronized.
       if (errStatus != 0) {
         HttpResponse err = HttpResponse::text(
             errStatus, std::string(statusReason(errStatus)) + "\n");
@@ -408,23 +556,27 @@ void HttpServer::serveConnection(int fd) {
       return;
     }
     const bool headOnly = req.method == "HEAD";
-    HttpResponse res;
-    if (req.method != "GET" && !headOnly)
-      res = HttpResponse::text(405, "only GET and HEAD are supported\n");
-    else
-      res = dispatch(req);
-    keep = opts_.keepAlive && wantsKeepAlive(req) && res.status < 400 &&
-           !res.closeConnection &&
+    req.clientFd = fd;
+    const HttpResponse res = dispatch(req);
+    // Application responses honor keep-alive whatever their status: the
+    // request was fully consumed, so the connection stays in sync even
+    // after a 404/405/429/5xx.
+    keep = opts_.keepAlive && wantsKeepAlive(req) && !res.closeConnection &&
            !stopping_.load(std::memory_order_acquire);
     writeResponse(fd, res, keep, headOnly);
   }
 }
 
-HttpGetResult httpGet(const std::string& host, std::uint16_t port,
-                      const std::string& target, int timeoutMs) {
+namespace {
+
+/// Shared client path: connect, send `requestText`, read to EOF, parse
+/// status line + headers. Both httpGet and httpPost ride on it.
+HttpResult httpExchange(const std::string& host, std::uint16_t port,
+                        const std::string& requestText, int timeoutMs,
+                        const char* who) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0)
-    throw std::runtime_error(std::string("httpGet: socket: ") +
+    throw std::runtime_error(std::string(who) + ": socket: " +
                              std::strerror(errno));
   struct FdGuard {
     int fd;
@@ -435,17 +587,15 @@ HttpGetResult httpGet(const std::string& host, std::uint16_t port,
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
-    throw std::runtime_error("httpGet: bad host '" + host +
+    throw std::runtime_error(std::string(who) + ": bad host '" + host +
                              "' (numeric IPv4 required)");
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0)
-    throw std::runtime_error("httpGet: connect " + host + ':' +
+    throw std::runtime_error(std::string(who) + ": connect " + host + ':' +
                              std::to_string(port) + ": " +
                              std::strerror(errno));
-  const std::string reqText = "GET " + target + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
-  if (!sendAll(fd, reqText.data(), reqText.size()))
-    throw std::runtime_error("httpGet: send failed");
+  if (!sendAll(fd, requestText.data(), requestText.size()))
+    throw std::runtime_error(std::string(who) + ": send failed");
   std::string resp;
   for (;;) {
     char chunk[8192];
@@ -456,22 +606,23 @@ HttpGetResult httpGet(const std::string& host, std::uint16_t port,
     }
     if (r < 0 && errno == EINTR) continue;
     if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-      throw std::runtime_error("httpGet: read timed out");
+      throw std::runtime_error(std::string(who) + ": read timed out");
     break;  // EOF: Connection: close means the response is complete
   }
   const std::size_t headEnd = resp.find("\r\n\r\n");
   if (headEnd == std::string::npos)
-    throw std::runtime_error("httpGet: malformed response (no header end)");
+    throw std::runtime_error(std::string(who) +
+                             ": malformed response (no header end)");
   const std::string_view head = std::string_view(resp).substr(0, headEnd);
   // Status line: HTTP/1.1 SP code SP reason.
   const std::size_t sp = head.find(' ');
   if (sp == std::string_view::npos || head.compare(0, 5, "HTTP/") != 0)
-    throw std::runtime_error("httpGet: malformed status line");
-  HttpGetResult out;
+    throw std::runtime_error(std::string(who) + ": malformed status line");
+  HttpResult out;
   out.status = std::atoi(std::string(head.substr(sp + 1, 3)).c_str());
   if (out.status < 100 || out.status > 599)
-    throw std::runtime_error("httpGet: malformed status code");
-  // Pull Content-Type out of the headers (case-insensitive name match).
+    throw std::runtime_error(std::string(who) + ": malformed status code");
+  // Response headers (lower-cased names; Content-Type also pulled out).
   std::size_t pos = head.find('\n');
   while (pos != std::string_view::npos && pos < head.size()) {
     std::size_t end = head.find('\n', pos + 1);
@@ -481,11 +632,38 @@ HttpGetResult httpGet(const std::string& host, std::uint16_t port,
     pos = end;
     const std::size_t colon = line.find(':');
     if (colon == std::string_view::npos) continue;
-    if (toLower(std::string(trim(line.substr(0, colon)))) == "content-type")
-      out.contentType = std::string(trim(line.substr(colon + 1)));
+    std::string name = toLower(std::string(trim(line.substr(0, colon))));
+    std::string value(trim(line.substr(colon + 1)));
+    if (name == "content-type") out.contentType = value;
+    out.headers.emplace_back(std::move(name), std::move(value));
   }
   out.body = resp.substr(headEnd + 4);
   return out;
+}
+
+}  // namespace
+
+HttpResult httpGet(const std::string& host, std::uint16_t port,
+                   const std::string& target, int timeoutMs) {
+  const std::string reqText = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  return httpExchange(host, port, reqText, timeoutMs, "httpGet");
+}
+
+HttpResult httpPost(
+    const std::string& host, std::uint16_t port, const std::string& target,
+    const std::string& body, const std::string& contentType,
+    const std::vector<std::pair<std::string, std::string>>& extraHeaders,
+    int timeoutMs) {
+  std::string reqText = "POST " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nContent-Type: " + contentType +
+                        "\r\nContent-Length: " + std::to_string(body.size()) +
+                        "\r\nConnection: close\r\n";
+  for (const auto& [name, value] : extraHeaders)
+    reqText += name + ": " + value + "\r\n";
+  reqText += "\r\n";
+  reqText += body;
+  return httpExchange(host, port, reqText, timeoutMs, "httpPost");
 }
 
 }  // namespace hsd::net

@@ -39,6 +39,27 @@ engine::CacheStats ServeResult::cache(const std::string& stage) const {
   return {};
 }
 
+void CancelSource::cancel() {
+  cancelled_.store(true, std::memory_order_release);
+  // If a run is bound right now, raise its cooperative flag so the
+  // pipeline's next throwIfCancelled() aborts it. The mutex closes the
+  // race with bind/unbind: either we see the context here, or bind()
+  // sees cancelled_ and raises the flag itself.
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ctx_ != nullptr) ctx_->requestCancel();
+}
+
+void CancelSource::bind(engine::RunContext* ctx) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ctx_ = ctx;
+  if (cancelled_.load(std::memory_order_acquire)) ctx->requestCancel();
+}
+
+void CancelSource::unbind() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ctx_ = nullptr;
+}
+
 ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
                          std::size_t batchSize,
                          std::shared_ptr<engine::StageCache> cache,
@@ -135,7 +156,7 @@ DetectionServer::~DetectionServer() { shutdown(); }
 std::future<ServeResult> DetectionServer::submit(
     const core::Detector& det, const Layout& layout, core::EvalParams params,
     std::optional<std::chrono::steady_clock::duration> timeout,
-    Callback callback) {
+    Callback callback, std::shared_ptr<CancelSource> cancel) {
   Request req;
   req.det = &det;
   req.layout = &layout;
@@ -143,6 +164,7 @@ std::future<ServeResult> DetectionServer::submit(
   req.submitted = std::chrono::steady_clock::now();
   if (timeout) req.deadline = req.submitted + *timeout;
   req.callback = std::move(callback);
+  req.cancel = std::move(cancel);
   std::future<ServeResult> fut = req.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -175,6 +197,11 @@ std::future<ServeResult> DetectionServer::submit(
 bool DetectionServer::accepting() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return accepting_ && !stopping_;
+}
+
+std::size_t DetectionServer::queueDepth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void DetectionServer::shutdown() {
@@ -214,10 +241,13 @@ ServeResult DetectionServer::process(Request& req) {
   if (tracer != nullptr)
     tracer->recordSpan("serve/queued", "serve", req.submitted, dequeued,
                        {"request", req.id});
-  // Fast-fail requests that aged out while queued: no context checkout,
-  // no evaluation, just a typed timeout.
-  if (req.deadline && dequeued >= *req.deadline) {
-    res.status = RequestStatus::kTimeout;
+  // Fast-fail requests that aged out — or were abandoned — while queued:
+  // no context checkout, no evaluation, just a typed result.
+  if ((req.deadline && dequeued >= *req.deadline) ||
+      (req.cancel && req.cancel->cancelled())) {
+    res.status = req.cancel && req.cancel->cancelled()
+                     ? RequestStatus::kCancelled
+                     : RequestStatus::kTimeout;
     runHist_->observe(0.0);
     if (tracer != nullptr)
       tracer->recordSpan("serve/run", "serve", dequeued, dequeued,
@@ -228,6 +258,10 @@ ServeResult DetectionServer::process(Request& req) {
   inflight_->inc();
   engine::RunContext* ctx = pool_->checkout();
   if (req.deadline) ctx->setDeadline(*req.deadline);
+  // Bind the external cancel handle to this run: from here a
+  // CancelSource::cancel() raises the context's cooperative flag (the
+  // tiled path propagates primary-context cancellation to every helper).
+  if (req.cancel) req.cancel->bind(ctx);
   const auto t0 = std::chrono::steady_clock::now();
   try {
     res.result =
@@ -246,6 +280,7 @@ ServeResult DetectionServer::process(Request& req) {
     res.error = "unknown exception";
   }
   const auto t1 = std::chrono::steady_clock::now();
+  if (req.cancel) req.cancel->unbind();  // before checkin resets the ctx
   res.runSeconds = secondsSince(t0, t1);
   res.statsJson = ctx->stats().toJson();
   res.cacheStats = ctx->stats().cacheSnapshot();
@@ -329,6 +364,7 @@ core::EvalResult DetectionServer::runTiled(Request& req,
 }
 
 void DetectionServer::finish(Request& req, ServeResult res) {
+  res.requestId = req.id;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     ++stats_.completed;

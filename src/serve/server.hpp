@@ -82,6 +82,11 @@ const char* toString(RequestStatus s);
 /// registry is wiped between requests).
 struct ServeResult {
   RequestStatus status = RequestStatus::kRejected;
+  /// The server's 1-based submission index of this request — the same id
+  /// annotated on the serve/queued and serve/run trace spans, so a wire
+  /// response header can be correlated with the trace (0 when rejected
+  /// before admission).
+  std::uint64_t requestId = 0;
   core::EvalResult result;
   std::string error;
   std::string statsJson;  ///< per-request EngineStats JSON dump
@@ -124,6 +129,31 @@ class ContextPool {
   std::condition_variable cv_;
 };
 
+/// External cancellation handle for one submitted request. A caller that
+/// may want to abandon a request (e.g. the HTTP endpoint when the client
+/// disconnects) passes one to submit() and calls cancel() from any
+/// thread: a still-queued request fast-fails with kCancelled, a running
+/// one gets its RunContext's cooperative cancel flag raised. cancel() is
+/// idempotent; the handle is single-use (one submit() per source).
+class CancelSource {
+ public:
+  /// Request cancellation. Safe from any thread, any time between
+  /// submit() and the future resolving; a no-op after completion.
+  void cancel();
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class DetectionServer;
+  void bind(engine::RunContext* ctx);    ///< worker: run is starting
+  void unbind();                         ///< worker: run is over
+
+  std::atomic<bool> cancelled_{false};
+  std::mutex mu_;
+  engine::RunContext* ctx_ = nullptr;  ///< non-null while bound to a run
+};
+
 /// The serving front end. Callers must keep the detector and layout alive
 /// until the returned future resolves (the server stores references, not
 /// copies — layouts are large).
@@ -141,11 +171,14 @@ class DetectionServer {
   /// expired request is cancelled mid-run (or skipped if still queued) and
   /// resolves to kTimeout instead of throwing. `callback`, if given, runs
   /// on the worker thread right before the future resolves (exceptions it
-  /// throws are swallowed).
+  /// throws are swallowed). `cancel`, if given, lets the caller abandon
+  /// the request from another thread (resolves kCancelled; see
+  /// CancelSource).
   std::future<ServeResult> submit(
       const core::Detector& det, const Layout& layout, core::EvalParams params,
       std::optional<std::chrono::steady_clock::duration> timeout = {},
-      Callback callback = nullptr);
+      Callback callback = nullptr,
+      std::shared_ptr<CancelSource> cancel = nullptr);
 
   /// Stop accepting, drain every queued request, join the workers.
   /// Idempotent; the destructor calls it.
@@ -156,6 +189,11 @@ class DetectionServer {
   /// shutdown() begins. This is the /readyz readiness hook: it flips
   /// false the moment a drain starts, while in-flight requests finish.
   bool accepting() const;
+
+  /// Requests accepted but not yet dequeued by a worker — the admission
+  /// signal behind the wire endpoint's 429 policy (same value as the
+  /// hsd_serve_queue_depth gauge, read exactly).
+  std::size_t queueDepth() const;
 
   /// Aggregate lifetime counters (requests by outcome, worker busy time,
   /// shared-cache totals).
@@ -201,6 +239,7 @@ class DetectionServer {
     std::chrono::steady_clock::time_point submitted;
     std::uint64_t id = 0;  ///< 1-based submission index (trace span arg)
     Callback callback;
+    std::shared_ptr<CancelSource> cancel;  ///< optional external cancel
     std::promise<ServeResult> promise;
   };
 

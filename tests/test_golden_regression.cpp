@@ -25,6 +25,10 @@
 #include "common.hpp"
 #include "core/evaluator.hpp"
 #include "engine/run_context.hpp"
+#include "gds/ascii.hpp"
+#include "net/http.hpp"
+#include "serve/detect_endpoint.hpp"
+#include "serve/server.hpp"
 
 #ifndef HSD_GOLDEN_DIR
 #error "test_golden_regression.cpp requires HSD_GOLDEN_DIR (see CMakeLists)"
@@ -122,6 +126,64 @@ TEST_P(GoldenRegression, TiledEvaluationMatchesCommittedGolden) {
           << tests::firstDiff(golden, actual);
     }
   }
+}
+
+TEST_P(GoldenRegression, WireEvaluationMatchesCommittedGolden) {
+  // The over-the-wire variant: POST /detect against the same committed
+  // goldens. Like the tiled variant, the wire plane is transport, never a
+  // behavior change — goldens are shared with the monolithic path and the
+  // HSD_UPDATE_GOLDEN writer stays monolithic-only. The canonical report
+  // is reconstructed from the response: reported windows from the body
+  // (windows format), funnel counters from the X-Candidate-Clips /
+  // X-Flagged-Before-Removal headers.
+  const GoldenCase& c = GetParam();
+  if (std::getenv("HSD_UPDATE_GOLDEN") != nullptr)
+    GTEST_SKIP() << "goldens regenerate from the monolithic path only";
+
+  const std::string path = goldenPath(c);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string golden = buf.str();
+
+  const tests::DetectorFixture& f = tests::detectorFixture(c.spec);
+  serve::ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.threadsPerContext = 1;
+  serve::DetectionServer server(scfg);
+  serve::DetectionEndpoint endpoint(server, f.detector);
+  net::HttpServerOptions ho;
+  ho.maxBodyBytes = 64 << 20;
+  net::HttpServer http(ho);
+  endpoint.mount(http);
+  http.start();
+
+  std::ostringstream layoutBody;
+  gds::writeAsciiLayout(layoutBody, f.test.layout);
+
+  for (const char* target : {"/detect", "/detect?tile-size=8000"}) {
+    const net::HttpResult res =
+        net::httpPost("127.0.0.1", http.port(), target, layoutBody.str(),
+                      "text/plain", {}, 120000);
+    ASSERT_EQ(res.status, 200) << target << ": " << res.body;
+    ASSERT_NE(res.header("x-candidate-clips"), nullptr);
+    ASSERT_NE(res.header("x-flagged-before-removal"), nullptr);
+
+    std::istringstream body(res.body);
+    EvalResult wire;
+    wire.reported = gds::readWindowList(body).first;
+    wire.candidateClips = std::stoull(*res.header("x-candidate-clips"));
+    wire.flaggedBeforeRemoval =
+        std::stoull(*res.header("x-flagged-before-removal"));
+    const std::string actual = tests::canonicalReport(wire);
+    EXPECT_EQ(golden, actual)
+        << "wire run (" << target << ") diverged from " << path << "\n"
+        << tests::firstDiff(golden, actual);
+  }
+
+  http.stop();
+  server.shutdown();
 }
 
 TEST_P(GoldenRegression, EvaluationIsRunToRunDeterministic) {

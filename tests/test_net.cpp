@@ -1,11 +1,17 @@
 // Transport + admin-surface tests (ctest label: net). Pins the src/net
 // HTTP/1.1 listener and the obs::AdminServer built on it:
-//  - routing, query params, 404 endpoint listing, HEAD semantics;
+//  - routing (GET/HEAD/POST), query params, 404 endpoint listing, HEAD
+//    semantics, 405-before-404 precedence with the Allow header;
 //  - the parsing limits: malformed -> 400, oversized header -> 431,
-//    oversized body -> 413, chunked -> 400, non-GET/HEAD -> 405 — each
-//    error response closes the connection;
-//  - keep-alive serves several requests on one connection; stop() is
-//    graceful and idempotent; httpGet fails loudly on a dead port;
+//    oversized body -> 413 (Content-Length and chunked), chunked bodies
+//    decoded, Content-Length+Transfer-Encoding smuggling -> 400;
+//  - the connection-close contract: transport/parse errors (400 framing,
+//    413, 431) close; application responses (404, 405, handler 500)
+//    honor keep-alive — the request was fully read, so the stream stays
+//    in sync;
+//  - keep-alive serves several requests on one connection (including
+//    after an application error); stop() is graceful and idempotent;
+//    httpGet/httpPost fail loudly on a dead port;
 //  - AdminServer endpoint contracts: /healthz, /readyz readiness flips,
 //    /metrics (Prometheus 0.0.4, mount order + self-metrics), /statsz
 //    (JSON; throwing providers degrade, never fail the scrape), /tracez
@@ -182,27 +188,204 @@ TEST(HttpServer, OversizedBodyGets413) {
   EXPECT_NE(resp.find("HTTP/1.1 413 "), std::string::npos) << resp;
 }
 
-TEST(HttpServer, ChunkedTransferEncodingGets400) {
+// ---------------------------------------------------------------------------
+// Chunked uploads: decoded, capped, and strict about framing
+
+TEST(HttpServer, ChunkedBodyIsDecodedAndDelivered) {
   HttpServer server;
+  server.handlePost("/echo", [](const HttpRequest& req) {
+    return HttpResponse::text(200, req.body);
+  });
   server.start();
+  // Two chunks with an extension and a trailer — all must be tolerated.
   const std::string resp = rawExchange(
       server.port(),
-      "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n");
-  EXPECT_NE(resp.find("HTTP/1.1 400 "), std::string::npos) << resp;
+      "POST /echo HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n"
+      "Connection: close\r\n\r\n"
+      "5;ext=1\r\nhello\r\n"
+      "7\r\n, world\r\n"
+      "0\r\nX-Trailer: v\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_EQ(resp.substr(resp.find("\r\n\r\n") + 4), "hello, world");
 }
 
-TEST(HttpServer, NonGetMethodsGet405) {
+TEST(HttpServer, MalformedChunkFramingGets400) {
   HttpServer server;
-  server.handle("/x", [](const HttpRequest&) {
-    return HttpResponse::text(200, "x");
+  server.handlePost("/echo", [](const HttpRequest& req) {
+    return HttpResponse::text(200, req.body);
+  });
+  server.start();
+  // Chunk data not terminated by CRLF: unrecoverable framing error.
+  const std::string badData = rawExchange(
+      server.port(),
+      "POST /echo HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhelloXX0\r\n\r\n");
+  EXPECT_NE(badData.find("HTTP/1.1 400 "), std::string::npos) << badData;
+  // Garbage where the hex chunk size belongs.
+  const std::string badSize = rawExchange(
+      server.port(),
+      "POST /echo HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "zz\r\nhello\r\n0\r\n\r\n");
+  EXPECT_NE(badSize.find("HTTP/1.1 400 "), std::string::npos) << badSize;
+}
+
+TEST(HttpServer, ChunkedBodyOverCapGets413) {
+  HttpServerOptions opts;
+  opts.maxBodyBytes = 16;
+  HttpServer server(opts);
+  server.handlePost("/echo", [](const HttpRequest& req) {
+    return HttpResponse::text(200, req.body);
   });
   server.start();
   const std::string resp = rawExchange(
       server.port(),
-      "POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+      "POST /echo HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "20\r\n" + std::string(32, 'x') + "\r\n0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 413 "), std::string::npos) << resp;
+}
+
+TEST(HttpServer, ContentLengthWithTransferEncodingGets400) {
+  // Both framings at once is the classic request-smuggling vector.
+  HttpServer server;
+  server.handlePost("/echo", [](const HttpRequest& req) {
+    return HttpResponse::text(200, req.body);
+  });
+  server.start();
+  const std::string resp = rawExchange(
+      server.port(),
+      "POST /echo HTTP/1.1\r\nContent-Length: 5\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 400 "), std::string::npos) << resp;
+}
+
+// ---------------------------------------------------------------------------
+// Method routing: 405-before-404 precedence and the Allow header
+
+TEST(HttpServer, WrongMethodOnKnownPathGets405WithAllow) {
+  HttpServer server;
+  server.handle("/x", [](const HttpRequest&) {
+    return HttpResponse::text(200, "x");
+  });
+  server.handlePost("/submit", [](const HttpRequest& req) {
+    return HttpResponse::text(200, req.body);
+  });
+  server.start();
+  // POST to a GET-only path: 405 naming GET, HEAD.
+  const std::string postToGet = rawExchange(
+      server.port(),
+      "POST /x HTTP/1.1\r\nContent-Length: 2\r\nConnection: close\r\n\r\nhi");
+  EXPECT_NE(postToGet.find("HTTP/1.1 405 "), std::string::npos) << postToGet;
+  EXPECT_NE(postToGet.find("Allow: GET, HEAD"), std::string::npos)
+      << postToGet;
+  // GET to a POST-only path: 405 naming POST.
+  const HttpResult getToPost = httpGet("127.0.0.1", server.port(), "/submit");
+  EXPECT_EQ(getToPost.status, 405);
+  ASSERT_NE(getToPost.header("allow"), nullptr);
+  EXPECT_EQ(*getToPost.header("allow"), "POST");
+  // Unknown path: 404 whatever the method — 405 is reserved for known
+  // paths (the precedence contract).
+  const HttpResult unknown = httpPost("127.0.0.1", server.port(), "/nope",
+                                      "body", "text/plain");
+  EXPECT_EQ(unknown.status, 404);
+}
+
+TEST(HttpServer, GetAndPostCoexistOnOnePath) {
+  HttpServer server;
+  server.handle("/r", [](const HttpRequest&) {
+    return HttpResponse::text(200, "got GET");
+  });
+  server.handlePost("/r", [](const HttpRequest& req) {
+    return HttpResponse::text(200, "got POST: " + req.body);
+  });
+  server.start();
+  EXPECT_EQ(httpGet("127.0.0.1", server.port(), "/r").body, "got GET");
+  EXPECT_EQ(httpPost("127.0.0.1", server.port(), "/r", "hi", "text/plain")
+                .body,
+            "got POST: hi");
+}
+
+// ---------------------------------------------------------------------------
+// The connection-close contract, pinned per error class
+
+TEST(HttpServer, ParseErrorsCloseTheConnection) {
+  HttpServerOptions opts;
+  opts.maxHeaderBytes = 128;
+  opts.maxBodyBytes = 64;
+  HttpServer server(opts);
+  server.handlePost("/echo", [](const HttpRequest& req) {
+    return HttpResponse::text(200, req.body);
+  });
+  server.start();
+  // Each transport-level failure must answer Connection: close — the
+  // request stream cannot be resynchronized past a framing error.
+  const std::string malformed =
+      rawExchange(server.port(), "NOT HTTP AT ALL\r\n\r\n");
+  EXPECT_NE(malformed.find("HTTP/1.1 400 "), std::string::npos) << malformed;
+  EXPECT_NE(malformed.find("Connection: close"), std::string::npos)
+      << malformed;
+  const std::string oversizedBody = rawExchange(
+      server.port(), "POST /echo HTTP/1.1\r\nContent-Length: 4096\r\n\r\n");
+  EXPECT_NE(oversizedBody.find("HTTP/1.1 413 "), std::string::npos)
+      << oversizedBody;
+  EXPECT_NE(oversizedBody.find("Connection: close"), std::string::npos)
+      << oversizedBody;
+  const std::string oversizedHead = rawExchange(
+      server.port(),
+      "GET /echo HTTP/1.1\r\nX-Pad: " + std::string(4096, 'x') + "\r\n\r\n");
+  EXPECT_NE(oversizedHead.find("HTTP/1.1 431 "), std::string::npos)
+      << oversizedHead;
+  EXPECT_NE(oversizedHead.find("Connection: close"), std::string::npos)
+      << oversizedHead;
+}
+
+TEST(HttpServer, ApplicationErrorsKeepTheConnectionAlive) {
+  HttpServer server;
+  server.handle("/ok", [](const HttpRequest&) {
+    return HttpResponse::text(200, "fine\n");
+  });
+  server.handle("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("bang");
+  });
+  server.start();
+  // One connection: 404, 405, handler-500 — then a 200 must still work.
+  // Application errors consumed their request, so keep-alive holds.
+  const std::string resp = rawExchange(
+      server.port(),
+      "GET /missing HTTP/1.1\r\nHost: t\r\n\r\n"
+      "POST /ok HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"
+      "GET /boom HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /ok HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 404 "), std::string::npos) << resp;
   EXPECT_NE(resp.find("HTTP/1.1 405 "), std::string::npos) << resp;
-  // Limit/method violations never get keep-alive.
-  EXPECT_NE(resp.find("Connection: close"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("HTTP/1.1 500 "), std::string::npos) << resp;
+  EXPECT_NE(resp.find("fine\n"), std::string::npos) << resp;
+  EXPECT_EQ(countOccurrences(resp, "HTTP/1.1 "), 4) << resp;
+  EXPECT_EQ(countOccurrences(resp, "Connection: keep-alive"), 3) << resp;
+}
+
+// ---------------------------------------------------------------------------
+// The httpPost client
+
+TEST(HttpPost, SendsBodyHeadersAndParsesResponse) {
+  HttpServer server;
+  server.handlePost("/in", [](const HttpRequest& req) {
+    const std::string* ct = req.header("content-type");
+    const std::string* extra = req.header("x-extra");
+    HttpResponse res = HttpResponse::text(
+        201, "ct=" + (ct ? *ct : "") + " extra=" + (extra ? *extra : "") +
+                 " body=" + req.body);
+    res.withHeader("X-Answer", "42");
+    return res;
+  });
+  server.start();
+  const HttpResult res =
+      httpPost("127.0.0.1", server.port(), "/in", "payload", "text/plain",
+               {{"X-Extra", "v1"}});
+  EXPECT_EQ(res.status, 201);
+  EXPECT_EQ(res.body, "ct=text/plain extra=v1 body=payload");
+  ASSERT_NE(res.header("x-answer"), nullptr);
+  EXPECT_EQ(*res.header("x-answer"), "42");
+  EXPECT_NE(res.contentType.find("text/plain"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -108,4 +108,54 @@ grep '^SERVE_STATS ' "$OUT/admin_serve.out" | sed 's/^SERVE_STATS //' \
   | python3 -m json.tool > /dev/null
 python3 -m json.tool < "$OUT/admin_trace.json" > /dev/null
 grep -q '^# TYPE hsd_serve_run_seconds histogram' "$OUT/admin.prom"
+# Detection over the wire: hsd_serve with --port 0 and --requests 0 runs a
+# pure wire server (no in-process batch). POST the layout with hsd_scrape's
+# POST mode; the streamed report must be byte-identical to the offline
+# hsd_detect report, monolithic AND tiled, and the wire-plane counters must
+# show up in the admin /metrics exposition. SIGTERM while a POST is in
+# flight must drain gracefully: the in-flight request completes with the
+# identical report and the process exits 0.
+"$BIN/tools/hsd_serve" "$OUT/model.txt" "$OUT/layout.gds" \
+  --requests 0 --workers 2 --port 0 --admin-port 0 --linger-ms 60000 \
+  > "$OUT/wire_serve.out" 2>&1 &
+WIRE_PID=$!
+tries=0
+while ! grep -q '^DETECT_PORT ' "$OUT/wire_serve.out" 2>/dev/null; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 150 ]; then
+    echo "hsd_serve never printed DETECT_PORT" >&2
+    kill "$WIRE_PID" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.2
+done
+DPORT=$(sed -n 's/^DETECT_PORT //p' "$OUT/wire_serve.out" | head -1)
+APORT=$(sed -n 's/^ADMIN_PORT //p' "$OUT/wire_serve.out" | head -1)
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$DPORT" /detect \
+  --post "$OUT/layout.gds" > "$OUT/wire_report.txt"
+cmp "$OUT/report.txt" "$OUT/wire_report.txt"
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$DPORT" '/detect?tile-size=8000' \
+  --post "$OUT/layout.gds" > "$OUT/wire_report_tiled.txt"
+cmp "$OUT/report.txt" "$OUT/wire_report_tiled.txt"
+# The wire-plane metrics ride the same admin /metrics exposition.
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$APORT" /metrics > "$OUT/wire.prom"
+grep -q '^hsd_detect_requests_total{status="200"} 2$' "$OUT/wire.prom"
+grep -q '^# TYPE hsd_detect_seconds histogram' "$OUT/wire.prom"
+grep -q '^hsd_detect_seconds_count 2$' "$OUT/wire.prom"
+# The /statsz blob gained a "detect" section (valid JSON overall).
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$APORT" /statsz > "$OUT/wire_statsz.json"
+python3 -m json.tool < "$OUT/wire_statsz.json" > /dev/null
+grep -q '"detect"' "$OUT/wire_statsz.json"
+# SIGTERM-during-POST drain: start a POST in the background, send TERM,
+# and require both the in-flight response (byte-identical) and exit 0.
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$DPORT" /detect \
+  --post "$OUT/layout.gds" > "$OUT/wire_drain.txt" &
+SCRAPE_PID=$!
+sleep 0.1
+kill -TERM "$WIRE_PID"
+wait "$SCRAPE_PID"
+wait "$WIRE_PID"
+cmp "$OUT/report.txt" "$OUT/wire_drain.txt"
+grep '^SERVE_STATS ' "$OUT/wire_serve.out" | sed 's/^SERVE_STATS //' \
+  | python3 -m json.tool > /dev/null
 echo "tools smoke OK"

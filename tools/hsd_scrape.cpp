@@ -1,8 +1,13 @@
-// CLI: curl-free HTTP GET against the embedded admin server (or any
-// plain HTTP endpoint) — the scrape client of tests/tools_smoke.sh and
-// the verify drive steps, built on net::httpGet.
+// CLI: curl-free HTTP client against the embedded admin server, the
+// detection wire plane, or any plain HTTP endpoint — the scrape/POST
+// client of tests/tools_smoke.sh and the verify drive steps, built on
+// net::httpGet / net::httpPost.
 //
-//   hsd_scrape <host> <port> <path>
+//   hsd_scrape <host> <port> <path> [--post <file>] [--content-type <ct>]
+//
+// Without --post: GET <path>. With --post: POST the file's bytes as the
+// request body (--content-type defaults to application/octet-stream —
+// right for GDSII; use text/plain for the ASCII layout format).
 //
 // Prints the response body to stdout. Exit 0 on a 2xx status, 1 on any
 // other status or transport failure (the status line goes to stderr so
@@ -10,13 +15,29 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "net/http.hpp"
 
+namespace {
+
+const char* argString(int argc, char** argv, const char* flag,
+                      const char* def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return def;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 4) {
-    std::fprintf(stderr, "usage: %s <host> <port> <path>\n", argv[0]);
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <host> <port> <path> [--post <file>] "
+                 "[--content-type <ct>]\n",
+                 argv[0]);
     return 2;
   }
   const long port = std::strtol(argv[2], nullptr, 10);
@@ -24,9 +45,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: bad port '%s'\n", argv[2]);
     return 2;
   }
+  const char* postFile = argString(argc, argv, "--post", nullptr);
+  const char* contentType =
+      argString(argc, argv, "--content-type", "application/octet-stream");
   try {
-    const hsd::net::HttpGetResult res =
-        hsd::net::httpGet(argv[1], std::uint16_t(port), argv[3]);
+    hsd::net::HttpResult res;
+    if (postFile != nullptr) {
+      std::ifstream in(postFile, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", postFile);
+        return 2;
+      }
+      std::ostringstream body;
+      body << in.rdbuf();
+      res = hsd::net::httpPost(argv[1], std::uint16_t(port), argv[3],
+                               body.str(), contentType);
+    } else {
+      res = hsd::net::httpGet(argv[1], std::uint16_t(port), argv[3]);
+    }
     std::fwrite(res.body.data(), 1, res.body.size(), stdout);
     if (!res.ok()) {
       std::fprintf(stderr, "hsd_scrape: HTTP %d for %s\n", res.status,

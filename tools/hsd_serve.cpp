@@ -7,7 +7,16 @@
 //             [--contexts C] [--threads T] [--deadline-ms D] [--no-cache]
 //             [--tile-size S] [--halo H] [--tile-threads K]
 //             [--trace-out trace.json] [--metrics-out metrics.prom]
-//             [--admin-port P] [--linger-ms L]
+//             [--admin-port P] [--linger-ms L] [--port P]
+//             [--max-body-mb M] [--max-queue-depth Q]
+//
+// --port P opens the detection wire plane (serve::DetectionEndpoint):
+// POST /detect on 127.0.0.1:P accepts a layout body and returns the
+// report — P = 0 picks an ephemeral port, printed as one "DETECT_PORT
+// <port>" line. --max-body-mb caps uploads (413 beyond), and
+// --max-queue-depth bounds admission (429 + Retry-After at the bound).
+// --requests 0 with --port turns the process into a pure wire server
+// for the linger window: no in-process batch, all traffic over HTTP.
 //
 // --tile-size S makes every request a *tiled* evaluation: the worker
 // fans the request's tiles across idle pooled contexts (non-blocking
@@ -54,8 +63,10 @@
 
 #include "core/evaluator.hpp"
 #include "gds/gdsii.hpp"
+#include "net/http.hpp"
 #include "obs/admin.hpp"
 #include "obs/trace.hpp"
+#include "serve/detect_endpoint.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -111,7 +122,8 @@ int main(int argc, char** argv) {
                  "[--workers W] [--contexts C] [--threads T] "
                  "[--deadline-ms D] [--no-cache] [--tile-size S] "
                  "[--halo H] [--tile-threads K] [--trace-out f.json] "
-                 "[--metrics-out f.prom] [--admin-port P] [--linger-ms L]\n",
+                 "[--metrics-out f.prom] [--admin-port P] [--linger-ms L] "
+                 "[--port P] [--max-body-mb M] [--max-queue-depth Q]\n",
                  argv[0]);
     return 2;
   }
@@ -157,15 +169,44 @@ int main(int argc, char** argv) {
 
     serve::DetectionServer server(cfg);
 
+    // Detection wire plane: POST /detect bridged to server.submit().
+    const double detectPort = argDouble(argc, argv, "--port", -1.0);
+    const bool detectEnabled = detectPort >= 0.0 && detectPort <= 65535.0;
+    std::unique_ptr<serve::DetectionEndpoint> endpoint;
+    std::unique_ptr<net::HttpServer> detectHttp;
+    if (detectEnabled) {
+      serve::DetectEndpointConfig dcfg;
+      dcfg.maxQueueDepth =
+          std::size_t(argDouble(argc, argv, "--max-queue-depth", 64));
+      endpoint = std::make_unique<serve::DetectionEndpoint>(server, det, dcfg);
+      net::HttpServerOptions ho;
+      ho.port = std::uint16_t(detectPort);
+      ho.maxBodyBytes =
+          std::size_t(argDouble(argc, argv, "--max-body-mb", 64)) << 20;
+      // Enough handler threads that the wire never starves the workers;
+      // surplus requests queue in the transport's bounded accept queue.
+      ho.handlerThreads = cfg.workers + 2;
+      ho.ioTimeoutMs = 10000;
+      detectHttp = std::make_unique<net::HttpServer>(ho);
+      endpoint->mount(*detectHttp);
+      detectHttp->start();
+      std::printf("DETECT_PORT %u\n", unsigned(detectHttp->port()));
+      std::fflush(stdout);
+    }
+
     std::unique_ptr<obs::AdminServer> admin;
     if (adminEnabled) {
       obs::AdminOptions ao;
       ao.port = std::uint16_t(adminPort);
       admin = std::make_unique<obs::AdminServer>(ao);
       admin->addMetrics(server.metrics());
+      if (endpoint) admin->addMetrics(endpoint->metrics());
       admin->setTracer(cfg.tracer);
       admin->addStatsProvider("serve",
                               [&server] { return server.statsJson(); });
+      if (endpoint)
+        admin->addStatsProvider(
+            "detect", [ep = endpoint.get()] { return ep->statsJson(); });
       admin->addReadiness([&server] { return server.accepting(); });
       admin->start();
       // One greppable line; flushed so a pipe/file reader sees it while
@@ -204,6 +245,10 @@ int main(int argc, char** argv) {
                    "hsd_serve: signal %d: draining (finishing queued and "
                    "in-flight requests)\n",
                    int(g_signal));
+      // Wire plane first: its in-flight handlers block on detection
+      // futures that only resolve while the DetectionServer workers are
+      // still running — the reverse order would deadlock the drain.
+      if (detectHttp) detectHttp->stop();
       server.shutdown();  // drains; every future below is resolved
     }
 
@@ -233,6 +278,9 @@ int main(int argc, char** argv) {
     // /statsz, /tracez) until the linger elapses or a signal arrives.
     if (!interrupted && lingerMs > 0.0) interruptibleSleepMs(lingerMs);
 
+    // Same drain order as the signal path: stop the wire listener (its
+    // in-flight POSTs finish and get their responses), then the workers.
+    if (detectHttp) detectHttp->stop();
     server.shutdown();  // idempotent when the drain already ran
     std::printf(
         "SERVE_STATS {\"layout\": \"%s\", \"requests\": %zu, "
