@@ -1,11 +1,23 @@
 // Microbenchmarks (google-benchmark) of the framework's inner loops:
 // string encoding, canonical keys, MTCG construction, feature extraction,
 // density distance, SMO training, oracle simulation, clip extraction,
-// tracing-span overhead (disabled vs enabled).
+// tracing-span overhead (disabled vs enabled), and the PR-8 hot-kernel
+// pairs (scalar oracle vs dispatched SIMD path).
+//
+// `--json-out BENCH_hotpath.json` switches to a hand-timed mode that
+// measures each scalar/dispatched kernel pair and emits one
+// machine-readable trajectory file (speedups stamped with git describe)
+// — the artifact bench/run_benches.sh collects.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <limits>
 #include <random>
+#include <span>
+#include <sstream>
+#include <string>
 
+#include "bench_common.hpp"
 #include "core/classify.hpp"
 #include "core/extract.hpp"
 #include "core/features.hpp"
@@ -14,8 +26,10 @@
 #include "data/generator.hpp"
 #include "engine/stats.hpp"
 #include "geom/density_grid.hpp"
+#include "geom/simd.hpp"
 #include "litho/litho.hpp"
 #include "obs/trace.hpp"
+#include "svm/kernel_ops.hpp"
 #include "svm/svm.hpp"
 
 namespace {
@@ -158,6 +172,236 @@ void BM_Classify(benchmark::State& state) {
 }
 BENCHMARK(BM_Classify)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------------------------
+// PR-8 hot-kernel pairs: each dispatched kernel against the scalar path it
+// replaced. The pairs also back the --json-out hand-timed mode below.
+
+// Line-heavy clip: long wires spanning the window plus scattered
+// contacts — the geometry mix real layout clips rasterize (samplePattern's
+// small squares model only the contact part).
+core::CorePattern linePattern(int lines, int contacts) {
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<Coord> c(0, 1000);
+  core::CorePattern p;
+  p.w = p.h = 1200;
+  for (int i = 0; i < lines; ++i) {
+    const Coord y = Coord(i) * Coord(1100 / std::max(1, lines));
+    p.rects.push_back({20, y, 1180, y + 60});
+  }
+  for (int i = 0; i < contacts; ++i) {
+    const Coord x = c(rng), y = c(rng);
+    p.rects.push_back({x, y, x + 90, y + 90});
+  }
+  return p;
+}
+
+svm::Dataset kernelDataset(std::size_t n, std::size_t dim) {
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  svm::Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    svm::FeatureVector v(dim);
+    for (double& x : v) x = u(rng);
+    d.add(std::move(v), i % 2 ? 1 : -1);
+  }
+  return d;
+}
+
+// The pre-PR QMatrix inner loop: one naive dot product per stored vector.
+void naiveDotRow(const std::vector<svm::FeatureVector>& xs,
+                 const svm::FeatureVector& x, double* out) {
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    double dot = 0;
+    for (std::size_t k = 0; k < x.size(); ++k) dot += xs[j][k] * x[k];
+    out[j] = dot;
+  }
+}
+
+void BM_DensityRasterReference(benchmark::State& state) {
+  const core::CorePattern p =
+      linePattern(int(state.range(0)), int(state.range(0)) * 2);
+  std::vector<double> vals(16 * 16);
+  for (auto _ : state) {
+    rasterizeDensityReference(p.rects, p.window(), 16, 16, vals.data());
+    benchmark::DoNotOptimize(vals.data());
+  }
+}
+BENCHMARK(BM_DensityRasterReference)->Arg(4)->Arg(12);
+
+void BM_DensityRasterDispatched(benchmark::State& state) {
+  const core::CorePattern p =
+      linePattern(int(state.range(0)), int(state.range(0)) * 2);
+  std::vector<double> vals(16 * 16);
+  for (auto _ : state) {
+    rasterizeDensity(p.rects, p.window(), 16, 16, vals.data());
+    benchmark::DoNotOptimize(vals.data());
+  }
+}
+BENCHMARK(BM_DensityRasterDispatched)->Arg(4)->Arg(12);
+
+void BM_KernelRowNaive(benchmark::State& state) {
+  const svm::Dataset d = kernelDataset(std::size_t(state.range(0)), 24);
+  std::vector<double> out(d.size());
+  for (auto _ : state) {
+    naiveDotRow(d.x, d.x[0], out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KernelRowNaive)->Arg(600);
+
+void BM_KernelRowPacked(benchmark::State& state) {
+  const svm::Dataset d = kernelDataset(std::size_t(state.range(0)), 24);
+  const svm::ops::PackedVectors packed(d.x);
+  std::vector<double> out(d.size());
+  for (auto _ : state) {
+    svm::ops::dotProducts(packed, d.x[0].data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KernelRowPacked)->Arg(600);
+
+void BM_DecisionNaive(benchmark::State& state) {
+  const svm::Dataset d = kernelDataset(std::size_t(state.range(0)), 40);
+  std::vector<double> coef(d.size(), 0.25);
+  for (auto _ : state) {
+    double s = 0;
+    for (std::size_t i = 0; i < d.size(); ++i)
+      s += coef[i] * svm::rbfKernel(d.x[i], d.x[0], 0.5);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_DecisionNaive)->Arg(150);
+
+void BM_DecisionPacked(benchmark::State& state) {
+  const svm::Dataset d = kernelDataset(std::size_t(state.range(0)), 40);
+  const svm::SvmModel model(std::vector<svm::FeatureVector>(d.x),
+                            std::vector<double>(d.size(), 0.25), 0.0, 0.5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model.decisionFrom(
+        std::span<const double>(d.x[0].data(), d.x[0].size())));
+}
+BENCHMARK(BM_DecisionPacked)->Arg(150);
+
+// --------------------------------------------------------------------------
+// Hand-timed --json-out mode: BENCH_hotpath.json for bench/run_benches.sh.
+
+/// Best-of-`reps` wall time of `iters` calls to `fn`, in ns per call.
+template <typename Fn>
+double bestNsPerCall(Fn&& fn, int reps, int iters) {
+  using clock = std::chrono::steady_clock;
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto t1 = clock::now();
+    const double ns =
+        double(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                   .count()) /
+        double(iters);
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+struct KernelTiming {
+  const char* name;
+  double scalarNs;
+  double dispatchedNs;
+  double speedup() const {
+    return dispatchedNs > 0 ? scalarNs / dispatchedNs : 0.0;
+  }
+};
+
+int runJsonMode(const char* path) {
+  std::vector<KernelTiming> timings;
+  constexpr int kReps = 15;
+
+  {
+    // Density rasterizer: the paper's density feature on a realistic clip
+    // (12 window-spanning lines + 24 contacts, 16x16 grid — the shape
+    // core::buildFeatureVector drives).
+    const core::CorePattern p = linePattern(12, 24);
+    std::vector<double> vals(16 * 16);
+    const double ref = bestNsPerCall(
+        [&] {
+          rasterizeDensityReference(p.rects, p.window(), 16, 16, vals.data());
+          benchmark::DoNotOptimize(vals.data());
+        },
+        kReps, 2000);
+    const double opt = bestNsPerCall(
+        [&] {
+          rasterizeDensity(p.rects, p.window(), 16, 16, vals.data());
+          benchmark::DoNotOptimize(vals.data());
+        },
+        kReps, 2000);
+    timings.push_back({"density_raster", ref, opt});
+  }
+  {
+    // Kernel row: one QMatrix row against 600 stored vectors (dim 24) —
+    // the SMO inner loop, naive per-vector dots vs the packed kernel.
+    const svm::Dataset d = kernelDataset(600, 24);
+    const svm::ops::PackedVectors packed(d.x);
+    std::vector<double> out(d.size());
+    const double ref = bestNsPerCall(
+        [&] {
+          naiveDotRow(d.x, d.x[0], out.data());
+          benchmark::DoNotOptimize(out.data());
+        },
+        kReps, 2000);
+    const double opt = bestNsPerCall(
+        [&] {
+          svm::ops::dotProducts(packed, d.x[0].data(), out.data());
+          benchmark::DoNotOptimize(out.data());
+        },
+        kReps, 2000);
+    timings.push_back({"kernel_row", ref, opt});
+  }
+  {
+    // Decision function: 150 SVs, dim 40 — serving's per-clip dot.
+    const svm::Dataset d = kernelDataset(150, 40);
+    const std::vector<double> coef(d.size(), 0.25);
+    const svm::SvmModel model(std::vector<svm::FeatureVector>(d.x),
+                              std::vector<double>(coef), 0.0, 0.5);
+    const std::span<const double> x(d.x[0].data(), d.x[0].size());
+    const double ref = bestNsPerCall(
+        [&] {
+          double s = 0;
+          for (std::size_t i = 0; i < d.size(); ++i)
+            s += coef[i] * svm::rbfKernel(d.x[i], d.x[0], 0.5);
+          benchmark::DoNotOptimize(s);
+        },
+        kReps, 2000);
+    const double opt = bestNsPerCall(
+        [&] { benchmark::DoNotOptimize(model.decisionFrom(x)); }, kReps, 2000);
+    timings.push_back({"svm_decision", ref, opt});
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"hotpath\",\n  \"git\": \""
+       << bench::gitDescribe() << "\",\n  \"simd\": \""
+       << simd::toString(simd::activeLevel()) << "\",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const KernelTiming& t = timings[i];
+    json << "    {\"name\": \"" << t.name << "\", \"scalar_ns\": "
+         << t.scalarNs << ", \"dispatched_ns\": " << t.dispatchedNs
+         << ", \"speedup\": " << t.speedup() << "}"
+         << (i + 1 < timings.size() ? "," : "") << "\n";
+    std::printf("%-16s scalar %9.1f ns  dispatched %9.1f ns  speedup %.2fx\n",
+                t.name, t.scalarNs, t.dispatchedNs, t.speedup());
+  }
+  json << "  ]\n}\n";
+  return bench::writeJsonFile(path, json.str()) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const char* out =
+          hsd::bench::argString(argc, argv, "--json-out", nullptr))
+    return runJsonMode(out);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "engine/arena.hpp"
 #include "engine/cache.hpp"
 #include "engine/pipeline.hpp"
 #include "geom/hashing.hpp"
@@ -136,11 +137,21 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
             return;
           }
           bool flagged = false;
-          for (const KernelEntry& k : det.kernels)
-            if (k.model.decision(k.scaler.transform(it.coreFeat)) > bias) {
-              flagged = true;
-              break;
+          {
+            // Scale + score through arena scratch: no per-clip heap
+            // traffic in the steady state (the span hands the scaled
+            // vector straight to the packed decision kernel).
+            engine::ArenaScope scope(engine::threadScratch());
+            for (const KernelEntry& k : det.kernels) {
+              const std::span<double> x =
+                  scope.arena().allocSpan<double>(k.scaler.dim());
+              k.scaler.transformInto(it.coreFeat, x.data());
+              if (k.model.decisionFrom(x) > bias) {
+                flagged = true;
+                break;
+              }
             }
+          }
           if (!flagged && cache != nullptr) {
             // The final verdict is already known: the feedback kernel can
             // only reclaim *flagged* clips, never promote unflagged ones.
@@ -175,8 +186,11 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
             const svm::FeatureVector fb = buildFeatureVector(
                 CorePattern::fromClip(it.clip, det.params.layer),
                 det.params.feedbackFeatures);
-            if (det.feedbackModel.predict(det.feedbackScaler.transform(fb)) <
-                0)
+            engine::ArenaScope scope(engine::threadScratch());
+            const std::span<double> x =
+                scope.arena().allocSpan<double>(det.feedbackScaler.dim());
+            det.feedbackScaler.transformInto(fb, x.data());
+            if (det.feedbackModel.predictFrom(x) < 0)
               hot = false;  // reclaimed by the ambit-aware kernel
           }
           if (cache != nullptr)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/topo_string.hpp"
+#include "engine/arena.hpp"
 #include "geom/density_grid.hpp"
 #include "geom/rectset.hpp"
 
@@ -170,9 +171,15 @@ svm::FeatureVector buildFeatureVector(const CorePattern& pat,
   v.push_back(nt.density);
 
   if (fp.densityGridN > 0) {
-    const DensityGrid g(p.rects, p.window(), fp.densityGridN,
-                        fp.densityGridN);
-    v.insert(v.end(), g.values().begin(), g.values().end());
+    // Rasterize into thread-local arena scratch instead of constructing a
+    // DensityGrid (whose pixel vector would be a fresh heap allocation on
+    // every clip); the scope rewinds the scratch before returning.
+    engine::ArenaScope scope(engine::threadScratch());
+    const std::span<double> g =
+        scope.arena().allocSpan<double>(fp.densityGridN * fp.densityGridN);
+    rasterizeDensity(p.rects, p.window(), fp.densityGridN, fp.densityGridN,
+                     g.data());
+    v.insert(v.end(), g.begin(), g.end());
   }
   return v;
 }

@@ -1,0 +1,103 @@
+#include "engine/arena.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+
+#include "par/cacheline.hpp"
+
+namespace hsd::engine {
+
+// One chain link: a cache-line-sized header directly followed by its
+// payload, so payloads start 64-byte aligned and a block is one
+// contiguous allocation.
+struct alignas(par::kCacheLineSize) Arena::Block {
+  Block* next;
+  std::size_t capacity;  ///< payload bytes that follow this header
+
+  char* payload() { return reinterpret_cast<char*>(this) + sizeof(Block); }
+};
+
+Arena::~Arena() {
+  Block* b = head_;
+  while (b != nullptr) {
+    Block* const next = b->next;
+    ::operator delete(b, std::align_val_t{par::kCacheLineSize});
+    b = next;
+  }
+}
+
+Arena::Block* Arena::grow(std::size_t bytes) {
+  static_assert(offsetof(Block, next) == 0,
+                "chain pointer must lead the header");
+  static_assert(offsetof(Block, capacity) == sizeof(void*),
+                "header fields must stay adjacent");
+  static_assert(sizeof(Block) == par::kCacheLineSize,
+                "payload must start exactly one cache line in");
+  Block* const cur = static_cast<Block*>(cur_);
+  const std::size_t last = cur != nullptr ? cur->capacity : 0;
+  const std::size_t cap =
+      std::max({bytes, kDefaultBlockBytes, std::min(last * 2, kMaxBlockBytes)});
+  void* const mem = ::operator new(sizeof(Block) + cap,
+                                   std::align_val_t{par::kCacheLineSize});
+  Block* const b = static_cast<Block*>(mem);
+  b->capacity = cap;
+  if (cur != nullptr) {
+    // Splice after the current block so the bump walk finds it next; any
+    // previously grown tail stays reachable behind it.
+    b->next = cur->next;
+    cur->next = b;
+  } else {
+    b->next = head_;
+    head_ = b;
+  }
+  capacity_ += cap;
+  ++blocks_;
+  return b;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  Block* b = static_cast<Block*>(cur_);
+  std::size_t off = offset_;
+  for (;;) {
+    if (b != nullptr) {
+      const std::size_t aligned = (off + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b->capacity) {
+        cur_ = b;
+        offset_ = aligned + bytes;
+        used_ += offset_ - off;
+        highWater_ = std::max(highWater_, used_);
+        return b->payload() + aligned;
+      }
+      if (b->next != nullptr) {
+        // Retained block from an earlier high-water run: reuse it.
+        used_ += b->capacity - off;  // account the skipped tail as live
+        b = b->next;
+        off = 0;
+        continue;
+      }
+    }
+    b = grow(bytes);
+    off = 0;
+  }
+}
+
+void Arena::rewind(const Mark& m) {
+  cur_ = m.block != nullptr ? m.block : head_;
+  offset_ = m.block != nullptr ? m.offset : 0;
+  used_ = m.used;
+}
+
+void Arena::reset() {
+  cur_ = head_;
+  offset_ = 0;
+  used_ = 0;
+}
+
+Arena& threadScratch() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace hsd::engine

@@ -2,61 +2,87 @@
 
 namespace hsd::engine {
 
+StageCache::StageCache(std::size_t capacity,
+                       std::shared_ptr<obs::TraceRecorder> tracer)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      shardCount_(capacity_ >= kShardThreshold ? kMaxShards : 1),
+      tracer_(std::move(tracer)),
+      shards_(new Shard[shardCount_]) {
+  // Split the budget so shard capacities sum exactly to capacity_ (the
+  // first `capacity_ % shardCount_` shards take one extra entry).
+  for (std::size_t s = 0; s < shardCount_; ++s)
+    shards_[s].capacity =
+        capacity_ / shardCount_ + (s < capacity_ % shardCount_ ? 1 : 0);
+}
+
 bool StageCache::findErased(const CacheKey& key, std::any& out) {
   obs::Span span(tracer_.get(), "cache/lookup", "cache");
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++counters_.misses;
+  Shard& sh = shardFor(key);
+  const std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.map.find(key);
+  if (it == sh.map.end()) {
+    ++sh.counters.misses;
     span.arg("hit", 0);
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);  // promote to most recent
-  ++counters_.hits;
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // promote to most recent
+  ++sh.counters.hits;
   span.arg("hit", 1);
   out = it->second->value;
   return true;
 }
 
 std::size_t StageCache::insertErased(const CacheKey& key, std::any value) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = map_.find(key);
-  if (it != map_.end()) {
+  Shard& sh = shardFor(key);
+  const std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.map.find(key);
+  if (it != sh.map.end()) {
     // Refresh: same key recomputed (e.g. two threads raced on one miss).
     it->second->value = std::move(value);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
     return 0;
   }
-  lru_.push_front(Entry{key, std::move(value)});
-  map_.emplace(key, lru_.begin());
+  sh.lru.push_front(Entry{key, std::move(value)});
+  sh.map.emplace(key, sh.lru.begin());
   std::size_t evicted = 0;
-  while (map_.size() > capacity_) {
-    map_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++counters_.evictions;
+  while (sh.map.size() > sh.capacity) {
+    sh.map.erase(sh.lru.back().key);
+    sh.lru.pop_back();
+    ++sh.counters.evictions;
     ++evicted;
   }
-  counters_.entries = map_.size();
+  sh.counters.entries = sh.map.size();
   return evicted;
 }
 
 std::size_t StageCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < shardCount_; ++s) {
+    const std::lock_guard<std::mutex> lock(shards_[s].mu);
+    n += shards_[s].map.size();
+  }
+  return n;
 }
 
 StageCache::Counters StageCache::counters() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  Counters c = counters_;
-  c.entries = map_.size();
-  return c;
+  Counters total;
+  for (std::size_t s = 0; s < shardCount_; ++s) {
+    const std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total.hits += shards_[s].counters.hits;
+    total.misses += shards_[s].counters.misses;
+    total.evictions += shards_[s].counters.evictions;
+    total.entries += shards_[s].map.size();
+  }
+  return total;
 }
 
 void StageCache::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  map_.clear();
-  counters_.entries = 0;
+  for (std::size_t s = 0; s < shardCount_; ++s) {
+    const std::lock_guard<std::mutex> lock(shards_[s].mu);
+    shards_[s].lru.clear();
+    shards_[s].map.clear();
+    shards_[s].counters.entries = 0;
+  }
 }
 
 }  // namespace hsd::engine

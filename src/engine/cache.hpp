@@ -38,6 +38,7 @@
 
 #include "geom/hashing.hpp"
 #include "obs/trace.hpp"
+#include "par/cacheline.hpp"
 
 namespace hsd::engine {
 
@@ -71,19 +72,32 @@ struct CacheKeyHash {
 /// detection stages store verdict booleans); a type mismatch on lookup is
 /// treated as a miss, so a key can never deliver a value of the wrong type.
 ///
-/// Concurrency audit (multi-request serving): every operation — lookup,
-/// LRU promotion, insert, eviction — runs under the one `mu_` and `find`
-/// copies the value out *before* releasing it, so an eviction racing a hit
-/// on the same key either misses cleanly or returns the complete value;
-/// no caller ever observes a dangling or partially-written entry. Two
-/// requests racing on the same miss both compute and insert (the second
-/// insert is a refresh, not a duplicate) — harmless because values are
-/// pure functions of their key. Pinned under TSan by the concurrent
-/// hammer test in tests/test_stage_cache.cpp (tiny capacity, many
-/// threads, continuous eviction).
+/// Concurrency audit (multi-request serving): the cache is split into
+/// independent shards, each a cache-line-aligned (mutex, LRU list, map,
+/// counters) unit selected by the top bits of the key hash. Every
+/// operation on one key — lookup, LRU promotion, insert, eviction — runs
+/// under that shard's mutex and `find` copies the value out *before*
+/// releasing it, so an eviction racing a hit on the same key either
+/// misses cleanly or returns the complete value; no caller ever observes
+/// a dangling or partially-written entry. Two requests racing on the same
+/// miss both compute and insert (the second insert is a refresh, not a
+/// duplicate) — harmless because values are pure functions of their key.
+/// Pinned under TSan by the concurrent hammer test in
+/// tests/test_stage_cache.cpp (tiny capacity, many threads, continuous
+/// eviction).
+///
+/// Sharding kicks in only at serving-scale capacity (>= kShardThreshold):
+/// small caches keep one shard, preserving exact global LRU order (which
+/// the eviction-order unit tests rely on). Sharded eviction is LRU *per
+/// shard* — a deliberate trade: hit rates differ negligibly at 4096+
+/// entries per shard, and lookups from N serving threads stop serializing
+/// on one mutex (and stop bouncing one mutex cache line between cores).
 class StageCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
+  /// Capacities below this stay single-sharded (exact LRU).
+  static constexpr std::size_t kShardThreshold = 4096;
+  static constexpr std::size_t kMaxShards = 16;  // power of two
 
   /// `capacity` == 0 is clamped to 1 (a cache that can hold something).
   /// With a non-null `tracer`, every lookup is recorded as one
@@ -91,8 +105,7 @@ class StageCache {
   /// tracer is fixed at construction — no set-while-racing hazard — and
   /// must outlive the cache.
   explicit StageCache(std::size_t capacity = kDefaultCapacity,
-                      std::shared_ptr<obs::TraceRecorder> tracer = nullptr)
-      : capacity_(capacity == 0 ? 1 : capacity), tracer_(std::move(tracer)) {}
+                      std::shared_ptr<obs::TraceRecorder> tracer = nullptr);
 
   StageCache(const StageCache&) = delete;
   StageCache& operator=(const StageCache&) = delete;
@@ -121,6 +134,7 @@ class StageCache {
   }
 
   std::size_t capacity() const { return capacity_; }
+  std::size_t shardCount() const { return shardCount_; }
   std::size_t size() const;
   Counters counters() const;
   void clear();
@@ -134,12 +148,31 @@ class StageCache {
     std::any value;
   };
 
+  /// One independent cache unit on its own cache line(s): concurrent
+  /// lookups on different shards touch disjoint lines, so neither the
+  /// mutexes nor the hot list heads false-share.
+  struct alignas(par::kCacheLineSize) Shard {
+    mutable std::mutex mu;
+    std::size_t capacity = 0;  ///< this shard's slice of the total
+    std::list<Entry> lru;      ///< front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map;
+    Counters counters;
+  };
+  static_assert(alignof(Shard) == par::kCacheLineSize,
+                "shards must start on cache-line boundaries");
+  static_assert(sizeof(Shard) % par::kCacheLineSize == 0,
+                "adjacent shards must not share a line");
+
+  Shard& shardFor(const CacheKey& key) {
+    // Top bits: the map's bucketing consumes the low bits of the same
+    // mix, so shard choice and bucket choice stay decorrelated.
+    return shards_[(key.combined() >> 60) & (shardCount_ - 1)];
+  }
+
   const std::size_t capacity_;
+  const std::size_t shardCount_;  ///< power of two
   const std::shared_ptr<obs::TraceRecorder> tracer_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
-  Counters counters_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace hsd::engine

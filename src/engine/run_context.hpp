@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/arena.hpp"
 #include "engine/cache.hpp"
 #include "engine/stats.hpp"
 #include "obs/trace.hpp"
@@ -49,6 +50,12 @@ class RunContext {
 
   EngineStats& stats() { return stats_; }
   const EngineStats& stats() const { return stats_; }
+
+  /// The calling thread's scratch arena (engine/arena.hpp). Stage bodies
+  /// carve per-clip buffers here under an ArenaScope instead of touching
+  /// the heap; each pool worker gets its own arena, so this is safe from
+  /// inside parallelFor without locks.
+  Arena& scratch() const { return threadScratch(); }
 
   /// Attach a content-addressed stage cache (opt-in; see engine/cache.hpp).
   /// Sharing one StageCache across contexts/runs is what makes warm

@@ -4,11 +4,79 @@
 #include <cmath>
 #include <limits>
 
+#include "geom/simd.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HSD_DENSITY_AVX2 1
+#include <immintrin.h>
+#endif
+
 namespace hsd {
 
-DensityGrid::DensityGrid(const std::vector<Rect>& rects, const Rect& window,
-                         std::size_t nx, std::size_t ny)
-    : nx_(nx), ny_(ny), window_(window), vals_(nx * ny, 0.0) {
+namespace {
+
+// The x-overlap of rect r with every pixel column in [ix0, ix1) depends
+// only on ix, not on the row — hoisting it out of the row loop is the
+// main rasterizer win (the per-pixel expressions are unchanged, so the
+// accumulated values stay byte-identical to the reference loop).
+thread_local std::vector<double> g_xovScratch;
+
+inline void accumulateRowsScalar(double* __restrict vals,
+                                 const double* __restrict xov, std::size_t ix0,
+                                 std::size_t ix1, double oy, double pixArea) {
+  for (std::size_t ix = ix0; ix < ix1; ++ix) {
+    const double ox = xov[ix - ix0];
+    if (ox <= 0) continue;
+    vals[ix] += ox * oy / pixArea;
+  }
+}
+
+#ifdef HSD_DENSITY_AVX2
+
+// The whole rect in one call (amortizes the call and the pixArea
+// broadcast over every row); four pixels per step, per-lane mul/div/add
+// only (no FMA — the avx2 target attribute does not enable it), with a
+// compare/blend standing in for the scalar `ox <= 0` skip. Each lane
+// computes exactly the scalar expression `vals[ix] + ox * oy / pixArea`,
+// and oy is the identical per-row expression of the scalar loop.
+__attribute__((target("avx2"))) void accumulateRectAvx2(
+    double* vals, std::size_t nx, const double* xov, std::size_t ix0,
+    std::size_t ix1, std::size_t iy0, std::size_t iy1, double winLoY,
+    double ph, double rectLoY, double rectHiY, double pixArea) {
+  const __m256d areav = _mm256_set1_pd(pixArea);
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t iy = iy0; iy < iy1; ++iy) {
+    const double py0 = winLoY + ph * double(iy);
+    const double py1 = py0 + ph;
+    const double oy = std::min(py1, rectHiY) - std::max(py0, rectLoY);
+    if (oy <= 0) continue;
+    double* const row = vals + iy * nx;
+    const __m256d oyv = _mm256_set1_pd(oy);
+    std::size_t ix = ix0;
+    for (; ix + 4 <= ix1; ix += 4) {
+      const __m256d ox = _mm256_loadu_pd(xov + (ix - ix0));
+      const __m256d cur = _mm256_loadu_pd(row + ix);
+      const __m256d term = _mm256_div_pd(_mm256_mul_pd(ox, oyv), areav);
+      const __m256d next = _mm256_add_pd(cur, term);
+      const __m256d mask = _mm256_cmp_pd(ox, zero, _CMP_GT_OQ);
+      _mm256_storeu_pd(row + ix, _mm256_blendv_pd(cur, next, mask));
+    }
+    for (; ix < ix1; ++ix) {
+      const double ox = xov[ix - ix0];
+      if (ox <= 0) continue;
+      row[ix] += ox * oy / pixArea;
+    }
+  }
+}
+
+#endif  // HSD_DENSITY_AVX2
+
+}  // namespace
+
+void rasterizeDensityReference(const std::vector<Rect>& rects,
+                               const Rect& window, std::size_t nx,
+                               std::size_t ny, double* vals) {
+  std::fill(vals, vals + nx * ny, 0.0);
   if (nx == 0 || ny == 0 || window.empty()) return;
   const double pw = double(window.width()) / double(nx);
   const double ph = double(window.height()) / double(ny);
@@ -35,11 +103,85 @@ DensityGrid::DensityGrid(const std::vector<Rect>& rects, const Rect& window,
         const double ox = std::min(px1, double(r.hi.x)) -
                           std::max(px0, double(r.lo.x));
         if (ox <= 0) continue;
-        vals_[iy * nx_ + ix] += ox * oy / pixArea;
+        vals[iy * nx + ix] += ox * oy / pixArea;
       }
     }
   }
-  for (double& v : vals_) v = std::min(v, 1.0);
+  for (std::size_t i = 0; i < nx * ny; ++i) vals[i] = std::min(vals[i], 1.0);
+}
+
+void rasterizeDensity(const std::vector<Rect>& rects, const Rect& window,
+                      std::size_t nx, std::size_t ny, double* vals) {
+  std::fill(vals, vals + nx * ny, 0.0);
+  if (nx == 0 || ny == 0 || window.empty()) return;
+#ifdef HSD_DENSITY_AVX2
+  const bool avx2 = simd::activeLevel() == simd::Level::kAvx2;
+#endif
+  const double pw = double(window.width()) / double(nx);
+  const double ph = double(window.height()) / double(ny);
+  const double pixArea = pw * ph;
+  const double invPw = double(nx) / double(window.width());
+  const double invPh = double(ny) / double(window.height());
+  // x-overlaps live on the stack for typical spans (grids are 8..16 wide
+  // in the pipeline); the thread_local scratch only backs huge grids.
+  constexpr std::size_t kStackSpan = 64;
+  double xovStack[kStackSpan];
+  for (const Rect& raw : rects) {
+    const Rect r = raw.intersect(window);
+    if (!r.valid() || r.empty()) continue;
+    // Conservative pixel ranges via reciprocal multiply: up to one pixel
+    // wider per side than the exact floor/ceil ranges (reciprocal
+    // rounding is << 1 index unit). Widened pixels have non-positive
+    // overlap and take the same `<= 0` skip as always, so the
+    // accumulated values are unchanged — this trades a few dead pixel
+    // iterations for four scalar divides and a floor/ceil per rect.
+    auto ix0 = std::size_t(double(r.lo.x - window.lo.x) * invPw);
+    auto iy0 = std::size_t(double(r.lo.y - window.lo.y) * invPh);
+    ix0 -= ix0 > 0;
+    iy0 -= iy0 > 0;
+    const auto ix1 =
+        std::min(nx, std::size_t(double(r.hi.x - window.lo.x) * invPw) + 2);
+    const auto iy1 =
+        std::min(ny, std::size_t(double(r.hi.y - window.lo.y) * invPh) + 2);
+    if (ix0 >= ix1) continue;
+    const std::size_t span = ix1 - ix0;
+    double* xov = xovStack;
+    if (span > kStackSpan) {
+      g_xovScratch.resize(span);
+      xov = g_xovScratch.data();
+    }
+    for (std::size_t ix = ix0; ix < ix1; ++ix) {
+      const double px0 = double(window.lo.x) + pw * double(ix);
+      const double px1 = px0 + pw;
+      xov[ix - ix0] = std::min(px1, double(r.hi.x)) -
+                      std::max(px0, double(r.lo.x));
+    }
+#ifdef HSD_DENSITY_AVX2
+    // Narrow rects (contacts, via farms) never reach a full 4-lane step;
+    // the scalar loop beats the vector entry there.
+    if (avx2 && span >= 4) {
+      accumulateRectAvx2(vals, nx, xov, ix0, ix1, iy0, iy1,
+                         double(window.lo.y), ph, double(r.lo.y),
+                         double(r.hi.y), pixArea);
+      continue;
+    }
+#endif
+    for (std::size_t iy = iy0; iy < iy1; ++iy) {
+      const double py0 = double(window.lo.y) + ph * double(iy);
+      const double py1 = py0 + ph;
+      const double oy = std::min(py1, double(r.hi.y)) -
+                        std::max(py0, double(r.lo.y));
+      if (oy <= 0) continue;
+      accumulateRowsScalar(vals + iy * nx, xov, ix0, ix1, oy, pixArea);
+    }
+  }
+  for (std::size_t i = 0; i < nx * ny; ++i) vals[i] = std::min(vals[i], 1.0);
+}
+
+DensityGrid::DensityGrid(const std::vector<Rect>& rects, const Rect& window,
+                         std::size_t nx, std::size_t ny)
+    : nx_(nx), ny_(ny), window_(window), vals_(nx * ny) {
+  rasterizeDensity(rects, window, nx, ny, vals_.data());
 }
 
 double DensityGrid::mean() const {

@@ -12,6 +12,22 @@
 
 namespace hsd {
 
+/// Rasterize `rects` (clipped to `window`) onto `vals` — nx*ny doubles,
+/// row-major from the window's lower-left, overwritten (zeroed first,
+/// saturated to 1.0 after). The allocation-free core of the DensityGrid
+/// ctor: callers on the hot path hand in arena scratch. Dispatched (AVX2
+/// across pixels of a row when available; HSD_SIMD=scalar forces the
+/// portable path) and byte-identical to rasterizeDensityReference at
+/// every input — tests/test_hotpath.cpp pins this.
+void rasterizeDensity(const std::vector<Rect>& rects, const Rect& window,
+                      std::size_t nx, std::size_t ny, double* vals);
+
+/// The scalar oracle: the original pixel-at-a-time overlap loop,
+/// unchanged. Kept for the byte-identity tests.
+void rasterizeDensityReference(const std::vector<Rect>& rects,
+                               const Rect& window, std::size_t nx,
+                               std::size_t ny, double* vals);
+
 /// A nx-by-ny grid of polygon densities over a window.
 class DensityGrid {
  public:

@@ -1,0 +1,50 @@
+// Runtime SIMD dispatch for the hot-path kernels (density rasterizer,
+// RBF kernel rows, decision-function dot products). Header-only so the
+// bottom layers (geom, svm) can share one dispatch decision without a
+// link-time dependency.
+//
+// Byte-identity contract: every SIMD code path in this codebase must
+// produce bit-identical results to its scalar oracle. The kernels achieve
+// this by vectorizing *across independent outputs* (one lane = one pixel
+// run / one support vector / one Q-row column) while keeping each output's
+// reduction sequential in the scalar order, and by restricting themselves
+// to per-lane IEEE mul/div/add/sub (no FMA contraction — the AVX2 target
+// attribute deliberately excludes FMA, and the baseline x86-64 scalar code
+// cannot contract either). tests/test_hotpath.cpp pins the contract.
+#pragma once
+
+#include <cstdlib>
+
+namespace hsd::simd {
+
+enum class Level {
+  kScalar = 0,  ///< portable restrict/contiguous-span loops (the oracle)
+  kAvx2 = 1,    ///< explicit AVX2 path, byte-identical to kScalar
+};
+
+inline const char* toString(Level l) {
+  return l == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+namespace detail {
+inline Level detect() {
+  // HSD_SIMD=scalar forces the oracle path at any capability level —
+  // the escape hatch for A/B byte-identity checks on real workloads.
+  if (const char* env = std::getenv("HSD_SIMD")) {
+    if (env[0] == 's' || env[0] == 'S' || env[0] == '0')
+      return Level::kScalar;
+  }
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+}  // namespace detail
+
+/// The process-wide dispatch decision, detected once on first use.
+inline Level activeLevel() {
+  static const Level level = detail::detect();
+  return level;
+}
+
+}  // namespace hsd::simd

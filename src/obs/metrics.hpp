@@ -21,10 +21,16 @@
 #include <utility>
 #include <vector>
 
+#include "par/cacheline.hpp"
+
 namespace hsd::obs {
 
-/// Monotonically increasing counter.
-class Counter {
+/// Monotonically increasing counter. Cache-line aligned: counters are
+/// individually heap-allocated by the registry and bumped from every
+/// worker thread; line alignment (honored by aligned operator new)
+/// guarantees two hot counters never share — and therefore never
+/// ping-pong — a line.
+class alignas(par::kCacheLineSize) Counter {
  public:
   void inc(std::uint64_t delta = 1) {
     v_.fetch_add(delta, std::memory_order_relaxed);
@@ -35,8 +41,9 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
-/// Settable up/down gauge (queue depths, in-flight counts).
-class Gauge {
+/// Settable up/down gauge (queue depths, in-flight counts). Aligned for
+/// the same false-sharing reason as Counter.
+class alignas(par::kCacheLineSize) Gauge {
  public:
   void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
   void inc(std::int64_t delta = 1) {

@@ -66,7 +66,7 @@ ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
                          std::shared_ptr<obs::TraceRecorder> tracer) {
   contexts = std::max<std::size_t>(1, contexts);
   all_.reserve(contexts);
-  free_.reserve(contexts);
+  slots_.reset(new Slot[contexts]);
   for (std::size_t i = 0; i < contexts; ++i) {
     auto ctx = std::make_unique<engine::RunContext>(threadsPerContext,
                                                     batchSize);
@@ -75,25 +75,30 @@ ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
     // Pre-warm: spawn the worker threads now so the first request doesn't
     // pay pool construction latency (threads=1 contexts stay thread-free).
     if (ctx->threadCount() > 1) ctx->pool();
-    free_.push_back(ctx.get());
+    slots_[i].value.store(ctx.get(), std::memory_order_relaxed);
     all_.push_back(std::move(ctx));
   }
 }
 
 engine::RunContext* ContextPool::checkout() {
+  if (engine::RunContext* ctx = tryCheckout()) return ctx;
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !free_.empty(); });
-  engine::RunContext* ctx = free_.back();
-  free_.pop_back();
+  engine::RunContext* ctx = nullptr;
+  // The predicate re-probes the slots while holding mu_; checkin
+  // publishes under mu_ before notifying, so a release can't slip
+  // between the probe and the wait.
+  cv_.wait(lock, [this, &ctx] { return (ctx = tryCheckout()) != nullptr; });
   return ctx;
 }
 
 engine::RunContext* ContextPool::tryCheckout() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (free_.empty()) return nullptr;
-  engine::RunContext* ctx = free_.back();
-  free_.pop_back();
-  return ctx;
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    if (slots_[i].value.load(std::memory_order_relaxed) == nullptr) continue;
+    if (engine::RunContext* ctx =
+            slots_[i].value.exchange(nullptr, std::memory_order_acquire))
+      return ctx;
+  }
+  return nullptr;
 }
 
 void ContextPool::checkin(engine::RunContext* ctx) {
@@ -103,9 +108,12 @@ void ContextPool::checkin(engine::RunContext* ctx) {
   // next request's EngineStats snapshot purely its own.
   ctx->resetCancel();
   ctx->stats().clear();
+  std::size_t i = 0;
+  while (i < all_.size() && all_[i].get() != ctx) ++i;
+  if (i == all_.size()) return;  // not ours — refuse rather than corrupt
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    free_.push_back(ctx);
+    slots_[i].value.store(ctx, std::memory_order_release);
   }
   cv_.notify_one();
 }

@@ -49,6 +49,7 @@
 #include "engine/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/cacheline.hpp"
 
 namespace hsd::serve {
 
@@ -103,6 +104,15 @@ struct ServeResult {
 /// until a context is free; checkin() resets it (cancellation flag,
 /// deadline, per-request stats) so the next request starts clean even
 /// after a cancelled/timed-out run.
+///
+/// Layout: one atomic free-slot per context, each padded to its own cache
+/// line (slot i free <=> slots_[i] holds the context pointer). Tiled
+/// fan-out hammers tryCheckout from every worker at once; with the slots
+/// line-separated and claimed by lock-free exchange, those probes touch
+/// disjoint lines instead of serializing on one mutex-protected vector.
+/// The mutex+condvar remain only for blocking checkout(): checkin stores
+/// the slot under the mutex before notifying, so a sleeping waiter can't
+/// miss the release (no lost wakeup).
 class ContextPool {
  public:
   ContextPool(std::size_t contexts, std::size_t threadsPerContext,
@@ -117,15 +127,19 @@ class ContextPool {
   /// Non-blocking checkout: nullptr when no context is free right now.
   /// Tiled fan-out uses this to borrow idle contexts without ever waiting
   /// on one (a worker holding its own context while blocking for more is
-  /// a pool deadlock).
+  /// a pool deadlock). Lock-free.
   engine::RunContext* tryCheckout();
   void checkin(engine::RunContext* ctx);
   std::size_t size() const { return all_.size(); }
 
  private:
+  using Slot = par::CachePadded<std::atomic<engine::RunContext*>>;
+  static_assert(sizeof(Slot) == par::kCacheLineSize,
+                "one slot per line, no neighbors");
+
   std::vector<std::unique_ptr<engine::RunContext>> all_;
-  std::vector<engine::RunContext*> free_;
-  std::mutex mu_;
+  std::unique_ptr<Slot[]> slots_;  ///< slots_[i] non-null => all_[i] is free
+  std::mutex mu_;                  ///< checkout sleep / checkin publish
   std::condition_variable cv_;
 };
 

@@ -1,0 +1,59 @@
+#include "svm/qmatrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsd::svm {
+
+QMatrix::QMatrix(const Dataset& data, double gamma, std::size_t cacheBytes)
+    : data_(data), gamma_(gamma), packed_(data.x) {
+  const std::size_t n = data.size();
+  norms_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0;
+    for (const double v : data.x[i]) s += v * v;
+    norms_[i] = s;
+  }
+  maxRows_ = std::max<std::size_t>(2, cacheBytes / std::max<std::size_t>(
+                                          1, n * sizeof(float)));
+  diag_.resize(n, 1.0f);  // K(x,x) == 1 for RBF, and y_i*y_i == 1
+  dotBuf_.resize(n);
+}
+
+const std::vector<float>& QMatrix::row(std::size_t i, std::size_t pinned) {
+  const auto it = map_.find(i);
+  if (it != map_.end()) {
+    // LRU refresh: a hit moves the row to the most-recent end, so a hot
+    // row can never drift to the eviction front (list splice — existing
+    // references into other entries stay valid).
+    lru_.splice(lru_.end(), lru_, it->second);
+    return it->second->values;
+  }
+  if (map_.size() >= maxRows_) {
+    // Evict the least-recent row, skipping the caller's pinned row.
+    // maxRows_ >= 2 guarantees a second candidate exists when one row is
+    // pinned, so this never fails to make room.
+    auto victim = lru_.begin();
+    if (victim->index == pinned) ++victim;
+    map_.erase(victim->index);
+    lru_.erase(victim);
+    ++evicted_;
+  }
+  const std::size_t n = data_.size();
+  std::vector<float> r(n);
+  // dot_j = x_i . x_j for all j, four lanes at a time (kernel_ops keeps
+  // each lane's accumulation in scalar order, so r is byte-identical to
+  // the original per-j loop).
+  ops::dotProducts(packed_, data_.x[i].data(), dotBuf_.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d2 = norms_[i] + norms_[j] - 2.0 * dotBuf_[j];
+    const double kij = std::exp(-gamma_ * std::max(0.0, d2));
+    r[j] = float(data_.y[i] * data_.y[j] * kij);
+  }
+  ++computed_;
+  lru_.push_back(CacheEntry{i, std::move(r)});
+  map_.emplace(i, std::prev(lru_.end()));
+  return lru_.back().values;
+}
+
+}  // namespace hsd::svm

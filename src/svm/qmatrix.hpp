@@ -1,0 +1,73 @@
+// Lazily computed, row-cached Q matrix for the SMO solver:
+// Q(i,j) = y_i y_j K(x_i, x_j). Extracted from svm.cpp so the cache
+// policy is unit-testable; see README.md for the row-lifetime contract.
+//
+// Reference-lifetime contract: row() returns a reference into the cache.
+// It stays valid until a *later* row() call evicts that entry. The solver
+// holds the working pair (q_i, q_j) across one iteration, so the second
+// lookup must pin the first row: row(j, /*pinned=*/i) guarantees the
+// eviction needed to admit row j never selects row i. Without the pin, a
+// capacity eviction on the j-lookup could free row i's storage while the
+// solver still reads it (the use-after-free fixed in PR 8 — reachable
+// because the old FIFO order let a hot, recently *hit* row sit at the
+// eviction front). Eviction is true LRU: cache hits refresh recency.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "svm/dataset.hpp"
+#include "svm/kernel_ops.hpp"
+
+namespace hsd::svm {
+
+class QMatrix {
+ public:
+  /// Sentinel for row()'s `pinned` parameter: no row is pinned.
+  static constexpr std::size_t kNoPin = std::numeric_limits<std::size_t>::max();
+
+  /// `cacheBytes` bounds the row cache; at least two rows are always
+  /// resident so the solver's working pair can coexist.
+  QMatrix(const Dataset& data, double gamma, std::size_t cacheBytes);
+
+  QMatrix(const QMatrix&) = delete;
+  QMatrix& operator=(const QMatrix&) = delete;
+
+  /// Row i of Q (n floats). A cache hit refreshes the row's LRU recency;
+  /// a miss computes the row, evicting the least-recently-used entry when
+  /// at capacity — never the `pinned` row (pass the index of a row whose
+  /// reference the caller still holds).
+  const std::vector<float>& row(std::size_t i, std::size_t pinned = kNoPin);
+
+  float diag(std::size_t i) const { return diag_[i]; }
+
+  // Cache introspection (unit tests; cheap, not part of the solver path).
+  std::size_t maxRows() const { return maxRows_; }
+  std::size_t residentRows() const { return map_.size(); }
+  bool cached(std::size_t i) const { return map_.count(i) != 0; }
+  std::size_t computedRows() const { return computed_; }
+  std::size_t evictedRows() const { return evicted_; }
+
+ private:
+  struct CacheEntry {
+    std::size_t index;
+    std::vector<float> values;
+  };
+
+  const Dataset& data_;
+  double gamma_;
+  std::vector<double> norms_;   ///< ||x_i||^2, precomputed
+  std::vector<float> diag_;     ///< Q_ii (== 1 for RBF)
+  std::size_t maxRows_;
+  ops::PackedVectors packed_;   ///< blocked-transposed dataset (SIMD rows)
+  std::vector<double> dotBuf_;  ///< x_i . x_j scratch, reused per row
+  std::list<CacheEntry> lru_;   ///< front = least recently used
+  std::unordered_map<std::size_t, std::list<CacheEntry>::iterator> map_;
+  std::size_t computed_ = 0;
+  std::size_t evicted_ = 0;
+};
+
+}  // namespace hsd::svm

@@ -24,14 +24,18 @@ void Scaler::fit(const std::vector<FeatureVector>& data) {
 }
 
 FeatureVector Scaler::transform(const FeatureVector& v) const {
+  FeatureVector out(v.size());
+  transformInto(v, out.data());
+  return out;
+}
+
+void Scaler::transformInto(const FeatureVector& v, double* out) const {
   if (v.size() != lo_.size())
     throw std::invalid_argument("Scaler: dimension mismatch");
-  FeatureVector out(v.size());
   for (std::size_t i = 0; i < v.size(); ++i) {
     const double range = hi_[i] - lo_[i];
     out[i] = range > 0 ? std::clamp((v[i] - lo_[i]) / range, 0.0, 1.0) : 0.5;
   }
-  return out;
 }
 
 void Scaler::transformInPlace(std::vector<FeatureVector>& data) const {

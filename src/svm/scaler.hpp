@@ -23,6 +23,10 @@ class Scaler {
 
   /// Scale one vector (clamping to [0,1] for out-of-range test values).
   FeatureVector transform(const FeatureVector& v) const;
+  /// transform() into caller-provided storage of dim() doubles (the
+  /// allocation-free hot path; `out` may be arena scratch). Same values
+  /// and same dimension-mismatch contract as transform().
+  void transformInto(const FeatureVector& v, double* out) const;
   void transformInPlace(std::vector<FeatureVector>& data) const;
 
   const std::vector<double>& mins() const { return lo_; }

@@ -2,16 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "svm/qmatrix.hpp"
 
 namespace hsd::svm {
 
 double rbfKernel(const FeatureVector& a, const FeatureVector& b,
                  double gamma) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("svm::rbfKernel: dimension mismatch");
   double d2 = 0;
   const std::size_t n = a.size();
   for (std::size_t i = 0; i < n; ++i) {
@@ -24,57 +26,6 @@ double rbfKernel(const FeatureVector& a, const FeatureVector& b,
 namespace {
 
 constexpr double kTau = 1e-12;
-
-// Lazily computed, row-cached Q matrix: Q(i,j) = y_i y_j K(x_i, x_j).
-class QMatrix {
- public:
-  QMatrix(const Dataset& data, double gamma, std::size_t cacheBytes)
-      : data_(data), gamma_(gamma) {
-    const std::size_t n = data.size();
-    norms_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      double s = 0;
-      for (const double v : data.x[i]) s += v * v;
-      norms_[i] = s;
-    }
-    maxRows_ = std::max<std::size_t>(2, cacheBytes / std::max<std::size_t>(
-                                            1, n * sizeof(float)));
-    diag_.resize(n, 1.0f);  // K(x,x) == 1 for RBF, and y_i*y_i == 1
-  }
-
-  const std::vector<float>& row(std::size_t i) {
-    const auto it = cache_.find(i);
-    if (it != cache_.end()) return it->second;
-    if (cache_.size() >= maxRows_) {
-      cache_.erase(order_.front());
-      order_.pop_front();
-    }
-    const std::size_t n = data_.size();
-    std::vector<float> r(n);
-    const FeatureVector& xi = data_.x[i];
-    for (std::size_t j = 0; j < n; ++j) {
-      double dot = 0;
-      const FeatureVector& xj = data_.x[j];
-      for (std::size_t k = 0; k < xi.size(); ++k) dot += xi[k] * xj[k];
-      const double d2 = norms_[i] + norms_[j] - 2.0 * dot;
-      const double kij = std::exp(-gamma_ * std::max(0.0, d2));
-      r[j] = float(data_.y[i] * data_.y[j] * kij);
-    }
-    order_.push_back(i);
-    return cache_.emplace(i, std::move(r)).first->second;
-  }
-
-  float diag(std::size_t i) const { return diag_[i]; }
-
- private:
-  const Dataset& data_;
-  double gamma_;
-  std::vector<double> norms_;
-  std::vector<float> diag_;
-  std::size_t maxRows_;
-  std::unordered_map<std::size_t, std::vector<float>> cache_;
-  std::deque<std::size_t> order_;
-};
 
 }  // namespace
 
@@ -90,7 +41,7 @@ TrainResult train(const Dataset& data, const SvmParams& params) {
   for (std::size_t i = 0; i < n; ++i)
     cap[i] = params.C * (data.y[i] > 0 ? params.weightPos : params.weightNeg);
 
-  QMatrix q(data, params.gamma, /*cacheBytes=*/64u << 20);
+  QMatrix q(data, params.gamma, params.kernelCacheBytes);
 
   const auto inUp = [&](std::size_t t) {
     return data.y[t] > 0 ? alpha[t] < cap[t] : alpha[t] > 0;
@@ -145,7 +96,10 @@ TrainResult train(const Dataset& data, const SvmParams& params) {
       }
       if (bestJ < n) j = bestJ;
     }
-    const std::vector<float>& qj = q.row(j);
+    // The second lookup pins row i: the solver keeps reading qi below,
+    // and an unpinned capacity eviction here would dangle it (the
+    // use-after-free this PR fixes; see svm/qmatrix.hpp).
+    const std::vector<float>& qj = q.row(j, /*pinned=*/i);
     const double oldAi = alpha[i];
     const double oldAj = alpha[j];
 
@@ -261,14 +215,32 @@ TrainResult train(const Dataset& data, const SvmParams& params) {
 }
 
 double SvmModel::decision(const FeatureVector& x) const {
+  return decisionFrom(std::span<const double>(x.data(), x.size()));
+}
+
+double SvmModel::decisionFrom(std::span<const double> x) const {
+  if (sv_.empty()) return -rho_;
+  if (x.size() != packed_.dim())
+    throw std::invalid_argument("SvmModel::decision: dimension mismatch");
+  // ||sv_i - x||^2 for all SVs, four lanes per step; each lane's
+  // accumulation order matches rbfKernel's loop, and the kernel sum below
+  // walks i sequentially — the whole path is byte-identical to the naive
+  // per-SV rbfKernel loop it replaced.
+  thread_local std::vector<double> d2;
+  d2.resize(sv_.size());
+  ops::squaredDistances(packed_, x.data(), d2.data());
   double s = 0;
   for (std::size_t i = 0; i < sv_.size(); ++i)
-    s += coef_[i] * rbfKernel(sv_[i], x, gamma_);
+    s += coef_[i] * std::exp(-gamma_ * d2[i]);
   return s - rho_;
 }
 
 int SvmModel::predict(const FeatureVector& x, double bias) const {
   return decision(x) > bias ? 1 : -1;
+}
+
+int SvmModel::predictFrom(std::span<const double> x, double bias) const {
+  return decisionFrom(x) > bias ? 1 : -1;
 }
 
 void SvmModel::save(std::ostream& os) const {

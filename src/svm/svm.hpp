@@ -6,10 +6,12 @@
 #include <cstddef>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "svm/dataset.hpp"
+#include "svm/kernel_ops.hpp"
 
 namespace hsd::svm {
 
@@ -25,6 +27,11 @@ struct SvmParams {
   /// fewer iterations), false = maximal violating pair (WSS1). Both reach
   /// the same optimum of the convex dual.
   bool secondOrderWss = true;
+  /// Q-row cache budget for the SMO solver (bytes). The default fits the
+  /// production training sets entirely; tests shrink it to exercise the
+  /// eviction path (see svm/qmatrix.hpp). At least two rows are always
+  /// resident.
+  std::size_t kernelCacheBytes = 64u << 20;
 };
 
 /// Trained model: support vectors with coefficients alpha_i * y_i and bias.
@@ -42,10 +49,18 @@ class SvmModel {
 
   /// Signed decision value; positive means class +1 (hotspot).
   double decision(const FeatureVector& x) const;
+  /// decision() over a borrowed contiguous span (the allocation-free hot
+  /// path: the evaluator hands arena-backed scratch straight in). The
+  /// kernel sum runs over the packed support-vector layout, four SVs per
+  /// step, byte-identical to the scalar per-SV loop. Throws
+  /// std::invalid_argument on a dimension mismatch.
+  double decisionFrom(std::span<const double> x) const;
   /// Predicted label with an optional decision-threshold shift `bias`
   /// (predict +1 iff decision(x) > bias); bias sweeps trace the
   /// accuracy / false-alarm trade-off curve of Fig. 15.
   int predict(const FeatureVector& x, double bias = 0.0) const;
+  /// predict() over a borrowed span (same NaN-maps-to--1 semantics).
+  int predictFrom(std::span<const double> x, double bias = 0.0) const;
 
   void save(std::ostream& os) const;
   static SvmModel load(std::istream& is);
@@ -53,13 +68,20 @@ class SvmModel {
   /// Construct directly (used by the trainer and tests).
   SvmModel(std::vector<FeatureVector> sv, std::vector<double> coef,
            double rho, double gamma)
-      : sv_(std::move(sv)), coef_(std::move(coef)), rho_(rho), gamma_(gamma) {}
+      : sv_(std::move(sv)),
+        coef_(std::move(coef)),
+        rho_(rho),
+        gamma_(gamma),
+        packed_(sv_) {}
 
  private:
   std::vector<FeatureVector> sv_;
   std::vector<double> coef_;
   double rho_ = 0.0;
   double gamma_ = 0.0;
+  /// Blocked-transposed copy of sv_ for the vectorized decision path;
+  /// rebuilt on construction/load, never serialized.
+  ops::PackedVectors packed_;
 };
 
 /// Result of one training run.
