@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Perf-trajectory driver: runs the JSON-emitting benches and leaves
 # BENCH_table1.json / BENCH_serve.json / BENCH_wire.json /
-# BENCH_tiling.json / BENCH_hotpath.json in the output directory, each
-# validated as parseable JSON and stamped with `git describe`.
-# (BENCH_wire.json is the over-the-wire POST /detect trajectory:
-# throughput, client-measured latency percentiles, and the typed-429 rate
-# at overload. BENCH_hotpath.json is the scalar-vs-dispatched speedup of
-# the per-clip hot kernels: density raster, SMO kernel row, SVM decision.)
+# BENCH_tiling.json / BENCH_hotpath.json / BENCH_obs.json in the output
+# directory, each validated as parseable JSON and stamped with
+# `git describe`. (BENCH_wire.json is the over-the-wire POST /detect
+# trajectory: throughput, client-measured latency percentiles, and the
+# typed-429 rate at overload. BENCH_hotpath.json is the
+# scalar-vs-dispatched speedup of the per-clip hot kernels: density
+# raster, SMO kernel row, SVM decision. BENCH_obs.json is the
+# observability-plane overhead: span/log/propagation ns-per-op off vs
+# gated vs enabled, plus the fully-observed vs bare end-to-end
+# evaluation pair.)
 #
 #   bench/run_benches.sh [build-dir] [out-dir]
 #
@@ -49,5 +53,6 @@ validate_json "${OUT_DIR}/BENCH_serve.json"
 validate_json "${OUT_DIR}/BENCH_wire.json"
 run_bench tiling_scaling "${OUT_DIR}/BENCH_tiling.json"
 run_bench micro_kernels "${OUT_DIR}/BENCH_hotpath.json"
+run_bench obs_overhead "${OUT_DIR}/BENCH_obs.json"
 
 echo "bench trajectory written to ${OUT_DIR}"

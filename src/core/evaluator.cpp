@@ -14,6 +14,8 @@
 #include "engine/cache.hpp"
 #include "engine/pipeline.hpp"
 #include "geom/hashing.hpp"
+#include "obs/log.hpp"
+#include "obs/trace_id.hpp"
 
 namespace hsd::core {
 
@@ -304,6 +306,13 @@ TileEvalResult evaluateTile(const Detector& det, const TiledLayout& tiled,
   const TiledLayout::Work& w = tiled.work[workIndex];
   const engine::TileSpec spec = tiled.plan.tile(w.tileId);
   ctx.throwIfCancelled();
+  // Re-install the context's request id: during serve-side tile fan-out
+  // this runs on a *borrowed* helper context's pool workers, whose
+  // threads have no ambient id of their own.
+  const obs::ScopedTraceId traceScope(
+      ctx.traceId().valid() ? ctx.traceId() : obs::currentTraceId());
+  ctx.log(obs::LogLevel::kDebug, "core", "tile eval start",
+          {"tile", w.tileId}, {"anchors", w.anchors.size()});
 
   // Local geometry slice: every *unclipped* rect overlapping the
   // halo-expanded tile, in global relative order. halo >= minTileHalo
@@ -353,6 +362,8 @@ TileEvalResult evaluateTile(const Detector& det, const TiledLayout& tiled,
           "evaluateTile: hit window does not invert to an owned anchor");
     out.hits.push_back({it->second, a, win});
   }
+  ctx.log(obs::LogLevel::kDebug, "core", "tile eval done", {"tile", w.tileId},
+          {"hits", out.hits.size()});
   return out;
 }
 
@@ -385,6 +396,8 @@ EvalResult evaluateLayoutTiled(const Detector& det, const Layout& layout,
   ctx.throwIfCancelled();
   const TiledLayout tiled = prepareTiledLayout(layout, det.params.layer, p);
   declareTileStages(ctx.stats(), tiled, ctx.cache() != nullptr);
+  ctx.log(obs::LogLevel::kInfo, "core", "tiled eval start",
+          {"tiles", tiled.work.size()}, {"anchors", tiled.anchorCount});
 
   // Coarse tile-grain fan-out: each worker claims a tile and runs its
   // whole stage chain (nested stage parallelFor runs inline), so
@@ -399,13 +412,21 @@ EvalResult evaluateLayoutTiled(const Detector& det, const Layout& layout,
   ctx.parallelFor(
       n, [&](std::size_t i) { tiles[i] = evaluateTile(det, tiled, i, p, ctx); },
       grain);
-  return finishTiledEval(tiled, std::move(tiles), p, ctx, t0);
+  EvalResult res = finishTiledEval(tiled, std::move(tiles), p, ctx, t0);
+  ctx.log(obs::LogLevel::kInfo, "core", "tiled eval done",
+          {"reports", res.reported.size()}, {"candidates", res.candidateClips});
+  return res;
 }
 
 }  // namespace
 
 EvalResult evaluateLayout(const Detector& det, const Layout& layout,
                           const EvalParams& p, engine::RunContext& ctx) {
+  // Make the context's request id the calling thread's ambient trace id
+  // for the whole evaluation: stage spans, parallelFor chunk spans, cache
+  // spans and log records all correlate without touching any signature.
+  const obs::ScopedTraceId traceScope(
+      ctx.traceId().valid() ? ctx.traceId() : obs::currentTraceId());
   if (p.tiling.enabled()) return evaluateLayoutTiled(det, layout, p, ctx);
   const auto t0 = std::chrono::steady_clock::now();
   const Layer* l = layout.findLayer(det.params.layer);
@@ -414,6 +435,8 @@ EvalResult evaluateLayout(const Detector& det, const Layout& layout,
   // short deadline; fail fast before paying for it.
   ctx.throwIfCancelled();
   const GridIndex index(l->rects(), p.extract.clip.clipSide);
+  ctx.log(obs::LogLevel::kInfo, "core", "eval start",
+          {"rects", index.rects().size()});
 
   EvalResult res;
   const LayerIndex layers{{det.params.layer, &index}};
@@ -432,7 +455,10 @@ EvalResult evaluateLayout(const Detector& det, const Layout& layout,
   std::vector<ClipWindow> hits = engine::runPipeline(
       ctx, candidateAnchors(index, p.extract.clip.coreSide), screen, tap,
       s.clip, s.features, s.kernels, s.feedback);
-  return finishEval(index, std::move(hits), p, ctx, std::move(res), t0);
+  EvalResult out = finishEval(index, std::move(hits), p, ctx, std::move(res), t0);
+  ctx.log(obs::LogLevel::kInfo, "core", "eval done",
+          {"reports", out.reported.size()}, {"candidates", out.candidateClips});
+  return out;
 }
 
 std::vector<RankedReport> rankReports(const Detector& det,

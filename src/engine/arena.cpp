@@ -1,12 +1,25 @@
 #include "engine/arena.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <new>
 
 #include "par/cacheline.hpp"
 
 namespace hsd::engine {
+
+namespace {
+// Process-wide payload bytes reserved across every arena. Bumped only in
+// grow() — i.e. never in steady state, where arenas rewind in place — so
+// a request-window delta of this counter is exactly "new arena memory
+// this request forced", which is what per-request profiles report.
+std::atomic<std::uint64_t> gReservedBytes{0};
+}  // namespace
+
+std::uint64_t arenaReservedBytes() {
+  return gReservedBytes.load(std::memory_order_relaxed);
+}
 
 // One chain link: a cache-line-sized header directly followed by its
 // payload, so payloads start 64-byte aligned and a block is one
@@ -53,6 +66,7 @@ Arena::Block* Arena::grow(std::size_t bytes) {
   }
   capacity_ += cap;
   ++blocks_;
+  gReservedBytes.fetch_add(cap, std::memory_order_relaxed);
   return b;
 }
 

@@ -96,4 +96,10 @@ class ArenaScope {
 /// see their own, so no synchronization is ever needed.
 Arena& threadScratch();
 
+/// Cumulative payload bytes every arena in the process has ever reserved
+/// (monotone; destruction does not subtract). Moves only when an arena
+/// grows — never in steady state — so per-request deltas expose exactly
+/// the allocations a request forced. Backs the /detect X-Profile report.
+std::uint64_t arenaReservedBytes();
+
 }  // namespace hsd::engine

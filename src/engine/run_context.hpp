@@ -20,6 +20,7 @@
 #include "engine/arena.hpp"
 #include "engine/cache.hpp"
 #include "engine/stats.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 
@@ -79,6 +80,38 @@ class RunContext {
   /// The attached trace recorder, or nullptr when tracing is off.
   obs::TraceRecorder* tracer() const { return tracer_.get(); }
   std::shared_ptr<obs::TraceRecorder> sharedTracer() const { return tracer_; }
+
+  /// Attach a structured log recorder (opt-in, shareable across contexts
+  /// like the tracer; see obs/log.hpp). Stage and tile milestones land
+  /// here via log(); pass nullptr to detach. Attach between runs.
+  void attachLog(std::shared_ptr<obs::LogRecorder> log) {
+    log_ = std::move(log);
+  }
+  obs::LogRecorder* logRecorder() const { return log_.get(); }
+  std::shared_ptr<obs::LogRecorder> sharedLog() const { return log_; }
+  /// Record one structured log line when a recorder is attached and the
+  /// level clears its floor; a no-op (two loads) otherwise. The record
+  /// inherits the calling thread's current trace id.
+  void log(obs::LogLevel level, const char* component,
+           std::string_view message, obs::TraceArg a0 = {},
+           obs::TraceArg a1 = {}, obs::TraceStrArg s0 = {}) const {
+    obs::logTo(log_.get(), level, component, message, a0, a1, s0);
+  }
+
+  /// Request correlation id for the run in flight on this context. The
+  /// serve layer stamps the wire trace id here before evaluate() and the
+  /// pool resets it on checkin; evaluators install it as the calling
+  /// thread's current id (obs::ScopedTraceId) so every span/log under
+  /// the run correlates. Two relaxed atomics — borrowed helper contexts
+  /// are stamped cross-thread during tile fan-out.
+  void setTraceId(obs::TraceId id) {
+    traceHi_.store(id.hi, std::memory_order_relaxed);
+    traceLo_.store(id.lo, std::memory_order_relaxed);
+  }
+  obs::TraceId traceId() const {
+    return {traceHi_.load(std::memory_order_relaxed),
+            traceLo_.load(std::memory_order_relaxed)};
+  }
 
   /// Shared pool (created on first call; never call with threadCount()==1
   /// code paths that want to stay thread-free).
@@ -142,6 +175,9 @@ class RunContext {
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<StageCache> cache_;
   std::shared_ptr<obs::TraceRecorder> tracer_;
+  std::shared_ptr<obs::LogRecorder> log_;
+  std::atomic<std::uint64_t> traceHi_{0};  ///< request trace id (0,0 = none)
+  std::atomic<std::uint64_t> traceLo_{0};
 };
 
 }  // namespace hsd::engine

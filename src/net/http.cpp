@@ -644,9 +644,14 @@ HttpResult httpExchange(const std::string& host, std::uint16_t port,
 }  // namespace
 
 HttpResult httpGet(const std::string& host, std::uint16_t port,
-                   const std::string& target, int timeoutMs) {
-  const std::string reqText = "GET " + target + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
+                   const std::string& target, int timeoutMs,
+                   const std::vector<std::pair<std::string, std::string>>&
+                       extraHeaders) {
+  std::string reqText = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  for (const auto& [name, value] : extraHeaders)
+    reqText += name + ": " + value + "\r\n";
+  reqText += "\r\n";
   return httpExchange(host, port, reqText, timeoutMs, "httpGet");
 }
 

@@ -213,10 +213,13 @@ using HttpGetResult = HttpResult;
 
 /// Minimal blocking HTTP/1.1 GET (Connection: close, numeric IPv4 host).
 /// The curl-free scrape path of tests and tools_smoke.sh (via
-/// tools/hsd_scrape). Throws std::runtime_error on connect/socket/parse
+/// tools/hsd_scrape). `extraHeaders` are sent verbatim after
+/// Host/Connection. Throws std::runtime_error on connect/socket/parse
 /// failure; HTTP-level errors come back as the status code.
-HttpResult httpGet(const std::string& host, std::uint16_t port,
-                   const std::string& target, int timeoutMs = 5000);
+HttpResult httpGet(
+    const std::string& host, std::uint16_t port, const std::string& target,
+    int timeoutMs = 5000,
+    const std::vector<std::pair<std::string, std::string>>& extraHeaders = {});
 
 /// Minimal blocking HTTP/1.1 POST (Connection: close). `extraHeaders`
 /// are sent verbatim after Host/Content-Type/Content-Length. Same error

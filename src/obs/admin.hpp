@@ -17,13 +17,28 @@
 //                  DetectionServer statsJson() roll-up) plus uptime
 //   GET /tracez    JSON snapshot of the most recent spans in the mounted
 //                  TraceRecorder (?limit=N caps the span count, default
-//                  256) — non-destructive, recording continues
+//                  256; ?trace=<32-hex id> keeps only that request's
+//                  spans) — non-destructive, recording continues
+//   GET /logz      JSON-lines snapshot of the mounted LogRecorder: a meta
+//                  line (counts, drops, filters) followed by one record
+//                  object per line, oldest first. ?level= floors the
+//                  level, ?limit= caps the record count (default 256),
+//                  ?trace= keeps one request's records
+//   GET /sloz      the mounted SloTracker's multi-window availability /
+//                  latency burn-rate report (also folded into /statsz as
+//                  the "slo" section, and into /readyz?degraded)
+//
+// Malformed query parameters (non-numeric ?limit=, unknown ?level=, a
+// ?trace= that is not a 32-hex id) are a 400, never a silent default.
+// /readyz?degraded returns a JSON detail view (per-hook readiness by
+// name, plus the SLO status when one is mounted) instead of the bare
+// ready/unready body; the status code contract is unchanged.
 //
 // Mount everything before start(); the handler pool calls the hooks
 // concurrently, so providers must be thread-safe (renderPrometheus,
-// TraceRecorder::snapshot, and DetectionServer::statsJson all are).
-// The admin server is transport only: it never mutates the serving state
-// it reports on.
+// TraceRecorder::snapshot, LogRecorder::snapshot, SloTracker, and
+// DetectionServer::statsJson all are). The admin server is transport
+// only: it never mutates the serving state it reports on.
 #pragma once
 
 #include <chrono>
@@ -36,7 +51,9 @@
 #include <vector>
 
 #include "net/http.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace hsd::obs {
@@ -46,6 +63,7 @@ struct AdminOptions {
   std::string bindAddress = "127.0.0.1";
   std::size_t handlerThreads = 2;
   std::size_t tracezDefaultLimit = 256;  ///< spans per /tracez unless ?limit=
+  std::size_t logzDefaultLimit = 256;    ///< records per /logz unless ?limit=
 };
 
 class AdminServer {
@@ -65,6 +83,15 @@ class AdminServer {
   /// to unmount. /tracez reports {"enabled": false} without one.
   void setTracer(std::shared_ptr<const TraceRecorder> tracer);
 
+  /// Mount the log recorder behind /logz. At most one; pass nullptr to
+  /// unmount. /logz reports an {"enabled": false} meta line without one.
+  void setLog(std::shared_ptr<const LogRecorder> log);
+
+  /// Mount the SLO tracker behind /sloz (also rendered as the "slo"
+  /// section of /statsz and the "slo" object of /readyz?degraded). At
+  /// most one; pass nullptr to unmount. Scrapes drive its sampling.
+  void setSlo(std::shared_ptr<SloTracker> slo);
+
   /// Mount a /statsz section: `fn` must return a complete JSON value
   /// (object/number/string) and be thread-safe. Sections render in mount
   /// order as {"<key>": <fn()>, ...}; a throwing provider degrades to an
@@ -72,8 +99,11 @@ class AdminServer {
   void addStatsProvider(std::string key, std::function<std::string()> fn);
 
   /// Add a readiness hook; /readyz is 200 only when ALL hooks return
-  /// true. With no hooks readiness equals liveness.
+  /// true. With no hooks readiness equals liveness. The named overload
+  /// labels the hook in the /readyz?degraded detail view; the unnamed
+  /// one gets "hook<index>".
   void addReadiness(std::function<bool()> ready);
+  void addReadiness(std::string name, std::function<bool()> ready);
 
   /// Bind and serve. Throws std::runtime_error when the port can't be
   /// bound. Call after mounting; mounting after start() throws.
@@ -92,16 +122,21 @@ class AdminServer {
   net::HttpResponse handleMetrics(const net::HttpRequest& req);
   net::HttpResponse handleStatsz(const net::HttpRequest& req);
   net::HttpResponse handleTracez(const net::HttpRequest& req);
+  net::HttpResponse handleLogz(const net::HttpRequest& req);
+  net::HttpResponse handleSloz(const net::HttpRequest& req);
+  net::HttpResponse handleReadyz(const net::HttpRequest& req);
   void requireNotStarted(const char* what) const;
 
   AdminOptions opts_;
   net::HttpServer http_;
   std::vector<std::shared_ptr<const MetricsRegistry>> registries_;
   std::shared_ptr<const TraceRecorder> tracer_;
+  std::shared_ptr<const LogRecorder> log_;
+  std::shared_ptr<SloTracker> slo_;
   std::vector<std::pair<std::string, std::function<std::string()>>> stats_;
-  std::vector<std::function<bool()>> readiness_;
+  std::vector<std::pair<std::string, std::function<bool()>>> readiness_;
   std::shared_ptr<MetricsRegistry> self_;
-  Counter* scrapes_[5] = {};  ///< /metrics /statsz /tracez /healthz /readyz
+  Counter* scrapes_[7] = {};  ///< by endpoint; see ScrapeIndex in admin.cpp
   Gauge* uptime_ = nullptr;   ///< whole seconds since start()
   std::chrono::steady_clock::time_point started_;
 };

@@ -1,0 +1,181 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <locale>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace hsd::obs {
+
+namespace {
+
+std::uint64_t nextRecorderId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Single-slot per-thread cache of the last (recorder, buffer) pair — the
+// same dangling-proof scheme as the trace recorder's: keyed by a
+// process-unique id, so a destroyed recorder's pointer can never be
+// revived by a lookalike.
+struct TlsSlot {
+  std::uint64_t recorderId = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsSlot tlsSlot;
+
+}  // namespace
+
+const char* toString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool parseLogLevel(std::string_view name, LogLevel& out) {
+  std::string lower(name);
+  for (char& c : lower) c = char(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") {
+    out = LogLevel::kTrace;
+  } else if (lower == "debug") {
+    out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogRecorder::LogRecorder(std::size_t perThreadCapacity)
+    : capacity_(perThreadCapacity == 0 ? 1 : perThreadCapacity),
+      id_(nextRecorderId()),
+      epoch_(std::chrono::steady_clock::now()),
+      wallEpochNs_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count()) {}
+
+LogRecorder::~LogRecorder() = default;
+
+LogRecorder::ThreadBuffer& LogRecorder::bufferForThisThread() {
+  if (tlsSlot.recorderId == id_)
+    return *static_cast<ThreadBuffer*>(tlsSlot.buffer);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ThreadBuffer*& slot = byThread_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        capacity_, static_cast<std::uint32_t>(buffers_.size())));
+    slot = buffers_.back().get();
+  }
+  tlsSlot = {id_, slot};
+  return *slot;
+}
+
+void LogRecorder::log(LogLevel level, const char* component,
+                      std::string_view message, TraceArg a0, TraceArg a1,
+                      TraceStrArg s0, TraceId trace) {
+  if (!enabled(level)) return;
+  if (!trace.valid()) trace = currentTraceId();
+  ThreadBuffer& buf = bufferForThisThread();
+  const std::uint64_t w = buf.writeIndex.load(std::memory_order_relaxed);
+  Record& r = buf.records[w % capacity_];
+  const std::size_t len = std::min(message.size(), kMessageCapacity - 1);
+  std::memcpy(r.message, message.data(), len);
+  r.message[len] = '\0';
+  r.component = component;
+  r.tsNs = std::max<std::int64_t>(
+      0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+             .count());
+  r.trace = trace;
+  r.a0 = a0;
+  r.a1 = a1;
+  r.s0 = s0;
+  r.level = level;
+  // Release-publish: a reader that acquires w+1 sees this slot complete.
+  buf.writeIndex.store(w + 1, std::memory_order_release);
+}
+
+std::uint64_t LogRecorder::droppedRecords() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& buf : buffers_) {
+    const std::uint64_t w = buf->writeIndex.load(std::memory_order_acquire);
+    if (w > capacity_) dropped += w - capacity_;
+  }
+  return dropped;
+}
+
+std::size_t LogRecorder::recordCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_)
+    n += std::size_t(std::min<std::uint64_t>(
+        buf->writeIndex.load(std::memory_order_acquire), capacity_));
+  return n;
+}
+
+std::vector<LogRecorder::SnapshotRecord> LogRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotRecord> out;
+  for (const auto& buf : buffers_) {
+    const std::uint64_t w = buf->writeIndex.load(std::memory_order_acquire);
+    const std::uint64_t resident = std::min<std::uint64_t>(w, capacity_);
+    out.reserve(out.size() + resident);
+    for (std::uint64_t k = w - resident; k < w; ++k)
+      out.push_back({buf->records[k % capacity_], buf->tid});
+  }
+  return out;
+}
+
+void LogRecorder::appendRecordJson(std::ostream& os,
+                                   const SnapshotRecord& sr) const {
+  const Record& r = sr.record;
+  os << "{\"tsNs\": " << r.tsNs
+     << ", \"unixMs\": " << (wallEpochNs_ + r.tsNs) / 1000000
+     << ", \"level\": \"" << toString(r.level) << "\", \"component\": \""
+     << jsonEscape(r.component != nullptr ? r.component : "") << "\", \"tid\": "
+     << sr.tid << ", \"message\": \"" << jsonEscape(r.message) << '"';
+  if (r.trace.valid()) {
+    char trace[kTraceIdChars + 1];
+    formatTraceId(r.trace, trace);
+    os << ", \"trace\": \"" << trace << '"';
+  }
+  for (const TraceArg* a : {&r.a0, &r.a1})
+    if (a->key != nullptr)
+      os << ", \"" << jsonEscape(a->key) << "\": " << a->value;
+  if (r.s0.key != nullptr)
+    os << ", \"" << jsonEscape(r.s0.key) << "\": \"" << jsonEscape(r.s0.value)
+       << '"';
+  os << '}';
+}
+
+void LogRecorder::writeJsonLines(std::ostream& os) const {
+  std::vector<SnapshotRecord> records = snapshot();
+  std::sort(records.begin(), records.end(),
+            [](const SnapshotRecord& a, const SnapshotRecord& b) {
+              return a.record.tsNs < b.record.tsNs;
+            });
+  // A grouping locale on the caller's stream would corrupt the numbers;
+  // pin the classic locale, restore on exit.
+  const std::locale saved = os.imbue(std::locale::classic());
+  for (const SnapshotRecord& sr : records) {
+    appendRecordJson(os, sr);
+    os << '\n';
+  }
+  os.imbue(saved);
+}
+
+}  // namespace hsd::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <locale>
 #include <sstream>
 #include <stdexcept>
@@ -44,7 +45,9 @@ const char* typeName(bool isCounter, bool isGauge) {
 }  // namespace
 
 Histogram::Histogram(std::vector<double> upperBounds)
-    : bounds_(std::move(upperBounds)), buckets_(bounds_.size() + 1) {
+    : bounds_(std::move(upperBounds)),
+      buckets_(bounds_.size() + 1),
+      exemplars_(bounds_.size() + 1) {
   for (std::size_t i = 1; i < bounds_.size(); ++i)
     if (bounds_[i] <= bounds_[i - 1])
       throw std::invalid_argument(
@@ -69,6 +72,24 @@ void Histogram::observe(double value) {
       1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value, TraceId trace) {
+  observe(value);
+  if (!trace.valid()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = std::size_t(it - bounds_.begin());
+  const std::int64_t unixMs =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  const std::lock_guard<std::mutex> lock(exemplarMu_);
+  exemplars_[bucket] = Exemplar{value, trace, unixMs};
+}
+
+std::vector<Histogram::Exemplar> Histogram::exemplars() const {
+  const std::lock_guard<std::mutex> lock(exemplarMu_);
+  return exemplars_;
 }
 
 std::vector<std::uint64_t> Histogram::bucketCounts() const {

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace_id.hpp"
 #include "par/cacheline.hpp"
 
 namespace hsd::obs {
@@ -78,6 +79,27 @@ class Histogram {
 
   void observe(double value);
 
+  /// One recent traced observation per bucket — the breadcrumb that links
+  /// a latency percentile back to a concrete request's spans and logs
+  /// (OpenMetrics-style exemplars; surfaced in statsJson blobs, not in
+  /// the 0.0.4 text exposition, which predates exemplar syntax).
+  struct Exemplar {
+    double value = 0.0;
+    TraceId trace;          ///< invalid => this bucket has no exemplar yet
+    std::int64_t unixMs = 0;  ///< wall-clock stamp of the observation
+    bool valid() const { return trace.valid(); }
+  };
+
+  /// observe() plus, when `trace` is valid, recording it as the bucket's
+  /// exemplar (last writer wins). The exemplar slot is mutex-guarded —
+  /// acceptable because traced observations are request-grained, not
+  /// item-grained; the no-trace observe() path stays lock-free.
+  void observe(double value, TraceId trace);
+
+  /// Exemplar per bucket (bounds().size() + 1 entries, +Inf last);
+  /// entries with an invalid trace were never written.
+  std::vector<Exemplar> exemplars() const;
+
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   const std::vector<double>& bounds() const { return bounds_; }
@@ -96,6 +118,8 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  mutable std::mutex exemplarMu_;
+  std::vector<Exemplar> exemplars_;  ///< one per bucket, guarded by mu
 };
 
 /// Ordered, thread-safe registry. The counter/gauge/histogram getters

@@ -1,0 +1,165 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <locale>
+#include <sstream>
+
+namespace hsd::obs {
+
+namespace {
+
+double burnRate(double attainment, double target) {
+  if (target >= 1.0) return attainment >= 1.0 ? 0.0 : 1e9;  // degenerate
+  return (1.0 - attainment) / (1.0 - target);
+}
+
+}  // namespace
+
+SloTracker::SloTracker(SloConfig cfg)
+    : cfg_(std::move(cfg)), epoch_(Clock::now()) {
+  if (cfg_.windowsSeconds.empty()) cfg_.windowsSeconds = {60.0};
+  std::sort(cfg_.windowsSeconds.begin(), cfg_.windowsSeconds.end());
+  if (cfg_.maxSamples == 0) cfg_.maxSamples = 1;
+}
+
+void SloTracker::setAvailabilitySource(CountFn good, CountFn total) {
+  good_ = std::move(good);
+  total_ = std::move(total);
+}
+
+void SloTracker::setLatencySource(const Histogram* hist) {
+  hist_ = hist;
+  hasObjectiveBucket_ = false;
+  objectiveBound_ = 0.0;
+  if (hist_ == nullptr) return;
+  const std::vector<double>& bounds = hist_->bounds();
+  // Snap the objective down to a bucket bound: cumulative counts are only
+  // exact there. No bound at or below the objective means the latency SLO
+  // cannot be measured against this histogram — report attainment 1.
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (bounds[i] <= cfg_.latencyObjectiveSeconds) {
+      objectiveBucket_ = i;
+      objectiveBound_ = bounds[i];
+      hasObjectiveBucket_ = true;
+    } else {
+      break;
+    }
+  }
+}
+
+SloTracker::Sample SloTracker::read(Clock::time_point now) const {
+  Sample s;
+  s.tNs = std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+              .count();
+  if (good_) s.good = good_();
+  if (total_) s.total = total_();
+  if (hist_ != nullptr && hasObjectiveBucket_) {
+    const std::vector<std::uint64_t> counts = hist_->bucketCounts();
+    std::uint64_t fast = 0;
+    std::uint64_t all = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      all += counts[i];
+      if (i <= objectiveBucket_) fast += counts[i];
+    }
+    s.latencyFast = fast;
+    s.latencyTotal = all;
+  }
+  return s;
+}
+
+void SloTracker::sample(Clock::time_point now) {
+  const Sample s = read(now);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(s);
+  // Prune: keep one sample older than the longest window (the delta
+  // baseline) and bound the ring size.
+  const double keepNs = cfg_.windowsSeconds.back() * 1e9 * 1.25;
+  while (ring_.size() > 2 &&
+         double(s.tNs - ring_[1].tNs) >= keepNs)
+    ring_.pop_front();
+  while (ring_.size() > cfg_.maxSamples) ring_.pop_front();
+}
+
+SloTracker::Status SloTracker::status(Clock::time_point now) const {
+  const Sample cur = read(now);
+  std::deque<Sample> ring;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ring = ring_;
+  }
+  Status st;
+  st.windows.reserve(cfg_.windowsSeconds.size());
+  for (const double w : cfg_.windowsSeconds) {
+    Window win;
+    win.seconds = w;
+    // Baseline: the newest sample at least `w` old. With no sample that
+    // old (early life / sparse scrapes) the zero origin serves — the
+    // window degrades to "since process start", which is the honest
+    // answer while history is still shorter than the window.
+    Sample base;  // zero counts at epoch
+    for (const Sample& s : ring) {
+      if (double(cur.tNs - s.tNs) >= w * 1e9) {
+        base = s;
+      } else {
+        break;  // ring is time-ordered; later samples are younger
+      }
+    }
+    win.coveredSeconds = std::min(w, double(cur.tNs - base.tNs) / 1e9);
+    win.total = cur.total - base.total;
+    win.good = cur.good - base.good;
+    win.availability =
+        win.total == 0 ? 1.0 : double(win.good) / double(win.total);
+    win.availabilityBurn =
+        win.total == 0 ? 0.0
+                       : burnRate(win.availability, cfg_.availabilityTarget);
+    win.latencyTotal = cur.latencyTotal - base.latencyTotal;
+    win.latencyFast = cur.latencyFast - base.latencyFast;
+    win.latencyAttainment =
+        win.latencyTotal == 0
+            ? 1.0
+            : double(win.latencyFast) / double(win.latencyTotal);
+    win.latencyBurn = win.latencyTotal == 0
+                          ? 0.0
+                          : burnRate(win.latencyAttainment, cfg_.latencyTarget);
+    win.burning = (win.total > 0 &&
+                   win.availabilityBurn > cfg_.degradedBurnRate) ||
+                  (win.latencyTotal > 0 &&
+                   win.latencyBurn > cfg_.degradedBurnRate);
+    st.degraded = st.degraded || win.burning;
+    st.windows.push_back(win);
+  }
+  return st;
+}
+
+std::string SloTracker::toJson(const Status& st) const {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"availabilityTarget\": " << cfg_.availabilityTarget
+     << ", \"latencyObjectiveSeconds\": " << cfg_.latencyObjectiveSeconds
+     << ", \"effectiveLatencyObjectiveSeconds\": " << objectiveBound_
+     << ", \"latencyTarget\": " << cfg_.latencyTarget
+     << ", \"degradedBurnRate\": " << cfg_.degradedBurnRate
+     << ", \"degraded\": " << (st.degraded ? "true" : "false")
+     << ", \"windows\": [";
+  bool first = true;
+  for (const Window& w : st.windows) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"seconds\": " << w.seconds
+       << ", \"coveredSeconds\": " << w.coveredSeconds
+       << ", \"total\": " << w.total << ", \"good\": " << w.good
+       << ", \"availability\": " << w.availability
+       << ", \"availabilityBurn\": " << w.availabilityBurn
+       << ", \"latencyTotal\": " << w.latencyTotal
+       << ", \"latencyFast\": " << w.latencyFast
+       << ", \"latencyAttainment\": " << w.latencyAttainment
+       << ", \"latencyBurn\": " << w.latencyBurn
+       << ", \"burning\": " << (w.burning ? "true" : "false") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hsd::obs

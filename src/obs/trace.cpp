@@ -53,7 +53,9 @@ TraceRecorder::ThreadBuffer& TraceRecorder::bufferForThisThread() {
 void TraceRecorder::recordSpan(std::string_view name, const char* cat,
                                std::chrono::steady_clock::time_point t0,
                                std::chrono::steady_clock::time_point t1,
-                               TraceArg a0, TraceArg a1, TraceStrArg s0) {
+                               TraceArg a0, TraceArg a1, TraceStrArg s0,
+                               TraceId trace) {
+  if (!trace.valid()) trace = currentTraceId();
   ThreadBuffer& buf = bufferForThisThread();
   const std::uint64_t w = buf.writeIndex.load(std::memory_order_relaxed);
   Event& e = buf.events[w % capacity_];
@@ -74,6 +76,7 @@ void TraceRecorder::recordSpan(std::string_view name, const char* cat,
   e.a0 = a0;
   e.a1 = a1;
   e.s0 = s0;
+  e.trace = trace;
   // Release-publish: a reader that acquires w+1 sees this slot complete.
   buf.writeIndex.store(w + 1, std::memory_order_release);
 }
@@ -152,7 +155,7 @@ void TraceRecorder::writeJson(std::ostream& os) const {
        << char('0' + e.tsNs % 10) << ", \"dur\": " << e.durNs / 1000 << '.'
        << char('0' + e.durNs / 100 % 10) << char('0' + e.durNs / 10 % 10)
        << char('0' + e.durNs % 10);
-    if (e.a0.key != nullptr || e.s0.key != nullptr) {
+    if (e.a0.key != nullptr || e.s0.key != nullptr || e.trace.valid()) {
       os << ", \"args\": {";
       bool firstArg = true;
       for (const TraceArg* a : {&e.a0, &e.a1}) {
@@ -163,8 +166,15 @@ void TraceRecorder::writeJson(std::ostream& os) const {
       }
       if (e.s0.key != nullptr) {
         if (!firstArg) os << ", ";
+        firstArg = false;
         os << '"' << jsonEscape(e.s0.key) << "\": \"" << jsonEscape(e.s0.value)
            << '"';
+      }
+      if (e.trace.valid()) {
+        if (!firstArg) os << ", ";
+        char trace[kTraceIdChars + 1];
+        formatTraceId(e.trace, trace);
+        os << "\"trace\": \"" << trace << '"';
       }
       os << '}';
     }

@@ -41,6 +41,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace_id.hpp"
+
 namespace hsd::obs {
 
 /// One optional numeric span argument (key must be a string literal).
@@ -68,6 +70,7 @@ class TraceRecorder {
     std::int64_t durNs;    ///< span duration in ns
     TraceArg a0, a1;       ///< numeric args (key == nullptr -> absent)
     TraceStrArg s0;        ///< string arg (key == nullptr -> absent)
+    TraceId trace;         ///< request correlation ({0,0} = uncorrelated)
   };
 
   /// A serialization-ready view of one event plus its thread attribution.
@@ -85,11 +88,14 @@ class TraceRecorder {
 
   /// Record one completed span [t0, t1). Name is truncated to fit a ring
   /// slot; cat/arg keys/string values must be literals. Lock-free after
-  /// the calling thread's first event.
+  /// the calling thread's first event. An invalid `trace` (the default)
+  /// is replaced by the calling thread's currentTraceId(), so spans
+  /// recorded under a ScopedTraceId are correlated automatically.
   void recordSpan(std::string_view name, const char* cat,
                   std::chrono::steady_clock::time_point t0,
                   std::chrono::steady_clock::time_point t1,
-                  TraceArg a0 = {}, TraceArg a1 = {}, TraceStrArg s0 = {});
+                  TraceArg a0 = {}, TraceArg a1 = {}, TraceStrArg s0 = {},
+                  TraceId trace = {});
 
   /// Name the calling thread in the trace (Perfetto track label). Last
   /// call wins. Takes the registry mutex — call once per thread, not per

@@ -1,0 +1,131 @@
+#include "obs/trace_id.hpp"
+
+#include <atomic>
+#include <random>
+
+namespace hsd::obs {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+/// splitmix64: a fast, well-distributed 64-bit mixer. Seeding two
+/// sequential states through it yields ids indistinguishable from random
+/// for correlation purposes without per-call RNG state or locks.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t processSeed() {
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    return (std::uint64_t(rd()) << 32) ^ std::uint64_t(rd());
+  }();
+  return seed;
+}
+
+/// 0-15 for a hex digit, -1 otherwise.
+int hexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool parseHex64(std::string_view s, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    const int d = hexValue(c);
+    if (d < 0) return false;
+    v = (v << 4) | std::uint64_t(d);
+  }
+  out = v;
+  return true;
+}
+
+void writeHex64(std::uint64_t v, char* out) {
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHexDigits[v & 0xF];
+    v >>= 4;
+  }
+}
+
+}  // namespace
+
+void formatTraceId(const TraceId& id, char* out) {
+  writeHex64(id.hi, out);
+  writeHex64(id.lo, out + 16);
+  out[kTraceIdChars] = '\0';
+}
+
+std::string formatTraceId(const TraceId& id) {
+  char buf[kTraceIdChars + 1];
+  formatTraceId(id, buf);
+  return std::string(buf, kTraceIdChars);
+}
+
+bool parseTraceId(std::string_view hex, TraceId& out) {
+  if (hex.size() != kTraceIdChars) return false;
+  TraceId id;
+  if (!parseHex64(hex.substr(0, 16), id.hi) ||
+      !parseHex64(hex.substr(16, 16), id.lo))
+    return false;
+  if (!id.valid()) return false;
+  out = id;
+  return true;
+}
+
+bool parseTraceparent(std::string_view header, TraceId& out) {
+  // version(2) '-' traceid(32) '-' parentid(16) '-' flags(2) = 55 bytes;
+  // later versions may append fields after the flags, so accept a longer
+  // tail as long as it is dash-separated.
+  if (header.size() < 55) return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-')
+    return false;
+  if (header.size() > 55 && header[55] != '-') return false;
+  std::uint64_t version = 0;
+  if (!parseHex64(header.substr(0, 2), version)) return false;
+  if (version == 0xFF) return false;  // forbidden version value
+  std::uint64_t parent = 0;
+  std::uint64_t flags = 0;
+  if (!parseHex64(header.substr(36, 16), parent) || parent == 0)
+    return false;
+  if (!parseHex64(header.substr(53, 2), flags)) return false;
+  return parseTraceId(header.substr(3, kTraceIdChars), out);
+}
+
+std::string formatTraceparent(const TraceId& id) {
+  const TraceId span = makeTraceId();  // fresh non-zero parent id
+  std::string out = "00-";
+  out += formatTraceId(id);
+  char buf[17];
+  writeHex64(span.lo, buf);
+  buf[16] = '\0';
+  out += '-';
+  out += buf;
+  out += "-01";
+  return out;
+}
+
+TraceId makeTraceId() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seed = processSeed();
+  TraceId id{splitmix64(seed ^ (n * 2)), splitmix64(seed ^ (n * 2 + 1))};
+  if (!id.valid()) id.lo = 1;  // astronomically unlikely; keep it valid
+  return id;
+}
+
+namespace detail {
+TraceId& currentTraceSlot() {
+  thread_local TraceId slot;
+  return slot;
+}
+}  // namespace detail
+
+TraceId currentTraceId() { return detail::currentTraceSlot(); }
+
+}  // namespace hsd::obs

@@ -1,0 +1,92 @@
+// Request-correlation ids: a 128-bit TraceId compatible with the W3C
+// Trace Context `traceparent` header, plus the thread-local propagation
+// machinery that carries one id across the serving stack without
+// touching every call signature.
+//
+// Propagation model: the wire endpoint parses (or mints) a TraceId and
+// installs it in a thread-local slot with a ScopedTraceId guard; every
+// boundary that moves work to another thread re-installs the caller's id
+// there (ThreadPool::parallelFor worker tasks, the DetectionServer
+// worker, the tiled fan-out's helper drains). Recording sites
+// (TraceRecorder::recordSpan, LogRecorder::log) read currentTraceId()
+// when no explicit id is passed, so existing instrumentation gains
+// correlation for free — and emits nothing trace-related when the slot
+// is empty, keeping untraced output byte-identical to pre-propagation
+// builds.
+//
+// Everything here is allocation-free: ids are two u64s, the TLS slot is
+// a plain thread_local (single-thread access by construction), and
+// formatting writes into a caller buffer. formatTraceId() returning
+// std::string is a response-header convenience, not a hot-path API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hsd::obs {
+
+/// 128-bit trace id, {0, 0} meaning "absent" (the W3C invalid id).
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  friend bool operator==(const TraceId&, const TraceId&) = default;
+};
+
+/// Bytes needed by formatTraceId's buffer form (32 hex chars + NUL).
+inline constexpr std::size_t kTraceIdChars = 32;
+
+/// Lower-case 32-hex rendering (the traceparent trace-id field). The
+/// buffer form writes kTraceIdChars digits plus a terminating NUL into
+/// `out` (which must hold >= kTraceIdChars + 1 bytes) — no allocation.
+void formatTraceId(const TraceId& id, char* out);
+std::string formatTraceId(const TraceId& id);
+
+/// Parse a bare 32-hex trace id (case-insensitive). Returns false — and
+/// leaves `out` untouched — on any other length, a non-hex byte, or the
+/// all-zero id (invalid per W3C).
+bool parseTraceId(std::string_view hex, TraceId& out);
+
+/// Parse a W3C `traceparent` header value:
+///   version "-" trace-id "-" parent-id "-" flags
+///   e.g. 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01
+/// Any 2-hex version except "ff" is accepted (per spec, future versions
+/// must keep the first four fields); only the trace-id is extracted.
+bool parseTraceparent(std::string_view header, TraceId& out);
+
+/// Render a full traceparent value (version 00, the given trace id, a
+/// fresh parent/span id, flags 01 "sampled").
+std::string formatTraceparent(const TraceId& id);
+
+/// Mint a process-unique random trace id (never the invalid zero id).
+/// Lock-free and allocation-free after the first call.
+TraceId makeTraceId();
+
+/// The calling thread's current trace id ({0,0} when none is installed).
+TraceId currentTraceId();
+
+namespace detail {
+TraceId& currentTraceSlot();
+}  // namespace detail
+
+/// RAII guard that installs `id` as the calling thread's current trace
+/// id and restores the previous value on destruction. Installing the
+/// invalid id is allowed (it masks an outer id for untraced work).
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(TraceId id) : prev_(detail::currentTraceSlot()) {
+    detail::currentTraceSlot() = id;
+  }
+  ~ScopedTraceId() { detail::currentTraceSlot() = prev_; }
+
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  TraceId prev_;
+};
+
+}  // namespace hsd::obs

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "obs/trace.hpp"
+#include "obs/trace_id.hpp"
 
 namespace hsd {
 
@@ -110,8 +111,12 @@ void ThreadPool::parallelFor(std::size_t n,
       std::min(threadCount(), (n + grain - 1) / grain);
   std::vector<std::future<void>> futs;
   futs.reserve(tasks);
+  // Workers inherit the caller's request trace id for the duration of
+  // their chunks, so fan-out spans/logs stay correlated to the request.
+  const obs::TraceId trace = obs::currentTraceId();
   for (std::size_t t = 0; t < tasks; ++t)
-    futs.push_back(submit([&] {
+    futs.push_back(submit([&, trace] {
+      const obs::ScopedTraceId scope(trace);
       chunkLoop(next, n, grain, body, firstError, errMu, tracer);
     }));
   for (auto& f : futs) f.get();
@@ -134,8 +139,10 @@ void parallelFor(std::size_t n, std::size_t threads, std::size_t grain,
   std::mutex errMu;
   std::vector<std::thread> ts;
   ts.reserve(threads);
+  const obs::TraceId trace = obs::currentTraceId();
   for (std::size_t t = 0; t < threads; ++t)
-    ts.emplace_back([&] {
+    ts.emplace_back([&, trace] {
+      const obs::ScopedTraceId scope(trace);
       chunkLoop(next, n, grain, body, firstError, errMu, nullptr);
     });
   for (std::thread& t : ts) t.join();

@@ -64,6 +64,40 @@ net::HttpResponse errorResponse(int status, const std::string& detail) {
       status, std::string(net::statusReason(status)) + ": " + detail + "\n");
 }
 
+/// True when the request opted into per-request profiling
+/// (`X-Profile: 1`; any other value is "off", never an error).
+bool wantsProfile(const net::HttpRequest& req) {
+  const std::string* h = req.header("x-profile");
+  return h != nullptr && *h == "1";
+}
+
+/// One-line profile JSON for the X-Profile response header and the
+/// recent-profile ring: wire/queue/run wall split, arena growth, cache
+/// deltas, and the per-stage EngineStats table the pooled context
+/// already collected — no extra locking on the request path.
+std::string buildProfileJson(const ServeResult& sr, std::uint64_t wireId) {
+  std::uint64_t hits = 0, misses = 0;
+  for (const auto& [stage, c] : sr.cacheStats) {
+    hits += c.hits;
+    misses += c.misses;
+  }
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"wireId\": " << wireId << ", \"status\": \"" << toString(sr.status)
+     << '"';
+  if (sr.trace.valid())
+    os << ", \"trace\": \"" << obs::formatTraceId(sr.trace) << '"';
+  os << ", \"queueSeconds\": " << sr.queueSeconds
+     << ", \"runSeconds\": " << sr.runSeconds
+     << ", \"arenaReservedBytes\": " << sr.arenaReservedBytes
+     << ", \"cache\": {\"hits\": " << hits << ", \"misses\": " << misses
+     << "}, \"stages\": "
+     << (sr.statsJson.empty() ? std::string("{}") : sr.statsJson) << '}';
+  return os.str();
+}
+
 }  // namespace
 
 DetectionEndpoint::DetectionEndpoint(DetectionServer& server,
@@ -123,25 +157,39 @@ void DetectionEndpoint::countStatus(int status) {
 net::HttpResponse DetectionEndpoint::handle(const net::HttpRequest& req) {
   const std::uint64_t wireId =
       nextWireId_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Wire trace propagation: honor the client's W3C `traceparent` when it
+  // parses, mint a fresh id otherwise (the spec's restart rule — an
+  // invalid header is ignored, never a 400). The id rides the handler
+  // thread for the whole request so even rejection-path logs correlate.
+  obs::TraceId trace;
+  if (const std::string* tp = req.header("traceparent"))
+    obs::parseTraceparent(*tp, trace);
+  if (!trace.valid()) trace = obs::makeTraceId();
+  const obs::ScopedTraceId traceScope(trace);
+  obs::logTo(server_.config().log.get(), obs::LogLevel::kInfo, "wire",
+             "detect request", {"wireId", wireId}, {"bytes", req.body.size()});
   inflight_->inc();
   requestBytes_->inc(req.body.size());
   const auto t0 = std::chrono::steady_clock::now();
-  net::HttpResponse res = process(req, wireId);
+  net::HttpResponse res = process(req, wireId, trace);
   // Every response — success or rejection — is stamped with the wire id
-  // so a client report line can be matched to server logs and metrics.
+  // and trace id so a client report line can be matched to server logs,
+  // /tracez?trace= and /logz?trace=.
   res.withHeader("X-Request-Id", std::to_string(wireId));
+  res.withHeader("X-Trace-Id", obs::formatTraceId(trace));
   countStatus(res.status);
   responseBytes_->inc(res.body.size());
   latency_->observe(std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
-                        .count());
+                        .count(),
+                    trace);
   inflight_->dec();
   return res;
 }
 
 net::HttpResponse DetectionEndpoint::process(const net::HttpRequest& req,
-                                             std::uint64_t wireId) {
-  (void)wireId;
+                                             std::uint64_t wireId,
+                                             obs::TraceId trace) {
   // --- Parameters (cheap; before admission so garbage fails fast) ----
   double bias = 0.0, removal = 1.0, feedback = 1.0, deadlineMs = -1.0;
   double tileSize = 0.0, halo = 0.0, tileThreads = 0.0;
@@ -236,7 +284,7 @@ net::HttpResponse DetectionEndpoint::process(const net::HttpRequest& req,
   auto cancel = std::make_shared<CancelSource>();
   std::future<ServeResult> fut =
       server_.submit(detector_, layout, std::move(ep), timeout, nullptr,
-                     cancel);
+                     cancel, trace);
   bool disconnected = false;
   for (;;) {
     if (fut.wait_for(std::chrono::milliseconds(25)) ==
@@ -303,7 +351,18 @@ net::HttpResponse DetectionEndpoint::process(const net::HttpRequest& req,
                   std::to_string(sr.result.flaggedBeforeRemoval))
       .withHeader("X-Cache-Hits", std::to_string(hits))
       .withHeader("X-Cache-Misses", std::to_string(misses));
+  if (wantsProfile(req)) {
+    std::string profile = buildProfileJson(sr, wireId);
+    res.withHeader("X-Profile", profile);
+    rememberProfile(std::move(profile));
+  }
   return res;
+}
+
+void DetectionEndpoint::rememberProfile(std::string profileJson) {
+  const std::lock_guard<std::mutex> lock(profileMu_);
+  recentProfiles_.push_back(std::move(profileJson));
+  while (recentProfiles_.size() > kProfileRing) recentProfiles_.pop_front();
 }
 
 std::string DetectionEndpoint::statsJson() const {
@@ -327,7 +386,18 @@ std::string DetectionEndpoint::statsJson() const {
      << ", \"maxQueueDepth\": " << cfg_.maxQueueDepth
      << ", \"latencySeconds\": {\"p50\": " << latency_->quantile(0.50)
      << ", \"p95\": " << latency_->quantile(0.95)
-     << ", \"p99\": " << latency_->quantile(0.99) << "}}";
+     << ", \"p99\": " << latency_->quantile(0.99)
+     << "}, \"recentProfiles\": [";
+  {
+    const std::lock_guard<std::mutex> lock(profileMu_);
+    bool first = true;
+    for (const std::string& p : recentProfiles_) {
+      if (!first) os << ", ";
+      first = false;
+      os << p;
+    }
+  }
+  os << "]}";
   return os.str();
 }
 

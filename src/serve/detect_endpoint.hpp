@@ -17,11 +17,18 @@
 //  - response 200: the report in windows format (gds::writeWindowList
 //    bytes — exactly what hsd_detect writes), with the run identified in
 //    headers: X-Request-Id (wire-level id, present on every response
-//    including rejections), X-Serve-Request (the DetectionServer
-//    submission index, correlating with serve/queued + serve/run trace
-//    spans), X-Candidate-Clips / X-Flagged-Before-Removal (the funnel
-//    counters), X-Cache-Hits / X-Cache-Misses (this request's shared-
-//    cache traffic).
+//    including rejections), X-Trace-Id (the request's 32-hex correlation
+//    id — parsed from a W3C `traceparent` request header when one is
+//    sent, minted otherwise; also on every response, and the key into
+//    /tracez?trace= and /logz?trace=), X-Serve-Request (the
+//    DetectionServer submission index, correlating with serve/queued +
+//    serve/run trace spans), X-Candidate-Clips /
+//    X-Flagged-Before-Removal (the funnel counters), X-Cache-Hits /
+//    X-Cache-Misses (this request's shared-cache traffic).
+//  - profiles: a request carrying `X-Profile: 1` gets an `X-Profile`
+//    response header on 200 — one-line JSON with the queue/run split,
+//    arena growth, cache deltas and the per-stage EngineStats table —
+//    and the same object lands in the statsJson() recent-profile ring.
 //
 // Admission control: before parsing the body, the endpoint consults the
 // server's live queue depth; at or beyond maxQueueDepth it answers 429
@@ -39,12 +46,15 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/trainer.hpp"
 #include "net/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_id.hpp"
 #include "serve/server.hpp"
 
 namespace hsd::serve {
@@ -100,9 +110,10 @@ class DetectionEndpoint {
   net::HttpResponse handle(const net::HttpRequest& req);
 
  private:
-  net::HttpResponse process(const net::HttpRequest& req,
-                            std::uint64_t wireId);
+  net::HttpResponse process(const net::HttpRequest& req, std::uint64_t wireId,
+                            obs::TraceId trace);
   void countStatus(int status);
+  void rememberProfile(std::string profileJson);
 
   DetectionServer& server_;
   const core::Detector& detector_;
@@ -110,6 +121,12 @@ class DetectionEndpoint {
   net::HttpServer* http_ = nullptr;  ///< set by mount(); drain detection
 
   std::atomic<std::uint64_t> nextWireId_{0};
+
+  /// Last few X-Profile request profiles, newest last (statsJson
+  /// "recentProfiles"). Request-grained, so a plain mutex is fine.
+  static constexpr std::size_t kProfileRing = 8;
+  mutable std::mutex profileMu_;
+  std::deque<std::string> recentProfiles_;
 
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   obs::Counter* status200_ = nullptr;

@@ -63,7 +63,8 @@ void CancelSource::unbind() {
 ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
                          std::size_t batchSize,
                          std::shared_ptr<engine::StageCache> cache,
-                         std::shared_ptr<obs::TraceRecorder> tracer) {
+                         std::shared_ptr<obs::TraceRecorder> tracer,
+                         std::shared_ptr<obs::LogRecorder> log) {
   contexts = std::max<std::size_t>(1, contexts);
   all_.reserve(contexts);
   slots_.reset(new Slot[contexts]);
@@ -72,6 +73,7 @@ ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
                                                     batchSize);
     if (cache) ctx->attachCache(cache);
     if (tracer) ctx->attachTracer(tracer);
+    if (log) ctx->attachLog(log);
     // Pre-warm: spawn the worker threads now so the first request doesn't
     // pay pool construction latency (threads=1 contexts stay thread-free).
     if (ctx->threadCount() > 1) ctx->pool();
@@ -108,6 +110,7 @@ void ContextPool::checkin(engine::RunContext* ctx) {
   // next request's EngineStats snapshot purely its own.
   ctx->resetCancel();
   ctx->stats().clear();
+  ctx->setTraceId({});  // a reused context must not inherit correlation
   std::size_t i = 0;
   while (i < all_.size() && all_[i].get() != ctx) ++i;
   if (i == all_.size()) return;  // not ours — refuse rather than corrupt
@@ -122,11 +125,29 @@ DetectionServer::DetectionServer(ServerConfig cfg) : cfg_(cfg) {
   cfg_.workers = std::max<std::size_t>(1, cfg_.workers);
   if (cfg_.contexts == 0) cfg_.contexts = cfg_.workers;
   registerMetrics();
+  // Built-in SLO tracker over the registry the request path already
+  // updates: good = ok, total = every finished evaluation (rejected
+  // requests never ran and are an admission signal, not availability).
+  slo_ = std::make_shared<obs::SloTracker>(cfg_.slo);
+  slo_->setAvailabilitySource(
+      [ok = statusTotal_[statusIndex(RequestStatus::kOk)]] {
+        return ok->value();
+      },
+      [this] {
+        std::uint64_t total = 0;
+        for (const RequestStatus s :
+             {RequestStatus::kOk, RequestStatus::kTimeout,
+              RequestStatus::kCancelled, RequestStatus::kError})
+          total += statusTotal_[statusIndex(s)]->value();
+        return total;
+      });
+  slo_->setLatencySource(runHist_);
   if (cfg_.enableCache)
     cache_ = std::make_shared<engine::StageCache>(cfg_.cacheCapacity,
                                                   cfg_.tracer);
   pool_ = std::make_unique<ContextPool>(cfg_.contexts, cfg_.threadsPerContext,
-                                        cfg_.batchSize, cache_, cfg_.tracer);
+                                        cfg_.batchSize, cache_, cfg_.tracer,
+                                        cfg_.log);
   workers_.reserve(cfg_.workers);
   for (std::size_t i = 0; i < cfg_.workers; ++i)
     workers_.emplace_back([this, i] { workerLoop(i); });
@@ -164,13 +185,15 @@ DetectionServer::~DetectionServer() { shutdown(); }
 std::future<ServeResult> DetectionServer::submit(
     const core::Detector& det, const Layout& layout, core::EvalParams params,
     std::optional<std::chrono::steady_clock::duration> timeout,
-    Callback callback, std::shared_ptr<CancelSource> cancel) {
+    Callback callback, std::shared_ptr<CancelSource> cancel,
+    obs::TraceId trace) {
   Request req;
   req.det = &det;
   req.layout = &layout;
   req.params = std::move(params);
   req.submitted = std::chrono::steady_clock::now();
   if (timeout) req.deadline = req.submitted + *timeout;
+  req.trace = trace;
   req.callback = std::move(callback);
   req.cancel = std::move(cancel);
   std::future<ServeResult> fut = req.promise.get_future();
@@ -182,6 +205,7 @@ std::future<ServeResult> DetectionServer::submit(
       statusTotal_[statusIndex(RequestStatus::kRejected)]->inc();
       ServeResult res;
       res.status = RequestStatus::kRejected;
+      res.trace = trace;
       res.error = "server is shut down";
       if (req.callback) {
         try {
@@ -241,10 +265,14 @@ void DetectionServer::workerLoop(std::size_t workerIndex) {
 
 ServeResult DetectionServer::process(Request& req) {
   ServeResult res;
+  // The request's wire trace id becomes this worker thread's ambient id
+  // for the whole turnaround: the serve spans, latency exemplars, and
+  // every span/log the evaluation emits below all correlate to it.
+  const obs::ScopedTraceId traceScope(req.trace);
   const auto dequeued = std::chrono::steady_clock::now();
   res.queueSeconds = secondsSince(req.submitted, dequeued);
   queueDepth_->dec();
-  queueHist_->observe(res.queueSeconds);
+  queueHist_->observe(res.queueSeconds, req.trace);
   obs::TraceRecorder* const tracer = cfg_.tracer.get();
   if (tracer != nullptr)
     tracer->recordSpan("serve/queued", "serve", req.submitted, dequeued,
@@ -261,15 +289,20 @@ ServeResult DetectionServer::process(Request& req) {
       tracer->recordSpan("serve/run", "serve", dequeued, dequeued,
                          {"request", req.id}, {},
                          {"status", toString(res.status)});
+    obs::logTo(cfg_.log.get(), obs::LogLevel::kWarn, "serve",
+               "request dropped while queued", {"request", req.id}, {},
+               {"status", toString(res.status)});
     return res;
   }
   inflight_->inc();
   engine::RunContext* ctx = pool_->checkout();
+  ctx->setTraceId(req.trace);
   if (req.deadline) ctx->setDeadline(*req.deadline);
   // Bind the external cancel handle to this run: from here a
   // CancelSource::cancel() raises the context's cooperative flag (the
   // tiled path propagates primary-context cancellation to every helper).
   if (req.cancel) req.cancel->bind(ctx);
+  const std::uint64_t arena0 = engine::arenaReservedBytes();
   const auto t0 = std::chrono::steady_clock::now();
   try {
     res.result =
@@ -290,14 +323,21 @@ ServeResult DetectionServer::process(Request& req) {
   const auto t1 = std::chrono::steady_clock::now();
   if (req.cancel) req.cancel->unbind();  // before checkin resets the ctx
   res.runSeconds = secondsSince(t0, t1);
+  res.arenaReservedBytes = engine::arenaReservedBytes() - arena0;
   res.statsJson = ctx->stats().toJson();
   res.cacheStats = ctx->stats().cacheSnapshot();
   pool_->checkin(ctx);
   inflight_->dec();
-  runHist_->observe(res.runSeconds);
+  runHist_->observe(res.runSeconds, req.trace);
   if (tracer != nullptr)
     tracer->recordSpan("serve/run", "serve", t0, t1, {"request", req.id}, {},
                        {"status", toString(res.status)});
+  obs::logTo(cfg_.log.get(),
+             res.status == RequestStatus::kOk ? obs::LogLevel::kInfo
+                                              : obs::LogLevel::kWarn,
+             "serve", "request complete", {"request", req.id},
+             {"runUs", std::uint64_t(res.runSeconds * 1e6)},
+             {"status", toString(res.status)});
   return res;
 }
 
@@ -323,6 +363,7 @@ core::EvalResult DetectionServer::runTiled(Request& req,
   while (extras.size() < wantExtras) {
     engine::RunContext* const c = pool_->tryCheckout();
     if (c == nullptr) break;  // pool busy: the primary context suffices
+    c->setTraceId(req.trace);  // borrowed helpers join the correlation
     if (req.deadline) c->setDeadline(*req.deadline);
     extras.push_back(c);
   }
@@ -336,6 +377,9 @@ core::EvalResult DetectionServer::runTiled(Request& req,
   std::mutex errMu;
   std::exception_ptr firstError;
   const auto drain = [&](engine::RunContext& c) {
+    // Helper threads have no ambient trace id of their own — adopt the
+    // request's so tile spans/logs off the borrowed contexts correlate.
+    const obs::ScopedTraceId traceScope(c.traceId());
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -373,6 +417,7 @@ core::EvalResult DetectionServer::runTiled(Request& req,
 
 void DetectionServer::finish(Request& req, ServeResult res) {
   res.requestId = req.id;
+  res.trace = req.trace;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     ++stats_.completed;
@@ -441,7 +486,19 @@ std::string DetectionServer::statsJson() const {
      << queueHist_->quantile(0.99)
      << "}, \"runSeconds\": {\"p50\": " << runHist_->quantile(0.50)
      << ", \"p95\": " << runHist_->quantile(0.95)
-     << ", \"p99\": " << runHist_->quantile(0.99) << "}}}";
+     << ", \"p99\": " << runHist_->quantile(0.99) << "}, \"exemplars\": [";
+  // Recent trace-id exemplars off the run histogram: one per bucket, so
+  // a slow bucket hands you a concrete request to pull from /tracez.
+  bool first = true;
+  for (const obs::Histogram::Exemplar& e : runHist_->exemplars()) {
+    if (!e.valid()) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"runSeconds\": " << e.value << ", \"trace\": \""
+       << obs::formatTraceId(e.trace) << "\", \"unixMs\": " << e.unixMs
+       << "}";
+  }
+  os << "]}}";
   return os.str();
 }
 

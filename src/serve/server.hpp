@@ -47,8 +47,11 @@
 #include "engine/cache.hpp"
 #include "engine/run_context.hpp"
 #include "engine/stats.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_id.hpp"
 #include "par/cacheline.hpp"
 
 namespace hsd::serve {
@@ -66,6 +69,13 @@ struct ServerConfig {
   /// stage spans and parallelFor chunk spans, and the shared StageCache
   /// records hit/miss-annotated lookups. Near-zero overhead when null.
   std::shared_ptr<obs::TraceRecorder> tracer;
+  /// Opt-in structured logging along the same path: request completion
+  /// records on the workers plus eval/tile milestones from the pooled
+  /// contexts, all trace-correlated. Near-zero overhead when null.
+  std::shared_ptr<obs::LogRecorder> log;
+  /// SLO objectives for the built-in tracker (availability over finished
+  /// requests, latency over the run histogram); see slo().
+  obs::SloConfig slo;
 };
 
 enum class RequestStatus {
@@ -90,10 +100,18 @@ struct ServeResult {
   std::uint64_t requestId = 0;
   core::EvalResult result;
   std::string error;
+  /// The request's correlation id, echoed from submit(): the same id is
+  /// on every span and log record the evaluation produced ({0,0} when the
+  /// caller passed none).
+  obs::TraceId trace;
   std::string statsJson;  ///< per-request EngineStats JSON dump
   std::vector<std::pair<std::string, engine::CacheStats>> cacheStats;
   double queueSeconds = 0.0;  ///< submit -> dequeue
   double runSeconds = 0.0;    ///< dequeue -> completion (0 if never ran)
+  /// Arena payload bytes the process reserved during this run (a delta of
+  /// engine::arenaReservedBytes() across the evaluation — 0 in steady
+  /// state, where arenas rewind in place). Feeds the X-Profile report.
+  std::uint64_t arenaReservedBytes = 0;
 
   bool ok() const { return status == RequestStatus::kOk; }
   /// Per-request cache counters of one stage (zeros when never recorded).
@@ -118,7 +136,8 @@ class ContextPool {
   ContextPool(std::size_t contexts, std::size_t threadsPerContext,
               std::size_t batchSize,
               std::shared_ptr<engine::StageCache> cache,
-              std::shared_ptr<obs::TraceRecorder> tracer = nullptr);
+              std::shared_ptr<obs::TraceRecorder> tracer = nullptr,
+              std::shared_ptr<obs::LogRecorder> log = nullptr);
 
   ContextPool(const ContextPool&) = delete;
   ContextPool& operator=(const ContextPool&) = delete;
@@ -188,11 +207,16 @@ class DetectionServer {
   /// throws are swallowed). `cancel`, if given, lets the caller abandon
   /// the request from another thread (resolves kCancelled; see
   /// CancelSource).
+  /// `trace`, if valid, correlates the request end to end: it is stamped
+  /// on the checked-out context (and every borrowed tile context), every
+  /// span/log the evaluation records, the latency-histogram exemplars,
+  /// and the ServeResult.
   std::future<ServeResult> submit(
       const core::Detector& det, const Layout& layout, core::EvalParams params,
       std::optional<std::chrono::steady_clock::duration> timeout = {},
       Callback callback = nullptr,
-      std::shared_ptr<CancelSource> cancel = nullptr);
+      std::shared_ptr<CancelSource> cancel = nullptr,
+      obs::TraceId trace = {});
 
   /// Stop accepting, drain every queued request, join the workers.
   /// Idempotent; the destructor calls it.
@@ -231,6 +255,11 @@ class DetectionServer {
   std::shared_ptr<engine::StageCache> cache() const { return cache_; }
   const ServerConfig& config() const { return cfg_; }
 
+  /// The built-in SLO tracker (always present): availability = ok over
+  /// finished evaluations, latency = the run histogram against
+  /// ServerConfig::slo. Share with AdminServer::setSlo for /sloz.
+  std::shared_ptr<obs::SloTracker> slo() const { return slo_; }
+
   /// The server's metric registry (always present, updated live):
   /// hsd_serve_queue_depth / hsd_serve_inflight_requests gauges,
   /// hsd_serve_requests_submitted_total and per-status
@@ -252,6 +281,7 @@ class DetectionServer {
     std::optional<std::chrono::steady_clock::time_point> deadline;
     std::chrono::steady_clock::time_point submitted;
     std::uint64_t id = 0;  ///< 1-based submission index (trace span arg)
+    obs::TraceId trace;    ///< wire correlation id ({0,0} = none)
     Callback callback;
     std::shared_ptr<CancelSource> cancel;  ///< optional external cancel
     std::promise<ServeResult> promise;
@@ -270,6 +300,7 @@ class DetectionServer {
   ServerConfig cfg_;
   std::shared_ptr<engine::StageCache> cache_;
   std::unique_ptr<ContextPool> pool_;
+  std::shared_ptr<obs::SloTracker> slo_;
 
   // Registered once in the constructor; the pointees live in metrics_ and
   // are updated lock-free on the request path.

@@ -19,7 +19,14 @@
 //  - 405-vs-404 precedence on the detect server (GET /detect -> 405
 //    Allow: POST; unknown path -> 404);
 //  - a concurrent POST hammer with every response strictly parsed and
-//    byte-compared.
+//    byte-compared;
+//  - end-to-end request observability: the client's traceparent id (or a
+//    freshly minted one) echoes back as X-Trace-Id and correlates the
+//    request's spans (/tracez?trace=) and log records (/logz?trace=),
+//    including across the tiled fan-out's borrowed helper contexts; the
+//    X-Profile opt-in returns a per-request breakdown header; and a fully
+//    observed plane (tracer + log + propagation) keeps reports
+//    byte-identical across threads {1,8} x {monolithic, tiled}.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -31,6 +38,7 @@
 #include <cstring>
 #include <future>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -41,7 +49,12 @@
 #include "engine/run_context.hpp"
 #include "gds/ascii.hpp"
 #include "gds/gdsii.hpp"
+#include "mini_json.hpp"
 #include "net/http.hpp"
+#include "obs/admin.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_id.hpp"
 #include "serve/detect_endpoint.hpp"
 #include "serve/server.hpp"
 
@@ -456,6 +469,172 @@ TEST(DetectHttp, ConcurrentPostsAllSucceedByteIdentically) {
   }
   // Every wire request flowed through the serve path.
   EXPECT_GE(w.server->stats().ok, std::size_t(kThreads * kPerThread));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end request observability
+
+/// A fully observed server config: tracer + log recorder attached the way
+/// tools/hsd_serve wires them.
+ServerConfig observedServerConfig(std::shared_ptr<obs::TraceRecorder> tracer,
+                                  std::shared_ptr<obs::LogRecorder> log,
+                                  std::size_t workers = 2,
+                                  std::size_t threadsPerContext = 1) {
+  ServerConfig cfg;
+  cfg.workers = workers;
+  cfg.threadsPerContext = threadsPerContext;
+  cfg.tracer = std::move(tracer);
+  cfg.log = std::move(log);
+  return cfg;
+}
+
+TEST(DetectHttp, TraceparentEchoesAndCorrelatesSpansAndLogs) {
+  auto tracer = std::make_shared<obs::TraceRecorder>();
+  auto log = std::make_shared<obs::LogRecorder>();
+  WirePlane w({}, WirePlane::defaultHttpOptions(),
+              observedServerConfig(tracer, log));
+  const obs::TraceId sent = obs::makeTraceId();
+  const std::string hex = obs::formatTraceId(sent);
+
+  const net::HttpResult res = net::httpPost(
+      "127.0.0.1", w.port(), "/detect", asciiLayoutBody(), "text/plain",
+      {{"traceparent", obs::formatTraceparent(sent)}}, 60000);
+  ASSERT_EQ(res.status, 200) << res.body;
+  EXPECT_EQ(res.body, offlineReport());
+  ASSERT_NE(res.header("x-trace-id"), nullptr);
+  EXPECT_EQ(*res.header("x-trace-id"), hex);
+
+  // The request's story is visible from both admin sides, keyed by the
+  // same id the client holds.
+  obs::AdminServer admin;
+  admin.setTracer(tracer);
+  admin.setLog(log);
+  admin.start();
+  const net::HttpResult tracez =
+      net::httpGet("127.0.0.1", admin.port(), "/tracez?trace=" + hex);
+  ASSERT_EQ(tracez.status, 200);
+  EXPECT_TRUE(hsd::tests::parsesAsJson(tracez.body)) << tracez.body;
+  EXPECT_EQ(tracez.body.find("\"returnedSpans\": 0"), std::string::npos)
+      << tracez.body;
+  EXPECT_NE(tracez.body.find("serve/run"), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"cat\": \"stage\""), std::string::npos)
+      << "engine stage spans should carry the request trace";
+  const net::HttpResult logz =
+      net::httpGet("127.0.0.1", admin.port(), "/logz?trace=" + hex);
+  ASSERT_EQ(logz.status, 200);
+  EXPECT_NE(logz.body.find("detect request"), std::string::npos)
+      << logz.body;
+  EXPECT_NE(logz.body.find("request complete"), std::string::npos);
+  EXPECT_EQ(logz.body.find("\"returnedRecords\": 0"), std::string::npos);
+
+  // No traceparent: a fresh id is minted and echoed.
+  const net::HttpResult fresh = postLayout(w, "/detect", asciiLayoutBody());
+  ASSERT_NE(fresh.header("x-trace-id"), nullptr);
+  obs::TraceId minted;
+  ASSERT_TRUE(obs::parseTraceId(*fresh.header("x-trace-id"), minted));
+  EXPECT_NE(minted, sent);
+
+  // An invalid traceparent restarts the trace (W3C rule) — never a 400.
+  const net::HttpResult bad = net::httpPost(
+      "127.0.0.1", w.port(), "/detect", asciiLayoutBody(), "text/plain",
+      {{"traceparent", "garbage-header"}}, 60000);
+  ASSERT_EQ(bad.status, 200);
+  ASSERT_NE(bad.header("x-trace-id"), nullptr);
+  EXPECT_TRUE(obs::parseTraceId(*bad.header("x-trace-id"), minted));
+}
+
+TEST(DetectHttp, TiledFanoutCorrelatesAcrossBorrowedContexts) {
+  auto tracer = std::make_shared<obs::TraceRecorder>();
+  auto log = std::make_shared<obs::LogRecorder>();
+  log->setMinLevel(obs::LogLevel::kDebug);  // admit per-tile records
+  // Three pool contexts: the tiled run borrows the two idle ones as
+  // helpers, so tile work lands on threads the request never owned.
+  WirePlane w({}, WirePlane::defaultHttpOptions(),
+              observedServerConfig(tracer, log, /*workers=*/3));
+  const obs::TraceId sent = obs::makeTraceId();
+  const net::HttpResult res = net::httpPost(
+      "127.0.0.1", w.port(), "/detect?tile-size=5000&tile-threads=3",
+      asciiLayoutBody(), "text/plain",
+      {{"traceparent", obs::formatTraceparent(sent)}}, 60000);
+  ASSERT_EQ(res.status, 200) << res.body;
+  EXPECT_EQ(res.body, offlineReport());
+  ASSERT_NE(res.header("x-trace-id"), nullptr);
+  EXPECT_EQ(*res.header("x-trace-id"), obs::formatTraceId(sent));
+
+  // Spans carrying this trace must span multiple recorder threads: the
+  // serve worker plus at least one borrowed helper drain.
+  std::set<std::uint32_t> tids;
+  std::size_t traced = 0;
+  for (const auto& se : tracer->snapshot())
+    if (se.event.trace == sent) {
+      ++traced;
+      tids.insert(se.tid);
+    }
+  EXPECT_GT(traced, 1u);
+  EXPECT_GE(tids.size(), 2u)
+      << "tile fan-out should stamp the trace across borrowed contexts";
+
+  // Per-tile log records carry the id too — from more than one thread.
+  std::set<std::uint32_t> logTids;
+  std::size_t tileRecords = 0;
+  for (const auto& sr : log->snapshot())
+    if (sr.record.trace == sent &&
+        std::strncmp(sr.record.message, "tile eval", 9) == 0) {
+      ++tileRecords;
+      logTids.insert(sr.tid);
+    }
+  EXPECT_GT(tileRecords, 1u);
+  EXPECT_GE(logTids.size(), 2u);
+}
+
+TEST(DetectHttp, ProfileHeaderOptInReturnsPerRequestBreakdown) {
+  WirePlane w;
+  // Off by default: no X-Profile header on a plain POST.
+  const net::HttpResult plain = postLayout(w, "/detect", asciiLayoutBody());
+  ASSERT_EQ(plain.status, 200);
+  EXPECT_EQ(plain.header("x-profile"), nullptr);
+
+  const net::HttpResult res = net::httpPost(
+      "127.0.0.1", w.port(), "/detect", asciiLayoutBody(), "text/plain",
+      {{"X-Profile", "1"}}, 60000);
+  ASSERT_EQ(res.status, 200) << res.body;
+  EXPECT_EQ(res.body, offlineReport());  // profiling never perturbs output
+  ASSERT_NE(res.header("x-profile"), nullptr);
+  const std::string& profile = *res.header("x-profile");
+  EXPECT_TRUE(hsd::tests::parsesAsJson(profile)) << profile;
+  for (const char* field :
+       {"\"wireId\"", "\"status\"", "\"queueSeconds\"", "\"runSeconds\"",
+        "\"arenaReservedBytes\"", "\"cache\"", "\"stages\""})
+    EXPECT_NE(profile.find(field), std::string::npos) << profile;
+  // The profile is also kept in the endpoint's recent-profiles ring.
+  const std::string stats = w.endpoint->statsJson();
+  EXPECT_TRUE(hsd::tests::parsesAsJson(stats)) << stats;
+  EXPECT_NE(stats.find("\"recentProfiles\""), std::string::npos);
+  EXPECT_NE(stats.find("\"runSeconds\""), std::string::npos);
+}
+
+TEST(DetectHttp, ObservedPlaneKeepsReportsByteIdentical) {
+  // Full observability on (tracer + log + trace propagation): reports
+  // stay byte-identical to the unobserved offline run across thread
+  // counts and the monolithic/tiled split.
+  for (const std::size_t threads : {std::size_t(1), std::size_t(8)}) {
+    auto tracer = std::make_shared<obs::TraceRecorder>();
+    auto log = std::make_shared<obs::LogRecorder>();
+    log->setMinLevel(obs::LogLevel::kTrace);
+    WirePlane w({}, WirePlane::defaultHttpOptions(),
+                observedServerConfig(tracer, log, /*workers=*/2, threads));
+    for (const char* target : {"/detect", "/detect?tile-size=5000"}) {
+      const net::HttpResult res = net::httpPost(
+          "127.0.0.1", w.port(), target, asciiLayoutBody(), "text/plain",
+          {{"traceparent", obs::formatTraceparent(obs::makeTraceId())}},
+          60000);
+      ASSERT_EQ(res.status, 200) << target << " threads=" << threads;
+      EXPECT_EQ(res.body, offlineReport())
+          << "observed report diverged for " << target << " at threads="
+          << threads;
+    }
+    EXPECT_GT(log->recordCount(), 0u);
+  }
 }
 
 }  // namespace

@@ -12,10 +12,14 @@
 //  - keep-alive serves several requests on one connection (including
 //    after an application error); stop() is graceful and idempotent;
 //    httpGet/httpPost fail loudly on a dead port;
-//  - AdminServer endpoint contracts: /healthz, /readyz readiness flips,
-//    /metrics (Prometheus 0.0.4, mount order + self-metrics), /statsz
-//    (JSON; throwing providers degrade, never fail the scrape), /tracez
-//    (non-destructive snapshot, ?limit=);
+//  - AdminServer endpoint contracts: /healthz, /readyz readiness flips
+//    (plus the ?degraded JSON detail view), /metrics (Prometheus 0.0.4,
+//    mount order + self-metrics), /statsz (JSON; throwing providers
+//    degrade, never fail the scrape; SLO section when mounted), /tracez
+//    (non-destructive snapshot, ?limit=, ?trace= filtering), /logz
+//    (JSON-lines, ?level=/?trace= filters), /sloz, and the shared
+//    query-param strictness (junk ?limit= / ?trace= -> 400, never a
+//    silent default);
 //  - the concurrent-scrape hammer: many client threads scraping every
 //    endpoint while a DetectionServer runs real detection traffic — every
 //    response parses; run under TSan via the `net` label.
@@ -39,8 +43,11 @@
 #include "mini_json.hpp"
 #include "net/http.hpp"
 #include "obs/admin.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_id.hpp"
 #include "serve/server.hpp"
 
 namespace hsd::net {
@@ -555,6 +562,188 @@ TEST(AdminServer, TracezHonorsLimitAndReportsDisabledWithoutTracer) {
   EXPECT_NE(off.body.find("\"enabled\": false"), std::string::npos);
 }
 
+TEST(AdminServer, SnapshotEndpointsRejectJunkQueryParams) {
+  obs::AdminServer admin;
+  admin.setTracer(std::make_shared<obs::TraceRecorder>());
+  admin.setLog(std::make_shared<obs::LogRecorder>());
+  admin.start();
+  // Junk ?limit= is a 400 on both snapshot endpoints, never a silent
+  // default.
+  for (const char* target :
+       {"/tracez?limit=abc", "/tracez?limit=-1", "/tracez?limit=0",
+        "/tracez?limit=3x", "/logz?limit=abc", "/logz?limit=0"}) {
+    const HttpGetResult res = httpGet("127.0.0.1", admin.port(), target);
+    EXPECT_EQ(res.status, 400) << target;
+    EXPECT_NE(res.body.find("limit"), std::string::npos) << target;
+  }
+  // Junk ?trace= likewise (wrong length, non-hex, the all-zero id).
+  for (const char* target :
+       {"/tracez?trace=abc", "/logz?trace=xyz",
+        "/tracez?trace=00000000000000000000000000000000"}) {
+    EXPECT_EQ(httpGet("127.0.0.1", admin.port(), target).status, 400)
+        << target;
+  }
+  EXPECT_EQ(httpGet("127.0.0.1", admin.port(), "/logz?level=loud").status,
+            400);
+  // Well-formed values still work.
+  EXPECT_EQ(httpGet("127.0.0.1", admin.port(), "/tracez?limit=5").status,
+            200);
+  EXPECT_EQ(httpGet("127.0.0.1", admin.port(), "/logz?limit=5&level=warn")
+                .status,
+            200);
+}
+
+TEST(AdminServer, TracezFiltersBySpanTraceId) {
+  auto tracer = std::make_shared<obs::TraceRecorder>();
+  const obs::TraceId wanted = obs::makeTraceId();
+  const obs::TraceId other = obs::makeTraceId();
+  const auto t = std::chrono::steady_clock::now();
+  for (int i = 0; i < 3; ++i) {
+    const obs::ScopedTraceId scope(wanted);
+    tracer->recordSpan("hit" + std::to_string(i), "test", t, t);
+  }
+  {
+    const obs::ScopedTraceId scope(other);
+    tracer->recordSpan("miss", "test", t, t);
+  }
+  tracer->recordSpan("untraced", "test", t, t);
+  obs::AdminServer admin;
+  admin.setTracer(tracer);
+  admin.start();
+  const HttpGetResult res = httpGet(
+      "127.0.0.1", admin.port(), "/tracez?trace=" + obs::formatTraceId(wanted));
+  EXPECT_EQ(res.status, 200);
+  EXPECT_TRUE(parsesAsJson(res.body)) << res.body;
+  // spanCount stays the pre-filter ring total; the filter narrows only
+  // what is returned, and the meta echoes it.
+  EXPECT_NE(res.body.find("\"spanCount\": 5"), std::string::npos);
+  EXPECT_NE(res.body.find("\"returnedSpans\": 3"), std::string::npos);
+  EXPECT_NE(res.body.find("\"trace\": \"" + obs::formatTraceId(wanted) + "\""),
+            std::string::npos);
+  EXPECT_EQ(countOccurrences(res.body, "\"name\": \"hit"), 3);
+  EXPECT_EQ(countOccurrences(res.body, "\"name\": \"miss\""), 0);
+  EXPECT_EQ(countOccurrences(res.body, "\"name\": \"untraced\""), 0);
+}
+
+TEST(AdminServer, LogzServesJsonLinesWithLevelAndTraceFilters) {
+  auto log = std::make_shared<obs::LogRecorder>();
+  log->setMinLevel(obs::LogLevel::kDebug);
+  const obs::TraceId wanted = obs::makeTraceId();
+  log->log(obs::LogLevel::kDebug, "test", "quiet detail");
+  log->log(obs::LogLevel::kInfo, "test", "routine");
+  log->log(obs::LogLevel::kWarn, "test", "trouble", {}, {}, {}, wanted);
+  log->log(obs::LogLevel::kError, "test", "boom", {}, {}, {}, wanted);
+  obs::AdminServer admin;
+  admin.setLog(log);
+  admin.start();
+
+  const HttpGetResult all = httpGet("127.0.0.1", admin.port(), "/logz");
+  EXPECT_EQ(all.status, 200);
+  EXPECT_NE(all.contentType.find("application/x-ndjson"), std::string::npos);
+  // Meta line first, then one record per line; every line parses alone.
+  std::istringstream lines(all.body);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_TRUE(parsesAsJson(line)) << line;
+  }
+  EXPECT_EQ(n, 5u);  // meta + 4 records
+  EXPECT_NE(all.body.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(all.body.find("\"recordCount\": 4"), std::string::npos);
+  EXPECT_NE(all.body.find("\"returnedRecords\": 4"), std::string::npos);
+  EXPECT_NE(all.body.find("\"minLevel\": \"debug\""), std::string::npos);
+
+  // ?level= is a floor: warn admits warn and error.
+  const HttpGetResult warns =
+      httpGet("127.0.0.1", admin.port(), "/logz?level=warn");
+  EXPECT_NE(warns.body.find("\"returnedRecords\": 2"), std::string::npos);
+  EXPECT_EQ(countOccurrences(warns.body, "routine"), 0);
+  EXPECT_EQ(countOccurrences(warns.body, "trouble"), 1);
+
+  // ?trace= narrows to one request's records.
+  const HttpGetResult traced = httpGet(
+      "127.0.0.1", admin.port(), "/logz?trace=" + obs::formatTraceId(wanted));
+  EXPECT_NE(traced.body.find("\"returnedRecords\": 2"), std::string::npos);
+  EXPECT_NE(traced.body.find("\"trace\": \"" + obs::formatTraceId(wanted) + "\""),
+            std::string::npos);
+  EXPECT_EQ(countOccurrences(traced.body, "routine"), 0);
+
+  // ?limit= keeps the most recent records.
+  const HttpGetResult limited =
+      httpGet("127.0.0.1", admin.port(), "/logz?limit=1");
+  EXPECT_NE(limited.body.find("\"returnedRecords\": 1"), std::string::npos);
+  EXPECT_EQ(countOccurrences(limited.body, "boom"), 1);
+  admin.stop();
+
+  // Without a recorder the endpoint stays up and says so.
+  obs::AdminServer bare;
+  bare.start();
+  const HttpGetResult off = httpGet("127.0.0.1", bare.port(), "/logz");
+  EXPECT_EQ(off.status, 200);
+  EXPECT_NE(off.body.find("\"enabled\": false"), std::string::npos);
+}
+
+TEST(AdminServer, SlozAndStatszCarryTheSloSection) {
+  auto slo = std::make_shared<obs::SloTracker>();
+  std::atomic<std::uint64_t> good{99};
+  std::atomic<std::uint64_t> total{100};
+  slo->setAvailabilitySource([&] { return good.load(); },
+                             [&] { return total.load(); });
+  obs::AdminServer admin;
+  admin.setSlo(slo);
+  admin.start();
+  const HttpGetResult sloz = httpGet("127.0.0.1", admin.port(), "/sloz");
+  EXPECT_EQ(sloz.status, 200);
+  EXPECT_TRUE(parsesAsJson(sloz.body)) << sloz.body;
+  EXPECT_NE(sloz.body.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(sloz.body.find("\"availabilityTarget\""), std::string::npos);
+  EXPECT_NE(sloz.body.find("\"windows\""), std::string::npos);
+  const HttpGetResult statsz = httpGet("127.0.0.1", admin.port(), "/statsz");
+  EXPECT_TRUE(parsesAsJson(statsz.body)) << statsz.body;
+  EXPECT_NE(statsz.body.find("\"slo\": {"), std::string::npos);
+  admin.stop();
+
+  obs::AdminServer bare;
+  bare.start();
+  const HttpGetResult off = httpGet("127.0.0.1", bare.port(), "/sloz");
+  EXPECT_EQ(off.status, 200);
+  EXPECT_NE(off.body.find("\"enabled\": false"), std::string::npos);
+  const HttpGetResult plainStats =
+      httpGet("127.0.0.1", bare.port(), "/statsz");
+  EXPECT_EQ(plainStats.body.find("\"slo\""), std::string::npos);
+}
+
+TEST(AdminServer, ReadyzDegradedDetailNamesEveryHook) {
+  std::atomic<bool> accepting{false};
+  obs::AdminServer admin;
+  admin.addReadiness("serve-accepting", [&] { return accepting.load(); });
+  admin.addReadiness("warmup", [] { return true; });
+  admin.setSlo(std::make_shared<obs::SloTracker>());
+  admin.start();
+  // The bare view keeps the terse text contract.
+  EXPECT_EQ(httpGet("127.0.0.1", admin.port(), "/readyz").body, "unready\n");
+  // The detail view carries the same status code with a JSON body naming
+  // each hook, plus the SLO burn status when a tracker is mounted.
+  const HttpGetResult down =
+      httpGet("127.0.0.1", admin.port(), "/readyz?degraded");
+  EXPECT_EQ(down.status, 503);
+  EXPECT_TRUE(parsesAsJson(down.body)) << down.body;
+  EXPECT_NE(down.body.find("\"ready\": false"), std::string::npos);
+  EXPECT_NE(down.body.find(
+                "{\"name\": \"serve-accepting\", \"ready\": false}"),
+            std::string::npos);
+  EXPECT_NE(down.body.find("{\"name\": \"warmup\", \"ready\": true}"),
+            std::string::npos);
+  EXPECT_NE(down.body.find("\"degraded\": false"), std::string::npos);
+  EXPECT_NE(down.body.find("\"slo\""), std::string::npos);
+  accepting.store(true);
+  const HttpGetResult up =
+      httpGet("127.0.0.1", admin.port(), "/readyz?degraded");
+  EXPECT_EQ(up.status, 200);
+  EXPECT_NE(up.body.find("\"ready\": true"), std::string::npos);
+}
+
 TEST(AdminServer, MountingAfterStartThrows) {
   obs::AdminServer admin;
   admin.start();
@@ -565,6 +754,8 @@ TEST(AdminServer, MountingAfterStartThrows) {
   EXPECT_THROW(admin.addReadiness([] { return true; }),
                std::logic_error);
   EXPECT_THROW(admin.setTracer(nullptr), std::logic_error);
+  EXPECT_THROW(admin.setLog(nullptr), std::logic_error);
+  EXPECT_THROW(admin.setSlo(nullptr), std::logic_error);
 }
 
 // ---------------------------------------------------------------------------

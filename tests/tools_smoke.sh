@@ -2,7 +2,9 @@
 # End-to-end smoke test of the CLI tool chain:
 # genbench -> train -> detect -> score, plus the serving front end and the
 # observability surfaces (ENGINE_STATS / SERVE_STATS JSON, Chrome trace
-# JSON, Prometheus exposition) — every machine-readable line is piped
+# JSON, structured log JSON lines, Prometheus exposition, wire trace
+# propagation: traceparent in -> X-Trace-Id out -> /tracez?trace= +
+# /logz?trace= correlation) — every machine-readable line is piped
 # through a real parser, not just grepped.
 set -e
 BIN="$1"
@@ -11,7 +13,13 @@ trap 'rm -rf "$OUT"' EXIT
 "$BIN/tools/hsd_genbench" "$OUT" --bench 5 --hs 8 --nhs 30 --width 24000 --height 24000 --sites 8
 "$BIN/tools/hsd_train" "$OUT/training_clips.txt" "$OUT/model.txt"
 "$BIN/tools/hsd_detect" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/report.txt" \
-  --trace-out "$OUT/detect_trace.json" | tee "$OUT/detect.out"
+  --trace-out "$OUT/detect_trace.json" \
+  --log-out "$OUT/detect_log.jsonl" | tee "$OUT/detect.out"
+# The structured log sink is JSON lines: every line parses, and the
+# evaluator lifecycle records are present.
+python3 -c 'import json,sys; [json.loads(l) for l in sys.stdin if l.strip()]' \
+  < "$OUT/detect_log.jsonl"
+grep -q '"eval done"' "$OUT/detect_log.jsonl"
 "$BIN/tools/hsd_score" "$OUT/report.txt" "$OUT/golden_hotspots.txt" --layout "$OUT/layout.gds" | grep -q accuracy
 # Tiled detection must emit a report byte-identical to the untiled one
 # (the deterministic-merge contract), with per-tile stage namespaces plus
@@ -78,6 +86,7 @@ grep -q '^hsd_serve_requests_total{status="ok"} 4$' "$OUT/serve.prom"
 "$BIN/tools/hsd_serve" "$OUT/model.txt" "$OUT/layout.gds" \
   --requests 2 --workers 2 --admin-port 0 --linger-ms 60000 \
   --trace-out "$OUT/admin_trace.json" --metrics-out "$OUT/admin.prom" \
+  --log-out "$OUT/serve_log.jsonl" \
   > "$OUT/admin_serve.out" 2>&1 &
 SERVE_PID=$!
 tries=0
@@ -101,6 +110,14 @@ grep -q '^hsd_admin_scrapes_total{endpoint="/metrics"} 1$' "$OUT/scraped.prom"
 "$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" '/tracez?limit=100' > "$OUT/tracez.json"
 python3 -m json.tool < "$OUT/tracez.json" > /dev/null
 grep -q '"enabled": true' "$OUT/tracez.json"
+# The structured-log and SLO admin surfaces mount alongside /tracez.
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" '/logz?limit=100' > "$OUT/logz.jsonl"
+python3 -c 'import json,sys; [json.loads(l) for l in sys.stdin if l.strip()]' \
+  < "$OUT/logz.jsonl"
+grep -q '"enabled": true' "$OUT/logz.jsonl"
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" /sloz > "$OUT/sloz.json"
+python3 -m json.tool < "$OUT/sloz.json" > /dev/null
+grep -q '"windows"' "$OUT/sloz.json"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q '"reportsIdentical": true' "$OUT/admin_serve.out"
@@ -108,6 +125,10 @@ grep '^SERVE_STATS ' "$OUT/admin_serve.out" | sed 's/^SERVE_STATS //' \
   | python3 -m json.tool > /dev/null
 python3 -m json.tool < "$OUT/admin_trace.json" > /dev/null
 grep -q '^# TYPE hsd_serve_run_seconds histogram' "$OUT/admin.prom"
+# The --log-out sink flushed on drain: JSON lines, evaluator lifecycle in.
+python3 -c 'import json,sys; [json.loads(l) for l in sys.stdin if l.strip()]' \
+  < "$OUT/serve_log.jsonl"
+grep -q '"eval done"' "$OUT/serve_log.jsonl"
 # Detection over the wire: hsd_serve with --port 0 and --requests 0 runs a
 # pure wire server (no in-process batch). POST the layout with hsd_scrape's
 # POST mode; the streamed report must be byte-identical to the offline
@@ -146,6 +167,45 @@ grep -q '^hsd_detect_seconds_count 2$' "$OUT/wire.prom"
 "$BIN/tools/hsd_scrape" 127.0.0.1 "$APORT" /statsz > "$OUT/wire_statsz.json"
 python3 -m json.tool < "$OUT/wire_statsz.json" > /dev/null
 grep -q '"detect"' "$OUT/wire_statsz.json"
+# End-to-end trace correlation over the wire: POST with a caller-minted
+# W3C traceparent plus the X-Profile opt-in; the report stays
+# byte-identical, the same 32-hex id comes back in the X-Trace-Id
+# response header (hsd_scrape -v), the X-Profile header parses as the
+# per-request profile JSON, and the id filters spans in /tracez?trace=
+# and records in /logz?trace= on the admin plane. --timeout-ms rides
+# along to exercise the client deadline path.
+TRACE_ID=0af7651916cd43dd8448eb211c80319c
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$DPORT" /detect \
+  --post "$OUT/layout.gds" --timeout-ms 30000 -v \
+  -H "traceparent: 00-${TRACE_ID}-00f067aa0ba902b7-01" \
+  -H "X-Profile: 1" \
+  > "$OUT/wire_traced.txt" 2> "$OUT/wire_traced_hdrs.txt"
+cmp "$OUT/report.txt" "$OUT/wire_traced.txt"
+grep -qi "x-trace-id: ${TRACE_ID}" "$OUT/wire_traced_hdrs.txt"
+sed -n 's/^< [Xx]-[Pp]rofile: //p' "$OUT/wire_traced_hdrs.txt" | head -1 \
+  | python3 -m json.tool > /dev/null
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$APORT" "/tracez?trace=${TRACE_ID}" \
+  > "$OUT/wire_tracez.json"
+python3 -m json.tool < "$OUT/wire_tracez.json" > /dev/null
+grep -q "$TRACE_ID" "$OUT/wire_tracez.json"
+grep -q 'serve/run' "$OUT/wire_tracez.json"
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$APORT" "/logz?trace=${TRACE_ID}" \
+  > "$OUT/wire_logz.jsonl"
+python3 -c 'import json,sys; [json.loads(l) for l in sys.stdin if l.strip()]' \
+  < "$OUT/wire_logz.jsonl"
+grep -q "$TRACE_ID" "$OUT/wire_logz.jsonl"
+grep -q 'request complete' "$OUT/wire_logz.jsonl"
+# Junk snapshot-query parameters are typed 400s, not silent defaults.
+if "$BIN/tools/hsd_scrape" 127.0.0.1 "$APORT" '/tracez?limit=abc' \
+  > /dev/null 2>&1; then
+  echo "tracez?limit=abc unexpectedly succeeded" >&2
+  exit 1
+fi
+if "$BIN/tools/hsd_scrape" 127.0.0.1 "$APORT" '/logz?trace=nothex' \
+  > /dev/null 2>&1; then
+  echo "logz?trace=nothex unexpectedly succeeded" >&2
+  exit 1
+fi
 # SIGTERM-during-POST drain: start a POST in the background, send TERM,
 # and require both the in-flight response (byte-identical) and exit 0.
 "$BIN/tools/hsd_scrape" 127.0.0.1 "$DPORT" /detect \

@@ -4,7 +4,8 @@
 //   hsd_detect <model> <layout.gds> <out_report.txt> [--bias B]
 //              [--threads N] [--no-removal] [--no-feedback]
 //              [--tile-size S] [--halo H] [--tile-threads K]
-//              [--trace-out trace.json]
+//              [--trace-out trace.json] [--log-out log.jsonl]
+//              [--log-level trace|debug|info|warn|error]
 //
 // --tile-size S partitions the layout into S-dbu grid tiles evaluated
 // concurrently with halo overlap (engine/tiler.hpp) and deterministically
@@ -16,6 +17,11 @@
 // stage spans, parallelFor chunk spans) — open it in Perfetto or
 // chrome://tracing. The ENGINE_STATS line is the per-stage timing JSON
 // (per-tile "tile<k>/..." entries plus plain-name roll-ups when tiled).
+//
+// --log-out records structured engine logs (eval/tile milestones) as
+// JSON lines; --log-level sets the floor (default info). The run gets a
+// freshly minted trace id so its spans and log records correlate the
+// same way a served request's do.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,7 +31,9 @@
 #include "core/evaluator.hpp"
 #include "gds/ascii.hpp"
 #include "gds/gdsii.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_id.hpp"
 
 namespace {
 
@@ -57,7 +65,8 @@ int main(int argc, char** argv) {
                  "usage: %s <model> <layout.gds> <out_report.txt> "
                  "[--bias B] [--threads N] [--no-removal] "
                  "[--no-feedback] [--tile-size S] [--halo H] "
-                 "[--tile-threads K]\n",
+                 "[--tile-threads K] [--trace-out F] [--log-out F] "
+                 "[--log-level L]\n",
                  argv[0]);
     return 2;
   }
@@ -90,6 +99,24 @@ int main(int argc, char** argv) {
       tracer->nameThread("hsd_detect-main");
       ctx.attachTracer(tracer);
     }
+    const char* logOut = argString(argc, argv, "--log-out", nullptr);
+    std::shared_ptr<obs::LogRecorder> logRec;
+    if (logOut != nullptr) {
+      logRec = std::make_shared<obs::LogRecorder>();
+      const char* levelArg = argString(argc, argv, "--log-level", nullptr);
+      if (levelArg != nullptr) {
+        obs::LogLevel level;
+        if (!obs::parseLogLevel(levelArg, level)) {
+          std::fprintf(stderr, "error: bad --log-level '%s'\n", levelArg);
+          return 2;
+        }
+        logRec->setMinLevel(level);
+      }
+      ctx.attachLog(logRec);
+    }
+    // Mint a run-scoped trace id so spans and log records correlate the
+    // same way a served request's do.
+    const obs::ScopedTraceId traceScope(obs::makeTraceId());
     const core::EvalResult res = core::evaluateLayout(det, layout, ep, ctx);
     gds::writeWindowListFile(argv[3], res.reported, det.params.clip);
     std::printf("%s: %zu candidates -> %zu flagged -> %zu reported "
@@ -109,6 +136,18 @@ int main(int argc, char** argv) {
                   tracer->spanCount(),
                   static_cast<unsigned long long>(tracer->droppedEvents()),
                   traceOut);
+    }
+    if (logRec) {
+      std::ofstream ls(logOut);
+      if (!ls) {
+        std::fprintf(stderr, "error: cannot open log file %s\n", logOut);
+        return 1;
+      }
+      logRec->writeJsonLines(ls);
+      std::printf("log: %zu records (%llu dropped) -> %s\n",
+                  logRec->recordCount(),
+                  static_cast<unsigned long long>(logRec->droppedRecords()),
+                  logOut);
     }
 
     // Triage view: the highest-confidence reports first.

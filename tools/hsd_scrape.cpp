@@ -4,10 +4,15 @@
 // net::httpGet / net::httpPost.
 //
 //   hsd_scrape <host> <port> <path> [--post <file>] [--content-type <ct>]
+//              [--timeout-ms <n>] [-H "Name: value"]... [-v]
 //
 // Without --post: GET <path>. With --post: POST the file's bytes as the
 // request body (--content-type defaults to application/octet-stream —
 // right for GDSII; use text/plain for the ASCII layout format).
+// -H adds a request header (repeatable; "Name: value" form, curl-style)
+// — how tools_smoke.sh sends a traceparent and X-Profile. --timeout-ms
+// bounds the whole exchange (default 5000 for GET, 30000 for POST).
+// -v prints the response status and headers to stderr.
 //
 // Prints the response body to stdout. Exit 0 on a 2xx status, 1 on any
 // other status or transport failure (the status line goes to stderr so
@@ -18,6 +23,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/http.hpp"
 
@@ -30,13 +37,40 @@ const char* argString(int argc, char** argv, const char* flag,
   return def;
 }
 
+bool argFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+/// Every -H occurrence, split at the first ':' (value whitespace-trimmed
+/// on the left, curl-style). A malformed header is a usage error.
+bool collectHeaders(int argc, char** argv,
+                    std::vector<std::pair<std::string, std::string>>& out) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "-H") != 0) continue;
+    const std::string h = argv[i + 1];
+    const std::size_t colon = h.find(':');
+    if (colon == 0 || colon == std::string::npos) {
+      std::fprintf(stderr, "error: bad -H header '%s' (want 'Name: value')\n",
+                   h.c_str());
+      return false;
+    }
+    std::size_t v = colon + 1;
+    while (v < h.size() && h[v] == ' ') ++v;
+    out.emplace_back(h.substr(0, colon), h.substr(v));
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <host> <port> <path> [--post <file>] "
-                 "[--content-type <ct>]\n",
+                 "[--content-type <ct>] [--timeout-ms <n>] "
+                 "[-H \"Name: value\"]... [-v]\n",
                  argv[0]);
     return 2;
   }
@@ -48,6 +82,19 @@ int main(int argc, char** argv) {
   const char* postFile = argString(argc, argv, "--post", nullptr);
   const char* contentType =
       argString(argc, argv, "--content-type", "application/octet-stream");
+  const bool verbose = argFlag(argc, argv, "-v");
+  const char* timeoutArg = argString(argc, argv, "--timeout-ms", nullptr);
+  long timeoutMs = postFile != nullptr ? 30000 : 5000;
+  if (timeoutArg != nullptr) {
+    char* end = nullptr;
+    timeoutMs = std::strtol(timeoutArg, &end, 10);
+    if (end == timeoutArg || *end != '\0' || timeoutMs <= 0) {
+      std::fprintf(stderr, "error: bad --timeout-ms '%s'\n", timeoutArg);
+      return 2;
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (!collectHeaders(argc, argv, headers)) return 2;
   try {
     hsd::net::HttpResult res;
     if (postFile != nullptr) {
@@ -59,9 +106,16 @@ int main(int argc, char** argv) {
       std::ostringstream body;
       body << in.rdbuf();
       res = hsd::net::httpPost(argv[1], std::uint16_t(port), argv[3],
-                               body.str(), contentType);
+                               body.str(), contentType, headers,
+                               int(timeoutMs));
     } else {
-      res = hsd::net::httpGet(argv[1], std::uint16_t(port), argv[3]);
+      res = hsd::net::httpGet(argv[1], std::uint16_t(port), argv[3],
+                              int(timeoutMs), headers);
+    }
+    if (verbose) {
+      std::fprintf(stderr, "< HTTP %d\n", res.status);
+      for (const auto& [name, value] : res.headers)
+        std::fprintf(stderr, "< %s: %s\n", name.c_str(), value.c_str());
     }
     std::fwrite(res.body.data(), 1, res.body.size(), stdout);
     if (!res.ok()) {

@@ -9,6 +9,7 @@
 //             [--trace-out trace.json] [--metrics-out metrics.prom]
 //             [--admin-port P] [--linger-ms L] [--port P]
 //             [--max-body-mb M] [--max-queue-depth Q]
+//             [--log-out log.jsonl] [--log-level trace|debug|info|warn|error]
 //
 // --port P opens the detection wire plane (serve::DetectionEndpoint):
 // POST /detect on 127.0.0.1:P accepts a layout body and returns the
@@ -49,6 +50,13 @@
 // queued + one run span per request, per-batch stage spans, cache-lookup
 // spans) as Chrome trace-event JSON for Perfetto. --metrics-out writes the
 // server's Prometheus text exposition after shutdown.
+//
+// --log-out writes the structured log ring (obs::LogRecorder) as JSON
+// lines at exit; --log-level sets the recording floor (default info).
+// The recorder also backs the admin /logz endpoint when --admin-port is
+// given — like /tracez, it works without any output file. The server's
+// built-in SLO tracker is always mounted on /sloz (and the "slo"
+// sections of /statsz and /readyz?degraded).
 #include <csignal>
 #include <chrono>
 #include <cstdio>
@@ -123,7 +131,8 @@ int main(int argc, char** argv) {
                  "[--deadline-ms D] [--no-cache] [--tile-size S] "
                  "[--halo H] [--tile-threads K] [--trace-out f.json] "
                  "[--metrics-out f.prom] [--admin-port P] [--linger-ms L] "
-                 "[--port P] [--max-body-mb M] [--max-queue-depth Q]\n",
+                 "[--port P] [--max-body-mb M] [--max-queue-depth Q] "
+                 "[--log-out f.jsonl] [--log-level L]\n",
                  argv[0]);
     return 2;
   }
@@ -155,6 +164,20 @@ int main(int argc, char** argv) {
     if (traceOut != nullptr || adminEnabled) {
       cfg.tracer = std::make_shared<hsd::obs::TraceRecorder>();
       cfg.tracer->nameThread("hsd_serve-main");
+    }
+    // Structured logging mirrors the tracer's lifecycle: a --log-out file
+    // or a mounted admin /logz both need the recorder.
+    const char* logOut = argString(argc, argv, "--log-out", nullptr);
+    if (logOut != nullptr || adminEnabled) {
+      cfg.log = std::make_shared<hsd::obs::LogRecorder>();
+      if (const char* lvl = argString(argc, argv, "--log-level", nullptr)) {
+        hsd::obs::LogLevel parsed;
+        if (!hsd::obs::parseLogLevel(lvl, parsed)) {
+          std::fprintf(stderr, "error: bad --log-level '%s'\n", lvl);
+          return 2;
+        }
+        cfg.log->setMinLevel(parsed);
+      }
     }
 
     installSignalHandlers();
@@ -202,12 +225,15 @@ int main(int argc, char** argv) {
       admin->addMetrics(server.metrics());
       if (endpoint) admin->addMetrics(endpoint->metrics());
       admin->setTracer(cfg.tracer);
+      admin->setLog(cfg.log);
+      admin->setSlo(server.slo());
       admin->addStatsProvider("serve",
                               [&server] { return server.statsJson(); });
       if (endpoint)
         admin->addStatsProvider(
             "detect", [ep = endpoint.get()] { return ep->statsJson(); });
-      admin->addReadiness([&server] { return server.accepting(); });
+      admin->addReadiness("serve-accepting",
+                          [&server] { return server.accepting(); });
       admin->start();
       // One greppable line; flushed so a pipe/file reader sees it while
       // the batch is still running.
@@ -312,6 +338,18 @@ int main(int argc, char** argv) {
       }
       ms2 << server.renderPrometheus();
       std::printf("metrics: -> %s\n", metricsOut);
+    }
+    if (cfg.log && logOut != nullptr) {
+      std::ofstream ls(logOut);
+      if (!ls) {
+        std::fprintf(stderr, "error: cannot open log file %s\n", logOut);
+        return 1;
+      }
+      cfg.log->writeJsonLines(ls);
+      std::printf("log: %zu records (%llu dropped) -> %s\n",
+                  cfg.log->recordCount(),
+                  static_cast<unsigned long long>(cfg.log->droppedRecords()),
+                  logOut);
     }
     if (admin) admin->stop();
     return identical ? 0 : 1;
