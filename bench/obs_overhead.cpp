@@ -25,6 +25,7 @@
 #include "data/generator.hpp"
 #include "engine/run_context.hpp"
 #include "obs/log.hpp"
+#include "obs/model_stats.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_id.hpp"
 
@@ -120,6 +121,35 @@ std::vector<MicroRow> microRows() {
         kReps, kIters)});
   }
 
+  // Model-quality records: recorder off, margin record, record + gated
+  // capture check (the steady state — most margins are far from the
+  // boundary), and record + actual capture (ring write included).
+  {
+    obs::ModelStatsRecorder* off = nullptr;
+    rows.push_back({"margin_record_off", bestNsPerCall(
+        [&] { obs::recordTo(off, 0, 1.25, true); },
+        kReps, kIters)});
+  }
+  {
+    obs::ModelStatsRecorder rec({"bench"});
+    rec.record(0, 1.25, true);  // warm the TLS slot
+    rows.push_back({"margin_record_on", bestNsPerCall(
+        [&] { rec.record(0, 1.25, true); },
+        kReps, kIters)});
+    rows.push_back({"margin_capture_gated", bestNsPerCall(
+        [&] {
+          rec.record(0, 1.25, true);
+          if (rec.shouldCapture(1.25)) rec.capture(0, 1.25, 0, 0, 0);
+        },
+        kReps, kIters)});
+    rows.push_back({"margin_capture_on", bestNsPerCall(
+        [&] {
+          rec.record(0, 0.01, true);
+          if (rec.shouldCapture(0.01)) rec.capture(0, 0.01, 1200, 3400, 0x9e3779b9u);
+        },
+        kReps, kIters)});
+  }
+
   // Propagation: scope install + read, and the per-request header costs.
   {
     const obs::TraceId id = obs::makeTraceId();
@@ -193,6 +223,8 @@ EndToEnd endToEnd(int reps) {
       auto log = std::make_shared<obs::LogRecorder>();
       log->setMinLevel(obs::LogLevel::kDebug);
       ctx.attachLog(log);
+      ctx.attachModelStats(
+          std::make_shared<obs::ModelStatsRecorder>(det.clusterNames()));
       const obs::ScopedTraceId scope(obs::makeTraceId());
       const auto t0 = std::chrono::steady_clock::now();
       const core::EvalResult res =

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <stdexcept>
@@ -15,6 +16,7 @@
 #include "engine/pipeline.hpp"
 #include "geom/hashing.hpp"
 #include "obs/log.hpp"
+#include "obs/model_stats.hpp"
 #include "obs/trace_id.hpp"
 
 namespace hsd::core {
@@ -130,6 +132,8 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
       [&det, bias = p.decisionBias, cacheName](engine::RunContext& ctx,
                                                std::vector<EvalItem>&& in) {
         engine::StageCache* const cache = ctx.cache();
+        obs::ModelStatsRecorder* const ms = ctx.modelStats();
+        const Coord half = det.params.clip.coreSide / 2;
         std::vector<char> keep(in.size(), 0);
         std::atomic<std::size_t> evictions{0};
         ctx.parallelFor(in.size(), [&](std::size_t i) {
@@ -144,14 +148,36 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
             // traffic in the steady state (the span hands the scaled
             // vector straight to the packed decision kernel).
             engine::ArenaScope scope(engine::threadScratch());
+            // Margin attribution: a flagged clip belongs to its first
+            // flagging kernel (the loop stops there regardless of the
+            // recorder, so reports stay byte-identical); an unflagged
+            // clip to the kernel with the largest decision value — the
+            // one that came closest to flagging it.
+            std::size_t bestK = 0;
+            double bestD = -std::numeric_limits<double>::infinity();
+            std::size_t ki = 0;
             for (const KernelEntry& k : det.kernels) {
               const std::span<double> x =
                   scope.arena().allocSpan<double>(k.scaler.dim());
               k.scaler.transformInto(it.coreFeat, x.data());
-              if (k.model.decisionFrom(x) > bias) {
+              const double d = k.model.decisionFrom(x);
+              if (d > bias) {
                 flagged = true;
+                bestK = ki;
+                bestD = d;
                 break;
               }
+              if (ms != nullptr && (ki == 0 || d > bestD)) {
+                bestK = ki;
+                bestD = d;
+              }
+              ++ki;
+            }
+            if (ms != nullptr && !det.kernels.empty()) {
+              ms->record(bestK, bestD, flagged);
+              if (ms->shouldCapture(bestD - bias))
+                ms->capture(bestK, bestD, it.win.core.lo.x + half,
+                            it.win.core.lo.y + half, clipContentHash(it.clip));
             }
           }
           if (!flagged && cache != nullptr) {
@@ -175,6 +201,8 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
       [&det, useFeedback = p.useFeedback, cacheName](
           engine::RunContext& ctx, std::vector<EvalItem>&& in) {
         engine::StageCache* const cache = ctx.cache();
+        obs::ModelStatsRecorder* const ms = ctx.modelStats();
+        const Coord half = det.params.clip.coreSide / 2;
         std::vector<std::optional<ClipWindow>> tmp(in.size());
         std::atomic<std::size_t> evictions{0};
         ctx.parallelFor(in.size(), [&](std::size_t i) {
@@ -192,8 +220,18 @@ EvalStages makeEvalStages(const Detector& det, const LayerIndex& layers,
             const std::span<double> x =
                 scope.arena().allocSpan<double>(det.feedbackScaler.dim());
             det.feedbackScaler.transformInto(fb, x.data());
-            if (det.feedbackModel.predictFrom(x) < 0)
+            // decisionFrom(x) > 0 is exactly predictFrom(x) == 1 (see
+            // svm.cpp); the raw margin additionally feeds the recorder's
+            // feedback pseudo-cluster.
+            const double d = det.feedbackModel.decisionFrom(x);
+            if (!(d > 0.0))
               hot = false;  // reclaimed by the ambit-aware kernel
+            if (ms != nullptr) {
+              ms->record(ms->feedbackSlot(), d, hot);
+              if (ms->shouldCapture(d))
+                ms->capture(ms->feedbackSlot(), d, it.win.core.lo.x + half,
+                            it.win.core.lo.y + half, clipContentHash(it.clip));
+            }
           }
           if (cache != nullptr)
             evictions.fetch_add(cache->insert(it.key, hot),

@@ -309,6 +309,62 @@ Detector trainDetector(const std::vector<Clip>& training,
     }
   }
 
+  // Freeze the drift baseline: every training core scored through the
+  // kernels exactly as eval/svm will score live windows (first flagging
+  // kernel wins; unflagged cores attribute to the closest kernel), bucketed
+  // into the shared MarginSketch layout. Live traffic that looks like the
+  // training set then reproduces these proportions and scores PSI ~ 0.
+  if (!det.kernels.empty()) {
+    const engine::StageTimer baselineTimer(ctx.stats(), "train/baseline",
+                                           hsFeat.size() + allNhsFeat.size(),
+                                           ctx.tracer());
+    const std::size_t n = hsFeat.size() + allNhsFeat.size();
+    std::vector<std::uint32_t> slotOf(n);
+    std::vector<std::uint32_t> bucketOf(n);
+    std::vector<char> hotOf(n);
+    const auto attribute = [&det](const svm::FeatureVector& feat,
+                                  std::size_t i, std::vector<std::uint32_t>& s,
+                                  std::vector<std::uint32_t>& b,
+                                  std::vector<char>& h) {
+      std::size_t bestK = 0;
+      double bestD = -std::numeric_limits<double>::infinity();
+      bool flagged = false;
+      for (std::size_t k = 0; k < det.kernels.size(); ++k) {
+        const double d = det.kernels[k].model.decision(
+            det.kernels[k].scaler.transform(feat));
+        if (d > 0) {
+          bestK = k;
+          bestD = d;
+          flagged = true;
+          break;
+        }
+        if (k == 0 || d > bestD) {
+          bestK = k;
+          bestD = d;
+        }
+      }
+      s[i] = std::uint32_t(bestK);
+      b[i] = std::uint32_t(obs::MarginSketch::bucketOf(bestD));
+      h[i] = flagged;
+    };
+    ctx.parallelFor(hsFeat.size(), [&](std::size_t i) {
+      attribute(hsFeat[i], i, slotOf, bucketOf, hotOf);
+    });
+    ctx.parallelFor(allNhsFeat.size(), [&](std::size_t i) {
+      attribute(allNhsFeat[i], hsFeat.size() + i, slotOf, bucketOf, hotOf);
+    });
+    det.baseline.clusters.resize(det.kernels.size());
+    const std::vector<std::string> names = det.clusterNames();
+    for (std::size_t k = 0; k < det.kernels.size(); ++k)
+      det.baseline.clusters[k].name = names[k];
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::ModelBaseline::Cluster& c = det.baseline.clusters[slotOf[i]];
+      ++c.buckets[bucketOf[i]];
+      ++(hotOf[i] ? c.hot : c.cold);
+    }
+    det.hasBaseline = true;
+  }
+
   det.stats.trainSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -399,7 +455,7 @@ FeatureParams loadFeatureParams(std::istream& is) {
 
 }  // namespace
 
-void Detector::save(std::ostream& os) const {
+void Detector::saveCore(std::ostream& os) const {
   os << "hsd_detector 2\n";
   os << params.clip.coreSide << ' ' << params.clip.clipSide << ' '
      << params.layer << '\n';
@@ -421,14 +477,38 @@ void Detector::save(std::ostream& os) const {
   os << int(hasPlatt) << ' ' << platt.a << ' ' << platt.b << '\n';
 }
 
+void Detector::save(std::ostream& os) const {
+  saveCore(os);
+  // The drift baseline rides after the fingerprinted core as an optional
+  // trailing section — files saved before baselines existed load
+  // unchanged, and old readers would stop before it anyway.
+  if (hasBaseline) baseline.save(os);
+}
+
+std::vector<std::string> Detector::clusterNames() const {
+  std::vector<std::string> names(kernels.size());
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    if (!kernels[i].topoKey.empty()) {
+      names[i] = kernels[i].topoKey;
+    } else if (hasBaseline && i < baseline.clusters.size()) {
+      // topoKey is not serialized; a loaded detector recovers the names
+      // from its baseline section so live slots match baseline clusters.
+      names[i] = baseline.clusters[i].name;
+    } else {
+      names[i] = "k" + std::to_string(i);
+    }
+  }
+  return names;
+}
+
 std::uint64_t Detector::fingerprint() const {
-  // Hash the serialized form at full double precision: any retrain, load
+  // Hash the serialized core at full double precision: any retrain, load
   // of a different model, or parameter nudge changes some emitted byte.
   // Cheap relative to a single window evaluation; callers compute it once
   // per run, never per window.
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
-  save(os);
+  saveCore(os);
   return hashString(os.str());
 }
 
@@ -468,6 +548,14 @@ Detector Detector::load(std::istream& is) {
   is >> hp >> det.platt.a >> det.platt.b;
   det.hasPlatt = hp != 0;
   if (!is) throw std::runtime_error("Detector::load: truncated");
+  std::string kw;
+  if (is >> kw) {
+    if (kw != "baseline")
+      throw std::runtime_error("Detector::load: unexpected trailer '" + kw +
+                               "'");
+    det.baseline = obs::ModelBaseline::load(is);
+    det.hasBaseline = true;
+  }
   return det;
 }
 

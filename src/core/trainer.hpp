@@ -15,6 +15,7 @@
 #include "core/pattern.hpp"
 #include "engine/run_context.hpp"
 #include "layout/clip.hpp"
+#include "obs/drift.hpp"
 #include "svm/platt.hpp"
 #include "svm/scaler.hpp"
 #include "svm/svm.hpp"
@@ -100,6 +101,12 @@ class Detector {
   bool hasPlatt = false;
   svm::PlattModel platt;
   TrainStats stats;
+  /// Training-set margin distribution per cluster, frozen at train time
+  /// and persisted with the model — the drift scorer's reference (see
+  /// obs/drift.hpp). Not part of fingerprint(): it summarizes evaluation
+  /// behavior, it does not change it.
+  bool hasBaseline = false;
+  obs::ModelBaseline baseline;
 
   /// Multiple-kernel OR vote on a core pattern. `bias` shifts every
   /// kernel's decision threshold (positive = stricter, fewer hotspots).
@@ -120,12 +127,23 @@ class Detector {
   void save(std::ostream& os) const;
   static Detector load(std::istream& is);
 
+  /// Per-cluster display names in kernel order: the topology key, or
+  /// "k<i>" for kernels without one (the single-kernel "*" baseline keeps
+  /// its literal key). Slot layout for obs::ModelStatsRecorder.
+  std::vector<std::string> clusterNames() const;
+
   /// Stable 64-bit fingerprint of everything evaluation depends on
   /// (params, kernels, scalers, feedback and Platt models), computed by
   /// hashing the high-precision serialized form. Used as the detector
   /// component of stage-cache config keys: retraining or loading a
-  /// different model invalidates every cached verdict.
+  /// different model invalidates every cached verdict. The drift baseline
+  /// is excluded (it cannot change a verdict), so attaching or dropping
+  /// one preserves every cached verdict key.
   std::uint64_t fingerprint() const;
+
+ private:
+  /// The fingerprinted core of save(): everything except the baseline.
+  void saveCore(std::ostream& os) const;
 };
 
 /// Train a detector from labeled clips (labels must be kHotspot /

@@ -21,6 +21,7 @@
 #include "engine/cache.hpp"
 #include "engine/stats.hpp"
 #include "obs/log.hpp"
+#include "obs/model_stats.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 
@@ -89,6 +90,20 @@ class RunContext {
   }
   obs::LogRecorder* logRecorder() const { return log_.get(); }
   std::shared_ptr<obs::LogRecorder> sharedLog() const { return log_; }
+
+  /// Attach a model-quality recorder (opt-in, shareable across contexts
+  /// like the tracer; see obs/model_stats.hpp). The evaluator's SVM and
+  /// feedback stages record per-cluster decision margins and capture
+  /// low-margin windows into it. Slot order must match the detector's
+  /// kernel order (build from Detector::clusterNames()). Attach between
+  /// runs; pass nullptr to detach.
+  void attachModelStats(std::shared_ptr<obs::ModelStatsRecorder> rec) {
+    modelStats_ = std::move(rec);
+  }
+  obs::ModelStatsRecorder* modelStats() const { return modelStats_.get(); }
+  std::shared_ptr<obs::ModelStatsRecorder> sharedModelStats() const {
+    return modelStats_;
+  }
   /// Record one structured log line when a recorder is attached and the
   /// level clears its floor; a no-op (two loads) otherwise. The record
   /// inherits the calling thread's current trace id.
@@ -176,6 +191,7 @@ class RunContext {
   std::shared_ptr<StageCache> cache_;
   std::shared_ptr<obs::TraceRecorder> tracer_;
   std::shared_ptr<obs::LogRecorder> log_;
+  std::shared_ptr<obs::ModelStatsRecorder> modelStats_;
   std::atomic<std::uint64_t> traceHi_{0};  ///< request trace id (0,0 = none)
   std::atomic<std::uint64_t> traceLo_{0};
 };

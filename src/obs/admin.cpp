@@ -23,6 +23,7 @@ enum ScrapeIndex {
   kReadyz = 4,
   kLogz = 5,
   kSloz = 6,
+  kModelz = 7,
 };
 
 constexpr const char* kPromContentType =
@@ -99,7 +100,7 @@ AdminServer::AdminServer(AdminOptions opts)
   const std::pair<int, const char*> endpoints[] = {
       {kMetrics, "/metrics"}, {kStatsz, "/statsz"},  {kTracez, "/tracez"},
       {kHealthz, "/healthz"}, {kReadyz, "/readyz"},  {kLogz, "/logz"},
-      {kSloz, "/sloz"}};
+      {kSloz, "/sloz"},       {kModelz, "/modelz"}};
   for (const auto& [idx, endpoint] : endpoints)
     scrapes_[idx] = &self_->counter("hsd_admin_scrapes_total",
                                     "Admin endpoint hits by endpoint",
@@ -126,6 +127,8 @@ AdminServer::AdminServer(AdminOptions opts)
                [this](const net::HttpRequest& req) { return handleLogz(req); });
   http_.handle("/sloz",
                [this](const net::HttpRequest& req) { return handleSloz(req); });
+  http_.handle("/modelz",
+               [this](const net::HttpRequest& req) { return handleModelz(req); });
 }
 
 AdminServer::~AdminServer() { stop(); }
@@ -154,6 +157,16 @@ void AdminServer::setLog(std::shared_ptr<const LogRecorder> log) {
 void AdminServer::setSlo(std::shared_ptr<SloTracker> slo) {
   requireNotStarted("setSlo");
   slo_ = std::move(slo);
+}
+
+void AdminServer::setModelStats(std::shared_ptr<const ModelStatsRecorder> rec) {
+  requireNotStarted("setModelStats");
+  modelStats_ = std::move(rec);
+}
+
+void AdminServer::setDrift(std::shared_ptr<DriftScorer> drift) {
+  requireNotStarted("setDrift");
+  drift_ = std::move(drift);
 }
 
 void AdminServer::addStatsProvider(std::string key,
@@ -212,6 +225,10 @@ net::HttpResponse AdminServer::handleStatsz(const net::HttpRequest&) {
     }
   }
   if (slo_) os << ", \"slo\": " << slo_->sampleAndJson();
+  if (modelStats_) {
+    os << ", \"model\": " << modelStats_->toJson(opts_.modelzDefaultLimit);
+    if (drift_) os << ", \"modelDrift\": " << drift_->sampleAndJson();
+  }
   os << "}\n";
   return net::HttpResponse::json(os.str());
 }
@@ -243,10 +260,23 @@ net::HttpResponse AdminServer::handleReadyz(const net::HttpRequest& req) {
        << "\", \"ready\": " << (ok ? "true" : "false") << "}";
   }
   os << "]";
-  if (slo_) {
-    const SloTracker::Status st = slo_->sampleAndStatus();
-    os << ", \"degraded\": " << (st.degraded ? "true" : "false")
-       << ", \"slo\": " << slo_->toJson(st);
+  if (slo_ || drift_) {
+    // Degraded = any mounted health signal firing: an SLO burn or a
+    // drifted model cluster. With only an SLO mounted the body is
+    // byte-identical to the pre-drift format.
+    bool degraded = false;
+    std::string detail;
+    if (slo_) {
+      const SloTracker::Status st = slo_->sampleAndStatus();
+      degraded = degraded || st.degraded;
+      detail += ", \"slo\": " + slo_->toJson(st);
+    }
+    if (drift_) {
+      const DriftScorer::Status dst = drift_->sampleAndStatus();
+      degraded = degraded || dst.anyDrifted;
+      detail += ", \"modelDrift\": " + drift_->toJson(dst);
+    }
+    os << ", \"degraded\": " << (degraded ? "true" : "false") << detail;
   }
   os << "}\n";
   net::HttpResponse res = net::HttpResponse::json(os.str());
@@ -260,6 +290,30 @@ net::HttpResponse AdminServer::handleSloz(const net::HttpRequest&) {
     return net::HttpResponse::json("{\"enabled\": false}\n");
   std::string body = "{\"enabled\": true, \"slo\": ";
   body += slo_->sampleAndJson();
+  body += "}\n";
+  return net::HttpResponse::json(std::move(body));
+}
+
+net::HttpResponse AdminServer::handleModelz(const net::HttpRequest& req) {
+  scrapes_[kModelz]->inc();
+  std::size_t limit = opts_.modelzDefaultLimit;
+  std::string err;
+  if (!parseLimitParam(req, limit, err)) return badRequest(err);
+  if (!modelStats_)
+    return net::HttpResponse::json("{\"enabled\": false}\n");
+  std::string cluster;
+  if (hasQueryKey(req, "cluster")) {
+    cluster = req.queryParam("cluster");
+    const std::vector<std::string>& names = modelStats_->clusterNames();
+    if (std::find(names.begin(), names.end(), cluster) == names.end())
+      return badRequest("unknown cluster for 'cluster': " + cluster);
+  }
+  std::string body = "{\"enabled\": true, \"model\": ";
+  body += modelStats_->toJson(limit, cluster);
+  if (drift_) {
+    body += ", \"drift\": ";
+    body += drift_->sampleAndJson();
+  }
   body += "}\n";
   return net::HttpResponse::json(std::move(body));
 }

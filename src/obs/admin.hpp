@@ -27,6 +27,13 @@
 //   GET /sloz      the mounted SloTracker's multi-window availability /
 //                  latency burn-rate report (also folded into /statsz as
 //                  the "slo" section, and into /readyz?degraded)
+//   GET /modelz    the mounted ModelStatsRecorder's per-cluster verdict
+//                  counts, margin quantiles and low-margin captures, plus
+//                  the DriftScorer's per-cluster PSI report when one is
+//                  mounted (also folded into /statsz as the "model"
+//                  section, and into /readyz?degraded). ?limit= caps the
+//                  capture count (default 64), ?cluster= restricts to one
+//                  named cluster (unknown names are a 400)
 //
 // Malformed query parameters (non-numeric ?limit=, unknown ?level=, a
 // ?trace= that is not a 32-hex id) are a 400, never a silent default.
@@ -51,8 +58,10 @@
 #include <vector>
 
 #include "net/http.hpp"
+#include "obs/drift.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/model_stats.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
@@ -64,6 +73,7 @@ struct AdminOptions {
   std::size_t handlerThreads = 2;
   std::size_t tracezDefaultLimit = 256;  ///< spans per /tracez unless ?limit=
   std::size_t logzDefaultLimit = 256;    ///< records per /logz unless ?limit=
+  std::size_t modelzDefaultLimit = 64;   ///< captures per /modelz unless ?limit=
 };
 
 class AdminServer {
@@ -91,6 +101,17 @@ class AdminServer {
   /// section of /statsz and the "slo" object of /readyz?degraded). At
   /// most one; pass nullptr to unmount. Scrapes drive its sampling.
   void setSlo(std::shared_ptr<SloTracker> slo);
+
+  /// Mount the model-quality recorder behind /modelz (also rendered as
+  /// the "model" section of /statsz). At most one; pass nullptr to
+  /// unmount. /modelz reports {"enabled": false} without one.
+  void setModelStats(std::shared_ptr<const ModelStatsRecorder> rec);
+
+  /// Mount the drift scorer: its PSI report joins /modelz and the
+  /// /readyz?degraded detail view (a drifted cluster marks the process
+  /// degraded, like an SLO burn). At most one; pass nullptr to unmount.
+  /// Scrapes drive its sampling, like the SLO tracker's.
+  void setDrift(std::shared_ptr<DriftScorer> drift);
 
   /// Mount a /statsz section: `fn` must return a complete JSON value
   /// (object/number/string) and be thread-safe. Sections render in mount
@@ -124,6 +145,7 @@ class AdminServer {
   net::HttpResponse handleTracez(const net::HttpRequest& req);
   net::HttpResponse handleLogz(const net::HttpRequest& req);
   net::HttpResponse handleSloz(const net::HttpRequest& req);
+  net::HttpResponse handleModelz(const net::HttpRequest& req);
   net::HttpResponse handleReadyz(const net::HttpRequest& req);
   void requireNotStarted(const char* what) const;
 
@@ -133,10 +155,12 @@ class AdminServer {
   std::shared_ptr<const TraceRecorder> tracer_;
   std::shared_ptr<const LogRecorder> log_;
   std::shared_ptr<SloTracker> slo_;
+  std::shared_ptr<const ModelStatsRecorder> modelStats_;
+  std::shared_ptr<DriftScorer> drift_;
   std::vector<std::pair<std::string, std::function<std::string()>>> stats_;
   std::vector<std::pair<std::string, std::function<bool()>>> readiness_;
   std::shared_ptr<MetricsRegistry> self_;
-  Counter* scrapes_[7] = {};  ///< by endpoint; see ScrapeIndex in admin.cpp
+  Counter* scrapes_[8] = {};  ///< by endpoint; see ScrapeIndex in admin.cpp
   Gauge* uptime_ = nullptr;   ///< whole seconds since start()
   std::chrono::steady_clock::time_point started_;
 };

@@ -1,0 +1,195 @@
+#include "obs/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <locale>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace hsd::obs {
+
+namespace {
+
+constexpr std::size_t kNone = std::size_t(-1);
+
+/// PSI between baseline counts `p` and live window counts `q` with
+/// Laplace smoothing: every bucket gets `alpha` pseudo-observations, so
+/// proportions are strictly positive and the logs are finite.
+double psiOf(const MarginSketch::Counts& p, const MarginSketch::Counts& q,
+             double alpha) {
+  const double pn =
+      double(MarginSketch::total(p)) + alpha * double(MarginSketch::kNumBuckets);
+  const double qn =
+      double(MarginSketch::total(q)) + alpha * double(MarginSketch::kNumBuckets);
+  if (pn <= 0.0 || qn <= 0.0) return 0.0;
+  double psi = 0.0;
+  for (std::size_t b = 0; b < MarginSketch::kNumBuckets; ++b) {
+    const double pi = (double(p[b]) + alpha) / pn;
+    const double qi = (double(q[b]) + alpha) / qn;
+    psi += (qi - pi) * std::log(qi / pi);
+  }
+  return psi;
+}
+
+}  // namespace
+
+void ModelBaseline::save(std::ostream& os) const {
+  os << "baseline " << clusters.size() << ' ' << MarginSketch::kNumBuckets
+     << '\n';
+  for (const Cluster& c : clusters) {
+    os << c.name << '\n';
+    os << c.hot << ' ' << c.cold;
+    for (const std::uint64_t v : c.buckets) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+ModelBaseline ModelBaseline::load(std::istream& is) {
+  std::size_t n = 0;
+  std::size_t buckets = 0;
+  is >> n >> buckets;
+  if (!is || buckets != MarginSketch::kNumBuckets)
+    throw std::runtime_error("ModelBaseline::load: bad header");
+  is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  ModelBaseline out;
+  out.clusters.resize(n);
+  for (Cluster& c : out.clusters) {
+    std::getline(is, c.name);
+    is >> c.hot >> c.cold;
+    for (std::uint64_t& v : c.buckets) is >> v;
+    is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+  if (!is) throw std::runtime_error("ModelBaseline::load: truncated");
+  return out;
+}
+
+DriftScorer::DriftScorer(ModelBaseline baseline, DriftConfig cfg)
+    : baseline_(std::move(baseline)), cfg_(cfg), epoch_(Clock::now()) {}
+
+void DriftScorer::setSource(std::shared_ptr<const ModelStatsRecorder> source) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  source_ = std::move(source);
+  ring_.clear();
+  baselineOf_.clear();
+  if (!source_) return;
+  const std::vector<std::string>& names = source_->clusterNames();
+  baselineOf_.assign(names.size(), kNone);
+  // Slot order is the canonical alignment: the baseline is persisted in
+  // kernel order and recorders are built from Detector::clusterNames() in
+  // the same order. Topology keys can repeat across kernels (clusters are
+  // per-kernel, not per-key), so a name search alone would map every
+  // duplicate onto the first key match; positional match wins, with name
+  // search only as the fallback for reshaped recorders.
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    if (s < baseline_.clusters.size() && baseline_.clusters[s].name == names[s]) {
+      baselineOf_[s] = s;
+      continue;
+    }
+    for (std::size_t b = 0; b < baseline_.clusters.size(); ++b)
+      if (baseline_.clusters[b].name == names[s]) {
+        baselineOf_[s] = b;
+        break;
+      }
+  }
+}
+
+void DriftScorer::sample(Clock::time_point now) {
+  std::shared_ptr<const ModelStatsRecorder> src;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    src = source_;
+  }
+  if (!src) return;
+  Sample s;
+  s.tNs = std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+              .count();
+  s.cumulative = src->bucketCounts();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(s));
+  // Prune like SloTracker: keep one sample older than the window (the
+  // delta baseline) and bound the ring size.
+  const double keepNs = cfg_.windowSeconds * 1e9 * 1.25;
+  while (ring_.size() > 2 &&
+         double(ring_.back().tNs - ring_[1].tNs) >= keepNs)
+    ring_.pop_front();
+  while (ring_.size() > cfg_.maxSamples) ring_.pop_front();
+}
+
+DriftScorer::Status DriftScorer::status(Clock::time_point now) const {
+  std::shared_ptr<const ModelStatsRecorder> src;
+  std::vector<std::size_t> baselineOf;
+  std::deque<Sample> ring;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    src = source_;
+    baselineOf = baselineOf_;
+    ring = ring_;
+  }
+  Status st;
+  if (!src) return st;
+  const std::int64_t nowNs =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count();
+  const std::vector<MarginSketch::Counts> cur = src->bucketCounts();
+  // Window origin: the newest sample at least windowSeconds old; with no
+  // sample that old the zero origin serves — the window degrades to
+  // "since scoring started", honest while history is short.
+  const Sample* base = nullptr;
+  for (const Sample& s : ring) {
+    if (double(nowNs - s.tNs) >= cfg_.windowSeconds * 1e9) {
+      base = &s;
+    } else {
+      break;  // ring is time-ordered; later samples are younger
+    }
+  }
+  const std::vector<std::string>& names = src->clusterNames();
+  st.clusters.resize(names.size());
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    ClusterStatus& cs = st.clusters[s];
+    cs.name = names[s];
+    cs.coveredSeconds = std::min(
+        cfg_.windowSeconds,
+        double(nowNs - (base != nullptr ? base->tNs : 0)) / 1e9);
+    MarginSketch::Counts window = cur[s];
+    if (base != nullptr && s < base->cumulative.size())
+      for (std::size_t b = 0; b < MarginSketch::kNumBuckets; ++b)
+        window[b] -= base->cumulative[s][b];
+    cs.windowCount = MarginSketch::total(window);
+    const std::size_t bi = s < baselineOf.size() ? baselineOf[s] : kNone;
+    if (bi == kNone) continue;  // unscored: no baseline for this slot
+    cs.psi = psiOf(baseline_.clusters[bi].buckets, window, cfg_.smoothing);
+    cs.scored = cs.windowCount >= cfg_.minWindowCount;
+    cs.drifted = cs.scored && cs.psi > cfg_.psiThreshold;
+    st.anyDrifted = st.anyDrifted || cs.drifted;
+  }
+  return st;
+}
+
+std::string DriftScorer::toJson(const Status& st) const {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(6);
+  os << "{\"psiThreshold\": " << cfg_.psiThreshold
+     << ", \"windowSeconds\": " << cfg_.windowSeconds
+     << ", \"minWindowCount\": " << cfg_.minWindowCount
+     << ", \"drifted\": " << (st.anyDrifted ? "true" : "false")
+     << ", \"clusters\": [";
+  bool first = true;
+  for (const ClusterStatus& c : st.clusters) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"cluster\": \"" << jsonEscape(c.name)
+       << "\", \"windowCount\": " << c.windowCount
+       << ", \"coveredSeconds\": " << c.coveredSeconds
+       << ", \"psi\": " << c.psi
+       << ", \"scored\": " << (c.scored ? "true" : "false")
+       << ", \"drifted\": " << (c.drifted ? "true" : "false") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hsd::obs

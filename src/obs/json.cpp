@@ -16,14 +16,20 @@ std::string jsonEscape(std::string_view s) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // Escape every control byte — C0 (incl. embedded NUL, which must
+        // not truncate the string) and DEL. Bytes >= 0x80 pass through
+        // untouched: they are UTF-8 continuation/lead bytes and escaping
+        // them would corrupt multi-byte sequences.
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u == 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
           out += buf;
         } else {
           out += c;
         }
+      }
     }
   }
   return out;

@@ -94,6 +94,7 @@ void LogRecorder::log(LogLevel level, const char* component,
   const std::size_t len = std::min(message.size(), kMessageCapacity - 1);
   std::memcpy(r.message, message.data(), len);
   r.message[len] = '\0';
+  r.msgLen = std::uint8_t(len);
   r.component = component;
   r.tsNs = std::max<std::int64_t>(
       0, std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -147,7 +148,10 @@ void LogRecorder::appendRecordJson(std::ostream& os,
      << ", \"unixMs\": " << (wallEpochNs_ + r.tsNs) / 1000000
      << ", \"level\": \"" << toString(r.level) << "\", \"component\": \""
      << jsonEscape(r.component != nullptr ? r.component : "") << "\", \"tid\": "
-     << sr.tid << ", \"message\": \"" << jsonEscape(r.message) << '"';
+     << sr.tid << ", \"message\": \""
+     << jsonEscape(std::string_view(
+            r.message, std::min<std::size_t>(r.msgLen, kMessageCapacity - 1)))
+     << '"';
   if (r.trace.valid()) {
     char trace[kTraceIdChars + 1];
     formatTraceId(r.trace, trace);

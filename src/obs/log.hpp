@@ -76,6 +76,10 @@ class LogRecorder {
     TraceArg a0, a1;                 ///< numeric args (key nullptr = absent)
     TraceStrArg s0;                  ///< string arg (key nullptr = absent)
     LogLevel level;
+    /// Copied message length — serialization emits exactly this many
+    /// bytes, so an embedded NUL in the message survives (escaped)
+    /// instead of silently truncating the JSON string.
+    std::uint8_t msgLen;
   };
 
   /// A serialization-ready view of one record plus thread attribution.

@@ -64,7 +64,8 @@ ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
                          std::size_t batchSize,
                          std::shared_ptr<engine::StageCache> cache,
                          std::shared_ptr<obs::TraceRecorder> tracer,
-                         std::shared_ptr<obs::LogRecorder> log) {
+                         std::shared_ptr<obs::LogRecorder> log,
+                         std::shared_ptr<obs::ModelStatsRecorder> modelStats) {
   contexts = std::max<std::size_t>(1, contexts);
   all_.reserve(contexts);
   slots_.reset(new Slot[contexts]);
@@ -74,6 +75,7 @@ ContextPool::ContextPool(std::size_t contexts, std::size_t threadsPerContext,
     if (cache) ctx->attachCache(cache);
     if (tracer) ctx->attachTracer(tracer);
     if (log) ctx->attachLog(log);
+    if (modelStats) ctx->attachModelStats(modelStats);
     // Pre-warm: spawn the worker threads now so the first request doesn't
     // pay pool construction latency (threads=1 contexts stay thread-free).
     if (ctx->threadCount() > 1) ctx->pool();
@@ -147,7 +149,7 @@ DetectionServer::DetectionServer(ServerConfig cfg) : cfg_(cfg) {
                                                   cfg_.tracer);
   pool_ = std::make_unique<ContextPool>(cfg_.contexts, cfg_.threadsPerContext,
                                         cfg_.batchSize, cache_, cfg_.tracer,
-                                        cfg_.log);
+                                        cfg_.log, cfg_.modelStats);
   workers_.reserve(cfg_.workers);
   for (std::size_t i = 0; i < cfg_.workers; ++i)
     workers_.emplace_back([this, i] { workerLoop(i); });
@@ -178,6 +180,9 @@ void DetectionServer::registerMetrics() {
   cacheMisses_ = &metrics_->counter(
       "hsd_serve_cache_misses_total",
       "Shared stage-cache misses across requests");
+  // After the fixed serve block so the existing exposition order is
+  // untouched; the recorder's per-cluster verdict counters append.
+  if (cfg_.modelStats) cfg_.modelStats->bindMetrics(*metrics_);
 }
 
 DetectionServer::~DetectionServer() { shutdown(); }

@@ -49,6 +49,7 @@
 #include "engine/stats.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/model_stats.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_id.hpp"
@@ -76,6 +77,13 @@ struct ServerConfig {
   /// SLO objectives for the built-in tracker (availability over finished
   /// requests, latency over the run histogram); see slo().
   obs::SloConfig slo;
+  /// Opt-in model-quality recording: attached to every pooled context, so
+  /// each evaluation's SVM margins land in the per-cluster sketches (and
+  /// borderline windows in the capture ring). Slot order must match the
+  /// served detector's kernel order (Detector::clusterNames()). Its
+  /// verdict counters are bound into the server's MetricsRegistry.
+  /// Near-zero overhead when null.
+  std::shared_ptr<obs::ModelStatsRecorder> modelStats;
 };
 
 enum class RequestStatus {
@@ -137,7 +145,8 @@ class ContextPool {
               std::size_t batchSize,
               std::shared_ptr<engine::StageCache> cache,
               std::shared_ptr<obs::TraceRecorder> tracer = nullptr,
-              std::shared_ptr<obs::LogRecorder> log = nullptr);
+              std::shared_ptr<obs::LogRecorder> log = nullptr,
+              std::shared_ptr<obs::ModelStatsRecorder> modelStats = nullptr);
 
   ContextPool(const ContextPool&) = delete;
   ContextPool& operator=(const ContextPool&) = delete;

@@ -14,7 +14,12 @@
 //    (global operator-new counter);
 //  - SloTracker window arithmetic with injected time (availability and
 //    latency burn rates, bucket-snapped objectives, degraded flag,
-//    zero-origin early-life fallback);
+//    zero-origin early-life fallback, inclusive window-boundary sample
+//    selection, flood-pruned rings degrading to the zero origin);
+//  - jsonEscape hostility: embedded NUL and every other control byte
+//    escape to \u00xx, DEL included, while UTF-8 bytes pass through —
+//    and a log message carrying an embedded NUL survives to /logz JSON
+//    instead of truncating at it;
 //  - Histogram quantile edge cases (single observation, everything in one
 //    bucket) and an 8-thread exemplar hammer (TSan-clean last-writer-wins).
 #include <gtest/gtest.h>
@@ -22,6 +27,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -32,6 +38,7 @@
 
 #include "engine/run_context.hpp"
 #include "mini_json.hpp"
+#include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
@@ -494,6 +501,127 @@ TEST(SloTracker, SampleRingStaysBoundedUnderScrapeFloods) {
   // a still-correct recent window.
   const SloTracker::Status st = slo.status(t0 + std::chrono::milliseconds(999));
   EXPECT_EQ(st.windows.size(), 1u);
+}
+
+TEST(SloTracker, WindowBoundarySampleIsSelectedInclusively) {
+  // A sample aged *exactly* windowSeconds is the window origin ("newest
+  // sample at least w old" is >=, not >): the window must cover precisely
+  // the traffic after it, not fall back to the zero origin.
+  SloConfig cfg;
+  cfg.availabilityTarget = 0.9;
+  cfg.windowsSeconds = {60.0};
+  SloTracker slo(cfg);
+  std::atomic<std::uint64_t> good{50};
+  std::atomic<std::uint64_t> total{100};
+  slo.setAvailabilitySource([&] { return good.load(); },
+                            [&] { return total.load(); });
+  const Clock::time_point t0 = Clock::now();
+  slo.sample(t0);  // 50/100 before the window
+  good = 150;      // 100 more requests, all good, inside the window
+  total = 200;
+  const SloTracker::Status st = slo.status(t0 + seconds(60));
+  ASSERT_EQ(st.windows.size(), 1u);
+  // Boundary sample selected: the window sees only the clean 100. A
+  // zero-origin fallback would report 150/200 = 0.75 and degrade.
+  EXPECT_EQ(st.windows[0].total, 100u);
+  EXPECT_EQ(st.windows[0].good, 100u);
+  EXPECT_DOUBLE_EQ(st.windows[0].availability, 1.0);
+  EXPECT_DOUBLE_EQ(st.windows[0].coveredSeconds, 60.0);
+  EXPECT_FALSE(st.degraded);
+}
+
+TEST(SloTracker, FloodPrunedRingDegradesToTheZeroOrigin) {
+  // When maxSamples evicts every sample old enough to serve as a window
+  // origin (a scrape flood against a tiny ring), the window degrades to
+  // the zero origin — full-life counts — instead of picking a too-young
+  // origin and silently under-reporting.
+  SloConfig cfg;
+  cfg.windowsSeconds = {60.0};
+  cfg.maxSamples = 4;
+  SloTracker slo(cfg);
+  std::atomic<std::uint64_t> good{80};
+  std::atomic<std::uint64_t> total{100};
+  slo.setAvailabilitySource([&] { return good.load(); },
+                            [&] { return total.load(); });
+  const Clock::time_point t0 = Clock::now();
+  slo.sample(t0);  // would be the 60s origin, if it survived
+  good = 180;
+  total = 200;
+  // Flood: 100 samples in the last second evict the t0 sample.
+  for (int i = 0; i < 100; ++i)
+    slo.sample(t0 + seconds(59) + std::chrono::milliseconds(i));
+  const SloTracker::Status st = slo.status(t0 + seconds(60));
+  ASSERT_EQ(st.windows.size(), 1u);
+  EXPECT_EQ(st.windows[0].total, 200u);  // zero origin: everything
+  EXPECT_EQ(st.windows[0].good, 180u);
+  EXPECT_DOUBLE_EQ(st.windows[0].availability, 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// jsonEscape and /logz emission under hostile bytes
+
+TEST(JsonEscape, EscapesEveryControlByteIncludingEmbeddedNul) {
+  // Embedded NUL must escape, not terminate: the string_view length is
+  // the contract, not the first zero byte.
+  EXPECT_EQ(jsonEscape(std::string_view("a\0b", 3)), "a\\u0000b");
+  // Named short escapes keep their JSON spellings.
+  EXPECT_EQ(jsonEscape("\"\\\b\f\n\r\t"), "\\\"\\\\\\b\\f\\n\\r\\t");
+  // Every remaining C0 byte and DEL become \u00xx.
+  for (unsigned c = 1; c < 0x20; ++c) {
+    if (c == '\b' || c == '\f' || c == '\n' || c == '\r' || c == '\t')
+      continue;
+    const char raw[2] = {char(c), '\0'};
+    char expect[8];
+    std::snprintf(expect, sizeof expect, "\\u%04x", c);
+    EXPECT_EQ(jsonEscape(std::string_view(raw, 1)), expect) << "byte " << c;
+  }
+  EXPECT_EQ(jsonEscape("\x7f"), "\\u007f");
+  // Bytes >= 0x80 pass through untouched — escaping them would corrupt
+  // multi-byte UTF-8 sequences.
+  EXPECT_EQ(jsonEscape("h\xc3\xa9llo \xe2\x86\x92"), "h\xc3\xa9llo \xe2\x86\x92");
+  // A quoted escaped hostile string is valid JSON.
+  const std::string hostile =
+      "\"" + jsonEscape(std::string_view("x\0\x01\x1f\x7f\"\\\n", 8)) + "\"";
+  EXPECT_TRUE(parsesAsJson(hostile)) << hostile;
+}
+
+TEST(LogRecorder, MessageWithEmbeddedNulSurvivesToJson) {
+  LogRecorder rec;
+  rec.log(LogLevel::kInfo, "test", std::string_view("ab\0cd", 5));
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  // The copied length is the record's contract; strlen would lie here.
+  EXPECT_EQ(snap[0].record.msgLen, 5u);
+  std::ostringstream os;
+  rec.writeJsonLines(os);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("ab\\u0000cd"), std::string::npos) << line;
+  EXPECT_TRUE(parsesAsJson(line.substr(0, line.find('\n')))) << line;
+}
+
+TEST(LogRecorder, HostileControlBytesNeverBreakTheJsonLines) {
+  LogRecorder rec;
+  rec.log(LogLevel::kWarn, "test", "tab\there \x01 and \x7f del");
+  rec.log(LogLevel::kError, "test", std::string_view("nul\0nul", 7));
+  // Oversized message with trailing hostile bytes: truncation keeps the
+  // prefix and the line still parses.
+  std::string big(200, 'x');
+  big[10] = '\0';
+  big[11] = '\x1f';
+  rec.log(LogLevel::kInfo, "test", big);
+  std::ostringstream os;
+  rec.writeJsonLines(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_TRUE(parsesAsJson(line)) << line;
+  }
+  EXPECT_EQ(n, 3u);
+  EXPECT_NE(os.str().find("\\u0001"), std::string::npos);
+  EXPECT_NE(os.str().find("\\u007f"), std::string::npos);
+  EXPECT_NE(os.str().find("nul\\u0000nul"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

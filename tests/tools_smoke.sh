@@ -14,7 +14,15 @@ trap 'rm -rf "$OUT"' EXIT
 "$BIN/tools/hsd_train" "$OUT/training_clips.txt" "$OUT/model.txt"
 "$BIN/tools/hsd_detect" "$OUT/model.txt" "$OUT/layout.gds" "$OUT/report.txt" \
   --trace-out "$OUT/detect_trace.json" \
-  --log-out "$OUT/detect_log.jsonl" | tee "$OUT/detect.out"
+  --log-out "$OUT/detect_log.jsonl" \
+  --model-stats-out "$OUT/detect_model.json" | tee "$OUT/detect.out"
+# The model-quality dump is valid JSON carrying per-cluster sketches and —
+# because hsd_train persists a margin baseline with the model — the
+# per-cluster PSI drift report.
+python3 -m json.tool < "$OUT/detect_model.json" > /dev/null
+grep -q '"clusters"' "$OUT/detect_model.json"
+grep -q '"drift"' "$OUT/detect_model.json"
+grep -q '"psi"' "$OUT/detect_model.json"
 # The structured log sink is JSON lines: every line parses, and the
 # evaluator lifecycle records are present.
 python3 -c 'import json,sys; [json.loads(l) for l in sys.stdin if l.strip()]' \
@@ -87,6 +95,7 @@ grep -q '^hsd_serve_requests_total{status="ok"} 4$' "$OUT/serve.prom"
   --requests 2 --workers 2 --admin-port 0 --linger-ms 60000 \
   --trace-out "$OUT/admin_trace.json" --metrics-out "$OUT/admin.prom" \
   --log-out "$OUT/serve_log.jsonl" \
+  --model-stats-out "$OUT/serve_model.json" \
   > "$OUT/admin_serve.out" 2>&1 &
 SERVE_PID=$!
 tries=0
@@ -106,7 +115,9 @@ PORT=$(sed -n 's/^ADMIN_PORT //p' "$OUT/admin_serve.out" | head -1)
 grep -q '^# TYPE hsd_serve_run_seconds histogram' "$OUT/scraped.prom"
 grep -q '^hsd_serve_requests_submitted_total 2$' "$OUT/scraped.prom"
 grep -q '^hsd_admin_scrapes_total{endpoint="/metrics"} 1$' "$OUT/scraped.prom"
-"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" /statsz | python3 -m json.tool > /dev/null
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" /statsz > "$OUT/statsz.json"
+python3 -m json.tool < "$OUT/statsz.json" > /dev/null
+grep -q '"model"' "$OUT/statsz.json"
 "$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" '/tracez?limit=100' > "$OUT/tracez.json"
 python3 -m json.tool < "$OUT/tracez.json" > /dev/null
 grep -q '"enabled": true' "$OUT/tracez.json"
@@ -118,6 +129,26 @@ grep -q '"enabled": true' "$OUT/logz.jsonl"
 "$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" /sloz > "$OUT/sloz.json"
 python3 -m json.tool < "$OUT/sloz.json" > /dev/null
 grep -q '"windows"' "$OUT/sloz.json"
+# The model-quality plane rides the same admin server: /modelz serves the
+# per-cluster margin sketches plus the drift report, the ?cluster= filter
+# accepts the always-present feedback pseudo-cluster, and junk parameters
+# are typed 400s.
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" /modelz > "$OUT/modelz.json"
+python3 -m json.tool < "$OUT/modelz.json" > /dev/null
+grep -q '"enabled": true' "$OUT/modelz.json"
+grep -q '"psiThreshold"' "$OUT/modelz.json"
+"$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" '/modelz?cluster=feedback&limit=8' \
+  | python3 -m json.tool > /dev/null
+if "$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" '/modelz?limit=abc' \
+  > /dev/null 2>&1; then
+  echo "modelz?limit=abc unexpectedly succeeded" >&2
+  exit 1
+fi
+if "$BIN/tools/hsd_scrape" 127.0.0.1 "$PORT" '/modelz?cluster=no-such-cluster' \
+  > /dev/null 2>&1; then
+  echo "modelz?cluster=no-such-cluster unexpectedly succeeded" >&2
+  exit 1
+fi
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q '"reportsIdentical": true' "$OUT/admin_serve.out"
@@ -125,6 +156,11 @@ grep '^SERVE_STATS ' "$OUT/admin_serve.out" | sed 's/^SERVE_STATS //' \
   | python3 -m json.tool > /dev/null
 python3 -m json.tool < "$OUT/admin_trace.json" > /dev/null
 grep -q '^# TYPE hsd_serve_run_seconds histogram' "$OUT/admin.prom"
+# The --model-stats-out dump flushed on drain, and the per-cluster verdict
+# counters joined the Prometheus exposition.
+python3 -m json.tool < "$OUT/serve_model.json" > /dev/null
+grep -q '"clusters"' "$OUT/serve_model.json"
+grep -q 'hsd_model_verdicts_total' "$OUT/admin.prom"
 # The --log-out sink flushed on drain: JSON lines, evaluator lifecycle in.
 python3 -c 'import json,sys; [json.loads(l) for l in sys.stdin if l.strip()]' \
   < "$OUT/serve_log.jsonl"

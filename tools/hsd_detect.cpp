@@ -6,6 +6,7 @@
 //              [--tile-size S] [--halo H] [--tile-threads K]
 //              [--trace-out trace.json] [--log-out log.jsonl]
 //              [--log-level trace|debug|info|warn|error]
+//              [--model-stats-out model.json]
 //
 // --tile-size S partitions the layout into S-dbu grid tiles evaluated
 // concurrently with halo overlap (engine/tiler.hpp) and deterministically
@@ -22,6 +23,11 @@
 // JSON lines; --log-level sets the floor (default info). The run gets a
 // freshly minted trace id so its spans and log records correlate the
 // same way a served request's do.
+//
+// --model-stats-out records per-cluster SVM margin sketches, verdict
+// counts and low-margin captures (obs/model_stats.hpp) and writes them as
+// JSON at exit; when the model carries a drift baseline the dump includes
+// the per-cluster PSI report against it.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,7 +37,9 @@
 #include "core/evaluator.hpp"
 #include "gds/ascii.hpp"
 #include "gds/gdsii.hpp"
+#include "obs/drift.hpp"
 #include "obs/log.hpp"
+#include "obs/model_stats.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_id.hpp"
 
@@ -66,7 +74,7 @@ int main(int argc, char** argv) {
                  "[--bias B] [--threads N] [--no-removal] "
                  "[--no-feedback] [--tile-size S] [--halo H] "
                  "[--tile-threads K] [--trace-out F] [--log-out F] "
-                 "[--log-level L]\n",
+                 "[--log-level L] [--model-stats-out F]\n",
                  argv[0]);
     return 2;
   }
@@ -114,6 +122,19 @@ int main(int argc, char** argv) {
       }
       ctx.attachLog(logRec);
     }
+    const char* modelStatsOut =
+        argString(argc, argv, "--model-stats-out", nullptr);
+    std::shared_ptr<obs::ModelStatsRecorder> modelStats;
+    std::unique_ptr<obs::DriftScorer> drift;
+    if (modelStatsOut != nullptr) {
+      modelStats = std::make_shared<obs::ModelStatsRecorder>(det.clusterNames());
+      ctx.attachModelStats(modelStats);
+      if (det.hasBaseline) {
+        drift = std::make_unique<obs::DriftScorer>(det.baseline);
+        drift->setSource(modelStats);
+        drift->sample();  // zero origin: the run is the window
+      }
+    }
     // Mint a run-scoped trace id so spans and log records correlate the
     // same way a served request's do.
     const obs::ScopedTraceId traceScope(obs::makeTraceId());
@@ -148,6 +169,19 @@ int main(int argc, char** argv) {
                   logRec->recordCount(),
                   static_cast<unsigned long long>(logRec->droppedRecords()),
                   logOut);
+    }
+    if (modelStats) {
+      std::ofstream out(modelStatsOut);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open model stats file %s\n",
+                     modelStatsOut);
+        return 1;
+      }
+      out << "{\"model\": " << modelStats->toJson();
+      if (drift) out << ", \"drift\": " << drift->sampleAndJson();
+      out << "}\n";
+      std::printf("model stats: %zu clusters -> %s\n", modelStats->numSlots(),
+                  modelStatsOut);
     }
 
     // Triage view: the highest-confidence reports first.

@@ -10,6 +10,7 @@
 //             [--admin-port P] [--linger-ms L] [--port P]
 //             [--max-body-mb M] [--max-queue-depth Q]
 //             [--log-out log.jsonl] [--log-level trace|debug|info|warn|error]
+//             [--model-stats-out model.json]
 //
 // --port P opens the detection wire plane (serve::DetectionEndpoint):
 // POST /detect on 127.0.0.1:P accepts a layout body and returns the
@@ -57,6 +58,14 @@
 // given — like /tracez, it works without any output file. The server's
 // built-in SLO tracker is always mounted on /sloz (and the "slo"
 // sections of /statsz and /readyz?degraded).
+//
+// --model-stats-out enables the model-quality plane (per-cluster SVM
+// margin sketches, verdict counters, low-margin captures) and writes the
+// JSON dump at exit; with --admin-port the recorder also backs the admin
+// /modelz endpoint (and the "model" section of /statsz), which works
+// without any output file. When the model carries a drift baseline, the
+// per-cluster PSI drift report joins /modelz, /readyz?degraded and the
+// dump.
 #include <csignal>
 #include <chrono>
 #include <cstdio>
@@ -132,7 +141,8 @@ int main(int argc, char** argv) {
                  "[--halo H] [--tile-threads K] [--trace-out f.json] "
                  "[--metrics-out f.prom] [--admin-port P] [--linger-ms L] "
                  "[--port P] [--max-body-mb M] [--max-queue-depth Q] "
-                 "[--log-out f.jsonl] [--log-level L]\n",
+                 "[--log-out f.jsonl] [--log-level L] "
+                 "[--model-stats-out F]\n",
                  argv[0]);
     return 2;
   }
@@ -177,6 +187,20 @@ int main(int argc, char** argv) {
           return 2;
         }
         cfg.log->setMinLevel(parsed);
+      }
+    }
+    // Model-quality plane mirrors the tracer/log lifecycle: a
+    // --model-stats-out file or a mounted admin /modelz both need the
+    // recorder; the file is written only when the flag was given.
+    const char* modelStatsOut =
+        argString(argc, argv, "--model-stats-out", nullptr);
+    std::shared_ptr<obs::DriftScorer> drift;
+    if (modelStatsOut != nullptr || adminEnabled) {
+      cfg.modelStats =
+          std::make_shared<obs::ModelStatsRecorder>(det.clusterNames());
+      if (det.hasBaseline) {
+        drift = std::make_shared<obs::DriftScorer>(det.baseline);
+        drift->setSource(cfg.modelStats);
       }
     }
 
@@ -227,6 +251,8 @@ int main(int argc, char** argv) {
       admin->setTracer(cfg.tracer);
       admin->setLog(cfg.log);
       admin->setSlo(server.slo());
+      admin->setModelStats(cfg.modelStats);
+      admin->setDrift(drift);
       admin->addStatsProvider("serve",
                               [&server] { return server.statsJson(); });
       if (endpoint)
@@ -350,6 +376,19 @@ int main(int argc, char** argv) {
                   cfg.log->recordCount(),
                   static_cast<unsigned long long>(cfg.log->droppedRecords()),
                   logOut);
+    }
+    if (cfg.modelStats && modelStatsOut != nullptr) {
+      std::ofstream out(modelStatsOut);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open model stats file %s\n",
+                     modelStatsOut);
+        return 1;
+      }
+      out << "{\"model\": " << cfg.modelStats->toJson();
+      if (drift) out << ", \"drift\": " << drift->sampleAndJson();
+      out << "}\n";
+      std::printf("model stats: %zu clusters -> %s\n",
+                  cfg.modelStats->numSlots(), modelStatsOut);
     }
     if (admin) admin->stop();
     return identical ? 0 : 1;
